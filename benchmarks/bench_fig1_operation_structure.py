@@ -1,0 +1,62 @@
+"""Fig. 1 — structure of the T6(Fp) operations.
+
+The figure shows which operations exist at each level of the tower (add, mul,
+inv in Fp, Fp3, Fp6) and the maps between representations (tau, tau^-1, rho,
+psi).  The quantitative content reproduced here is the base-field operation
+count of every box, including the 18M + ~60A figure for the Fp6
+multiplication that drives the whole cost analysis.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.figures import fig1_operation_counts
+from repro.analysis.report import render_table
+from repro.field.fp import PrimeField
+from repro.field.fp6 import make_fp6
+from repro.field.towers import F1ToF2Map
+from repro.torus.params import CEILIDH_170
+
+
+def bench_fig1_operation_counts(benchmark, record_table):
+    """Profile every Fig. 1 box in base-field operations."""
+    profiles = benchmark.pedantic(
+        fig1_operation_counts, args=(CEILIDH_170,), rounds=1, iterations=1
+    )
+    text = render_table(
+        ["level", "operation", "Fp mult (M)", "Fp add/sub (A)", "Fp inv"],
+        [
+            (p.level, p.operation, p.counts.mul, p.counts.additions_total, p.counts.inv)
+            for p in profiles
+        ],
+        title="Fig. 1 - operation structure of T6(Fp) (Fp operation counts per box)",
+    )
+    record_table("fig1_operation_structure", text)
+
+    by_key = {(p.level, p.operation): p.counts for p in profiles}
+    fp6_mul = by_key[("Fp6 (F1)", "mul (18M)")]
+    assert fp6_mul.mul == 18                      # the paper's 18M
+    assert 55 <= fp6_mul.additions_total <= 75    # the paper's ~60A
+    assert by_key[("Fp6 (F1)", "add")].additions_total == 6
+    assert by_key[("F1 <-> F2", "tau")].mul <= 40  # linear basis change
+    assert by_key[("T6", "rho (compress)")].inv >= 1
+
+
+def bench_fp6_multiplication_software(benchmark):
+    """Wall-clock cost of one 170-bit Fp6 multiplication (18M algorithm)."""
+    rng = random.Random(8)
+    fp6 = make_fp6(PrimeField(CEILIDH_170.p))
+    a, b = fp6.random_element(rng), fp6.random_element(rng)
+    result = benchmark(fp6.mul_paper, a, b)
+    assert result == fp6.mul_schoolbook(a, b)
+
+
+def bench_representation_conversion(benchmark):
+    """Wall-clock cost of the tau map (F1 -> F2 conversion)."""
+    rng = random.Random(9)
+    fp6 = make_fp6(PrimeField(CEILIDH_170.p))
+    converter = F1ToF2Map(fp6)
+    a = fp6.random_element(rng)
+    result = benchmark(converter.to_f2, a)
+    assert converter.to_f1(result) == a

@@ -1,0 +1,49 @@
+"""Fig. 2 — the platform block diagram, as a resource inventory.
+
+The figure is structural (MicroBlaze, register interface, decoder, DataRAM,
+instruction ROMs, cores); the quantitative content reproduced here is the
+component inventory with the area/frequency budget of Table 3's platform
+column (5419 slices, 3285 of them in the coprocessor, 74 MHz) and its scaling
+with the number of cores.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import fig2_platform_inventory
+from repro.analysis.report import render_table
+from repro.soc.area import AreaModel
+
+
+def bench_fig2_platform_inventory(benchmark, platform, record_table):
+    """Report the platform inventory and area budget."""
+    inventory = benchmark.pedantic(
+        fig2_platform_inventory, args=(platform,), rounds=1, iterations=1
+    )
+    text = render_table(
+        ["component / parameter", "value"],
+        sorted((str(k), str(v)) for k, v in inventory.items()),
+        title="Fig. 2 - platform inventory (simulated)",
+    )
+    record_table("fig2_platform_inventory", text)
+    assert inventory["core_instruction_count"] == 7
+    assert inventory["area_slices_total"] == 5419
+    assert inventory["area_slices_coprocessor"] == 3285
+    assert inventory["frequency_mhz"] == 74.0
+
+
+def bench_area_scaling_with_cores(benchmark, record_table):
+    """Area/frequency scaling of the parametric model (core-count ablation)."""
+    model = AreaModel()
+    reports = benchmark.pedantic(
+        lambda: [model.report(cores) for cores in (1, 2, 4, 8, 16)], rounds=1, iterations=1
+    )
+    text = render_table(
+        ["cores", "coprocessor slices", "total slices", "frequency MHz", "block RAMs"],
+        [
+            (r.num_cores, r.coprocessor_slices, r.total_slices, r.frequency_mhz, r.block_rams)
+            for r in reports
+        ],
+        title="Fig. 2 (scaling) - area model vs number of cores",
+    )
+    record_table("fig2_area_scaling", text)
+    assert reports[2].total_slices == 5419  # the paper's 4-core configuration

@@ -1,0 +1,71 @@
+"""Figs. 3 & 4 — the Type-A and Type-B execution hierarchies.
+
+The figures illustrate where the cycles go: under Type-A the MicroBlaze pays
+a register-access + interrupt round trip for every one of the ~78 modular
+operations of an Fp6 multiplication (the paper calls this the system
+bottleneck); under Type-B the sequence is driven from InsRom1 and the round
+trip is paid once.  The reproduction quantifies exactly that communication /
+computation split.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import fig34_hierarchy_breakdown
+from repro.analysis.report import render_table
+
+
+def bench_fig34_hierarchy_breakdown(benchmark, platform, record_table):
+    """Cycle breakdown (interface vs compute) under both hierarchies."""
+    breakdowns = benchmark.pedantic(
+        fig34_hierarchy_breakdown, args=(platform,), rounds=1, iterations=1
+    )
+    text = render_table(
+        ["hierarchy", "operation", "total cycles", "interface cycles", "compute cycles",
+         "communication share"],
+        [
+            (b.hierarchy, b.operation, b.total_cycles, b.interface_cycles, b.compute_cycles,
+             f"{100 * b.communication_fraction:.1f}%")
+            for b in breakdowns
+        ],
+        title="Figs. 3/4 - communication vs computation per level-2 operation",
+    )
+    record_table("fig34_hierarchy_breakdown", text)
+
+    by_key = {(b.hierarchy, b.operation): b for b in breakdowns}
+    t6_a = by_key[("type-a", "T6 multiplication")]
+    t6_b = by_key[("type-b", "T6 multiplication")]
+    # Under Type-A the interface dominates (the paper's stated bottleneck);
+    # under Type-B it drops to a few percent.
+    assert t6_a.communication_fraction > 0.4
+    assert t6_b.communication_fraction < 0.15
+    assert t6_a.total_cycles > 2 * t6_b.total_cycles
+
+
+def bench_interface_cost_ablation(benchmark, platform, record_table):
+    """Ablation: how the Type-A/Type-B gap reacts to a faster interface."""
+    from repro.soc.cost import CostModel
+    from repro.soc.sequences import fp6_multiplication_program
+    from repro.torus.params import CEILIDH_170
+
+    costs = platform.measure_operation_costs(CEILIDH_170.p)
+
+    def sweep():
+        rows = []
+        for factor in (1.0, 0.5, 0.25, 0.1):
+            interface = platform.config.interface.scaled(factor)
+            model = CostModel(costs, interface=interface)
+            cost = model.sequence_cost(fp6_multiplication_program())
+            rows.append((factor, interface.round_trip_cycles, cost.type_a_cycles,
+                         cost.type_b_cycles, cost.speedup))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = render_table(
+        ["interface scale", "round trip cycles", "Type-A cycles", "Type-B cycles", "speedup"],
+        rows,
+        title="Ablation - Type-A/Type-B gap vs MicroBlaze interface cost (Fp6 multiplication)",
+    )
+    record_table("fig34_interface_ablation", text)
+    # The faster the interface, the smaller the benefit of Type-B.
+    speedups = [row[4] for row in rows]
+    assert speedups == sorted(speedups, reverse=True)

@@ -1,0 +1,81 @@
+"""Fig. 5 — parallelised Montgomery multiplication on the multicore array.
+
+The figure shows the 256-bit Montgomery multiplication distributed over four
+cores with core-local carries and the per-iteration word transfers; the
+associated result (from the paper's reference [4]) is a 2.96x speed-up over a
+single core.  The reproduction sweeps the core count on the cycle-accurate
+microcode and reports cycles, speed-up and the number of inter-core
+transfers, plus the same sweep at the paper's three operand sizes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.figures import fig5_parallel_speedup
+from repro.analysis.report import render_table
+from repro.montgomery.domain import MontgomeryDomain
+from repro.montgomery.parallel import parallel_fios_multiply
+from repro.soc.engine import ModularEngine
+from repro.torus.params import CEILIDH_170
+
+
+def bench_fig5_core_count_sweep(benchmark, record_table):
+    """256-bit Montgomery multiplication vs core count (the Fig. 5 setting)."""
+    points = benchmark.pedantic(
+        fig5_parallel_speedup, args=(256, [1, 2, 4, 8]), rounds=1, iterations=1
+    )
+    text = render_table(
+        ["requested cores", "active cores", "cycles", "speedup vs 1 core",
+         "inter-core transfers per mult"],
+        [
+            (p.num_cores, p.active_cores, p.cycles, p.speedup_vs_single_core,
+             p.inter_core_transfers_per_mult)
+            for p in points
+        ],
+        title="Fig. 5 - 256-bit Montgomery multiplication vs core count "
+              "(paper/ref [4]: 2.96x on 4 cores)",
+    )
+    record_table("fig5_parallel_montgomery", text)
+
+    by_cores = {p.num_cores: p for p in points}
+    assert by_cores[4].cycles < by_cores[2].cycles < by_cores[1].cycles
+    # Reference [4] reports 2.96x on 4 cores; the reproduction lands in the
+    # same regime (>2x, below the ideal 4x).
+    assert 1.9 < by_cores[4].speedup_vs_single_core <= 4.0
+    assert by_cores[1].inter_core_transfers_per_mult == 0
+    assert by_cores[4].inter_core_transfers_per_mult > 0
+
+
+def bench_fig5_operand_size_sweep(benchmark, record_table):
+    """Four-core speed-up at the paper's operand sizes (160/170/256/1024 bits)."""
+    def sweep():
+        rows = []
+        for bits in (160, 170, 256, 1024):
+            modulus = (1 << bits) - random.Random(bits).randrange(3, 1 << 12, 2)
+            single = ModularEngine(modulus, num_cores=1) if bits <= 256 else None
+            quad = ModularEngine(modulus, num_cores=4)
+            quad_cycles = quad.measure_multiplication().cycles
+            single_cycles = single.measure_multiplication().cycles if single else None
+            speedup = single_cycles / quad_cycles if single_cycles else None
+            rows.append((bits, single_cycles, quad_cycles, speedup))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = render_table(
+        ["bits", "1-core cycles", "4-core cycles", "speedup"],
+        rows,
+        title="Fig. 5 (extended) - multi-core Montgomery speedup vs operand size",
+    )
+    record_table("fig5_operand_size_sweep", text)
+    assert all(row[2] > 0 for row in rows)
+
+
+def bench_parallel_fios_functional_model(benchmark):
+    """Wall-clock cost of the word-level parallel-FIOS functional model."""
+    domain = MontgomeryDomain(CEILIDH_170.p, word_bits=16)
+    rng = random.Random(10)
+    p = CEILIDH_170.p
+    xb, yb = rng.randrange(p), rng.randrange(p)
+    result = benchmark(parallel_fios_multiply, domain, xb, yb, 4)
+    assert result == domain.mont_mul(xb, yb)

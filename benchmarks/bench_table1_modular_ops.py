@@ -1,0 +1,82 @@
+"""Table 1 — clock cycles of the modular operations.
+
+Regenerates every row of the paper's Table 1 (interrupt handling, modular
+multiplication/addition/subtraction at 170, 160 and 1024 bits) from the
+cycle-accurate coprocessor model, reports them next to the paper's numbers,
+and wall-clock-benchmarks the underlying simulated operations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.report import render_table
+from repro.analysis.tables import table1
+from repro.soc.system import default_rsa_modulus
+from repro.torus.params import CEILIDH_170
+
+
+def bench_table1_reproduction(benchmark, platform, record_table):
+    """Regenerate Table 1 and check the paper's qualitative shape."""
+    rows = benchmark.pedantic(table1, args=(platform,), rounds=1, iterations=1)
+    text = render_table(
+        ["bits", "label", "operation", "measured cycles", "paper cycles", "ratio"],
+        [
+            (r.bit_length or "-", r.label, r.operation, r.measured_cycles, r.paper_cycles, r.ratio)
+            for r in rows
+        ],
+        title="Table 1 - cycles per modular operation (measured vs paper)",
+    )
+    record_table("table1_modular_ops", text)
+
+    by_key = {(r.bit_length, r.operation): r.measured_cycles for r in rows}
+    mult170 = by_key[(170, "modular multiplication")]
+    add170 = by_key[(170, "modular addition")]
+    sub170 = by_key[(170, "modular subtraction")]
+    mult160 = by_key[(160, "modular multiplication")]
+    mult1024 = by_key[(1024, "modular multiplication")]
+    # The paper's shape: MM >> MS >= MA; 160-bit slightly cheaper than
+    # 170-bit; 1024-bit more than an order of magnitude above 170-bit.
+    assert mult170 > sub170 >= add170
+    assert mult160 <= mult170
+    assert 10 < mult1024 / mult170 < 35  # paper: 23x
+
+
+def bench_170_bit_modular_multiplication(benchmark, platform):
+    """Wall-clock cost of simulating one 170-bit Montgomery multiplication."""
+    engine = platform.engine_for(CEILIDH_170.p)
+    rng = random.Random(1)
+    p = CEILIDH_170.p
+    x, y = rng.randrange(p), rng.randrange(p)
+    result = benchmark(engine.mont_mul, x, y)
+    assert result[0] == engine.domain.mont_mul(x, y)
+
+
+def bench_170_bit_modular_addition(benchmark, platform):
+    """Wall-clock cost of simulating one 170-bit modular addition."""
+    engine = platform.engine_for(CEILIDH_170.p)
+    rng = random.Random(2)
+    p = CEILIDH_170.p
+    a, b = rng.randrange(p), rng.randrange(p)
+    result = benchmark(engine.mod_add, a, b)
+    assert result[0] == (a + b) % p
+
+
+def bench_170_bit_modular_subtraction(benchmark, platform):
+    """Wall-clock cost of simulating one 170-bit modular subtraction."""
+    engine = platform.engine_for(CEILIDH_170.p)
+    rng = random.Random(4)
+    p = CEILIDH_170.p
+    a, b = rng.randrange(p), rng.randrange(p)
+    result = benchmark(engine.mod_sub, a, b)
+    assert result[0] == (a - b) % p
+
+
+def bench_1024_bit_modular_multiplication(benchmark, platform):
+    """Wall-clock cost of simulating one 1024-bit Montgomery multiplication."""
+    modulus = default_rsa_modulus(1024)
+    engine = platform.engine_for(modulus)
+    rng = random.Random(3)
+    x, y = rng.randrange(modulus), rng.randrange(modulus)
+    result = benchmark(engine.mont_mul, x, y)
+    assert result[0] == engine.domain.mont_mul(x, y)

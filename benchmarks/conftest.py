@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark writes its paper-vs-measured table both to stdout (visible
+with ``pytest -s`` / in verbose CI logs) and to ``benchmarks/results/`` so a
+plain ``pytest benchmarks/ --benchmark-only`` run leaves a permanent record
+next to the timing numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.soc.system import Platform
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def platform():
+    """One shared simulated platform (engines are cached inside)."""
+    return Platform()
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Write a rendered table to the results directory and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + os.linesep)
+        print()
+        print(text)
+
+    return _record

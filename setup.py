@@ -1,0 +1,4 @@
+"""Setuptools shim so that legacy installs (python setup.py develop) work offline."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Reproduction of "FPGA Design for Algebraic Tori-Based Public-Key Cryptography".
+
+Fan, Batina, Sakiyama and Verbauwhede (DATE 2008) implement the CEILIDH
+torus-based cryptosystem, prime-field ECC and RSA on a MicroBlaze-controlled
+multicore FPGA coprocessor.  This package rebuilds the whole stack in Python:
+
+* :mod:`repro.nt`, :mod:`repro.field` — number theory and the Fp / Fp2 / Fp3 /
+  Fp6 tower (with the paper's 18M Fp6 multiplication),
+* :mod:`repro.montgomery` — FIOS Montgomery multiplication and the multi-core
+  carry-local schedule of Fig. 5,
+* :mod:`repro.torus` — T6(Fp), the factor-3 compression maps and the CEILIDH
+  protocols (the paper's primary subject),
+* :mod:`repro.ecc`, :mod:`repro.rsa` — the two baselines of Table 3,
+* :mod:`repro.soc` — the cycle-accurate platform simulator (7-instruction
+  cores, single-port DataRAM, Type-A/Type-B hierarchies, MicroBlaze interface
+  cost model, area model),
+* :mod:`repro.analysis` — regeneration of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+from repro.torus.ceilidh import CeilidhSystem
+from repro.torus.params import get_parameters, generate_parameters
+from repro.torus.t6 import T6Group
+from repro.soc.system import Platform, PlatformConfig
+
+__all__ = [
+    "__version__",
+    "errors",
+    "CeilidhSystem",
+    "get_parameters",
+    "generate_parameters",
+    "T6Group",
+    "Platform",
+    "PlatformConfig",
+]

@@ -1,0 +1,39 @@
+"""Reproduction of the paper's tables and figures.
+
+Each function regenerates one evaluation artefact from the simulated
+platform and pairs it with the paper's published numbers so the benchmark
+harness (and EXPERIMENTS.md) can report paper-vs-measured side by side.
+"""
+
+from repro.analysis.tables import (
+    Table1Row,
+    Table2Row,
+    Table3Row,
+    table1,
+    table2,
+    table3,
+)
+from repro.analysis.figures import (
+    fig1_operation_counts,
+    fig2_platform_inventory,
+    fig34_hierarchy_breakdown,
+    fig5_parallel_speedup,
+    bandwidth_comparison,
+)
+from repro.analysis.report import render_table, paper_vs_measured
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "table1",
+    "table2",
+    "table3",
+    "fig1_operation_counts",
+    "fig2_platform_inventory",
+    "fig34_hierarchy_breakdown",
+    "fig5_parallel_speedup",
+    "bandwidth_comparison",
+    "render_table",
+    "paper_vs_measured",
+]

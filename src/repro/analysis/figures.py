@@ -1,0 +1,276 @@
+"""Regeneration of the paper's figures (as data series / structured reports).
+
+The paper's figures are block diagrams and one scheduling illustration rather
+than measurement plots, so each is reproduced as the quantitative content it
+conveys:
+
+* **Fig. 1** (structure of the T6 operations) -> the Fp operation counts of
+  add/mul/inv at every level of the tower plus the conversion and
+  compression maps;
+* **Fig. 2** (platform block diagram) -> the component inventory and
+  area/memory budget of the simulated platform;
+* **Figs. 3 & 4** (Type-A / Type-B hierarchies) -> the communication-versus-
+  compute cycle breakdown of one Fp6 multiplication under each hierarchy;
+* **Fig. 5** (parallelised Montgomery multiplication on 4 cores) -> the
+  cycle counts and speed-up of the 256-bit multiplication as the core count
+  grows, including the inter-core transfer counts drawn in the figure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.field.fp6 import make_fp6
+from repro.field.opcount import CountingPrimeField, OperationCounts
+from repro.field.towers import F1ToF2Map, TowerFp6
+from repro.montgomery.domain import MontgomeryDomain
+from repro.montgomery.parallel import parallel_fios_report
+from repro.soc.engine import ModularEngine
+from repro.soc.sequences import ecc_point_addition_program, fp6_multiplication_program
+from repro.soc.system import Platform
+from repro.torus.compression import TorusCompressor
+from repro.torus.params import CEILIDH_170, TorusParameters
+from repro.torus.t6 import T6Group
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 — operation structure of the tower.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OperationProfile:
+    """Fp operation counts of one tower-level operation."""
+
+    level: str
+    operation: str
+    counts: OperationCounts
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"M": self.counts.mul, "A": self.counts.additions_total, "inv": self.counts.inv}
+
+
+def fig1_operation_counts(
+    params: TorusParameters = CEILIDH_170, seed: int = 2008
+) -> List[OperationProfile]:
+    """Count base-field operations for every box of Fig. 1.
+
+    Uses the counting field to profile addition, multiplication and inversion
+    in Fp, Fp3 and Fp6 (representation F1), the tau/tau^-1 conversion between
+    F1 and F2, and the compression maps rho and psi.
+    """
+    rng = random.Random(seed)
+    field = CountingPrimeField(params.p, check_prime=False)
+    fp6 = make_fp6(field)
+    tower = TowerFp6(field)
+    fp3 = tower.fp3
+    converter = F1ToF2Map(fp6, tower)
+
+    profiles: List[OperationProfile] = []
+
+    def profile(level: str, operation: str, thunk) -> None:
+        field.reset_counts()
+        thunk()
+        profiles.append(OperationProfile(level, operation, field.counts.snapshot()))
+
+    a_fp, b_fp = field.random_nonzero(rng), field.random_nonzero(rng)
+    profile("Fp", "add", lambda: field.add(a_fp, b_fp))
+    profile("Fp", "mul", lambda: field.mul(a_fp, b_fp))
+    profile("Fp", "inv", lambda: field.inv(a_fp))
+
+    a3, b3 = fp3.random_element(rng), fp3.random_element(rng)
+    profile("Fp3", "add", lambda: fp3.add(a3, b3))
+    profile("Fp3", "mul", lambda: fp3.mul(a3, b3))
+    profile("Fp3", "inv", lambda: fp3.inv(a3))
+
+    a6, b6 = fp6.random_element(rng), fp6.random_element(rng)
+    profile("Fp6 (F1)", "add", lambda: fp6.add(a6, b6))
+    profile("Fp6 (F1)", "mul (18M)", lambda: fp6.mul_paper(a6, b6))
+    profile("Fp6 (F1)", "inv", lambda: fp6.inv(a6))
+
+    profile("F1 <-> F2", "tau", lambda: converter.to_f2(a6))
+    profile("F1 <-> F2", "tau^-1", lambda: converter.to_f1(converter.to_f2(a6)))
+
+    group = T6Group(params)
+    group.fp = field
+    group.fp6 = fp6
+    compressor = TorusCompressor(group)
+    element = fp6.project_to_torus(a6)
+    profile("T6", "rho (compress)", lambda: compressor.compress(element))
+    compressed = compressor.compress(element)
+    profile("T6", "psi (decompress)", lambda: compressor.decompress(compressed))
+    return profiles
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 — platform inventory.
+# ---------------------------------------------------------------------------
+
+
+def fig2_platform_inventory(platform: Optional[Platform] = None) -> Dict[str, object]:
+    """The component inventory and budgets of the simulated platform."""
+    platform = platform or Platform()
+    area = platform.area_report()
+    config = platform.config
+    return {
+        "controller": "MicroBlaze (memory-mapped registers A/B/C + interrupt)",
+        "num_cores": config.num_cores,
+        "core_word_bits": config.word_bits,
+        "core_registers": config.num_registers,
+        "core_instruction_count": 7,
+        "data_ram": "single-port block RAM",
+        "instruction_roms": ["InsRom1 (level-2 sequences)", "InsRom2 (microcode)"],
+        "interface_round_trip_cycles": platform.interrupt_round_trip_cycles,
+        "area_slices_total": area.total_slices,
+        "area_slices_coprocessor": area.coprocessor_slices,
+        "frequency_mhz": area.frequency_mhz,
+        "block_rams": area.block_rams,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figs. 3 & 4 — hierarchy breakdowns.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class HierarchyBreakdown:
+    """Communication/compute split of one level-2 sequence under one hierarchy."""
+
+    hierarchy: str
+    operation: str
+    total_cycles: int
+    interface_cycles: int
+    compute_cycles: int
+
+    @property
+    def communication_fraction(self) -> float:
+        return self.interface_cycles / self.total_cycles if self.total_cycles else 0.0
+
+
+def fig34_hierarchy_breakdown(
+    platform: Optional[Platform] = None, params: TorusParameters = CEILIDH_170
+) -> List[HierarchyBreakdown]:
+    """Cycle breakdown of one Fp6 multiplication and one ECC point addition."""
+    platform = platform or Platform()
+    out: List[HierarchyBreakdown] = []
+    for program, modulus, label in (
+        (fp6_multiplication_program(), params.p, "T6 multiplication"),
+        (ecc_point_addition_program(), params.p, "ECC point addition"),
+    ):
+        for hierarchy in ("type-a", "type-b"):
+            trace = platform.hierarchy_trace(program, modulus, hierarchy)
+            breakdown = trace.breakdown()
+            interface = breakdown.get("interface", 0) + breakdown.get("dispatch", 0)
+            out.append(
+                HierarchyBreakdown(
+                    hierarchy=hierarchy,
+                    operation=label,
+                    total_cycles=trace.total_cycles,
+                    interface_cycles=interface,
+                    compute_cycles=breakdown.get("compute", 0),
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — parallel Montgomery multiplication.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ParallelMmPoint:
+    """One point of the Fig. 5 core-count sweep."""
+
+    num_cores: int
+    active_cores: int
+    cycles: int
+    speedup_vs_single_core: float
+    inter_core_transfers_per_mult: int
+
+
+def fig5_parallel_speedup(
+    bits: int = 256,
+    core_counts: Optional[List[int]] = None,
+    word_bits: int = 16,
+    seed: int = 5,
+) -> List[ParallelMmPoint]:
+    """Cycle counts of one ``bits``-bit Montgomery multiplication versus core count.
+
+    Reference [4] reports a 2.96x speed-up for a 256-bit multiplication on
+    4 cores versus 1 core; this sweep reproduces that series on the
+    cycle-accurate microcode and also reports the per-multiplication
+    inter-core word transfers that Fig. 5 illustrates.
+    """
+    core_counts = core_counts or [1, 2, 4, 8]
+    rng = random.Random(seed)
+    modulus = (1 << bits) - rng.randrange(3, 1 << 16, 2)
+    while modulus % 2 == 0:
+        modulus -= 1
+    points: List[ParallelMmPoint] = []
+    single_core_cycles: Optional[int] = None
+    domain = MontgomeryDomain(modulus, word_bits=word_bits)
+    for cores in core_counts:
+        engine = ModularEngine(modulus, word_bits=word_bits, num_cores=cores)
+        cycles = engine.measure_multiplication().cycles
+        if single_core_cycles is None:
+            single_core_cycles = cycles if cores == 1 else None
+        report = parallel_fios_report(
+            domain,
+            domain.to_montgomery(rng.randrange(modulus)),
+            domain.to_montgomery(rng.randrange(modulus)),
+            num_cores=cores,
+        )
+        baseline = single_core_cycles or cycles
+        points.append(
+            ParallelMmPoint(
+                num_cores=cores,
+                active_cores=engine.multiplier.num_active_cores,
+                cycles=cycles,
+                speedup_vs_single_core=baseline / cycles,
+                inter_core_transfers_per_mult=report.inter_core_transfers,
+            )
+        )
+    # Normalise the speed-ups against the 1-core point if it is in the sweep.
+    one_core = next((p for p in points if p.num_cores == 1), None)
+    if one_core is not None:
+        for point in points:
+            point.speedup_vs_single_core = one_core.cycles / point.cycles
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Section 1 claim — bandwidth / compression comparison.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BandwidthRow:
+    """Transmitted bits per key-agreement message for one cryptosystem."""
+
+    system: str
+    security_equivalent: str
+    transmitted_bits: int
+    compression_vs_fp6: float
+
+
+def bandwidth_comparison(params: TorusParameters = CEILIDH_170) -> List[BandwidthRow]:
+    """Message sizes: compressed torus vs raw Fp6 vs RSA vs ECC.
+
+    Reproduces the introduction's bandwidth argument: CEILIDH transmits two
+    Fp elements (~340 bits) for the security of Fp6, a factor 3 less than the
+    raw representation and a factor ~3 less than the 1024-bit RSA modulus it
+    is compared against.
+    """
+    p_bits = params.p_bits
+    fp6_bits = 6 * p_bits
+    rows = [
+        BandwidthRow("CEILIDH (compressed T6)", "~1024-bit RSA", 2 * p_bits, fp6_bits / (2 * p_bits)),
+        BandwidthRow("raw Fp6 element", "~1024-bit RSA", fp6_bits, 1.0),
+        BandwidthRow("RSA-1024 (modulus-sized message)", "1024-bit RSA", 1024, fp6_bits / 1024),
+        BandwidthRow("ECC point, 160-bit (compressed)", "~1024-bit RSA", 161, fp6_bits / 161),
+    ]
+    return rows

@@ -1,0 +1,45 @@
+"""Plain-text rendering of the reproduced tables.
+
+The benchmark harness prints these so that running
+``pytest benchmarks/ --benchmark-only`` leaves a paper-vs-measured record in
+the console output (and, tee'd, in bench_output.txt).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render a list of rows as an aligned ASCII table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    if cell is None:
+        return "-"
+    return str(cell)
+
+
+def paper_vs_measured(
+    label: str, measured: float, paper: Optional[float], unit: str = "cycles"
+) -> str:
+    """One-line paper-vs-measured comparison with the ratio."""
+    if paper is None or paper == 0:
+        return f"{label}: measured {measured} {unit} (no paper value)"
+    ratio = measured / paper
+    return f"{label}: measured {measured} {unit}, paper {paper} {unit} (x{ratio:.2f})"

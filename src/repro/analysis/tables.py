@@ -1,0 +1,172 @@
+"""Regeneration of Tables 1, 2 and 3.
+
+* **Table 1** — clock cycles of the modular operations (and the interrupt
+  round trip) at the three operand sizes, measured on the cycle-accurate
+  coprocessor model.
+* **Table 2** — clock cycles of the level-2 operations (Fp6 multiplication,
+  ECC point addition/doubling) under the Type-A and Type-B hierarchies.
+* **Table 3** — full public-key operations: 170-bit torus exponentiation,
+  1024-bit RSA exponentiation, 160-bit ECC scalar multiplication, with the
+  area/frequency model.
+
+Every row carries the paper's number next to the measured one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.ecc.curves import SECP160R1
+from repro.soc.cost import PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE3
+from repro.soc.system import Platform, default_rsa_modulus
+from repro.torus.params import CEILIDH_170, TorusParameters
+
+
+@dataclass
+class Table1Row:
+    """One row of Table 1: cycles of a modular operation at one bit length."""
+
+    bit_length: int
+    label: str
+    operation: str
+    measured_cycles: int
+    paper_cycles: Optional[int]
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if not self.paper_cycles:
+            return None
+        return self.measured_cycles / self.paper_cycles
+
+
+@dataclass
+class Table2Row:
+    """One row of Table 2: a level-2 operation under one hierarchy."""
+
+    architecture: str
+    operation: str
+    measured_cycles: int
+    paper_cycles: Optional[int]
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if not self.paper_cycles:
+            return None
+        return self.measured_cycles / self.paper_cycles
+
+
+@dataclass
+class Table3Row:
+    """One row of Table 3: a full public-key operation on the platform."""
+
+    system: str
+    bit_length: int
+    area_slices: int
+    frequency_mhz: float
+    measured_ms: float
+    paper_ms: Optional[float]
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if not self.paper_ms:
+            return None
+        return self.measured_ms / self.paper_ms
+
+
+def table1(
+    platform: Optional[Platform] = None,
+    torus_params: TorusParameters = CEILIDH_170,
+    rsa_bits: int = 1024,
+) -> List[Table1Row]:
+    """Measure every row of Table 1 on the simulated coprocessor."""
+    platform = platform or Platform()
+    rows: List[Table1Row] = []
+
+    rows.append(
+        Table1Row(
+            bit_length=0,
+            label="interface",
+            operation="interrupt handling",
+            measured_cycles=platform.interrupt_round_trip_cycles,
+            paper_cycles=PAPER_TABLE1["interrupt"],
+        )
+    )
+
+    torus_costs = platform.measure_operation_costs(torus_params.p, label="torus")
+    ecc_costs = platform.measure_operation_costs(SECP160R1.p, label="ECC")
+    rsa_costs = platform.measure_operation_costs(default_rsa_modulus(rsa_bits), label="RSA")
+
+    paper_torus = PAPER_TABLE1[170]
+    paper_ecc = PAPER_TABLE1[160]
+    paper_rsa = PAPER_TABLE1[1024]
+
+    for costs, paper, label in (
+        (torus_costs, paper_torus, "torus"),
+        (ecc_costs, paper_ecc, "ECC"),
+    ):
+        rows.append(
+            Table1Row(costs.bit_length, label, "modular multiplication",
+                      costs.modular_mult, paper.modular_mult)
+        )
+        rows.append(
+            Table1Row(costs.bit_length, label, "modular addition",
+                      costs.modular_add, paper.modular_add)
+        )
+        rows.append(
+            Table1Row(costs.bit_length, label, "modular subtraction",
+                      costs.modular_sub, paper.modular_sub)
+        )
+    rows.append(
+        Table1Row(rsa_costs.bit_length, "RSA", "modular multiplication",
+                  rsa_costs.modular_mult, paper_rsa.modular_mult)
+    )
+    return rows
+
+
+def table2(
+    platform: Optional[Platform] = None,
+    torus_params: TorusParameters = CEILIDH_170,
+) -> List[Table2Row]:
+    """Measure every row of Table 2 (Type-A vs Type-B level-2 operations)."""
+    platform = platform or Platform()
+    fp6_cost = platform.fp6_multiplication_cost(torus_params.p)
+    pa_cost, pd_cost = platform.ecc_point_costs(SECP160R1.p)
+
+    rows = [
+        Table2Row("Type-A", "T6 multiplication", fp6_cost.type_a_cycles,
+                  PAPER_TABLE2[("type-a", "t6-mult")]),
+        Table2Row("Type-A", "ECC point addition", pa_cost.type_a_cycles,
+                  PAPER_TABLE2[("type-a", "ecc-pa")]),
+        Table2Row("Type-A", "ECC point doubling", pd_cost.type_a_cycles,
+                  PAPER_TABLE2[("type-a", "ecc-pd")]),
+        Table2Row("Type-B", "T6 multiplication", fp6_cost.type_b_cycles,
+                  PAPER_TABLE2[("type-b", "t6-mult")]),
+        Table2Row("Type-B", "ECC point addition", pa_cost.type_b_cycles,
+                  PAPER_TABLE2[("type-b", "ecc-pa")]),
+        Table2Row("Type-B", "ECC point doubling", pd_cost.type_b_cycles,
+                  PAPER_TABLE2[("type-b", "ecc-pd")]),
+    ]
+    return rows
+
+
+def table3(
+    platform: Optional[Platform] = None,
+    torus_params: TorusParameters = CEILIDH_170,
+    rsa_bits: int = 1024,
+) -> List[Table3Row]:
+    """Measure every row of Table 3 (full public-key operations)."""
+    platform = platform or Platform()
+    torus = platform.torus_exponentiation_timing(torus_params)
+    rsa = platform.rsa_exponentiation_timing(rsa_bits)
+    ecc = platform.ecc_scalar_multiplication_timing(SECP160R1)
+
+    rows = [
+        Table3Row("170-bit torus (CEILIDH)", 170, torus.area_slices, torus.frequency_mhz,
+                  torus.milliseconds, PAPER_TABLE3["torus"]["time_ms"]),
+        Table3Row("1024-bit RSA", 1024, rsa.area_slices, rsa.frequency_mhz,
+                  rsa.milliseconds, PAPER_TABLE3["rsa"]["time_ms"]),
+        Table3Row("160-bit ECC", 160, ecc.area_slices, ecc.frequency_mhz,
+                  ecc.milliseconds, PAPER_TABLE3["ecc"]["time_ms"]),
+    ]
+    return rows

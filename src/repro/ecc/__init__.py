@@ -1,0 +1,49 @@
+"""Elliptic-curve cryptography over prime fields.
+
+The paper's platform also runs 160-bit prime-field ECC: point addition and
+doubling are level-2 sequences of the same modular multiplications and
+additions used by the torus, and a scalar multiplication is the level-1 loop
+driving them.  This package provides the reference group arithmetic (affine
+and Jacobian), scalar multiplication strategies, named curves with full
+self-validation and toy curves for exhaustive testing.
+"""
+
+from repro.ecc.curve import WeierstrassCurve
+from repro.ecc.point import AffinePoint, JacobianPoint, INFINITY
+from repro.ecc.scalar import (
+    scalar_mult,
+    scalar_mult_binary,
+    scalar_mult_naf,
+    scalar_mult_ladder,
+    scalar_mult_window,
+)
+from repro.ecc.curves import (
+    NamedCurve,
+    NAMED_CURVES,
+    get_curve,
+    validate_named_curve,
+    generate_toy_curve,
+)
+from repro.ecc.ecdh import EcdhKeyPair, ecdh_generate, ecdh_shared_secret, ecdsa_sign, ecdsa_verify
+
+__all__ = [
+    "WeierstrassCurve",
+    "AffinePoint",
+    "JacobianPoint",
+    "INFINITY",
+    "scalar_mult",
+    "scalar_mult_binary",
+    "scalar_mult_naf",
+    "scalar_mult_ladder",
+    "scalar_mult_window",
+    "NamedCurve",
+    "NAMED_CURVES",
+    "get_curve",
+    "validate_named_curve",
+    "generate_toy_curve",
+    "EcdhKeyPair",
+    "ecdh_generate",
+    "ecdh_shared_secret",
+    "ecdsa_sign",
+    "ecdsa_verify",
+]

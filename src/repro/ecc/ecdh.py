@@ -1,0 +1,100 @@
+"""ECDH key agreement and ECDSA signatures.
+
+These protocols are not themselves evaluated by the paper (it times the bare
+scalar multiplication), but a platform that claims to "support ECC over prime
+fields" needs them to be usable, and the examples compare CEILIDH key
+agreement against ECDH message sizes end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ParameterError, SignatureError
+from repro.nt.modular import modinv
+from repro.ecc.curves import NamedCurve
+from repro.ecc.point import AffinePoint
+from repro.ecc.scalar import scalar_mult_binary
+
+
+@dataclass
+class EcdhKeyPair:
+    """An EC key pair: private scalar and public point."""
+
+    curve: NamedCurve
+    private: int
+    public: AffinePoint
+
+    def public_bytes(self) -> bytes:
+        """Uncompressed SEC1-style encoding 0x04 || X || Y."""
+        width = (self.curve.p.bit_length() + 7) // 8
+        return b"\x04" + self.public.x.to_bytes(width, "big") + self.public.y.to_bytes(width, "big")
+
+
+def ecdh_generate(named: NamedCurve, rng: Optional[random.Random] = None) -> EcdhKeyPair:
+    """Generate a key pair on a named curve."""
+    rng = rng or random.Random()
+    _, generator = named.build()
+    private = rng.randrange(1, named.order)
+    public = scalar_mult_binary(generator, private)
+    return EcdhKeyPair(curve=named, private=private, public=public)
+
+
+def ecdh_shared_secret(own: EcdhKeyPair, peer_public: AffinePoint) -> bytes:
+    """X-coordinate of the shared point, fixed width big-endian."""
+    shared = scalar_mult_binary(peer_public, own.private)
+    if shared.is_infinity():
+        raise ParameterError("degenerate ECDH shared point")
+    width = (own.curve.p.bit_length() + 7) // 8
+    return shared.x.to_bytes(width, "big")
+
+
+def _hash_to_int(message: bytes, order: int) -> int:
+    digest = hashlib.sha256(message).digest()
+    value = int.from_bytes(digest, "big")
+    excess = value.bit_length() - order.bit_length()
+    if excess > 0:
+        value >>= excess
+    return value % order
+
+
+def ecdsa_sign(
+    own: EcdhKeyPair, message: bytes, rng: Optional[random.Random] = None
+) -> Tuple[int, int]:
+    """ECDSA signature (r, s) with a SHA-256 message digest."""
+    rng = rng or random.Random()
+    named = own.curve
+    _, generator = named.build()
+    e = _hash_to_int(message, named.order)
+    for _ in range(64):
+        k = rng.randrange(1, named.order)
+        point = scalar_mult_binary(generator, k)
+        r = point.x % named.order
+        if r == 0:
+            continue
+        s = modinv(k, named.order) * (e + r * own.private) % named.order
+        if s == 0:
+            continue
+        return r, s
+    raise SignatureError("could not produce an ECDSA signature")  # pragma: no cover
+
+
+def ecdsa_verify(
+    named: NamedCurve, public: AffinePoint, message: bytes, signature: Tuple[int, int]
+) -> bool:
+    """Verify an ECDSA signature."""
+    r, s = signature
+    if not (1 <= r < named.order and 1 <= s < named.order):
+        return False
+    _, generator = named.build()
+    e = _hash_to_int(message, named.order)
+    w = modinv(s, named.order)
+    u1 = e * w % named.order
+    u2 = r * w % named.order
+    point = scalar_mult_binary(generator, u1) + scalar_mult_binary(public, u2)
+    if point.is_infinity():
+        return False
+    return point.x % named.order == r

@@ -1,0 +1,216 @@
+"""Elliptic-curve points: affine and Jacobian-projective representations.
+
+The Jacobian formulas are the ones the platform's level-2 point-operation
+sequences implement (general addition: 12M + 4S, general doubling with the
+``a * Z^4`` term: ~6M + 6S in Fp); keeping the reference arithmetic in the
+same coordinate system lets the microcoded sequences be validated against it
+value-for-value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import NotOnCurveError, ParameterError
+from repro.ecc.curve import WeierstrassCurve
+
+
+class AffinePoint:
+    """An affine point (x, y) on a curve, or the point at infinity."""
+
+    __slots__ = ("curve", "x", "y", "infinity")
+
+    def __init__(
+        self,
+        curve: Optional[WeierstrassCurve],
+        x: int = 0,
+        y: int = 0,
+        infinity: bool = False,
+        check: bool = True,
+    ):
+        self.curve = curve
+        self.infinity = infinity
+        if infinity:
+            self.x = 0
+            self.y = 0
+            return
+        if curve is None:
+            raise ParameterError("finite points need a curve")
+        self.x = x % curve.field.p
+        self.y = y % curve.field.p
+        if check and not curve.is_on_curve(self.x, self.y):
+            raise NotOnCurveError(f"({x}, {y}) does not satisfy the curve equation")
+
+    # -- group law (affine, with inversions) -----------------------------------
+
+    def __neg__(self) -> "AffinePoint":
+        if self.infinity:
+            return self
+        return AffinePoint(self.curve, self.x, self.curve.field.neg(self.y), check=False)
+
+    def __add__(self, other: "AffinePoint") -> "AffinePoint":
+        if self.infinity:
+            return other
+        if other.infinity:
+            return self
+        if self.curve != other.curve:
+            raise ParameterError("points lie on different curves")
+        f = self.curve.field
+        if self.x == other.x:
+            if f.add(self.y, other.y) == 0:
+                return INFINITY
+            # Doubling.
+            numerator = f.add(f.mul(3, f.mul(self.x, self.x)), self.curve.a)
+            denominator = f.mul(2, self.y)
+        else:
+            numerator = f.sub(other.y, self.y)
+            denominator = f.sub(other.x, self.x)
+        slope = f.mul(numerator, f.inv(denominator))
+        x3 = f.sub(f.sub(f.mul(slope, slope), self.x), other.x)
+        y3 = f.sub(f.mul(slope, f.sub(self.x, x3)), self.y)
+        return AffinePoint(self.curve, x3, y3, check=False)
+
+    def __sub__(self, other: "AffinePoint") -> "AffinePoint":
+        return self + (-other)
+
+    def __mul__(self, scalar: int) -> "AffinePoint":
+        from repro.ecc.scalar import scalar_mult
+
+        return scalar_mult(self, scalar)
+
+    __rmul__ = __mul__
+
+    def double(self) -> "AffinePoint":
+        return self + self
+
+    # -- conversions -------------------------------------------------------------
+
+    def to_jacobian(self) -> "JacobianPoint":
+        if self.infinity:
+            return JacobianPoint(self.curve, 1, 1, 0)
+        return JacobianPoint(self.curve, self.x, self.y, 1)
+
+    def xy(self) -> Tuple[int, int]:
+        if self.infinity:
+            raise ParameterError("the point at infinity has no affine coordinates")
+        return self.x, self.y
+
+    def is_infinity(self) -> bool:
+        return self.infinity
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AffinePoint):
+            return NotImplemented
+        if self.infinity or other.infinity:
+            return self.infinity and other.infinity
+        return self.curve == other.curve and self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        if self.infinity:
+            return hash("ecc-infinity")
+        return hash((self.curve.field.p, self.x, self.y))
+
+    def __repr__(self) -> str:
+        if self.infinity:
+            return "AffinePoint(infinity)"
+        return f"AffinePoint({self.x}, {self.y})"
+
+
+#: The point at infinity (usable with any curve).
+INFINITY = AffinePoint(None, infinity=True, check=False)
+
+
+class JacobianPoint:
+    """A point in Jacobian coordinates (X : Y : Z), with x = X/Z^2, y = Y/Z^3."""
+
+    __slots__ = ("curve", "x", "y", "z")
+
+    def __init__(self, curve: WeierstrassCurve, x: int, y: int, z: int):
+        self.curve = curve
+        p = curve.field.p
+        self.x = x % p
+        self.y = y % p
+        self.z = z % p
+
+    def is_infinity(self) -> bool:
+        return self.z == 0
+
+    # -- group law (inversion-free) ------------------------------------------------
+
+    def double(self) -> "JacobianPoint":
+        """General Jacobian doubling (includes the a*Z^4 term)."""
+        f = self.curve.field
+        if self.is_infinity() or self.y == 0:
+            return JacobianPoint(self.curve, 1, 1, 0)
+        xx = f.mul(self.x, self.x)                      # X^2
+        yy = f.mul(self.y, self.y)                      # Y^2
+        yyyy = f.mul(yy, yy)                            # Y^4
+        zz = f.mul(self.z, self.z)                      # Z^2
+        s = f.mul(4, f.mul(self.x, yy))                 # 4*X*Y^2
+        zz2 = f.mul(zz, zz)                             # Z^4
+        m = f.add(f.mul(3, xx), f.mul(self.curve.a, zz2))
+        x3 = f.sub(f.mul(m, m), f.mul(2, s))
+        y3 = f.sub(f.mul(m, f.sub(s, x3)), f.mul(8, yyyy))
+        z3 = f.mul(2, f.mul(self.y, self.z))
+        return JacobianPoint(self.curve, x3, y3, z3)
+
+    def add(self, other: "JacobianPoint") -> "JacobianPoint":
+        """General Jacobian addition (handles doubling and inverse cases)."""
+        if self.is_infinity():
+            return other
+        if other.is_infinity():
+            return self
+        f = self.curve.field
+        z1z1 = f.mul(self.z, self.z)
+        z2z2 = f.mul(other.z, other.z)
+        u1 = f.mul(self.x, z2z2)
+        u2 = f.mul(other.x, z1z1)
+        s1 = f.mul(self.y, f.mul(other.z, z2z2))
+        s2 = f.mul(other.y, f.mul(self.z, z1z1))
+        if u1 == u2:
+            if s1 != s2:
+                return JacobianPoint(self.curve, 1, 1, 0)
+            return self.double()
+        h = f.sub(u2, u1)
+        r = f.sub(s2, s1)
+        hh = f.mul(h, h)
+        hhh = f.mul(h, hh)
+        v = f.mul(u1, hh)
+        x3 = f.sub(f.sub(f.mul(r, r), hhh), f.mul(2, v))
+        y3 = f.sub(f.mul(r, f.sub(v, x3)), f.mul(s1, hhh))
+        z3 = f.mul(h, f.mul(self.z, other.z))
+        return JacobianPoint(self.curve, x3, y3, z3)
+
+    def __add__(self, other: "JacobianPoint") -> "JacobianPoint":
+        return self.add(other)
+
+    def __neg__(self) -> "JacobianPoint":
+        return JacobianPoint(self.curve, self.x, self.curve.field.neg(self.y), self.z)
+
+    # -- conversions ------------------------------------------------------------------
+
+    def to_affine(self) -> AffinePoint:
+        if self.is_infinity():
+            return INFINITY
+        f = self.curve.field
+        z_inv = f.inv(self.z)
+        z_inv2 = f.mul(z_inv, z_inv)
+        x = f.mul(self.x, z_inv2)
+        y = f.mul(self.y, f.mul(z_inv2, z_inv))
+        return AffinePoint(self.curve, x, y, check=False)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JacobianPoint):
+            return NotImplemented
+        if self.is_infinity() or other.is_infinity():
+            return self.is_infinity() and other.is_infinity()
+        # Compare in the projective sense: X1*Z2^2 == X2*Z1^2 etc.
+        f = self.curve.field
+        z1z1 = f.mul(self.z, self.z)
+        z2z2 = f.mul(other.z, other.z)
+        if f.mul(self.x, z2z2) != f.mul(other.x, z1z1):
+            return False
+        return f.mul(self.y, f.mul(other.z, z2z2)) == f.mul(other.y, f.mul(self.z, z1z1))
+
+    def __repr__(self) -> str:
+        return f"JacobianPoint({self.x} : {self.y} : {self.z})"

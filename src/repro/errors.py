@@ -1,0 +1,69 @@
+"""Exception hierarchy used across the reproduction library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can distinguish library failures from plain
+Python bugs with one ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ParameterError(ReproError):
+    """A cryptographic or simulator parameter is malformed or inconsistent."""
+
+
+class NotInvertibleError(ReproError):
+    """Requested a modular inverse of an element that has none."""
+
+    def __init__(self, value: int, modulus: int):
+        super().__init__(f"{value} is not invertible modulo {modulus}")
+        self.value = value
+        self.modulus = modulus
+
+
+class FieldMismatchError(ReproError):
+    """Tried to combine elements that live in different fields."""
+
+
+class NotOnCurveError(ReproError):
+    """A point's coordinates do not satisfy the curve equation."""
+
+
+class CompressionError(ReproError):
+    """A torus element (or compressed pair) hit the exceptional set of rho/psi."""
+
+
+class NotInTorusError(ReproError):
+    """An Fp6 element is not a member of the algebraic torus T6(Fp)."""
+
+
+class SignatureError(ReproError):
+    """A signature failed to verify or could not be produced."""
+
+
+class DecryptionError(ReproError):
+    """Ciphertext could not be decrypted (wrong key, corrupted data...)."""
+
+
+class SocError(ReproError):
+    """Base class for platform-simulator errors."""
+
+
+class AssemblyError(SocError):
+    """Malformed microcode: unknown opcode, bad register index, etc."""
+
+
+class ScheduleError(SocError):
+    """A VLIW schedule violates a structural constraint (e.g. DataRAM port)."""
+
+
+class ExecutionError(SocError):
+    """The coprocessor hit an illegal state while executing microcode."""
+
+
+class MemoryMapError(SocError):
+    """DataRAM allocation failed (overlap, out of range, unknown symbol)."""

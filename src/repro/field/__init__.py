@@ -1,0 +1,42 @@
+"""Finite-field tower used by CEILIDH.
+
+The paper works with the representation F1 = Fp6 = Fp[z]/(z^6 + z^3 + 1) and
+the tower representation F2 = Fp3[x]/(x^2 + x + 1) with Fp3 = Fp[y]/(y^3-3y+1),
+for primes p = 2 or 5 (mod 9).  This package provides:
+
+* :class:`~repro.field.fp.PrimeField` / :class:`~repro.field.fp.FpElement` —
+  the base prime field,
+* generic extension fields built from a modulus polynomial
+  (:mod:`repro.field.extension`),
+* the concrete fields :func:`~repro.field.fp2.make_fp2`,
+  :func:`~repro.field.fp3.make_fp3`, :func:`~repro.field.fp6.make_fp6`
+  (with the paper's 18M + ~60A multiplication),
+* the tower representation F2 and the tau / tau^-1 conversion maps
+  (:mod:`repro.field.towers`),
+* an operation-counting prime field for reproducing the operation structure
+  of Fig. 1 (:mod:`repro.field.opcount`).
+"""
+
+from repro.field.fp import PrimeField, FpElement
+from repro.field.extension import ExtensionField, ExtElement
+from repro.field.fp2 import make_fp2
+from repro.field.fp3 import make_fp3
+from repro.field.fp6 import make_fp6, Fp6Field
+from repro.field.towers import TowerFp6, TowerElement, F1ToF2Map
+from repro.field.opcount import CountingPrimeField, OperationCounts
+
+__all__ = [
+    "PrimeField",
+    "FpElement",
+    "ExtensionField",
+    "ExtElement",
+    "make_fp2",
+    "make_fp3",
+    "make_fp6",
+    "Fp6Field",
+    "TowerFp6",
+    "TowerElement",
+    "F1ToF2Map",
+    "CountingPrimeField",
+    "OperationCounts",
+]

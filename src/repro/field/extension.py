@@ -1,0 +1,297 @@
+"""Generic extension fields Fp[t]/(f(t)).
+
+The CEILIDH tower uses three concrete extensions (degrees 2, 3 and 6); all of
+them are instances of this generic construction, which provides schoolbook
+multiplication, inversion via the extended Euclidean algorithm, Frobenius
+maps, norms and traces.  The degree-6 field adds the paper's specialised
+18M multiplication on top (see :mod:`repro.field.fp6`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import FieldMismatchError, ParameterError
+from repro.field import poly as P
+from repro.field.fp import PrimeField
+
+
+class ExtElement:
+    """An element of an :class:`ExtensionField`, stored as a coefficient tuple."""
+
+    __slots__ = ("field", "coeffs")
+
+    def __init__(self, field: "ExtensionField", coeffs: Sequence[int]):
+        if len(coeffs) != field.degree:
+            raise ParameterError(
+                f"expected {field.degree} coefficients, got {len(coeffs)}"
+            )
+        self.field = field
+        self.coeffs: Tuple[int, ...] = tuple(c % field.base.p for c in coeffs)
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def _check(self, other: "ExtElement") -> None:
+        if not isinstance(other, ExtElement) or other.field is not self.field:
+            if isinstance(other, ExtElement) and other.field == self.field:
+                return
+            raise FieldMismatchError("elements belong to different extension fields")
+
+    def __add__(self, other: "ExtElement") -> "ExtElement":
+        self._check(other)
+        return self.field.add(self, other)
+
+    def __sub__(self, other: "ExtElement") -> "ExtElement":
+        self._check(other)
+        return self.field.sub(self, other)
+
+    def __neg__(self) -> "ExtElement":
+        return self.field.neg(self)
+
+    def __mul__(self, other: "ExtElement") -> "ExtElement":
+        self._check(other)
+        return self.field.mul(self, other)
+
+    def __truediv__(self, other: "ExtElement") -> "ExtElement":
+        self._check(other)
+        return self.field.mul(self, self.field.inv(other))
+
+    def __pow__(self, exponent: int) -> "ExtElement":
+        return self.field.pow(self, exponent)
+
+    def inverse(self) -> "ExtElement":
+        """Multiplicative inverse."""
+        return self.field.inv(self)
+
+    def frobenius(self, k: int = 1) -> "ExtElement":
+        """Apply the Frobenius map ``a -> a^(p^k)``."""
+        return self.field.frobenius(self, k)
+
+    def conjugates(self) -> List["ExtElement"]:
+        """All Galois conjugates (including the element itself)."""
+        return [self.frobenius(k) for k in range(self.field.degree)]
+
+    def norm(self) -> int:
+        """Norm down to the base prime field."""
+        return self.field.norm(self)
+
+    def trace(self) -> int:
+        """Trace down to the base prime field."""
+        return self.field.trace(self)
+
+    # -- predicates / conversions ------------------------------------------
+
+    def is_zero(self) -> bool:
+        return all(c == 0 for c in self.coeffs)
+
+    def is_one(self) -> bool:
+        return self.coeffs[0] == 1 and all(c == 0 for c in self.coeffs[1:])
+
+    def scalar_part(self) -> int:
+        """The constant coefficient (useful when the element lies in Fp)."""
+        return self.coeffs[0]
+
+    def in_base_field(self) -> bool:
+        """True when every non-constant coefficient vanishes."""
+        return all(c == 0 for c in self.coeffs[1:])
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ExtElement)
+            and self.field == other.field
+            and self.coeffs == other.coeffs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field.base.p, self.field.modulus_tuple, self.coeffs))
+
+    def __repr__(self) -> str:
+        terms = []
+        for i, c in enumerate(self.coeffs):
+            if c == 0:
+                continue
+            if i == 0:
+                terms.append(str(c))
+            elif i == 1:
+                terms.append(f"{c}*{self.field.var}")
+            else:
+                terms.append(f"{c}*{self.field.var}^{i}")
+        body = " + ".join(terms) if terms else "0"
+        return f"<{body} in {self.field.name}>"
+
+
+class ExtensionField:
+    """The quotient ring Fp[t]/(f(t)) for an irreducible modulus ``f``."""
+
+    def __init__(
+        self,
+        base: PrimeField,
+        modulus: Sequence[int],
+        name: str = "Fp^k",
+        var: str = "t",
+        check_irreducible: bool = True,
+    ):
+        modulus = P.trim(modulus)
+        if P.degree(modulus) < 1:
+            raise ParameterError("modulus must have degree >= 1")
+        if modulus[-1] != 1:
+            inv_lead = base.inv(modulus[-1])
+            modulus = [base.mul(c, inv_lead) for c in modulus]
+        if check_irreducible and not P.is_irreducible(base, modulus):
+            raise ParameterError(f"modulus {modulus} is reducible over F_{base.p}")
+        self.base = base
+        self.modulus: List[int] = list(modulus)
+        self.modulus_tuple = tuple(modulus)
+        self.degree = P.degree(modulus)
+        self.name = name
+        self.var = var
+        self._frobenius_matrices: dict = {}
+
+    # -- element constructors ----------------------------------------------
+
+    def __call__(self, coeffs: Sequence[int]) -> ExtElement:
+        padded = list(coeffs) + [0] * (self.degree - len(coeffs))
+        if len(padded) > self.degree:
+            reduced = P.poly_mod(self.base, list(coeffs), self.modulus)
+            padded = list(reduced) + [0] * (self.degree - len(reduced))
+        return ExtElement(self, padded)
+
+    def from_base(self, value: int) -> ExtElement:
+        """Embed an Fp element as a constant."""
+        return self([value])
+
+    def zero(self) -> ExtElement:
+        return self([0])
+
+    def one(self) -> ExtElement:
+        return self([1])
+
+    def generator(self) -> ExtElement:
+        """The residue class of the variable ``t``."""
+        return self([0, 1])
+
+    def random_element(self, rng: Optional[random.Random] = None) -> ExtElement:
+        rng = rng or random
+        return self([rng.randrange(self.base.p) for _ in range(self.degree)])
+
+    def random_nonzero(self, rng: Optional[random.Random] = None) -> ExtElement:
+        while True:
+            element = self.random_element(rng)
+            if not element.is_zero():
+                return element
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def add(self, a: ExtElement, b: ExtElement) -> ExtElement:
+        base = self.base
+        return ExtElement(self, [base.add(x, y) for x, y in zip(a.coeffs, b.coeffs)])
+
+    def sub(self, a: ExtElement, b: ExtElement) -> ExtElement:
+        base = self.base
+        return ExtElement(self, [base.sub(x, y) for x, y in zip(a.coeffs, b.coeffs)])
+
+    def neg(self, a: ExtElement) -> ExtElement:
+        base = self.base
+        return ExtElement(self, [base.neg(x) for x in a.coeffs])
+
+    def scalar_mul(self, a: ExtElement, c: int) -> ExtElement:
+        base = self.base
+        return ExtElement(self, [base.mul(x, c) for x in a.coeffs])
+
+    def mul(self, a: ExtElement, b: ExtElement) -> ExtElement:
+        product = P.poly_mul(self.base, list(a.coeffs), list(b.coeffs))
+        reduced = P.poly_mod(self.base, product, self.modulus)
+        return self(list(reduced))
+
+    def sqr(self, a: ExtElement) -> ExtElement:
+        return self.mul(a, a)
+
+    def inv(self, a: ExtElement) -> ExtElement:
+        if a.is_zero():
+            raise ParameterError("cannot invert zero")
+        inverse = P.poly_inverse_mod(self.base, list(a.coeffs), self.modulus)
+        return self(list(inverse))
+
+    def pow(self, a: ExtElement, e: int) -> ExtElement:
+        if e < 0:
+            return self.pow(self.inv(a), -e)
+        result = self.one()
+        base_elt = a
+        while e:
+            if e & 1:
+                result = self.mul(result, base_elt)
+            base_elt = self.mul(base_elt, base_elt)
+            e >>= 1
+        return result
+
+    # -- Galois structure ----------------------------------------------------
+
+    def _frobenius_matrix(self, k: int) -> List[List[int]]:
+        """Matrix (columns = images of basis powers) of ``a -> a^(p^k)``."""
+        k %= self.degree
+        if k in self._frobenius_matrices:
+            return self._frobenius_matrices[k]
+        p = self.base.p
+        # Image of t under Frobenius^k.
+        t_image = P.poly_pow_mod(self.base, [0, 1], p ** k, self.modulus)
+        columns: List[List[int]] = []
+        current: List[int] = [1]
+        for _ in range(self.degree):
+            padded = list(current) + [0] * (self.degree - len(current))
+            columns.append(padded)
+            current = P.poly_mod(
+                self.base, P.poly_mul(self.base, current, t_image), self.modulus
+            )
+        self._frobenius_matrices[k] = columns
+        return columns
+
+    def frobenius(self, a: ExtElement, k: int = 1) -> ExtElement:
+        """Apply ``a -> a^(p^k)`` using the cached linear map."""
+        k %= self.degree
+        if k == 0:
+            return a
+        columns = self._frobenius_matrix(k)
+        base = self.base
+        out = [0] * self.degree
+        for j, coeff in enumerate(a.coeffs):
+            if coeff == 0:
+                continue
+            column = columns[j]
+            for i in range(self.degree):
+                if column[i]:
+                    out[i] = base.add(out[i], base.mul(coeff, column[i]))
+        return ExtElement(self, out)
+
+    def norm(self, a: ExtElement) -> int:
+        """Norm to Fp: product of all conjugates."""
+        acc = self.one()
+        for k in range(self.degree):
+            acc = self.mul(acc, self.frobenius(a, k))
+        if not acc.in_base_field():
+            raise ParameterError("norm did not land in the base field (bug)")
+        return acc.scalar_part()
+
+    def trace(self, a: ExtElement) -> int:
+        """Trace to Fp: sum of all conjugates."""
+        acc = self.zero()
+        for k in range(self.degree):
+            acc = self.add(acc, self.frobenius(a, k))
+        if not acc.in_base_field():
+            raise ParameterError("trace did not land in the base field (bug)")
+        return acc.scalar_part()
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ExtensionField)
+            and self.base == other.base
+            and self.modulus_tuple == other.modulus_tuple
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ExtensionField", self.base.p, self.modulus_tuple))
+
+    def __repr__(self) -> str:
+        return f"{self.name}(p={self.base.p}, modulus={self.modulus})"

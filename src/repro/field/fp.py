@@ -1,0 +1,211 @@
+"""The base prime field Fp.
+
+All modular reductions in the library funnel through :class:`PrimeField`, so
+that an operation-counting subclass (see :mod:`repro.field.opcount`) can
+observe exactly how many Fp multiplications and additions a higher-level
+routine performs — the quantity the paper's cost analysis is written in
+(18M + 60A per Fp6 multiplication, and so on).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import FieldMismatchError, ParameterError
+from repro.nt.modular import modinv, sqrt_mod_prime, legendre_symbol
+from repro.nt.primality import is_probable_prime
+
+
+class PrimeField:
+    """The field of integers modulo a prime ``p``.
+
+    The arithmetic methods (:meth:`add`, :meth:`mul`, ...) act on plain
+    integers already reduced modulo ``p``; :class:`FpElement` wraps them with
+    operator syntax for user-facing code.
+    """
+
+    def __init__(self, p: int, check_prime: bool = True):
+        if p < 2:
+            raise ParameterError(f"field characteristic must be >= 2, got {p}")
+        if check_prime and not is_probable_prime(p):
+            raise ParameterError(f"{p} is not prime")
+        self.p = p
+
+    # -- basic arithmetic on reduced integers ------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """Return ``a + b mod p``."""
+        s = a + b
+        return s - self.p if s >= self.p else s
+
+    def sub(self, a: int, b: int) -> int:
+        """Return ``a - b mod p``."""
+        d = a - b
+        return d + self.p if d < 0 else d
+
+    def neg(self, a: int) -> int:
+        """Return ``-a mod p``."""
+        return (self.p - a) if a else 0
+
+    def mul(self, a: int, b: int) -> int:
+        """Return ``a * b mod p``."""
+        return a * b % self.p
+
+    def sqr(self, a: int) -> int:
+        """Return ``a^2 mod p`` (counted as a multiplication)."""
+        return a * a % self.p
+
+    def inv(self, a: int) -> int:
+        """Return ``a^-1 mod p``."""
+        return modinv(a, self.p)
+
+    def pow(self, a: int, e: int) -> int:
+        """Return ``a^e mod p`` (``e`` may be negative)."""
+        if e < 0:
+            return pow(self.inv(a), -e, self.p)
+        return pow(a, e, self.p)
+
+    def half(self, a: int) -> int:
+        """Return ``a / 2 mod p`` for odd ``p``."""
+        return (a >> 1) if a % 2 == 0 else ((a + self.p) >> 1)
+
+    # -- derived helpers ----------------------------------------------------
+
+    def reduce(self, a: int) -> int:
+        """Reduce an arbitrary integer into ``[0, p)``."""
+        return a % self.p
+
+    def sqrt(self, a: int) -> int:
+        """Square root modulo ``p`` (raises for non-residues)."""
+        return sqrt_mod_prime(a, self.p)
+
+    def is_square(self, a: int) -> bool:
+        """True when ``a`` is a quadratic residue (0 counts as a square)."""
+        return a % self.p == 0 or legendre_symbol(a, self.p) == 1
+
+    def random_element(self, rng: Optional[random.Random] = None) -> int:
+        """Uniformly random element of the field."""
+        rng = rng or random
+        return rng.randrange(self.p)
+
+    def random_nonzero(self, rng: Optional[random.Random] = None) -> int:
+        """Uniformly random non-zero element of the field."""
+        rng = rng or random
+        return rng.randrange(1, self.p)
+
+    # -- element factory ----------------------------------------------------
+
+    def __call__(self, value: int) -> "FpElement":
+        return FpElement(self, value % self.p)
+
+    def zero(self) -> "FpElement":
+        return FpElement(self, 0)
+
+    def one(self) -> "FpElement":
+        return FpElement(self, 1)
+
+    # -- dunder -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PrimeField) and self.p == other.p
+
+    def __hash__(self) -> int:
+        return hash(("PrimeField", self.p))
+
+    def __repr__(self) -> str:
+        return f"PrimeField(p={self.p})"
+
+
+class FpElement:
+    """A single element of a :class:`PrimeField`, with operator overloading."""
+
+    __slots__ = ("field", "value")
+
+    def __init__(self, field: PrimeField, value: int):
+        self.field = field
+        self.value = value % field.p
+
+    def _coerce(self, other: object) -> "FpElement":
+        if isinstance(other, FpElement):
+            if other.field != self.field:
+                raise FieldMismatchError("elements belong to different prime fields")
+            return other
+        if isinstance(other, int):
+            return FpElement(self.field, other)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: object) -> "FpElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, self.field.add(self.value, other.value))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "FpElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, self.field.sub(self.value, other.value))
+
+    def __rsub__(self, other: object) -> "FpElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, self.field.sub(other.value, self.value))
+
+    def __neg__(self) -> "FpElement":
+        return FpElement(self.field, self.field.neg(self.value))
+
+    def __mul__(self, other: object) -> "FpElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, self.field.mul(self.value, other.value))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: object) -> "FpElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, self.field.mul(self.value, self.field.inv(other.value)))
+
+    def __rtruediv__(self, other: object) -> "FpElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, self.field.mul(other.value, self.field.inv(self.value)))
+
+    def __pow__(self, exponent: int) -> "FpElement":
+        return FpElement(self.field, self.field.pow(self.value, exponent))
+
+    def inverse(self) -> "FpElement":
+        """Multiplicative inverse."""
+        return FpElement(self.field, self.field.inv(self.value))
+
+    def sqrt(self) -> "FpElement":
+        """A square root (raises for non-residues)."""
+        return FpElement(self.field, self.field.sqrt(self.value))
+
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            return self.value == other % self.field.p
+        return (
+            isinstance(other, FpElement)
+            and self.field == other.field
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field.p, self.value))
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"FpElement({self.value} mod {self.field.p})"

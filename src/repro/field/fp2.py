@@ -1,0 +1,27 @@
+"""The quadratic subfield Fp2 = Fp[x]/(x^2 + x + 1).
+
+For CEILIDH primes (p = 2 or 5 mod 9, hence p = 2 mod 3) the polynomial
+x^2 + x + 1 is irreducible, and its root x is a primitive cube root of unity
+— the image of z^3 under the embedding into Fp6 = Fp[z]/(z^6 + z^3 + 1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.field.extension import ExtensionField
+from repro.field.fp import PrimeField
+
+
+def make_fp2(base: PrimeField) -> ExtensionField:
+    """Construct Fp2 = Fp[x]/(x^2 + x + 1).
+
+    Raises :class:`ParameterError` when p = 1 (mod 3), in which case the
+    cyclotomic polynomial splits and the quotient is not a field.
+    """
+    if base.p % 3 != 2:
+        raise ParameterError(
+            f"x^2 + x + 1 is reducible over F_{base.p}: need p = 2 (mod 3)"
+        )
+    return ExtensionField(
+        base, [1, 1, 1], name="Fp2", var="x", check_irreducible=False
+    )

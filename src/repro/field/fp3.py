@@ -1,0 +1,26 @@
+"""The cubic subfield Fp3 = Fp[y]/(y^3 - 3y + 1).
+
+The root y corresponds to zeta_9 + zeta_9^-1 (with zeta_9 a primitive ninth
+root of unity), i.e. the trace of z from Fp6 down to Fp3 in the paper's F1
+representation.  The polynomial is irreducible exactly when p is not
++-1 (mod 9) — in particular for the CEILIDH primes p = 2, 5 (mod 9).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.field.extension import ExtensionField
+from repro.field.fp import PrimeField
+
+#: Coefficients of y^3 - 3y + 1, little-endian.
+FP3_MODULUS = [1, -3, 0, 1]
+
+
+def make_fp3(base: PrimeField) -> ExtensionField:
+    """Construct Fp3 = Fp[y]/(y^3 - 3y + 1)."""
+    if base.p % 9 in (1, 8):
+        raise ParameterError(
+            f"y^3 - 3y + 1 is reducible over F_{base.p}: need p != +-1 (mod 9)"
+        )
+    modulus = [c % base.p for c in FP3_MODULUS]
+    return ExtensionField(base, modulus, name="Fp3", var="y", check_irreducible=False)

@@ -1,0 +1,172 @@
+"""The representation F1: Fp6 = Fp[z]/(z^6 + z^3 + 1).
+
+This is the representation the paper performs all torus arithmetic in
+(Section 2.2).  On top of the generic extension-field machinery this module
+adds the paper's multiplication algorithm: split A = A0 + A1*z^3 into two
+degree-2 halves, use the three-product Karatsuba trick on the halves and a
+six-multiplication Toom-style product for each half product, for a total of
+exactly 18 Fp multiplications plus additions (Section 2.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ParameterError
+from repro.field.extension import ExtElement, ExtensionField
+from repro.field.fp import PrimeField
+
+#: Little-endian coefficients of z^6 + z^3 + 1.
+FP6_MODULUS = [1, 0, 0, 1, 0, 0, 1]
+
+
+class Fp6Field(ExtensionField):
+    """Fp6 in the F1 representation, with the paper's 18M multiplication."""
+
+    def __init__(self, base: PrimeField):
+        if base.p % 9 not in (2, 5):
+            raise ParameterError(
+                f"z^6 + z^3 + 1 is irreducible over F_p only when p = 2, 5 (mod 9); "
+                f"p = {base.p} = {base.p % 9} (mod 9)"
+            )
+        super().__init__(
+            base, list(FP6_MODULUS), name="Fp6", var="z", check_irreducible=False
+        )
+
+    # -- paper multiplication ------------------------------------------------
+
+    def mul(self, a: ExtElement, b: ExtElement) -> ExtElement:
+        """Multiplication using the 18M algorithm of Section 2.2.2."""
+        return self.mul_paper(a, b)
+
+    def mul_schoolbook(self, a: ExtElement, b: ExtElement) -> ExtElement:
+        """Plain schoolbook multiplication (36M), kept as a cross-check."""
+        return super().mul(a, b)
+
+    def _half_product(
+        self, a: Sequence[int], b: Sequence[int]
+    ) -> List[int]:
+        """Product of two degree-2 polynomials using 6 Fp multiplications.
+
+        Implements the c0..c5 precomputation of Section 2.2.2:
+        ``C = c0 + (c0+c1-c3)x + (c0+c1+c2-c4)x^2 + (c1+c2-c5)x^3 + c2 x^4``.
+        """
+        f = self.base
+        a0, a1, a2 = a
+        b0, b1, b2 = b
+        c0 = f.mul(a0, b0)
+        c1 = f.mul(a1, b1)
+        c2 = f.mul(a2, b2)
+        c3 = f.mul(f.sub(a0, a1), f.sub(b0, b1))
+        c4 = f.mul(f.sub(a0, a2), f.sub(b0, b2))
+        c5 = f.mul(f.sub(a1, a2), f.sub(b1, b2))
+        c01 = f.add(c0, c1)
+        c12 = f.add(c1, c2)
+        return [
+            c0,
+            f.sub(c01, c3),
+            f.sub(f.add(c01, c2), c4),
+            f.sub(c12, c5),
+            c2,
+        ]
+
+    def mul_paper(self, a: ExtElement, b: ExtElement) -> ExtElement:
+        """18M + ~60A multiplication in the basis {1, z, ..., z^5}.
+
+        ``A = A0 + A1 z^3``, ``B = B0 + B1 z^3`` with degree-2 halves; then
+        ``A*B = C0 + (C0 + C1 - C2) z^3 + C1 z^6`` with ``C0 = A0*B0``,
+        ``C1 = A1*B1`` and ``C2 = (A0-A1)(B0-B1)``, followed by reduction
+        modulo z^6 + z^3 + 1 (z^6 = -z^3 - 1, z^9 = 1).
+        """
+        f = self.base
+        a_lo, a_hi = a.coeffs[:3], a.coeffs[3:]
+        b_lo, b_hi = b.coeffs[:3], b.coeffs[3:]
+
+        c0 = self._half_product(a_lo, b_lo)  # degree <= 4
+        c1 = self._half_product(a_hi, b_hi)  # degree <= 4
+        diff_a = [f.sub(x, y) for x, y in zip(a_lo, a_hi)]
+        diff_b = [f.sub(x, y) for x, y in zip(b_lo, b_hi)]
+        c2 = self._half_product(diff_a, diff_b)  # degree <= 4
+
+        # Middle block C0 + C1 - C2.
+        mid = [f.sub(f.add(x, y), w) for x, y, w in zip(c0, c1, c2)]
+
+        # Assemble the degree-10 product: C0 + mid*z^3 + C1*z^6.
+        prod = [0] * 11
+        for i, v in enumerate(c0):
+            prod[i] = v
+        for i, v in enumerate(mid):
+            prod[3 + i] = f.add(prod[3 + i], v)
+        for i, v in enumerate(c1):
+            prod[6 + i] = f.add(prod[6 + i], v)
+
+        return self._reduce_degree10(prod)
+
+    def _reduce_degree10(self, prod: Sequence[int]) -> ExtElement:
+        """Reduce a degree-<=10 polynomial modulo z^6 + z^3 + 1.
+
+        Uses z^6 = -(z^3 + 1), z^7 = -(z^4 + z), z^8 = -(z^5 + z^2),
+        z^9 = 1 and z^10 = z.
+        """
+        f = self.base
+        out = list(prod[:6]) + [0] * (6 - min(6, len(prod)))
+        high = list(prod[6:]) + [0] * (5 - max(0, len(prod) - 6))
+        p6, p7, p8, p9, p10 = (high + [0] * 5)[:5]
+        # z^6 -> -(1 + z^3)
+        out[0] = f.sub(out[0], p6)
+        out[3] = f.sub(out[3], p6)
+        # z^7 -> -(z + z^4)
+        out[1] = f.sub(out[1], p7)
+        out[4] = f.sub(out[4], p7)
+        # z^8 -> -(z^2 + z^5)
+        out[2] = f.sub(out[2], p8)
+        out[5] = f.sub(out[5], p8)
+        # z^9 -> 1
+        out[0] = f.add(out[0], p9)
+        # z^10 -> z
+        out[1] = f.add(out[1], p10)
+        return ExtElement(self, out)
+
+    # -- squaring -------------------------------------------------------------
+
+    def sqr(self, a: ExtElement) -> ExtElement:
+        """Squaring; the paper does not use a dedicated squaring formula."""
+        return self.mul_paper(a, a)
+
+    # -- cyclotomic structure --------------------------------------------------
+
+    def unit_group_order(self) -> int:
+        """Order of the multiplicative group, p^6 - 1."""
+        return self.base.p ** 6 - 1
+
+    def torus_order(self) -> int:
+        """Order of T6(Fp) = Phi_6(p) = p^2 - p + 1."""
+        p = self.base.p
+        return p * p - p + 1
+
+    def cofactor_exponent(self) -> int:
+        """(p^6 - 1) / Phi_6(p) — raising to this power projects into T6."""
+        p = self.base.p
+        return (p * p - 1) * (p * p + p + 1)
+
+    def project_to_torus(self, a: ExtElement) -> ExtElement:
+        """Map a unit of Fp6 onto T6(Fp) by powering with the cofactor."""
+        if a.is_zero():
+            raise ParameterError("zero is not a unit")
+        return self.pow(a, self.cofactor_exponent())
+
+    def is_in_torus(self, a: ExtElement) -> bool:
+        """Membership test for T6(Fp): a^(p^2 - p + 1) == 1."""
+        if a.is_zero():
+            return False
+        return self.pow(a, self.torus_order()).is_one()
+
+
+def make_fp6(base: PrimeField) -> Fp6Field:
+    """Construct the F1 representation Fp6 = Fp[z]/(z^6 + z^3 + 1)."""
+    return Fp6Field(base)
+
+
+def split_halves(a: ExtElement) -> Tuple[Tuple[int, int, int], Tuple[int, int, int]]:
+    """Split an Fp6 element into its (A0, A1) halves with A = A0 + A1 z^3."""
+    return a.coeffs[:3], a.coeffs[3:]

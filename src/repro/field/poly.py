@@ -1,0 +1,189 @@
+"""Dense univariate polynomial arithmetic over a prime field.
+
+Coefficients are plain integers reduced modulo ``p`` and stored
+little-endian (index = degree).  These helpers back the generic extension
+field construction (multiplication with reduction, inversion via the
+extended Euclidean algorithm) and the basis-change matrices of the tower
+representations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import NotInvertibleError, ParameterError
+from repro.field.fp import PrimeField
+
+Poly = List[int]
+
+
+def trim(coeffs: Sequence[int]) -> Poly:
+    """Drop trailing zero coefficients (the zero polynomial becomes [])."""
+    coeffs = list(coeffs)
+    while coeffs and coeffs[-1] == 0:
+        coeffs.pop()
+    return coeffs
+
+
+def degree(poly: Sequence[int]) -> int:
+    """Degree of the polynomial; -1 for the zero polynomial."""
+    return len(trim(poly)) - 1
+
+
+def poly_add(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> Poly:
+    """Coefficient-wise sum."""
+    n = max(len(a), len(b))
+    out = []
+    for i in range(n):
+        ai = a[i] if i < len(a) else 0
+        bi = b[i] if i < len(b) else 0
+        out.append(field.add(ai, bi))
+    return trim(out)
+
+
+def poly_sub(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> Poly:
+    """Coefficient-wise difference."""
+    n = max(len(a), len(b))
+    out = []
+    for i in range(n):
+        ai = a[i] if i < len(a) else 0
+        bi = b[i] if i < len(b) else 0
+        out.append(field.sub(ai, bi))
+    return trim(out)
+
+
+def poly_scale(field: PrimeField, a: Sequence[int], c: int) -> Poly:
+    """Multiply every coefficient by the scalar ``c``."""
+    return trim([field.mul(x, c) for x in a])
+
+
+def poly_mul(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> Poly:
+    """Schoolbook product."""
+    a, b = trim(a), trim(b)
+    if not a or not b:
+        return []
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            if bj == 0:
+                continue
+            out[i + j] = field.add(out[i + j], field.mul(ai, bj))
+    return trim(out)
+
+
+def poly_divmod(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> Tuple[Poly, Poly]:
+    """Quotient and remainder of ``a`` divided by ``b``."""
+    a, b = trim(a), trim(b)
+    if not b:
+        raise ParameterError("polynomial division by zero")
+    if len(a) < len(b):
+        return [], a
+    # Monic divisors (every field modulus used in the tower) need no leading
+    # inversion or scaling, which keeps the operation counts honest.
+    monic = b[-1] == 1
+    lead_inv = 1 if monic else field.inv(b[-1])
+    remainder = list(a)
+    quotient = [0] * (len(a) - len(b) + 1)
+    for shift in range(len(a) - len(b), -1, -1):
+        top = remainder[shift + len(b) - 1]
+        coeff = top if monic else field.mul(top, lead_inv)
+        if coeff == 0:
+            continue
+        quotient[shift] = coeff
+        for i, bi in enumerate(b):
+            remainder[shift + i] = field.sub(remainder[shift + i], field.mul(coeff, bi))
+    return trim(quotient), trim(remainder)
+
+
+def poly_mod(field: PrimeField, a: Sequence[int], modulus: Sequence[int]) -> Poly:
+    """Remainder of ``a`` modulo ``modulus``."""
+    return poly_divmod(field, a, modulus)[1]
+
+
+def poly_egcd(
+    field: PrimeField, a: Sequence[int], b: Sequence[int]
+) -> Tuple[Poly, Poly, Poly]:
+    """Extended gcd: returns monic ``(g, s, t)`` with ``s*a + t*b = g``."""
+    r0, r1 = trim(a), trim(b)
+    s0, s1 = [1], []
+    t0, t1 = [], [1]
+    while r1:
+        q, r = poly_divmod(field, r0, r1)
+        r0, r1 = r1, r
+        s0, s1 = s1, poly_sub(field, s0, poly_mul(field, q, s1))
+        t0, t1 = t1, poly_sub(field, t0, poly_mul(field, q, t1))
+    if not r0:
+        return [], s0, t0
+    lead_inv = field.inv(r0[-1])
+    return (
+        poly_scale(field, r0, lead_inv),
+        poly_scale(field, s0, lead_inv),
+        poly_scale(field, t0, lead_inv),
+    )
+
+
+def poly_inverse_mod(field: PrimeField, a: Sequence[int], modulus: Sequence[int]) -> Poly:
+    """Inverse of ``a`` modulo ``modulus`` (both polynomials)."""
+    g, s, _ = poly_egcd(field, a, modulus)
+    if degree(g) != 0:
+        raise NotInvertibleError(0, field.p)
+    return poly_mod(field, s, modulus)
+
+
+def poly_pow_mod(field: PrimeField, a: Sequence[int], e: int, modulus: Sequence[int]) -> Poly:
+    """Compute ``a^e mod modulus`` by square-and-multiply."""
+    if e < 0:
+        a = poly_inverse_mod(field, a, modulus)
+        e = -e
+    result: Poly = [1]
+    base = poly_mod(field, a, modulus)
+    while e:
+        if e & 1:
+            result = poly_mod(field, poly_mul(field, result, base), modulus)
+        base = poly_mod(field, poly_mul(field, base, base), modulus)
+        e >>= 1
+    return result
+
+
+def poly_eval(field: PrimeField, a: Sequence[int], x: int) -> int:
+    """Evaluate the polynomial at the field element ``x`` (Horner)."""
+    acc = 0
+    for coeff in reversed(trim(a)):
+        acc = field.add(field.mul(acc, x), coeff)
+    return acc
+
+
+def is_irreducible(field: PrimeField, poly: Sequence[int]) -> bool:
+    """Rabin irreducibility test for a polynomial over Fp."""
+    poly = trim(poly)
+    d = degree(poly)
+    if d <= 0:
+        return False
+    if d == 1:
+        return True
+    p = field.p
+    x: Poly = [0, 1]
+    # x^(p^d) = x mod poly and gcd(x^(p^(d/q)) - x, poly) = 1 for prime q | d.
+    xq = poly_pow_mod(field, x, p ** d, poly)
+    if trim(poly_sub(field, xq, x)):
+        return False
+    d_factors = set()
+    n = d
+    f = 2
+    while f * f <= n:
+        if n % f == 0:
+            d_factors.add(f)
+            while n % f == 0:
+                n //= f
+        f += 1
+    if n > 1:
+        d_factors.add(n)
+    for q in d_factors:
+        xq = poly_pow_mod(field, x, p ** (d // q), poly)
+        diff = poly_sub(field, xq, x)
+        g, _, _ = poly_egcd(field, diff, poly)
+        if degree(g) != 0:
+            return False
+    return True

@@ -1,0 +1,105 @@
+"""Montgomery domain bookkeeping.
+
+A :class:`MontgomeryDomain` fixes the modulus ``P``, the word size ``w`` and
+the number of words ``s``, and provides conversion into and out of the
+Montgomery representation (x -> x*R mod P with R = 2^(w*s)), plus a
+big-integer reference implementation of the Montgomery product used to
+validate the word-level algorithms and the coprocessor microcode.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ParameterError
+from repro.nt.modular import modinv
+from repro.nt.words import from_words, to_words, word_length
+
+
+class MontgomeryDomain:
+    """Montgomery arithmetic for a fixed odd modulus.
+
+    Parameters
+    ----------
+    modulus:
+        The odd modulus ``P``.
+    word_bits:
+        The radix exponent ``w`` (the paper's cores use the FPGA's dedicated
+        multipliers, i.e. 16-bit words).
+    num_words:
+        Number of words ``s``; defaults to the minimum needed for ``P``.
+        The paper uses ``s = ceil(n / w)`` for an ``n``-bit modulus.
+    """
+
+    def __init__(self, modulus: int, word_bits: int = 16, num_words: int = None):
+        if modulus < 3 or modulus % 2 == 0:
+            raise ParameterError(f"Montgomery arithmetic needs an odd modulus >= 3, got {modulus}")
+        if word_bits < 2:
+            raise ParameterError(f"word size must be at least 2 bits, got {word_bits}")
+        self.modulus = modulus
+        self.word_bits = word_bits
+        self.radix = 1 << word_bits
+        min_words = word_length(modulus.bit_length(), word_bits)
+        self.num_words = num_words if num_words is not None else min_words
+        if self.num_words < min_words:
+            raise ParameterError(
+                f"{self.num_words} words of {word_bits} bits cannot hold the modulus"
+            )
+        self.r = 1 << (word_bits * self.num_words)
+        self.r_mod_p = self.r % modulus
+        self.r2_mod_p = self.r_mod_p * self.r_mod_p % modulus
+        self.r_inv = modinv(self.r, modulus)
+        # p' = -P^-1 mod r (the per-word constant of Algorithm 1).
+        self.p_prime = (-modinv(modulus, self.radix)) % self.radix
+        # Full -P^-1 mod R, used by the big-integer reference REDC.
+        self.p_prime_full = (-modinv(modulus, self.r)) % self.r
+
+    # -- representation conversions ------------------------------------------
+
+    def to_montgomery(self, x: int) -> int:
+        """Map ``x`` to its Montgomery representative ``x * R mod P``."""
+        return x * self.r_mod_p % self.modulus
+
+    def from_montgomery(self, x_bar: int) -> int:
+        """Map a Montgomery representative back to the ordinary residue."""
+        return x_bar * self.r_inv % self.modulus
+
+    def modulus_words(self) -> List[int]:
+        """Little-endian word vector of the modulus."""
+        return to_words(self.modulus, self.num_words, self.word_bits)
+
+    def to_words(self, value: int) -> List[int]:
+        """Little-endian word vector of a residue."""
+        return to_words(value, self.num_words, self.word_bits)
+
+    def from_words(self, words: List[int]) -> int:
+        """Inverse of :meth:`to_words`."""
+        return from_words(words, self.word_bits)
+
+    # -- reference Montgomery product -----------------------------------------
+
+    def redc(self, t: int) -> int:
+        """Montgomery reduction of ``t < P*R``: returns ``t * R^-1 mod P``."""
+        if not 0 <= t < self.modulus * self.r:
+            raise ParameterError("REDC input out of range")
+        m = (t % self.r) * self.p_prime_full % self.r
+        u = (t + m * self.modulus) // self.r
+        return u - self.modulus if u >= self.modulus else u
+
+    def mont_mul(self, x_bar: int, y_bar: int) -> int:
+        """Montgomery product ``x_bar * y_bar * R^-1 mod P`` (big-int reference)."""
+        return self.redc(x_bar * y_bar)
+
+    def mont_sqr(self, x_bar: int) -> int:
+        """Montgomery square."""
+        return self.redc(x_bar * x_bar)
+
+    def one(self) -> int:
+        """The Montgomery representative of 1 (that is, R mod P)."""
+        return self.r_mod_p
+
+    def __repr__(self) -> str:
+        return (
+            f"MontgomeryDomain(modulus~2^{self.modulus.bit_length()}, "
+            f"w={self.word_bits}, s={self.num_words})"
+        )

@@ -1,0 +1,130 @@
+"""Modular exponentiation in the Montgomery domain.
+
+RSA on the platform is a plain square-and-multiply loop of 1024-bit Montgomery
+multiplications (Section 3.2); these helpers provide the reference software
+version, a constant-time Montgomery ladder and a fixed-window variant used by
+the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ParameterError
+from repro.montgomery.domain import MontgomeryDomain
+
+
+@dataclass
+class ExponentiationTrace:
+    """Number of Montgomery multiplications/squarings an exponentiation used."""
+
+    squarings: int
+    multiplications: int
+
+    @property
+    def total(self) -> int:
+        return self.squarings + self.multiplications
+
+
+def montgomery_exponent(
+    domain: MontgomeryDomain,
+    base: int,
+    exponent: int,
+    trace: Optional[ExponentiationTrace] = None,
+) -> int:
+    """Left-to-right binary exponentiation: returns ``base^exponent mod P``.
+
+    ``base`` is an ordinary residue (not in the Montgomery domain); the
+    conversion in and out is handled here, matching what the MicroBlaze-side
+    software does around the coprocessor calls.
+    """
+    if exponent < 0:
+        raise ParameterError("negative exponents are not supported")
+    p = domain.modulus
+    base %= p
+    if exponent == 0:
+        return 1 % p
+    acc = domain.to_montgomery(base)
+    result = acc
+    bits = bin(exponent)[3:]  # skip the leading 1
+    for bit in bits:
+        result = domain.mont_mul(result, result)
+        if trace is not None:
+            trace.squarings += 1
+        if bit == "1":
+            result = domain.mont_mul(result, acc)
+            if trace is not None:
+                trace.multiplications += 1
+    return domain.from_montgomery(result)
+
+
+def montgomery_ladder_exponent(
+    domain: MontgomeryDomain,
+    base: int,
+    exponent: int,
+    trace: Optional[ExponentiationTrace] = None,
+) -> int:
+    """Montgomery-ladder exponentiation (regular operation pattern)."""
+    if exponent < 0:
+        raise ParameterError("negative exponents are not supported")
+    p = domain.modulus
+    base %= p
+    if exponent == 0:
+        return 1 % p
+    r0 = domain.one()
+    r1 = domain.to_montgomery(base)
+    for bit in bin(exponent)[2:]:
+        if bit == "1":
+            r0 = domain.mont_mul(r0, r1)
+            r1 = domain.mont_mul(r1, r1)
+        else:
+            r1 = domain.mont_mul(r0, r1)
+            r0 = domain.mont_mul(r0, r0)
+        if trace is not None:
+            trace.squarings += 1
+            trace.multiplications += 1
+    return domain.from_montgomery(r0)
+
+
+def montgomery_window_exponent(
+    domain: MontgomeryDomain,
+    base: int,
+    exponent: int,
+    window_bits: int = 4,
+    trace: Optional[ExponentiationTrace] = None,
+) -> int:
+    """Fixed-window exponentiation with a 2^w-entry table."""
+    if exponent < 0:
+        raise ParameterError("negative exponents are not supported")
+    if not 1 <= window_bits <= 8:
+        raise ParameterError("window width must be between 1 and 8 bits")
+    p = domain.modulus
+    base %= p
+    if exponent == 0:
+        return 1 % p
+    base_m = domain.to_montgomery(base)
+    table = [domain.one()]
+    for _ in range((1 << window_bits) - 1):
+        table.append(domain.mont_mul(table[-1], base_m))
+        if trace is not None:
+            trace.multiplications += 1
+
+    digits = []
+    e = exponent
+    while e:
+        digits.append(e & ((1 << window_bits) - 1))
+        e >>= window_bits
+    digits.reverse()
+
+    result = table[digits[0]]
+    for digit in digits[1:]:
+        for _ in range(window_bits):
+            result = domain.mont_mul(result, result)
+            if trace is not None:
+                trace.squarings += 1
+        if digit:
+            result = domain.mont_mul(result, table[digit])
+            if trace is not None:
+                trace.multiplications += 1
+    return domain.from_montgomery(result)

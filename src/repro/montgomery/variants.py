@@ -1,0 +1,110 @@
+"""Alternative word-level Montgomery multiplication variants.
+
+The paper chooses FIOS (Algorithm 1); Koc, Acar and Kaliski's survey — the
+paper's reference [2] — also describes SOS (Separated Operand Scanning) and
+CIOS (Coarsely Integrated Operand Scanning).  They are provided here both as
+cross-checks for FIOS and as material for the ablation benchmark comparing
+scheduling strategies on the simulated platform.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.montgomery.domain import MontgomeryDomain
+
+
+def sos_multiply(domain: MontgomeryDomain, x_bar: int, y_bar: int) -> int:
+    """Separated Operand Scanning: full product first, then reduction."""
+    p = domain.modulus
+    if not (0 <= x_bar < p and 0 <= y_bar < p):
+        raise ParameterError("SOS operands must be reduced modulo P")
+    s = domain.num_words
+    w = domain.word_bits
+    mask = domain.radix - 1
+    x = domain.to_words(x_bar)
+    y = domain.to_words(y_bar)
+    pw = domain.modulus_words()
+    p_prime = domain.p_prime
+
+    # Phase 1: t = x * y, schoolbook.
+    t = [0] * (2 * s + 1)
+    for i in range(s):
+        carry = 0
+        for j in range(s):
+            acc = t[i + j] + x[j] * y[i] + carry
+            t[i + j] = acc & mask
+            carry = acc >> w
+        t[i + s] += carry
+
+    # Phase 2: reduction, one word of the modulus at a time.
+    for i in range(s):
+        carry = 0
+        m = t[i] * p_prime & mask
+        for j in range(s):
+            acc = t[i + j] + m * pw[j] + carry
+            t[i + j] = acc & mask
+            carry = acc >> w
+        # Propagate the final carry.
+        k = i + s
+        while carry:
+            acc = t[k] + carry
+            t[k] = acc & mask
+            carry = acc >> w
+            k += 1
+
+    # Phase 3: the result is t[s..2s] (division by R), with conditional subtraction.
+    value = 0
+    for idx in range(2 * s, s - 1, -1):
+        value = (value << w) | t[idx]
+    if value >= p:
+        value -= p
+    if value >= p:
+        raise ParameterError("SOS output out of range (bug)")
+    return value
+
+
+def cios_multiply(domain: MontgomeryDomain, x_bar: int, y_bar: int) -> int:
+    """Coarsely Integrated Operand Scanning."""
+    p = domain.modulus
+    if not (0 <= x_bar < p and 0 <= y_bar < p):
+        raise ParameterError("CIOS operands must be reduced modulo P")
+    s = domain.num_words
+    w = domain.word_bits
+    mask = domain.radix - 1
+    x = domain.to_words(x_bar)
+    y = domain.to_words(y_bar)
+    pw = domain.modulus_words()
+    p_prime = domain.p_prime
+
+    t = [0] * (s + 2)
+    for i in range(s):
+        # Multiplication pass for word y[i].
+        carry = 0
+        for j in range(s):
+            acc = t[j] + x[j] * y[i] + carry
+            t[j] = acc & mask
+            carry = acc >> w
+        acc = t[s] + carry
+        t[s] = acc & mask
+        t[s + 1] = acc >> w
+        # Reduction pass.
+        m = t[0] * p_prime & mask
+        acc = t[0] + m * pw[0]
+        carry = acc >> w
+        for j in range(1, s):
+            acc = t[j] + m * pw[j] + carry
+            t[j - 1] = acc & mask
+            carry = acc >> w
+        acc = t[s] + carry
+        t[s - 1] = acc & mask
+        t[s] = t[s + 1] + (acc >> w)
+        t[s + 1] = 0
+
+    value = 0
+    for idx in range(s, -1, -1):
+        value = (value << w) | t[idx]
+    if value >= p:
+        value -= p
+    if value >= p:
+        raise ParameterError("CIOS output out of range (bug)")
+    return value

@@ -1,0 +1,47 @@
+"""Number-theory substrate.
+
+Plain-integer building blocks used by every other layer: primality testing,
+prime generation under congruence constraints, modular arithmetic helpers
+(extended gcd, inverse, CRT, square roots), small-factor extraction and
+word-vector conversions for the hardware model.
+"""
+
+from repro.nt.modular import (
+    egcd,
+    modinv,
+    crt_pair,
+    crt,
+    jacobi_symbol,
+    sqrt_mod_prime,
+    legendre_symbol,
+    multiplicative_order,
+)
+from repro.nt.primality import is_probable_prime, is_prime, next_prime
+from repro.nt.primegen import random_prime, random_prime_mod, safe_prime
+from repro.nt.factor import trial_division, pollard_rho, factorize, largest_prime_factor
+from repro.nt.words import to_words, from_words, word_length, bit_length_words
+
+__all__ = [
+    "egcd",
+    "modinv",
+    "crt_pair",
+    "crt",
+    "jacobi_symbol",
+    "legendre_symbol",
+    "sqrt_mod_prime",
+    "multiplicative_order",
+    "is_probable_prime",
+    "is_prime",
+    "next_prime",
+    "random_prime",
+    "random_prime_mod",
+    "safe_prime",
+    "trial_division",
+    "pollard_rho",
+    "factorize",
+    "largest_prime_factor",
+    "to_words",
+    "from_words",
+    "word_length",
+    "bit_length_words",
+]

@@ -1,0 +1,121 @@
+"""Integer factorization helpers.
+
+Used by the CEILIDH parameter generator to strip small factors off
+Phi_6(p) = p^2 - p + 1 and check that the remaining cofactor is prime, and by
+toy parameter sets in tests where full factorizations are feasible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ParameterError
+from repro.nt.primality import SMALL_PRIMES, is_probable_prime
+
+
+def trial_division(n: int, bound: int = 100_000) -> Tuple[Dict[int, int], int]:
+    """Strip prime factors below ``bound`` from ``n``.
+
+    Returns ``(factors, cofactor)`` where ``factors`` maps prime -> exponent
+    and ``cofactor`` is what is left of ``n`` after dividing those out.
+    """
+    if n <= 0:
+        raise ParameterError(f"can only factor positive integers, got {n}")
+    factors: Dict[int, int] = {}
+    remaining = n
+    # First the precomputed small primes, then odd numbers up to the bound.
+    for p in SMALL_PRIMES:
+        if p * p > remaining or p >= bound:
+            break
+        while remaining % p == 0:
+            factors[p] = factors.get(p, 0) + 1
+            remaining //= p
+    candidate = SMALL_PRIMES[-1] + 2 if SMALL_PRIMES else 3
+    while candidate < bound and candidate * candidate <= remaining:
+        while remaining % candidate == 0:
+            factors[candidate] = factors.get(candidate, 0) + 1
+            remaining //= candidate
+        candidate += 2
+    if 1 < remaining < bound * bound:
+        # The cofactor is necessarily prime at this point.
+        factors[remaining] = factors.get(remaining, 0) + 1
+        remaining = 1
+    return factors, remaining
+
+
+def pollard_rho(n: int, rng: Optional[random.Random] = None, max_iterations: int = 1_000_000) -> int:
+    """Find a non-trivial factor of composite ``n`` with Brent's variant of Pollard rho.
+
+    Raises :class:`ParameterError` if no factor is found within the iteration
+    budget (which, for the toy sizes this is used on, does not happen).
+    """
+    if n % 2 == 0:
+        return 2
+    if is_probable_prime(n):
+        raise ParameterError(f"{n} is prime; nothing to factor")
+    rng = rng or random.Random(n & 0xFFFFFFFF)
+    while True:
+        y = rng.randrange(1, n)
+        c = rng.randrange(1, n)
+        m = 128
+        g, r, q = 1, 1, 1
+        x = ys = y
+        iterations = 0
+        while g == 1:
+            x = y
+            for _ in range(r):
+                y = (y * y + c) % n
+            k = 0
+            while k < r and g == 1:
+                ys = y
+                for _ in range(min(m, r - k)):
+                    y = (y * y + c) % n
+                    q = q * abs(x - y) % n
+                g = math.gcd(q, n)
+                k += m
+            r *= 2
+            iterations += r
+            if iterations > max_iterations:
+                raise ParameterError(f"pollard rho exceeded the iteration budget on {n}")
+        if g == n:
+            g = 1
+            while g == 1:
+                ys = (ys * ys + c) % n
+                g = math.gcd(abs(x - ys), n)
+            if g == n:
+                continue  # cycle degenerated, retry with new parameters
+        return g
+
+
+def factorize(n: int, trial_bound: int = 100_000) -> Dict[int, int]:
+    """Full factorization of ``n`` (trial division + recursive Pollard rho).
+
+    Practical for inputs whose second-largest prime factor is below roughly
+    2^50; the library only calls it on toy parameters and on cofactors of
+    cryptographic group orders after the large prime part has been removed.
+    """
+    if n == 1:
+        return {}
+    factors, cofactor = trial_division(n, trial_bound)
+    stack = [cofactor] if cofactor > 1 else []
+    while stack:
+        value = stack.pop()
+        if value == 1:
+            continue
+        if is_probable_prime(value):
+            factors[value] = factors.get(value, 0) + 1
+            continue
+        divisor = pollard_rho(value)
+        stack.append(divisor)
+        stack.append(value // divisor)
+    return factors
+
+
+def largest_prime_factor(n: int, trial_bound: int = 100_000) -> int:
+    """Largest prime factor of ``n`` under the same practicality caveats as :func:`factorize`."""
+    factors = factorize(n, trial_bound)
+    if not factors:
+        raise ParameterError("1 has no prime factors")
+    return max(factors)

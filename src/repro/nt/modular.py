@@ -1,0 +1,178 @@
+"""Modular-arithmetic helpers on plain Python integers.
+
+These are the primitives underneath the prime-field layer: extended gcd,
+modular inverse, Chinese remaindering, quadratic-residue machinery
+(Legendre/Jacobi symbols, Tonelli-Shanks square roots) and multiplicative
+order computation for small groups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.errors import NotInvertibleError, ParameterError
+
+
+def egcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Extended Euclidean algorithm.
+
+    Returns ``(g, x, y)`` with ``g = gcd(a, b)`` and ``a*x + b*y = g``.
+    Works for negative inputs as well; ``g`` is always non-negative.
+    """
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    if old_r < 0:
+        old_r, old_s, old_t = -old_r, -old_s, -old_t
+    return old_r, old_s, old_t
+
+
+def modinv(a: int, m: int) -> int:
+    """Modular inverse of ``a`` modulo ``m``.
+
+    Raises :class:`NotInvertibleError` when ``gcd(a, m) != 1``.
+    """
+    if m <= 0:
+        raise ParameterError(f"modulus must be positive, got {m}")
+    a %= m
+    g, x, _ = egcd(a, m)
+    if g != 1:
+        raise NotInvertibleError(a, m)
+    return x % m
+
+
+def crt_pair(r1: int, m1: int, r2: int, m2: int) -> Tuple[int, int]:
+    """Combine ``x ≡ r1 (mod m1)`` and ``x ≡ r2 (mod m2)``.
+
+    Returns ``(r, lcm(m1, m2))``.  Raises :class:`ParameterError` when the two
+    congruences are incompatible.
+    """
+    g, p, _q = egcd(m1, m2)
+    if (r2 - r1) % g != 0:
+        raise ParameterError(
+            f"incompatible congruences: x = {r1} mod {m1} and x = {r2} mod {m2}"
+        )
+    lcm = m1 // g * m2
+    diff = (r2 - r1) // g
+    r = (r1 + m1 * (diff * p % (m2 // g))) % lcm
+    return r, lcm
+
+
+def crt(residues: Sequence[int], moduli: Sequence[int]) -> Tuple[int, int]:
+    """Chinese remainder theorem for an arbitrary list of congruences.
+
+    Moduli need not be pairwise coprime; incompatible systems raise
+    :class:`ParameterError`.  Returns ``(x, M)`` with ``M`` the lcm of the
+    moduli and ``0 <= x < M``.
+    """
+    if len(residues) != len(moduli):
+        raise ParameterError("residues and moduli must have the same length")
+    if not residues:
+        raise ParameterError("need at least one congruence")
+    r, m = residues[0] % moduli[0], moduli[0]
+    for r2, m2 in zip(residues[1:], moduli[1:]):
+        r, m = crt_pair(r, m, r2, m2)
+    return r, m
+
+
+def legendre_symbol(a: int, p: int) -> int:
+    """Legendre symbol (a/p) for an odd prime ``p``: one of -1, 0, 1."""
+    if p <= 2 or p % 2 == 0:
+        raise ParameterError(f"p must be an odd prime, got {p}")
+    a %= p
+    if a == 0:
+        return 0
+    result = pow(a, (p - 1) // 2, p)
+    return -1 if result == p - 1 else int(result)
+
+
+def jacobi_symbol(a: int, n: int) -> int:
+    """Jacobi symbol (a/n) for odd positive ``n``."""
+    if n <= 0 or n % 2 == 0:
+        raise ParameterError(f"n must be an odd positive integer, got {n}")
+    a %= n
+    result = 1
+    while a != 0:
+        while a % 2 == 0:
+            a //= 2
+            if n % 8 in (3, 5):
+                result = -result
+        a, n = n, a
+        if a % 4 == 3 and n % 4 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
+
+
+def sqrt_mod_prime(a: int, p: int) -> int:
+    """Square root of ``a`` modulo an odd prime ``p`` (Tonelli-Shanks).
+
+    Returns the root ``r`` with ``0 <= r < p``; the other root is ``p - r``.
+    Raises :class:`ParameterError` when ``a`` is a non-residue.
+    """
+    if p == 2:
+        return a % 2
+    a %= p
+    if a == 0:
+        return 0
+    if legendre_symbol(a, p) != 1:
+        raise ParameterError(f"{a} is not a quadratic residue modulo {p}")
+    if p % 4 == 3:
+        return pow(a, (p + 1) // 4, p)
+    # Tonelli-Shanks for p = 1 mod 4.
+    q, s = p - 1, 0
+    while q % 2 == 0:
+        q //= 2
+        s += 1
+    z = 2
+    while legendre_symbol(z, p) != -1:
+        z += 1
+    m = s
+    c = pow(z, q, p)
+    t = pow(a, q, p)
+    r = pow(a, (q + 1) // 2, p)
+    while t != 1:
+        # Find least i with t^(2^i) = 1.
+        i, t2i = 0, t
+        while t2i != 1:
+            t2i = t2i * t2i % p
+            i += 1
+        b = pow(c, 1 << (m - i - 1), p)
+        m = i
+        c = b * b % p
+        t = t * c % p
+        r = r * b % p
+    return r
+
+
+def multiplicative_order(a: int, n: int, factorization: Dict[int, int]) -> int:
+    """Multiplicative order of ``a`` modulo ``n``.
+
+    ``factorization`` must be the prime factorization of the group order
+    (Euler phi of ``n``, or the known order of the subgroup containing ``a``).
+    """
+    order = 1
+    for prime, exponent in factorization.items():
+        order *= prime ** exponent
+    if pow(a, order, n) != 1:
+        raise ParameterError("provided factorization does not annihilate the element")
+    for prime, exponent in factorization.items():
+        for _ in range(exponent):
+            if pow(a, order // prime, n) == 1:
+                order //= prime
+            else:
+                break
+    return order
+
+
+def product(values: Iterable[int]) -> int:
+    """Product of an iterable of integers (1 for an empty iterable)."""
+    result = 1
+    for v in values:
+        result *= v
+    return result

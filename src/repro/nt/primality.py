@@ -1,0 +1,149 @@
+"""Primality testing.
+
+A deterministic small-prime sieve, Miller-Rabin with both deterministic bases
+(for inputs below the known deterministic bounds) and random bases, and a
+Lucas test so that the default :func:`is_probable_prime` is a Baillie-PSW
+style combination with no known pseudoprimes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import ParameterError
+from repro.nt.modular import jacobi_symbol
+
+# Primes below 1000, used for cheap trial division before the heavy tests.
+_SMALL_PRIME_LIMIT = 1000
+
+
+def _sieve(limit: int) -> List[int]:
+    """Primes below ``limit`` by the sieve of Eratosthenes."""
+    if limit < 2:
+        return []
+    flags = bytearray([1]) * limit
+    flags[0] = flags[1] = 0
+    for i in range(2, int(limit ** 0.5) + 1):
+        if flags[i]:
+            flags[i * i :: i] = bytearray(len(flags[i * i :: i]))
+    return [i for i, f in enumerate(flags) if f]
+
+
+SMALL_PRIMES: List[int] = _sieve(_SMALL_PRIME_LIMIT)
+
+# Deterministic Miller-Rabin bases: testing these bases is a proof of
+# primality for every n < 3,317,044,064,679,887,385,961,981.
+_DETERMINISTIC_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_DETERMINISTIC_LIMIT = 3_317_044_064_679_887_385_961_981
+
+
+def _miller_rabin_witness(n: int, a: int) -> bool:
+    """Return True when ``a`` witnesses that ``n`` is composite."""
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return False
+    for _ in range(r - 1):
+        x = x * x % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def _lucas_strong_probable_prime(n: int) -> bool:
+    """Strong Lucas probable-prime test with Selfridge's parameter choice."""
+    # Find D in 5, -7, 9, -11, ... with jacobi(D, n) == -1.
+    d = 5
+    while True:
+        j = jacobi_symbol(d % n, n)
+        if j == -1:
+            break
+        if j == 0 and abs(d) != n:
+            return False
+        d = -d - 2 if d > 0 else -d + 2
+        if abs(d) > 1_000_000:  # pragma: no cover - defensive, never hit in practice
+            raise ParameterError(f"could not find Lucas parameter for {n}")
+    p_param, q_param = 1, (1 - d) // 4
+
+    # Strong test: write n+1 = k * 2^s with k odd.
+    k = n + 1
+    s = 0
+    while k % 2 == 0:
+        k //= 2
+        s += 1
+
+    # Compute U_k, V_k via binary ladder on the Lucas sequence.
+    u, v = 0, 2
+    qk = 1
+    for bit in bin(k)[2:]:
+        # Double: (U, V)_{2m} from (U, V)_m.
+        u, v = (u * v) % n, (v * v - 2 * qk) % n
+        qk = qk * qk % n
+        if bit == "1":
+            # Increment: (U, V)_{m+1} from (U, V)_m.
+            u, v = ((p_param * u + v) * _half(n)) % n, ((d * u + p_param * v) * _half(n)) % n
+            qk = qk * q_param % n
+    if u == 0 or v == 0:
+        return True
+    for _ in range(s - 1):
+        v = (v * v - 2 * qk) % n
+        qk = qk * qk % n
+        if v == 0:
+            return True
+    return False
+
+
+def _half(n: int) -> int:
+    """Multiplicative inverse of 2 modulo odd ``n``."""
+    return (n + 1) // 2
+
+
+def is_probable_prime(n: int, rounds: int = 32, rng: Optional[random.Random] = None) -> bool:
+    """Probabilistic primality test.
+
+    For ``n`` below the deterministic Miller-Rabin bound the answer is exact.
+    Above it, the test combines a base-2 Miller-Rabin round, ``rounds`` random
+    Miller-Rabin rounds and a strong Lucas test (Baillie-PSW flavour), which
+    has no known counterexamples.
+    """
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    if n < _SMALL_PRIME_LIMIT * _SMALL_PRIME_LIMIT:
+        return True
+
+    if n < _DETERMINISTIC_LIMIT:
+        return not any(_miller_rabin_witness(n, a) for a in _DETERMINISTIC_BASES)
+
+    if _miller_rabin_witness(n, 2):
+        return False
+    rng = rng or random.Random(0xC0FFEE ^ (n & 0xFFFFFFFF))
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        if _miller_rabin_witness(n, a):
+            return False
+    return _lucas_strong_probable_prime(n)
+
+
+def is_prime(n: int) -> bool:
+    """Convenience alias of :func:`is_probable_prime` with default settings."""
+    return is_probable_prime(n)
+
+
+def next_prime(n: int) -> int:
+    """Smallest (probable) prime strictly greater than ``n``."""
+    candidate = max(n + 1, 2)
+    if candidate > 2 and candidate % 2 == 0:
+        candidate += 1
+    while not is_probable_prime(candidate):
+        candidate += 1 if candidate == 2 else 2
+    return candidate

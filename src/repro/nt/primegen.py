@@ -1,0 +1,84 @@
+"""Random prime generation, with congruence constraints.
+
+CEILIDH needs primes with ``p ≡ 2 or 5 (mod 9)`` (so that z^6 + z^3 + 1 is
+irreducible over Fp), RSA needs ordinary random primes, and the toy parameter
+sets used in tests need small primes of an exact bit length.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.errors import ParameterError
+from repro.nt.primality import is_probable_prime
+
+_DEFAULT_ATTEMPTS_PER_BIT = 200
+
+
+def _candidate(bits: int, rng: random.Random) -> int:
+    """Random odd integer with exactly ``bits`` bits."""
+    if bits < 2:
+        raise ParameterError(f"a prime needs at least 2 bits, got {bits}")
+    value = rng.getrandbits(bits)
+    value |= 1 << (bits - 1)  # force exact bit length
+    value |= 1  # force odd
+    return value
+
+
+def random_prime(bits: int, rng: Optional[random.Random] = None) -> int:
+    """Random (probable) prime with exactly ``bits`` bits."""
+    rng = rng or random.Random()
+    attempts = _DEFAULT_ATTEMPTS_PER_BIT * max(bits, 8)
+    for _ in range(attempts):
+        candidate = _candidate(bits, rng)
+        if is_probable_prime(candidate):
+            return candidate
+    raise ParameterError(f"failed to find a {bits}-bit prime after {attempts} attempts")
+
+
+def random_prime_mod(
+    bits: int,
+    residues: Sequence[int],
+    modulus: int,
+    rng: Optional[random.Random] = None,
+) -> int:
+    """Random prime with exactly ``bits`` bits and ``p mod modulus in residues``.
+
+    Candidates are drawn randomly and then snapped to the nearest admissible
+    residue class before primality testing, so the congruence condition does
+    not slow the search down by the naive rejection factor.
+    """
+    rng = rng or random.Random()
+    residues = sorted(set(r % modulus for r in residues))
+    if not residues:
+        raise ParameterError("need at least one admissible residue class")
+    attempts = _DEFAULT_ATTEMPTS_PER_BIT * max(bits, 8)
+    for _ in range(attempts):
+        candidate = _candidate(bits, rng)
+        target = rng.choice(residues)
+        candidate += (target - candidate) % modulus
+        if candidate.bit_length() != bits or candidate % 2 == 0:
+            continue
+        if is_probable_prime(candidate):
+            return candidate
+    raise ParameterError(
+        f"failed to find a {bits}-bit prime = {residues} mod {modulus} "
+        f"after {attempts} attempts"
+    )
+
+
+def safe_prime(bits: int, rng: Optional[random.Random] = None) -> int:
+    """Random safe prime ``p`` (both ``p`` and ``(p-1)/2`` prime).
+
+    Only intended for small/medium sizes used in examples; safe-prime search
+    at 1024 bits in pure Python is slow and not needed by the reproduction.
+    """
+    rng = rng or random.Random()
+    attempts = _DEFAULT_ATTEMPTS_PER_BIT * max(bits, 8) * 4
+    for _ in range(attempts):
+        q = random_prime(bits - 1, rng)
+        p = 2 * q + 1
+        if p.bit_length() == bits and is_probable_prime(p):
+            return p
+    raise ParameterError(f"failed to find a {bits}-bit safe prime")

@@ -1,0 +1,56 @@
+"""Conversion between integers and little-endian word vectors.
+
+The coprocessor model works on radix-2^w digit vectors (w = 16 by default,
+matching the FPGA's dedicated 18x18 multipliers used by the paper's cores).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ParameterError
+
+
+def word_length(bits: int, word_bits: int) -> int:
+    """Number of ``word_bits``-bit words needed to hold a ``bits``-bit integer."""
+    if bits <= 0 or word_bits <= 0:
+        raise ParameterError("bit lengths must be positive")
+    return -(-bits // word_bits)
+
+
+def bit_length_words(value: int, word_bits: int) -> int:
+    """Number of words needed to hold ``value`` exactly."""
+    if value < 0:
+        raise ParameterError("word vectors represent non-negative integers only")
+    return max(1, word_length(max(value.bit_length(), 1), word_bits))
+
+
+def to_words(value: int, count: int, word_bits: int) -> List[int]:
+    """Little-endian radix-2^``word_bits`` digits of ``value``, padded to ``count`` words.
+
+    Raises :class:`ParameterError` when ``value`` does not fit.
+    """
+    if value < 0:
+        raise ParameterError("word vectors represent non-negative integers only")
+    mask = (1 << word_bits) - 1
+    words = []
+    remaining = value
+    for _ in range(count):
+        words.append(remaining & mask)
+        remaining >>= word_bits
+    if remaining:
+        raise ParameterError(
+            f"value needs more than {count} words of {word_bits} bits"
+        )
+    return words
+
+
+def from_words(words: Sequence[int], word_bits: int) -> int:
+    """Rebuild an integer from little-endian radix-2^``word_bits`` digits."""
+    value = 0
+    limit = 1 << word_bits
+    for i, w in enumerate(words):
+        if not 0 <= w < limit:
+            raise ParameterError(f"word {i} = {w} out of range for {word_bits}-bit words")
+        value |= w << (i * word_bits)
+    return value

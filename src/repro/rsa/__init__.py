@@ -1,0 +1,31 @@
+"""RSA, the paper's 1024-bit baseline.
+
+RSA on the platform is a square-and-multiply loop of 1024-bit Montgomery
+modular multiplications (Section 3.2); this package provides key generation,
+raw and padded RSA operations, and CRT-accelerated private-key operations,
+all driven by the same :mod:`repro.montgomery` layer whose word-level
+behaviour the coprocessor microcode reproduces.
+"""
+
+from repro.rsa.keygen import RsaKeyPair, generate_rsa_keypair
+from repro.rsa.rsa import (
+    rsa_encrypt_int,
+    rsa_decrypt_int,
+    rsa_decrypt_int_crt,
+    rsa_encrypt,
+    rsa_decrypt,
+    rsa_sign,
+    rsa_verify,
+)
+
+__all__ = [
+    "RsaKeyPair",
+    "generate_rsa_keypair",
+    "rsa_encrypt_int",
+    "rsa_decrypt_int",
+    "rsa_decrypt_int_crt",
+    "rsa_encrypt",
+    "rsa_decrypt",
+    "rsa_sign",
+    "rsa_verify",
+]

@@ -1,0 +1,81 @@
+"""RSA key generation."""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ParameterError
+from repro.nt.modular import modinv
+from repro.nt.primegen import random_prime
+
+
+@dataclass
+class RsaKeyPair:
+    """An RSA key pair with the CRT components needed for fast decryption."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+    d_p: int
+    d_q: int
+    q_inv: int
+
+    @property
+    def modulus_bits(self) -> int:
+        return self.n.bit_length()
+
+    def public(self) -> "RsaPublicKey":
+        return RsaPublicKey(n=self.n, e=self.e)
+
+
+@dataclass
+class RsaPublicKey:
+    """Just the public half (n, e)."""
+
+    n: int
+    e: int
+
+
+def generate_rsa_keypair(
+    bits: int = 1024, e: int = 65537, rng: Optional[random.Random] = None
+) -> RsaKeyPair:
+    """Generate an RSA key pair with an exactly ``bits``-bit modulus.
+
+    1024-bit generation in pure Python takes a couple of seconds; tests use
+    smaller sizes, and the Table 3 benchmark uses a fixed pre-generated
+    modulus so that timing runs are deterministic.
+    """
+    if bits < 16:
+        raise ParameterError("RSA modulus must be at least 16 bits")
+    if e % 2 == 0 or e < 3:
+        raise ParameterError("public exponent must be an odd integer >= 3")
+    rng = rng or random.Random()
+    half = bits // 2
+    for _ in range(200):
+        p = random_prime(bits - half, rng)
+        q = random_prime(half, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        if math.gcd(e, phi) != 1:
+            continue
+        d = modinv(e, phi)
+        return RsaKeyPair(
+            n=n,
+            e=e,
+            d=d,
+            p=p,
+            q=q,
+            d_p=d % (p - 1),
+            d_q=d % (q - 1),
+            q_inv=modinv(q, p),
+        )
+    raise ParameterError(f"failed to generate a {bits}-bit RSA key")

@@ -1,0 +1,126 @@
+"""RSA operations on top of the Montgomery exponentiation layer.
+
+The integer-level primitives (``rsa_encrypt_int`` and friends) are exactly
+what the platform executes — a modular exponentiation by square-and-multiply
+over Montgomery multiplications.  The byte-level helpers add a minimal
+deterministic padding scheme so the examples can round-trip real messages;
+they are not a substitute for OAEP/PSS and say so.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+from repro.errors import DecryptionError, ParameterError
+from repro.montgomery.domain import MontgomeryDomain
+from repro.montgomery.exponent import montgomery_exponent
+from repro.rsa.keygen import RsaKeyPair, RsaPublicKey
+
+PublicLike = Union[RsaKeyPair, RsaPublicKey]
+
+
+def _public(key: PublicLike) -> RsaPublicKey:
+    return key.public() if isinstance(key, RsaKeyPair) else key
+
+
+def rsa_encrypt_int(key: PublicLike, message: int, word_bits: int = 16) -> int:
+    """Raw RSA: message^e mod n via Montgomery exponentiation."""
+    public = _public(key)
+    if not 0 <= message < public.n:
+        raise ParameterError("message representative out of range")
+    domain = MontgomeryDomain(public.n, word_bits=word_bits)
+    return montgomery_exponent(domain, message, public.e)
+
+
+def rsa_decrypt_int(key: RsaKeyPair, ciphertext: int, word_bits: int = 16) -> int:
+    """Raw RSA decryption without CRT (the paper's 1024-bit exponentiation)."""
+    if not 0 <= ciphertext < key.n:
+        raise ParameterError("ciphertext representative out of range")
+    domain = MontgomeryDomain(key.n, word_bits=word_bits)
+    return montgomery_exponent(domain, ciphertext, key.d)
+
+
+def rsa_decrypt_int_crt(key: RsaKeyPair, ciphertext: int, word_bits: int = 16) -> int:
+    """CRT decryption: two half-size exponentiations plus recombination."""
+    if not 0 <= ciphertext < key.n:
+        raise ParameterError("ciphertext representative out of range")
+    domain_p = MontgomeryDomain(key.p, word_bits=word_bits)
+    domain_q = MontgomeryDomain(key.q, word_bits=word_bits)
+    m_p = montgomery_exponent(domain_p, ciphertext % key.p, key.d_p)
+    m_q = montgomery_exponent(domain_q, ciphertext % key.q, key.d_q)
+    h = key.q_inv * (m_p - m_q) % key.p
+    return m_q + h * key.q
+
+
+# ---------------------------------------------------------------------------
+# Byte-level helpers with a simple deterministic padding.
+# ---------------------------------------------------------------------------
+
+_PAD_MARKER = b"\x00\x01"
+
+
+def _modulus_bytes(n: int) -> int:
+    return (n.bit_length() + 7) // 8
+
+
+def _pad(message: bytes, n: int) -> int:
+    """Fixed-pattern padding 0x00 0x01 0xFF.. 0x00 || message (PKCS#1 v1.5 shape).
+
+    Deterministic (no random filler) — sufficient for the examples and tests,
+    explicitly not a secure encryption padding.
+    """
+    k = _modulus_bytes(n)
+    if len(message) > k - 11:
+        raise ParameterError(f"message too long for a {k}-byte modulus")
+    filler = b"\xff" * (k - len(message) - 3)
+    block = _PAD_MARKER + filler + b"\x00" + message
+    return int.from_bytes(block, "big")
+
+
+def _unpad(value: int, n: int) -> bytes:
+    k = _modulus_bytes(n)
+    block = value.to_bytes(k, "big")
+    if not block.startswith(_PAD_MARKER):
+        raise DecryptionError("bad padding header")
+    try:
+        separator = block.index(b"\x00", 2)
+    except ValueError:
+        raise DecryptionError("missing padding separator") from None
+    return block[separator + 1 :]
+
+
+def rsa_encrypt(key: PublicLike, message: bytes) -> bytes:
+    """Encrypt a short message with the deterministic padding."""
+    public = _public(key)
+    value = rsa_encrypt_int(public, _pad(message, public.n))
+    return value.to_bytes(_modulus_bytes(public.n), "big")
+
+
+def rsa_decrypt(key: RsaKeyPair, ciphertext: bytes, use_crt: bool = True) -> bytes:
+    """Decrypt and strip the padding."""
+    value = int.from_bytes(ciphertext, "big")
+    if value >= key.n:
+        raise DecryptionError("ciphertext out of range")
+    plain = rsa_decrypt_int_crt(key, value) if use_crt else rsa_decrypt_int(key, value)
+    return _unpad(plain, key.n)
+
+
+def rsa_sign(key: RsaKeyPair, message: bytes) -> bytes:
+    """Hash-then-sign (SHA-256 digest, deterministic padding)."""
+    digest = hashlib.sha256(message).digest()
+    value = rsa_decrypt_int_crt(key, _pad(digest, key.n))
+    return value.to_bytes(_modulus_bytes(key.n), "big")
+
+
+def rsa_verify(key: PublicLike, message: bytes, signature: bytes) -> bool:
+    """Verify a hash-then-sign signature."""
+    public = _public(key)
+    value = int.from_bytes(signature, "big")
+    if value >= public.n:
+        return False
+    try:
+        recovered = _unpad(rsa_encrypt_int(public, value), public.n)
+    except DecryptionError:
+        return False
+    return recovered == hashlib.sha256(message).digest()

@@ -1,0 +1,60 @@
+"""Cycle-accurate model of the paper's multicore FPGA platform.
+
+The platform (Fig. 2) is a MicroBlaze controller plus a multicore
+coprocessor: a decoder, a single-port data memory, microinstruction ROMs and
+several tiny load/store cores whose ALU is built around the FPGA's dedicated
+multipliers.  This package models it at three levels, mirroring Section 3.2:
+
+* **Level 3 — microcode** (:mod:`repro.soc.microcode`): per-core instruction
+  streams for Montgomery modular multiplication (the Fig. 5 multi-core
+  schedule), modular addition and subtraction, executed cycle-accurately by
+  :class:`repro.soc.coprocessor.Coprocessor` under the structural constraints
+  of the hardware (one VLIW bundle per clock, one DataRAM access per clock).
+* **Level 2 — modular-operation sequences** (:mod:`repro.soc.level2`,
+  :mod:`repro.soc.sequences`): Fp6 multiplication (18 MM + additions), ECC
+  point addition/doubling, expressed as MM/MA/MS sequences over named
+  operands — the content of InsRom1 in the Type-B architecture.
+* **Level 1 — the MicroBlaze** (:mod:`repro.soc.microblaze`,
+  :mod:`repro.soc.system`): exponentiation loops that issue level-1 or
+  level-2 instructions, paying the register-access + interrupt round trip of
+  the memory-mapped interface for each one (Type-A) or once per sequence
+  (Type-B).
+"""
+
+from repro.soc.isa import Op, Instruction, nop
+from repro.soc.memory import DataRam
+from repro.soc.core import Core
+from repro.soc.assembler import CoreProgram, Schedule, schedule_programs
+from repro.soc.coprocessor import Coprocessor, CoprocessorConfig, ExecutionResult
+from repro.soc.microblaze import MicroBlazeInterfaceModel
+from repro.soc.level2 import ModOp, ModOpKind, Level2Program
+from repro.soc.system import Platform, PlatformConfig, OperationTiming
+from repro.soc.cost import ModularOpCosts, CostModel
+from repro.soc.area import AreaModel, AreaReport
+from repro.soc.trace import ExecutionTrace
+
+__all__ = [
+    "Op",
+    "Instruction",
+    "nop",
+    "DataRam",
+    "Core",
+    "CoreProgram",
+    "Schedule",
+    "schedule_programs",
+    "Coprocessor",
+    "CoprocessorConfig",
+    "ExecutionResult",
+    "MicroBlazeInterfaceModel",
+    "ModOp",
+    "ModOpKind",
+    "Level2Program",
+    "Platform",
+    "PlatformConfig",
+    "OperationTiming",
+    "ModularOpCosts",
+    "CostModel",
+    "AreaModel",
+    "AreaReport",
+    "ExecutionTrace",
+]

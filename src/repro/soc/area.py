@@ -1,0 +1,87 @@
+"""Area and frequency model of the platform.
+
+There is no synthesis tool in this environment, so the slice counts of
+Table 3 cannot be measured — they are reproduced by a parametric model whose
+coefficients are calibrated against the two data points the paper gives
+(5419 slices for the whole platform, of which 3285 belong to the
+coprocessor, at 74 MHz on a Virtex-II Pro XC2VP30).  The model exposes the
+breakdown per component so the core-count ablation can report how area would
+scale; the calibration is documented as a substitution in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class AreaReport:
+    """Slice/frequency estimate for one platform configuration."""
+
+    num_cores: int
+    coprocessor_slices: int
+    microblaze_slices: int
+    interface_slices: int
+    total_slices: int
+    frequency_mhz: float
+    block_rams: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_cores": self.num_cores,
+            "coprocessor_slices": self.coprocessor_slices,
+            "microblaze_slices": self.microblaze_slices,
+            "interface_slices": self.interface_slices,
+            "total_slices": self.total_slices,
+            "frequency_mhz": self.frequency_mhz,
+            "block_rams": self.block_rams,
+        }
+
+
+@dataclass
+class AreaModel:
+    """Parametric slice/frequency model calibrated to the paper's figures.
+
+    * each core (register file, 18x18-multiplier MAC, control) costs
+      ``slices_per_core`` slices;
+    * the decoder, DataRAM/InsRom interface logic and the inter-core bus cost
+      ``decoder_slices``;
+    * the MicroBlaze plus the OPB glue cost ``microblaze_slices`` +
+      ``interface_slices``;
+    * the maximum frequency degrades slightly as cores are added to the
+      shared memory/instruction buses.
+
+    With the defaults, a 4-core configuration reproduces the paper's
+    3285-slice coprocessor and 5419-slice total at 74 MHz.
+    """
+
+    slices_per_core: int = 690
+    decoder_slices: int = 525
+    microblaze_slices: int = 1700
+    interface_slices: int = 434
+    base_frequency_mhz: float = 78.0
+    frequency_penalty_per_core_mhz: float = 1.0
+    block_rams_fixed: int = 4
+    block_rams_per_core: int = 1
+
+    def coprocessor_slices(self, num_cores: int) -> int:
+        return self.decoder_slices + self.slices_per_core * num_cores
+
+    def frequency(self, num_cores: int) -> float:
+        return max(
+            20.0, self.base_frequency_mhz - self.frequency_penalty_per_core_mhz * num_cores
+        )
+
+    def report(self, num_cores: int = 4) -> AreaReport:
+        coprocessor = self.coprocessor_slices(num_cores)
+        total = coprocessor + self.microblaze_slices + self.interface_slices
+        return AreaReport(
+            num_cores=num_cores,
+            coprocessor_slices=coprocessor,
+            microblaze_slices=self.microblaze_slices,
+            interface_slices=self.interface_slices,
+            total_slices=total,
+            frequency_mhz=self.frequency(num_cores),
+            block_rams=self.block_rams_fixed + self.block_rams_per_core * num_cores,
+        )

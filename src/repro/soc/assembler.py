@@ -1,0 +1,184 @@
+"""Static scheduling of per-core microcode into VLIW bundles.
+
+The decoder of the real coprocessor dispatches one microinstruction to every
+core in parallel each cycle and "manages the data memory so that conflicts
+are avoided" (Section 3.1).  In this model the microcode generators emit one
+ordered instruction stream per core, annotated with cross-core dependency
+tags, and :func:`schedule_programs` produces the static cycle-by-cycle
+schedule the ROM would contain:
+
+* program order is preserved inside each core,
+* at most one LD/ST is issued per cycle across all cores (single-port RAM),
+* an instruction with ``wait_for`` tags is issued strictly after the cycles
+  in which the tagged instructions were issued (the read-after-write
+  synchronisation the decoder encodes statically),
+* as a broadcast-read optimisation, several cores may LD the *same address*
+  in the same cycle at the cost of a single port access — the decoder drives
+  one read and every core latches the bus value.
+
+The result is a :class:`Schedule` — a list of bundles, each bundle being one
+slot per core — which the coprocessor executes one bundle per clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import AssemblyError, ScheduleError
+from repro.soc.isa import Instruction, Op
+
+
+@dataclass
+class CoreProgram:
+    """An ordered instruction stream for one core."""
+
+    core_id: int
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def append(self, instr: Instruction) -> None:
+        self.instructions.append(instr)
+
+    def extend(self, instrs: Sequence[Instruction]) -> None:
+        self.instructions.extend(instrs)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+Bundle = List[Optional[Instruction]]
+
+
+@dataclass
+class Schedule:
+    """A static VLIW schedule: one bundle (slot per core) per cycle."""
+
+    num_cores: int
+    bundles: List[Bundle] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        return len(self.bundles)
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(1 for bundle in self.bundles for slot in bundle if slot is not None)
+
+    @property
+    def memory_cycles(self) -> int:
+        """Number of cycles in which the DataRAM port is busy."""
+        busy = 0
+        for bundle in self.bundles:
+            if any(slot is not None and slot.uses_memory() for slot in bundle):
+                busy += 1
+        return busy
+
+    def utilization(self) -> List[float]:
+        """Fraction of cycles each core issues a real instruction."""
+        if not self.bundles:
+            return [0.0] * self.num_cores
+        counts = [0] * self.num_cores
+        for bundle in self.bundles:
+            for core_id, slot in enumerate(bundle):
+                if slot is not None:
+                    counts[core_id] += 1
+        return [c / len(self.bundles) for c in counts]
+
+    def validate_port_constraint(self) -> None:
+        """Re-check the single-port constraint (with the broadcast-read exception)."""
+        for cycle, bundle in enumerate(self.bundles):
+            memory_slots = [s for s in bundle if s is not None and s.uses_memory()]
+            if len(memory_slots) <= 1:
+                continue
+            if all(s.op == Op.LD for s in memory_slots):
+                addresses = {s.addr for s in memory_slots}
+                if len(addresses) == 1:
+                    continue  # broadcast read
+            raise ScheduleError(
+                f"cycle {cycle}: {len(memory_slots)} DataRAM accesses in one bundle"
+            )
+
+
+def schedule_programs(
+    programs: Sequence[CoreProgram],
+    num_registers: int = 80,
+    memory_size: int = 4096,
+    max_cycles: int = 2_000_000,
+) -> Schedule:
+    """Greedy list scheduling of per-core streams into a static VLIW schedule."""
+    num_cores = len(programs)
+    for program in programs:
+        for instr in program.instructions:
+            instr.validate(num_registers, memory_size)
+
+    # Collect tag definitions (tags must be unique across all programs).
+    tag_cycle: Dict[str, int] = {}
+    defined_tags = set()
+    for program in programs:
+        for instr in program.instructions:
+            if instr.tag is not None:
+                if instr.tag in defined_tags:
+                    raise AssemblyError(f"duplicate scheduling tag {instr.tag!r}")
+                defined_tags.add(instr.tag)
+    for program in programs:
+        for instr in program.instructions:
+            for dependency in instr.wait_for:
+                if dependency not in defined_tags:
+                    raise AssemblyError(f"wait_for references unknown tag {dependency!r}")
+
+    positions = [0] * num_cores
+    schedule = Schedule(num_cores=num_cores)
+    cycle = 0
+    while any(positions[c] < len(programs[c].instructions) for c in range(num_cores)):
+        if cycle > max_cycles:
+            raise ScheduleError("scheduling did not converge (dependency deadlock?)")
+        bundle: Bundle = [None] * num_cores
+        port_used_by: Optional[Instruction] = None
+        issued_any = False
+        for core_id in range(num_cores):
+            position = positions[core_id]
+            if position >= len(programs[core_id].instructions):
+                continue
+            instr = programs[core_id].instructions[position]
+            # Dependencies must have been issued in a strictly earlier cycle.
+            if any(
+                dependency not in tag_cycle or tag_cycle[dependency] >= cycle
+                for dependency in instr.wait_for
+            ):
+                continue
+            if instr.uses_memory():
+                if port_used_by is not None:
+                    same_broadcast = (
+                        instr.op == Op.LD
+                        and port_used_by.op == Op.LD
+                        and instr.addr == port_used_by.addr
+                    )
+                    if not same_broadcast:
+                        continue  # port conflict: core stalls this cycle
+                else:
+                    port_used_by = instr
+            bundle[core_id] = instr
+            positions[core_id] += 1
+            issued_any = True
+            if instr.tag is not None:
+                tag_cycle[instr.tag] = cycle
+        if not issued_any:
+            # Every runnable core is blocked on a dependency that resolves next
+            # cycle (tags issued this very cycle); emit an empty bundle.
+            blocked_forever = True
+            for core_id in range(num_cores):
+                position = positions[core_id]
+                if position >= len(programs[core_id].instructions):
+                    continue
+                instr = programs[core_id].instructions[position]
+                if all(dep in tag_cycle for dep in instr.wait_for):
+                    blocked_forever = False
+                    break
+            if blocked_forever:
+                raise ScheduleError(
+                    "dependency deadlock: waiting on tags that are never issued"
+                )
+        schedule.bundles.append(bundle)
+        cycle += 1
+    schedule.validate_port_constraint()
+    return schedule

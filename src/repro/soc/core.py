@@ -1,0 +1,99 @@
+"""A single coprocessor core.
+
+Each core is a load/store machine with a ``w``-bit register file, a
+``2w + 8``-bit multiply-accumulate register (built from the FPGA's dedicated
+multipliers) and a carry/borrow flag.  It has no program counter of its own:
+the decoder feeds it one instruction per cycle out of the VLIW bundle (or a
+NOP), exactly as in Fig. 2(b).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ExecutionError
+from repro.soc.isa import Instruction, Op
+from repro.soc.memory import DataRam
+
+
+class Core:
+    """Architectural state and single-instruction execution of one core."""
+
+    def __init__(self, core_id: int, word_bits: int = 16, num_registers: int = 80):
+        self.core_id = core_id
+        self.word_bits = word_bits
+        self.num_registers = num_registers
+        self.mask = (1 << word_bits) - 1
+        self.acc_bits = 2 * word_bits + 8
+        self.acc_limit = 1 << self.acc_bits
+        self.registers: List[int] = [0] * num_registers
+        self.accumulator = 0
+        self.carry = 0
+        # Statistics.
+        self.executed = 0
+        self.mac_count = 0
+        self.memory_accesses = 0
+
+    # -- state helpers -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear registers, accumulator, flag and statistics."""
+        self.registers = [0] * self.num_registers
+        self.accumulator = 0
+        self.carry = 0
+        self.executed = 0
+        self.mac_count = 0
+        self.memory_accesses = 0
+
+    def read_register(self, index: int) -> int:
+        return self.registers[index]
+
+    def write_register(self, index: int, value: int) -> None:
+        if not 0 <= value <= self.mask:
+            raise ExecutionError(
+                f"core {self.core_id}: value {value} does not fit in a register"
+            )
+        self.registers[index] = value
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, instr: Optional[Instruction], ram: DataRam) -> None:
+        """Execute one instruction (``None`` = NOP) against the shared DataRAM."""
+        if instr is None:
+            return
+        self.executed += 1
+        op = instr.op
+        regs = self.registers
+
+        if op == Op.LD:
+            regs[instr.rd] = ram.read(instr.addr)
+            self.memory_accesses += 1
+        elif op == Op.ST:
+            ram.write(instr.addr, regs[instr.ra])
+            self.memory_accesses += 1
+        elif op == Op.MAC:
+            self.accumulator += regs[instr.ra] * regs[instr.rb]
+            self.mac_count += 1
+            if self.accumulator >= self.acc_limit:
+                raise ExecutionError(
+                    f"core {self.core_id}: accumulator overflow "
+                    f"({self.accumulator} >= 2^{self.acc_bits})"
+                )
+        elif op == Op.SHA:
+            regs[instr.rd] = self.accumulator & self.mask
+            self.accumulator >>= self.word_bits
+        elif op == Op.CLA:
+            self.accumulator = 0
+        elif op == Op.ADDC:
+            total = regs[instr.ra] + regs[instr.rb] + (self.carry if instr.use_carry else 0)
+            regs[instr.rd] = total & self.mask
+            self.carry = total >> self.word_bits
+        elif op == Op.SUBB:
+            total = regs[instr.ra] - regs[instr.rb] - (self.carry if instr.use_carry else 0)
+            regs[instr.rd] = total & self.mask
+            self.carry = 1 if total < 0 else 0
+        else:  # pragma: no cover - enum is exhaustive
+            raise ExecutionError(f"core {self.core_id}: unknown opcode {op}")
+
+    def __repr__(self) -> str:
+        return f"Core(id={self.core_id}, w={self.word_bits}, regs={self.num_registers})"

@@ -1,0 +1,170 @@
+"""The modular-arithmetic engine: coprocessor + microcode for one modulus.
+
+A :class:`ModularEngine` owns a :class:`~repro.soc.coprocessor.Coprocessor`,
+lays out the DataRAM regions for one modulus size (operands, modulus words,
+the p' constant, the m broadcast cell and the Fig. 5 transfer cells) and
+instantiates the three microcode routines the platform needs: Montgomery
+multiplication, modular addition and modular subtraction.  It is the level-3
+execution backend used both for the Table 1 measurements and for the
+cycle-accurate integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ParameterError
+from repro.montgomery.domain import MontgomeryDomain
+from repro.soc.coprocessor import Coprocessor, CoprocessorConfig
+from repro.soc.microcode.modadd import ModAddLayout, ModularAddMicrocode, ModularSubMicrocode
+from repro.soc.microcode.modmul import ModMulLayout, MontgomeryMulMicrocode
+
+
+@dataclass
+class ModularOpMeasurement:
+    """Cycle counts of one modular operation under the engine."""
+
+    operation: str
+    bit_length: int
+    cycles: int
+    fast_path_cycles: int
+    worst_case_cycles: int
+
+
+class ModularEngine:
+    """Executes MM / MA / MS for a fixed modulus on the simulated coprocessor."""
+
+    def __init__(
+        self,
+        modulus: int,
+        word_bits: int = 16,
+        num_cores: int = 4,
+        num_words: Optional[int] = None,
+        config: Optional[CoprocessorConfig] = None,
+        lazy_addition: bool = False,
+    ):
+        if modulus < 3 or modulus % 2 == 0:
+            raise ParameterError("the engine needs an odd modulus >= 3")
+        self.modulus = modulus
+        self.lazy_addition = lazy_addition
+        self.config = config or CoprocessorConfig(word_bits=word_bits, num_cores=num_cores)
+        self.coprocessor = Coprocessor(self.config)
+        self.domain = MontgomeryDomain(
+            modulus, word_bits=self.config.word_bits, num_words=num_words
+        )
+        self.num_words = self.domain.num_words
+        self._allocate_regions()
+        self._build_routines()
+
+    # -- memory map -----------------------------------------------------------------
+
+    def _allocate_regions(self) -> None:
+        cop = self.coprocessor
+        s = self.num_words
+        self.addr: Dict[str, int] = {}
+        self.addr["P"] = cop.allocate_operand("P", s)
+        self.addr["PPRIME"] = cop.allocate_operand("PPRIME", 1)
+        self.addr["ONE"] = cop.allocate_operand("ONE", 1)
+        self.addr["M"] = cop.allocate_operand("M", 1)
+        self.addr["XFER"] = cop.allocate_operand("XFER", self.config.num_cores)
+        self.addr["OPA"] = cop.allocate_operand("OPA", s)
+        self.addr["OPB"] = cop.allocate_operand("OPB", s)
+        self.addr["RES"] = cop.allocate_operand("RES", s)
+        self.addr["SCRATCH"] = cop.allocate_operand("SCRATCH", s)
+
+    def _build_routines(self) -> None:
+        mul_layout = ModMulLayout(
+            x_base=self.addr["OPA"],
+            y_base=self.addr["OPB"],
+            result_base=self.addr["RES"],
+            modulus_base=self.addr["P"],
+            pprime_addr=self.addr["PPRIME"],
+            one_addr=self.addr["ONE"],
+            m_addr=self.addr["M"],
+            xfer_base=self.addr["XFER"],
+        )
+        add_layout = ModAddLayout(
+            a_base=self.addr["OPA"],
+            b_base=self.addr["OPB"],
+            result_base=self.addr["RES"],
+            modulus_base=self.addr["P"],
+            scratch_base=self.addr["SCRATCH"],
+        )
+        self.multiplier = MontgomeryMulMicrocode(self.coprocessor, self.domain, mul_layout)
+        self.adder = ModularAddMicrocode(
+            self.coprocessor, self.num_words, add_layout, self.modulus, lazy=self.lazy_addition
+        )
+        self.subtractor = ModularSubMicrocode(
+            self.coprocessor, self.num_words, add_layout, self.modulus
+        )
+
+    # -- operations --------------------------------------------------------------------
+
+    def mont_mul(self, x_bar: int, y_bar: int) -> Tuple[int, int]:
+        """Montgomery product (result, cycles); operands in the Montgomery domain."""
+        return self.multiplier.run(x_bar, y_bar)
+
+    def mod_add(self, a: int, b: int) -> Tuple[int, int]:
+        """Modular (or lazy) addition (result, cycles)."""
+        return self.adder.run(a, b)
+
+    def mod_sub(self, a: int, b: int) -> Tuple[int, int]:
+        """Modular subtraction (result, cycles)."""
+        return self.subtractor.run(a, b)
+
+    def to_montgomery(self, value: int) -> int:
+        return self.domain.to_montgomery(value)
+
+    def from_montgomery(self, value: int) -> int:
+        return self.domain.from_montgomery(value)
+
+    # -- Table 1 style measurements ------------------------------------------------------
+
+    @property
+    def bit_length(self) -> int:
+        return self.modulus.bit_length()
+
+    def measure_multiplication(self) -> ModularOpMeasurement:
+        """Cycle count of one Montgomery multiplication (data-independent)."""
+        cycles = self.multiplier.cycle_count()
+        return ModularOpMeasurement(
+            operation="modular multiplication",
+            bit_length=self.bit_length,
+            cycles=cycles,
+            fast_path_cycles=cycles,
+            worst_case_cycles=cycles,
+        )
+
+    def measure_addition(self) -> ModularOpMeasurement:
+        """Cycle counts of one modular addition (fast path = no reduction)."""
+        fast = self.adder.fast_path_cycles()
+        worst = fast if self.lazy_addition else self.adder.worst_case_cycles()
+        return ModularOpMeasurement(
+            operation="modular addition",
+            bit_length=self.bit_length,
+            cycles=fast,
+            fast_path_cycles=fast,
+            worst_case_cycles=worst,
+        )
+
+    def measure_subtraction(self) -> ModularOpMeasurement:
+        """Cycle counts of one modular subtraction (worst case = borrow correction)."""
+        fast = self.subtractor.fast_path_cycles()
+        worst = self.subtractor.worst_case_cycles()
+        # Random operands borrow about half the time; report the average as
+        # the headline figure, like the paper's single number.
+        average = (fast + worst) // 2
+        return ModularOpMeasurement(
+            operation="modular subtraction",
+            bit_length=self.bit_length,
+            cycles=average,
+            fast_path_cycles=fast,
+            worst_case_cycles=worst,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ModularEngine(bits={self.bit_length}, words={self.num_words}, "
+            f"cores={self.config.num_cores})"
+        )

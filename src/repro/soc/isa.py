@@ -1,0 +1,175 @@
+"""The coprocessor core's instruction set.
+
+The paper describes each core as "a highly simplified load/store CPU"
+supporting "only 7 instructions", without branches, whose ALU is built from
+the FPGA's dedicated multipliers.  The exact encoding is not published, so
+this model defines a concrete 7-instruction ISA that is sufficient for the
+microcode the paper needs (multi-word Montgomery multiplication, modular
+addition/subtraction) and consistent with the stated constraints:
+
+======  =========================  =====================================================
+opcode  operands                   semantics
+======  =========================  =====================================================
+LD      rd, addr                   rd <- DataRAM[addr]            (uses the memory port)
+ST      addr, rs                   DataRAM[addr] <- rs            (uses the memory port)
+MAC     ra, rb                     ACC <- ACC + R[ra] * R[rb]
+SHA     rd                         rd <- ACC mod 2^w ; ACC <- ACC >> w
+CLA     —                          ACC <- 0
+ADDC    rd, ra, rb [, use_carry]   rd <- (ra + rb + c_in) mod 2^w ; carry <- overflow
+SUBB    rd, ra, rb [, use_carry]   rd <- (ra - rb - b_in) mod 2^w ; carry <- borrow
+======  =========================  =====================================================
+
+Registers are ``w`` bits wide (w = 16, matching the 18x18 dedicated
+multipliers used with unsigned 16-bit words); the accumulator is 2w + 8 bits,
+wide enough to absorb the redundant carries of the Fig. 5 schedule.  A NOP is
+simply the absence of an instruction in a core's slot of the VLIW bundle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.errors import AssemblyError
+
+
+class Op(enum.Enum):
+    """The seven core opcodes."""
+
+    LD = "LD"
+    ST = "ST"
+    MAC = "MAC"
+    SHA = "SHA"
+    CLA = "CLA"
+    ADDC = "ADDC"
+    SUBB = "SUBB"
+
+
+#: Opcodes that occupy the single DataRAM port for one cycle.
+MEMORY_OPS: FrozenSet[Op] = frozenset({Op.LD, Op.ST})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One core instruction plus optional scheduling metadata.
+
+    ``tag`` names the instruction so other cores' instructions can order
+    themselves after it with ``wait_for`` (the static cross-core dependencies
+    the real decoder resolves when the microcode ROM is written).
+    """
+
+    op: Op
+    rd: Optional[int] = None
+    ra: Optional[int] = None
+    rb: Optional[int] = None
+    addr: Optional[int] = None
+    use_carry: bool = False
+    tag: Optional[str] = None
+    wait_for: Tuple[str, ...] = field(default_factory=tuple)
+    comment: str = ""
+
+    def uses_memory(self) -> bool:
+        """True when the instruction needs the (single) DataRAM port."""
+        return self.op in MEMORY_OPS
+
+    def validate(self, num_registers: int, memory_size: int) -> None:
+        """Check operand fields against the machine's limits."""
+        def _check_reg(name: str, value: Optional[int], required: bool) -> None:
+            if value is None:
+                if required:
+                    raise AssemblyError(f"{self.op.value}: missing register field {name}")
+                return
+            if not 0 <= value < num_registers:
+                raise AssemblyError(
+                    f"{self.op.value}: register {name}={value} out of range "
+                    f"(register file has {num_registers} entries)"
+                )
+
+        if self.op == Op.LD:
+            _check_reg("rd", self.rd, True)
+            self._check_addr(memory_size)
+        elif self.op == Op.ST:
+            _check_reg("ra", self.ra, True)
+            self._check_addr(memory_size)
+        elif self.op == Op.MAC:
+            _check_reg("ra", self.ra, True)
+            _check_reg("rb", self.rb, True)
+        elif self.op == Op.SHA:
+            _check_reg("rd", self.rd, True)
+        elif self.op == Op.CLA:
+            pass
+        elif self.op in (Op.ADDC, Op.SUBB):
+            _check_reg("rd", self.rd, True)
+            _check_reg("ra", self.ra, True)
+            _check_reg("rb", self.rb, True)
+        else:  # pragma: no cover - enum is exhaustive
+            raise AssemblyError(f"unknown opcode {self.op}")
+
+    def _check_addr(self, memory_size: int) -> None:
+        if self.addr is None:
+            raise AssemblyError(f"{self.op.value}: missing memory address")
+        if not 0 <= self.addr < memory_size:
+            raise AssemblyError(
+                f"{self.op.value}: address {self.addr} outside DataRAM of {memory_size} words"
+            )
+
+    def __repr__(self) -> str:
+        parts = [self.op.value]
+        if self.rd is not None:
+            parts.append(f"r{self.rd}")
+        if self.ra is not None:
+            parts.append(f"r{self.ra}")
+        if self.rb is not None:
+            parts.append(f"r{self.rb}")
+        if self.addr is not None:
+            parts.append(f"@{self.addr}")
+        if self.use_carry:
+            parts.append("+c")
+        text = " ".join(parts)
+        if self.comment:
+            text += f"  ; {self.comment}"
+        return text
+
+
+def nop() -> None:
+    """A NOP is represented by ``None`` in a bundle slot."""
+    return None
+
+
+# -- convenience constructors -------------------------------------------------
+
+
+def ld(rd: int, addr: int, **kw) -> Instruction:
+    """Load DataRAM[addr] into register rd."""
+    return Instruction(Op.LD, rd=rd, addr=addr, **kw)
+
+
+def st(addr: int, rs: int, **kw) -> Instruction:
+    """Store register rs to DataRAM[addr]."""
+    return Instruction(Op.ST, ra=rs, addr=addr, **kw)
+
+
+def mac(ra: int, rb: int, **kw) -> Instruction:
+    """ACC += R[ra] * R[rb]."""
+    return Instruction(Op.MAC, ra=ra, rb=rb, **kw)
+
+
+def sha(rd: int, **kw) -> Instruction:
+    """rd <- low word of ACC; ACC >>= w."""
+    return Instruction(Op.SHA, rd=rd, **kw)
+
+
+def cla(**kw) -> Instruction:
+    """Clear the accumulator."""
+    return Instruction(Op.CLA, **kw)
+
+
+def addc(rd: int, ra: int, rb: int, use_carry: bool = False, **kw) -> Instruction:
+    """rd <- ra + rb (+ carry-in when ``use_carry``); sets the carry flag."""
+    return Instruction(Op.ADDC, rd=rd, ra=ra, rb=rb, use_carry=use_carry, **kw)
+
+
+def subb(rd: int, ra: int, rb: int, use_carry: bool = False, **kw) -> Instruction:
+    """rd <- ra - rb (- borrow-in when ``use_carry``); sets the borrow flag."""
+    return Instruction(Op.SUBB, rd=rd, ra=ra, rb=rb, use_carry=use_carry, **kw)

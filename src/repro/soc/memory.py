@@ -1,0 +1,134 @@
+"""DataRAM and instruction-ROM models.
+
+The paper implements both memories in the FPGA's block RAM and stresses that
+the data memory is *single-port*: only one read or write can happen per
+cycle, and the decoder has to schedule microinstructions so that the cores
+never conflict.  :class:`DataRam` stores ``w``-bit words, tracks the number
+of accesses, and provides word-vector helpers for multi-precision operands.
+:class:`InstructionRom` only does capacity accounting (its contents are the
+schedules produced by the assembler).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import MemoryMapError, ParameterError
+from repro.nt.words import from_words, to_words
+
+
+class DataRam:
+    """Single-port data memory of ``size`` words, each ``word_bits`` wide."""
+
+    def __init__(self, size: int = 1024, word_bits: int = 16):
+        if size <= 0:
+            raise ParameterError("DataRAM needs a positive size")
+        self.size = size
+        self.word_bits = word_bits
+        self.mask = (1 << word_bits) - 1
+        self.words: List[int] = [0] * size
+        self.reads = 0
+        self.writes = 0
+
+    # -- single-word access --------------------------------------------------
+
+    def read(self, addr: int) -> int:
+        if not 0 <= addr < self.size:
+            raise MemoryMapError(f"read outside DataRAM: address {addr}")
+        self.reads += 1
+        return self.words[addr]
+
+    def write(self, addr: int, value: int) -> None:
+        if not 0 <= addr < self.size:
+            raise MemoryMapError(f"write outside DataRAM: address {addr}")
+        if not 0 <= value <= self.mask:
+            raise MemoryMapError(
+                f"value {value} does not fit in a {self.word_bits}-bit memory word"
+            )
+        self.writes += 1
+        self.words[addr] = value
+
+    # -- multi-precision helpers (host-side, not charged as port cycles) --------
+
+    def load_integer(self, base: int, value: int, num_words: int) -> None:
+        """Host-side write of a multi-word integer (operand staging by the MicroBlaze)."""
+        words = to_words(value, num_words, self.word_bits)
+        if base + num_words > self.size:
+            raise MemoryMapError(
+                f"operand of {num_words} words at {base} overflows DataRAM"
+            )
+        self.words[base : base + num_words] = words
+
+    def read_integer(self, base: int, num_words: int) -> int:
+        """Host-side read of a multi-word integer."""
+        if base + num_words > self.size:
+            raise MemoryMapError(
+                f"operand of {num_words} words at {base} overflows DataRAM"
+            )
+        return from_words(self.words[base : base + num_words], self.word_bits)
+
+    def clear(self) -> None:
+        self.words = [0] * self.size
+        self.reads = 0
+        self.writes = 0
+
+    def __repr__(self) -> str:
+        return f"DataRam({self.size} x {self.word_bits}-bit)"
+
+
+class MemoryAllocator:
+    """Simple bump allocator for laying out named operands in DataRAM."""
+
+    def __init__(self, ram_size: int, reserved: int = 0):
+        self.ram_size = ram_size
+        self.next_free = reserved
+        self.regions: Dict[str, int] = {}
+        self.sizes: Dict[str, int] = {}
+
+    def allocate(self, name: str, num_words: int) -> int:
+        """Reserve ``num_words`` words and return the base address."""
+        if name in self.regions:
+            raise MemoryMapError(f"operand {name!r} already allocated")
+        base = self.next_free
+        if base + num_words > self.ram_size:
+            raise MemoryMapError(
+                f"DataRAM exhausted while allocating {name!r} ({num_words} words)"
+            )
+        self.regions[name] = base
+        self.sizes[name] = num_words
+        self.next_free = base + num_words
+        return base
+
+    def address_of(self, name: str) -> int:
+        try:
+            return self.regions[name]
+        except KeyError:
+            raise MemoryMapError(f"unknown operand {name!r}") from None
+
+    def size_of(self, name: str) -> int:
+        return self.sizes[name]
+
+    def names(self) -> Sequence[str]:
+        return list(self.regions)
+
+
+class InstructionRom:
+    """Capacity accounting for a microinstruction ROM (block-RAM backed)."""
+
+    def __init__(self, capacity_words: int = 4096, name: str = "InsRom"):
+        self.capacity_words = capacity_words
+        self.name = name
+        self.used_words = 0
+
+    def store(self, num_instructions: int) -> None:
+        """Record that a routine of ``num_instructions`` words was written."""
+        if self.used_words + num_instructions > self.capacity_words:
+            raise MemoryMapError(
+                f"{self.name} overflow: {self.used_words} + {num_instructions} "
+                f"> {self.capacity_words} words"
+            )
+        self.used_words += num_instructions
+
+    @property
+    def free_words(self) -> int:
+        return self.capacity_words - self.used_words

@@ -1,0 +1,20 @@
+"""Microcode generators (the contents of InsRom2).
+
+Each generator turns a modular operation at a given operand size into
+per-core instruction streams for the 7-instruction cores:
+
+* :mod:`repro.soc.microcode.modmul` — Montgomery modular multiplication,
+  parallelised over the cores with the carry-local schedule of Fig. 5,
+* :mod:`repro.soc.microcode.modadd` — modular addition and subtraction on a
+  single core (the paper keeps these on one core because the carry chain
+  would otherwise have to cross cores).
+"""
+
+from repro.soc.microcode.modmul import MontgomeryMulMicrocode
+from repro.soc.microcode.modadd import ModularAddMicrocode, ModularSubMicrocode
+
+__all__ = [
+    "MontgomeryMulMicrocode",
+    "ModularAddMicrocode",
+    "ModularSubMicrocode",
+]

@@ -1,0 +1,328 @@
+"""The complete platform: MicroBlaze + multicore coprocessor (Fig. 2).
+
+:class:`Platform` is the top-level object the benchmarks and examples use.
+It owns one cycle-accurate :class:`~repro.soc.engine.ModularEngine` per
+modulus, measures the Table 1 quantities on them, composes Table 2 through
+the Type-A/Type-B hierarchies and Table 3 through the exponentiation loops,
+and can also run level-2 sequences *functionally* through the coprocessor for
+end-to-end validation at toy sizes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ParameterError
+from repro.ecc.curves import NamedCurve, SECP160R1
+from repro.field.extension import ExtElement
+from repro.field.fp6 import Fp6Field
+from repro.soc.area import AreaModel, AreaReport
+from repro.soc.cost import CostModel, ModularOpCosts, SequenceCost, operation_costs_from_engine
+from repro.soc.engine import ModularEngine
+from repro.soc.level2 import EngineBackend, Level2Program, SoftwareBackend
+from repro.soc.microblaze import MicroBlazeInterfaceModel
+from repro.soc.sequences import (
+    ecc_point_addition_program,
+    ecc_point_doubling_program,
+    ecc_point_from_memory,
+    ecc_point_memory,
+    fp6_multiplication_program,
+    fp6_operand_memory,
+    fp6_result_from_memory,
+)
+from repro.soc.trace import ExecutionTrace
+from repro.torus.params import TorusParameters
+
+
+def default_rsa_modulus(bits: int = 1024) -> int:
+    """A fixed, deterministic odd ``bits``-bit modulus for cycle measurements.
+
+    Cycle counts of the Montgomery microcode depend only on the operand
+    length, so the RSA benchmarks use this reproducible stand-in instead of
+    paying a full prime generation on every run (a real key-generation path
+    is available in :mod:`repro.rsa.keygen`).
+    """
+    blocks = []
+    counter = 0
+    while len(blocks) * 256 < bits:
+        blocks.append(hashlib.sha256(f"repro-rsa-{bits}-{counter}".encode()).digest())
+        counter += 1
+    value = int.from_bytes(b"".join(blocks), "big") & ((1 << bits) - 1)
+    value |= 1 << (bits - 1)
+    value |= 1
+    return value
+
+
+@dataclass
+class PlatformConfig:
+    """Structural and calibration parameters of the whole platform.
+
+    ``lazy_addition`` selects the unreduced modular-addition microcode (the
+    paper-style single add pass).  It is off by default so that every
+    functional execution path is strictly reduced; the Table 1 comparison is
+    unaffected because the addition row reports the fast-path (no-correction)
+    cycle count either way — see EXPERIMENTS.md.
+    """
+
+    word_bits: int = 16
+    num_cores: int = 4
+    num_registers: int = 80
+    clock_mhz: float = 74.0
+    lazy_addition: bool = False
+    interface: MicroBlazeInterfaceModel = field(default_factory=MicroBlazeInterfaceModel)
+    area_model: AreaModel = field(default_factory=AreaModel)
+
+
+@dataclass
+class OperationTiming:
+    """Timing of one full public-key operation on the platform (a Table 3 row)."""
+
+    name: str
+    bit_length: int
+    hierarchy: str
+    group_operations: int
+    cycles: int
+    milliseconds: float
+    area_slices: int
+    frequency_mhz: float
+
+    def __repr__(self) -> str:
+        return (
+            f"OperationTiming({self.name}: {self.milliseconds:.2f} ms, "
+            f"{self.cycles} cycles @ {self.frequency_mhz} MHz, {self.area_slices} slices)"
+        )
+
+
+class Platform:
+    """The paper's platform, simulated."""
+
+    def __init__(self, config: Optional[PlatformConfig] = None):
+        self.config = config or PlatformConfig()
+        self._engines: Dict[Tuple[int, Optional[int]], ModularEngine] = {}
+
+    # -- engines and measured costs -----------------------------------------------------
+
+    def engine_for(self, modulus: int, num_words: Optional[int] = None) -> ModularEngine:
+        """The cycle-accurate modular engine for one modulus (cached)."""
+        key = (modulus, num_words)
+        if key not in self._engines:
+            self._engines[key] = ModularEngine(
+                modulus,
+                word_bits=self.config.word_bits,
+                num_cores=self.config.num_cores,
+                num_words=num_words,
+                lazy_addition=self.config.lazy_addition,
+            )
+        return self._engines[key]
+
+    def measure_operation_costs(self, modulus: int, label: str = "") -> ModularOpCosts:
+        """Measure the Table 1 row (MM/MA/MS cycles) for one modulus."""
+        return operation_costs_from_engine(self.engine_for(modulus), label=label)
+
+    def cost_model(self, op_costs: ModularOpCosts) -> CostModel:
+        return CostModel(op_costs, interface=self.config.interface, clock_mhz=self.config.clock_mhz)
+
+    @property
+    def interrupt_round_trip_cycles(self) -> int:
+        """The paper's 184-cycle register-access + interrupt-handling figure."""
+        return self.config.interface.round_trip_cycles
+
+    # -- level-2 sequence costs (Table 2) ---------------------------------------------------
+
+    def fp6_multiplication_cost(self, modulus: int) -> SequenceCost:
+        """Type-A/Type-B cycle counts of one Fp6 (T6) multiplication."""
+        costs = self.measure_operation_costs(modulus, label="torus")
+        return self.cost_model(costs).sequence_cost(fp6_multiplication_program())
+
+    def ecc_point_costs(self, modulus: int) -> Tuple[SequenceCost, SequenceCost]:
+        """Type-A/Type-B cycle counts of (point addition, point doubling)."""
+        costs = self.measure_operation_costs(modulus, label="ECC")
+        model = self.cost_model(costs)
+        return (
+            model.sequence_cost(ecc_point_addition_program()),
+            model.sequence_cost(ecc_point_doubling_program()),
+        )
+
+    # -- full public-key operations (Table 3) -----------------------------------------------
+
+    def _area(self) -> AreaReport:
+        return self.config.area_model.report(self.config.num_cores)
+
+    def torus_exponentiation_timing(
+        self,
+        params: TorusParameters,
+        exponent_bits: Optional[int] = None,
+        hierarchy: str = "type-b",
+    ) -> OperationTiming:
+        """Timing of one T6 exponentiation (the paper's 20 ms headline)."""
+        exponent_bits = exponent_bits or params.p_bits
+        sequence = self.fp6_multiplication_cost(params.p)
+        per_op = sequence.type_b_cycles if hierarchy == "type-b" else sequence.type_a_cycles
+        squarings = exponent_bits - 1
+        multiplications = (exponent_bits - 1) // 2
+        costs = self.measure_operation_costs(params.p)
+        model = self.cost_model(costs)
+        cycles = model.exponentiation_cycles(per_op, squarings, multiplications)
+        area = self._area()
+        return OperationTiming(
+            name=f"{exponent_bits}-bit torus (CEILIDH)",
+            bit_length=exponent_bits,
+            hierarchy=hierarchy,
+            group_operations=squarings + multiplications,
+            cycles=cycles,
+            milliseconds=model.cycles_to_ms(cycles),
+            area_slices=area.total_slices,
+            frequency_mhz=area.frequency_mhz,
+        )
+
+    def ecc_scalar_multiplication_timing(
+        self,
+        curve: NamedCurve = SECP160R1,
+        hierarchy: str = "type-b",
+    ) -> OperationTiming:
+        """Timing of one ECC scalar multiplication (double-and-add, Jacobian)."""
+        pa_cost, pd_cost = self.ecc_point_costs(curve.p)
+        scalar_bits = curve.order.bit_length()
+        doublings = scalar_bits - 1
+        additions = (scalar_bits - 1) // 2
+        if hierarchy == "type-b":
+            cycles = doublings * pd_cost.type_b_cycles + additions * pa_cost.type_b_cycles
+        else:
+            cycles = doublings * pd_cost.type_a_cycles + additions * pa_cost.type_a_cycles
+        costs = self.measure_operation_costs(curve.p)
+        model = self.cost_model(costs)
+        area = self._area()
+        return OperationTiming(
+            name=f"{curve.p.bit_length()}-bit ECC ({curve.name})",
+            bit_length=curve.p.bit_length(),
+            hierarchy=hierarchy,
+            group_operations=doublings + additions,
+            cycles=cycles,
+            milliseconds=model.cycles_to_ms(cycles),
+            area_slices=area.total_slices,
+            frequency_mhz=area.frequency_mhz,
+        )
+
+    def rsa_exponentiation_timing(
+        self,
+        modulus_bits: int = 1024,
+        modulus: Optional[int] = None,
+        exponent_bits: Optional[int] = None,
+    ) -> OperationTiming:
+        """Timing of one RSA private-key exponentiation (full-length exponent).
+
+        RSA has no level-2 sequence to amortise — every modular multiplication
+        is issued individually — so the composition charges one MicroBlaze
+        round trip per Montgomery multiplication, matching the paper.
+        """
+        modulus = modulus or default_rsa_modulus(modulus_bits)
+        exponent_bits = exponent_bits or modulus_bits
+        costs = self.measure_operation_costs(modulus, label="RSA")
+        model = self.cost_model(costs)
+        squarings = exponent_bits - 1
+        multiplications = (exponent_bits - 1) // 2
+        per_op = costs.modular_mult + self.config.interface.round_trip_cycles
+        cycles = model.exponentiation_cycles(per_op, squarings, multiplications)
+        area = self._area()
+        return OperationTiming(
+            name=f"{modulus_bits}-bit RSA",
+            bit_length=modulus_bits,
+            hierarchy="type-a",
+            group_operations=squarings + multiplications,
+            cycles=cycles,
+            milliseconds=model.cycles_to_ms(cycles),
+            area_slices=area.total_slices,
+            frequency_mhz=area.frequency_mhz,
+        )
+
+    # -- Fig. 3/4 style breakdowns -----------------------------------------------------------
+
+    def hierarchy_trace(
+        self, program: Level2Program, modulus: int, hierarchy: str
+    ) -> ExecutionTrace:
+        """Cycle breakdown (interface vs compute) of one level-2 sequence."""
+        costs = self.measure_operation_costs(modulus)
+        trace = ExecutionTrace(name=f"{program.name} [{hierarchy}]")
+        if hierarchy == "type-a":
+            for op in program:
+                trace.add(f"issue {op.kind.value}", "interface", self.interrupt_round_trip_cycles)
+                trace.add(str(op), "compute", costs.cost_of(op.kind))
+        elif hierarchy == "type-b":
+            trace.add("issue sequence", "interface", self.interrupt_round_trip_cycles)
+            for op in program:
+                trace.add(f"dispatch {op.kind.value}", "dispatch", CostModel.TYPE_B_DISPATCH_CYCLES)
+                trace.add(str(op), "compute", costs.cost_of(op.kind))
+        else:
+            raise ParameterError(f"unknown hierarchy {hierarchy!r} (use 'type-a' or 'type-b')")
+        return trace
+
+    # -- functional execution through the coprocessor ------------------------------------------
+
+    def run_fp6_multiplication(
+        self, fp6: Fp6Field, a: ExtElement, b: ExtElement, cycle_accurate: bool = True
+    ) -> Tuple[ExtElement, int]:
+        """Execute one Fp6 multiplication through the platform.
+
+        With ``cycle_accurate=True`` every modular operation runs through the
+        coprocessor microcode (slow — intended for toy operand sizes); with
+        ``False`` a big-integer backend is used and only the composed cycle
+        count is returned.
+        """
+        modulus = fp6.base.p
+        program = fp6_multiplication_program()
+        engine = self.engine_for(modulus)
+        memory = fp6_operand_memory(engine.domain, a, b)
+        if cycle_accurate:
+            backend = EngineBackend(engine)
+            program.execute(backend, memory)
+            cycles = backend.cycles
+        else:
+            backend = SoftwareBackend(engine.domain)
+            program.execute(backend, memory)
+            cycles = self.fp6_multiplication_cost(modulus).type_b_cycles
+        result = fp6_result_from_memory(engine.domain, fp6, memory)
+        return result, cycles
+
+    def run_ecc_point_operation(
+        self,
+        modulus: int,
+        curve_a: int,
+        coordinates: Dict[str, int],
+        operation: str = "double",
+        cycle_accurate: bool = True,
+    ) -> Tuple[Tuple[int, int, int], int]:
+        """Execute one Jacobian point operation through the platform."""
+        engine = self.engine_for(modulus)
+        if operation == "double":
+            program = ecc_point_doubling_program()
+            staged = dict(coordinates)
+            staged["a"] = curve_a
+        elif operation == "add":
+            program = ecc_point_addition_program()
+            staged = dict(coordinates)
+        else:
+            raise ParameterError("operation must be 'double' or 'add'")
+        memory = ecc_point_memory(engine.domain, staged)
+        if cycle_accurate:
+            backend = EngineBackend(engine)
+            program.execute(backend, memory)
+            cycles = backend.cycles
+        else:
+            backend = SoftwareBackend(engine.domain)
+            program.execute(backend, memory)
+            cycles = 0
+        return ecc_point_from_memory(engine.domain, memory), cycles
+
+    # -- area ------------------------------------------------------------------------------------
+
+    def area_report(self) -> AreaReport:
+        """Slice/frequency estimate of the configured platform."""
+        return self._area()
+
+    def __repr__(self) -> str:
+        return (
+            f"Platform(cores={self.config.num_cores}, w={self.config.word_bits}, "
+            f"{self.config.clock_mhz} MHz)"
+        )

@@ -1,0 +1,59 @@
+"""Execution traces and cycle-breakdown reporting.
+
+The Type-A/Type-B comparison (Figs. 3 and 4, Table 2) is at heart a question
+of where the cycles go: communication with the MicroBlaze versus computation
+on the coprocessor.  :class:`ExecutionTrace` accumulates that breakdown for a
+sequence of operations and renders it for the figure-3/4 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class TraceEvent:
+    """One accounted chunk of cycles."""
+
+    label: str
+    category: str  # "interface", "dispatch", "compute"
+    cycles: int
+
+
+@dataclass
+class ExecutionTrace:
+    """A cycle-accounted execution of one high-level operation."""
+
+    name: str
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def add(self, label: str, category: str, cycles: int) -> None:
+        self.events.append(TraceEvent(label=label, category=category, cycles=cycles))
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(event.cycles for event in self.events)
+
+    def breakdown(self) -> Dict[str, int]:
+        """Cycles per category (interface / dispatch / compute)."""
+        totals: Dict[str, int] = {}
+        for event in self.events:
+            totals[event.category] = totals.get(event.category, 0) + event.cycles
+        return totals
+
+    def communication_fraction(self) -> float:
+        """Fraction of cycles spent on the MicroBlaze interface."""
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        interface = self.breakdown().get("interface", 0) + self.breakdown().get("dispatch", 0)
+        return interface / total
+
+    def render(self) -> str:
+        """Human-readable breakdown table."""
+        lines = [f"cycle breakdown of {self.name}: {self.total_cycles} cycles"]
+        for category, cycles in sorted(self.breakdown().items()):
+            share = 100.0 * cycles / self.total_cycles if self.total_cycles else 0.0
+            lines.append(f"  {category:<10} {cycles:>12} cycles  ({share:5.1f}%)")
+        return "\n".join(lines)

@@ -1,0 +1,225 @@
+"""The CEILIDH public-key cryptosystem.
+
+Rubin and Silverberg's CEILIDH consists of the classical discrete-log
+protocols instantiated in the compressed torus T6(Fp): every transmitted
+group element travels as a compressed (u, v) pair, so key-agreement messages,
+ciphertext headers and signature commitments are a third of the size of the
+corresponding Fp6 (or RSA-modulus) encodings at the same security level.
+
+Implemented protocols:
+
+* **Key generation** — private x in [1, q), public key rho(g^x).
+* **Diffie-Hellman key agreement** with a SHA-256 based key-derivation step.
+* **Hashed-ElGamal hybrid encryption** (ephemeral DH + XOR keystream + MAC-less
+  integrity check via key confirmation tag).
+* **Schnorr-style signatures** over the order-q subgroup.
+
+Exponent-blinded variants are not required by the paper and are out of scope.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import CompressionError, DecryptionError, ParameterError, SignatureError
+from repro.torus.compression import CompressedElement
+from repro.torus.encoding import encode_compressed
+from repro.torus.params import TorusParameters, get_parameters
+from repro.torus.t6 import T6Group, TorusElement
+
+
+@dataclass
+class CeilidhKeyPair:
+    """A CEILIDH key pair: private exponent and compressed public key."""
+
+    private: int
+    public: CompressedElement
+
+    def public_bytes(self, params: TorusParameters) -> bytes:
+        return encode_compressed(params, self.public)
+
+
+@dataclass
+class CeilidhCiphertext:
+    """Hashed-ElGamal ciphertext: compressed ephemeral key, body, confirmation tag."""
+
+    ephemeral: CompressedElement
+    body: bytes
+    tag: bytes
+
+
+@dataclass
+class CeilidhSignature:
+    """Schnorr-style signature (challenge, response)."""
+
+    challenge: int
+    response: int
+
+
+class CeilidhSystem:
+    """All CEILIDH protocol operations for one parameter set."""
+
+    def __init__(self, params: TorusParameters | str = "ceilidh-170", validate: bool = False):
+        if isinstance(params, str):
+            params = get_parameters(params)
+        self.params = params
+        self.group = T6Group(params, validate=validate)
+        self.compressor = self.group.compressor
+
+    # -- key management ---------------------------------------------------------
+
+    def generate_keypair(self, rng: Optional[random.Random] = None) -> CeilidhKeyPair:
+        """Generate a key pair; retries on the (O(1/p)) exceptional compressions."""
+        rng = rng or random.Random()
+        generator = self.group.generator()
+        for _ in range(64):
+            private = rng.randrange(1, self.params.q)
+            public_element = generator ** private
+            try:
+                public = self.compressor.compress(public_element.value)
+            except CompressionError:
+                continue
+            return CeilidhKeyPair(private=private, public=public)
+        raise ParameterError("could not generate a compressible public key")  # pragma: no cover
+
+    def public_element(self, keypair_or_public) -> TorusElement:
+        """Decompress a public key back into the torus."""
+        public = (
+            keypair_or_public.public
+            if isinstance(keypair_or_public, CeilidhKeyPair)
+            else keypair_or_public
+        )
+        return self.compressor.decompress_to_element(public)
+
+    # -- Diffie-Hellman -----------------------------------------------------------
+
+    def shared_secret(self, own: CeilidhKeyPair, peer_public: CompressedElement) -> bytes:
+        """Raw DH shared secret: canonical encoding of rho((g^y)^x)."""
+        peer_element = self.compressor.decompress_to_element(peer_public)
+        shared = peer_element ** own.private
+        try:
+            compressed = self.compressor.compress(shared.value)
+        except CompressionError:
+            # Exceptional shared point: fall back to the uncompressed encoding.
+            from repro.torus.encoding import encode_fp6
+
+            return encode_fp6(self.params, shared.value)
+        return encode_compressed(self.params, compressed)
+
+    def derive_key(
+        self, own: CeilidhKeyPair, peer_public: CompressedElement, info: bytes = b"", length: int = 32
+    ) -> bytes:
+        """DH followed by a SHA-256 based KDF (counter mode)."""
+        secret = self.shared_secret(own, peer_public)
+        return _kdf(secret, info, length)
+
+    # -- hashed ElGamal -------------------------------------------------------------
+
+    def encrypt(
+        self,
+        recipient_public: CompressedElement,
+        plaintext: bytes,
+        rng: Optional[random.Random] = None,
+    ) -> CeilidhCiphertext:
+        """Hybrid encryption to a compressed public key."""
+        rng = rng or random.Random()
+        generator = self.group.generator()
+        recipient = self.compressor.decompress_to_element(recipient_public)
+        for _ in range(64):
+            ephemeral_exponent = rng.randrange(1, self.params.q)
+            ephemeral_element = generator ** ephemeral_exponent
+            try:
+                ephemeral = self.compressor.compress(ephemeral_element.value)
+                shared = recipient ** ephemeral_exponent
+                shared_compressed = self.compressor.compress(shared.value)
+            except CompressionError:
+                continue
+            shared_bytes = encode_compressed(self.params, shared_compressed)
+            keystream = _kdf(shared_bytes, b"ceilidh-elgamal-stream", len(plaintext))
+            tag_key = _kdf(shared_bytes, b"ceilidh-elgamal-tag", 32)
+            body = bytes(p ^ k for p, k in zip(plaintext, keystream))
+            tag = hmac.new(tag_key, body, hashlib.sha256).digest()[:16]
+            return CeilidhCiphertext(ephemeral=ephemeral, body=body, tag=tag)
+        raise ParameterError("could not find a compressible ephemeral key")  # pragma: no cover
+
+    def decrypt(self, own: CeilidhKeyPair, ciphertext: CeilidhCiphertext) -> bytes:
+        """Decrypt a hashed-ElGamal ciphertext; raises on tag mismatch."""
+        ephemeral_element = self.compressor.decompress_to_element(ciphertext.ephemeral)
+        shared = ephemeral_element ** own.private
+        try:
+            shared_compressed = self.compressor.compress(shared.value)
+        except CompressionError as exc:  # pragma: no cover - sender avoided these
+            raise DecryptionError("shared point is exceptional") from exc
+        shared_bytes = encode_compressed(self.params, shared_compressed)
+        keystream = _kdf(shared_bytes, b"ceilidh-elgamal-stream", len(ciphertext.body))
+        tag_key = _kdf(shared_bytes, b"ceilidh-elgamal-tag", 32)
+        expected_tag = hmac.new(tag_key, ciphertext.body, hashlib.sha256).digest()[:16]
+        if not hmac.compare_digest(expected_tag, ciphertext.tag):
+            raise DecryptionError("integrity tag mismatch")
+        return bytes(c ^ k for c, k in zip(ciphertext.body, keystream))
+
+    # -- Schnorr signatures -----------------------------------------------------------
+
+    def sign(
+        self, own: CeilidhKeyPair, message: bytes, rng: Optional[random.Random] = None
+    ) -> CeilidhSignature:
+        """Schnorr signature: commitment in the torus, challenge from SHA-256."""
+        rng = rng or random.Random()
+        generator = self.group.generator()
+        for _ in range(64):
+            nonce = rng.randrange(1, self.params.q)
+            commitment = generator ** nonce
+            try:
+                commitment_compressed = self.compressor.compress(commitment.value)
+            except CompressionError:
+                continue
+            challenge = self._challenge(commitment_compressed, own.public, message)
+            response = (nonce + challenge * own.private) % self.params.q
+            return CeilidhSignature(challenge=challenge, response=response)
+        raise SignatureError("could not find a compressible commitment")  # pragma: no cover
+
+    def verify(
+        self, public: CompressedElement, message: bytes, signature: CeilidhSignature
+    ) -> bool:
+        """Verify a Schnorr signature against a compressed public key."""
+        if not 0 <= signature.challenge < self.params.q:
+            return False
+        if not 0 <= signature.response < self.params.q:
+            return False
+        generator = self.group.generator()
+        public_element = self.compressor.decompress_to_element(public)
+        # r' = g^s * (pub)^(-e); on the torus the inverse is a Frobenius map.
+        candidate = (generator ** signature.response) * (
+            public_element.inverse() ** signature.challenge
+        )
+        try:
+            candidate_compressed = self.compressor.compress(candidate.value)
+        except CompressionError:
+            return False
+        return self._challenge(candidate_compressed, public, message) == signature.challenge
+
+    def _challenge(
+        self, commitment: CompressedElement, public: CompressedElement, message: bytes
+    ) -> int:
+        digest = hashlib.sha256()
+        digest.update(encode_compressed(self.params, commitment))
+        digest.update(encode_compressed(self.params, public))
+        digest.update(message)
+        return int.from_bytes(digest.digest(), "big") % self.params.q
+
+
+def _kdf(secret: bytes, info: bytes, length: int) -> bytes:
+    """SHA-256 counter-mode key derivation."""
+    output = b""
+    counter = 0
+    while len(output) < length:
+        block = hashlib.sha256(
+            counter.to_bytes(4, "big") + secret + info
+        ).digest()
+        output += block
+        counter += 1
+    return output[:length]

@@ -1,0 +1,142 @@
+"""Compression of torus elements to two Fp values (the maps rho and psi).
+
+Rubin and Silverberg's key observation is that T6(Fp) is a rational variety:
+off a small exceptional set it is in bijection with the affine plane A^2(Fp),
+so a torus element — six Fp coordinates in the F1 representation — can be
+transmitted as just two Fp values, a factor-3 compression (6 / phi(6) = 3).
+
+Construction used here (documented as a substitution in DESIGN.md: it is an
+explicitly derived birational parametrisation of the same variety, equivalent
+to the published CEILIDH maps):
+
+* Every norm-1 element of Fp6 over Fp3 other than 1 can be written uniquely as
+  ``alpha = (c + x) / (c + x^2)`` with ``c in Fp3`` and ``x`` the cube root of
+  unity generating the quadratic step of the tower (the classical T2
+  parametrisation).
+* Writing ``c = c0 + c1*y + c2*y^2`` (with y^3 = 3y - 1), the extra condition
+  ``N_{Fp6/Fp2}(alpha) = 1`` that cuts T6 out of T2 becomes the quadric
+
+      c0 + 2*c2 = c0^2 + 4*c0*c2 + 3*c2^2 + c1*c2 - c1^2.
+
+* The quadric contains the rational point ``c = 1`` (the image of alpha = x),
+  so it is parametrised by the pencil of lines through that point: the
+  direction ``(u, v, 1)`` meets the quadric again at
+
+      t = -(u + 2) / (u^2 + 4u + 3 + v - v^2),
+      c = (1 + t*u,  t*v,  t).
+
+``psi(u, v)`` (decompression) evaluates exactly this; ``rho`` (compression)
+recovers ``c`` from alpha and returns ``u = (c0 - 1)/c2``, ``v = c1/c2``.
+The exceptional sets (identity, alpha = x, the ruling lines of the quadric
+through c = 1, directions on the asymptotic cone) have size O(p) out of ~p^2
+elements and raise :class:`~repro.errors.CompressionError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import CompressionError, NotInTorusError
+from repro.field.extension import ExtElement
+from repro.field.towers import F1ToF2Map, TowerElement, TowerFp6
+
+
+@dataclass(frozen=True)
+class CompressedElement:
+    """A compressed torus element: the pair (u, v) of Fp values."""
+
+    u: int
+    v: int
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.u, self.v)
+
+
+class TorusCompressor:
+    """The maps rho (compress) and psi (decompress) for a fixed T6 group."""
+
+    def __init__(self, group):
+        # ``group`` is a repro.torus.t6.T6Group; imported lazily to avoid a cycle.
+        self.group = group
+        self.fp = group.fp
+        self.fp6 = group.fp6
+        self.tower = TowerFp6(self.fp)
+        self.map = F1ToF2Map(self.fp6, self.tower)
+        self.fp3 = self.tower.fp3
+
+    # -- rho: T6 -> A^2 -----------------------------------------------------------
+
+    def compress(self, value: ExtElement) -> CompressedElement:
+        """Compress a torus element (given in the F1 basis) to (u, v).
+
+        Raises :class:`CompressionError` for the exceptional elements and
+        :class:`NotInTorusError` if the input is not in T6 at all.
+        """
+        if value.is_one():
+            raise CompressionError("the identity has no compressed representation")
+        alpha = self.map.to_f2(value)
+        one = self.tower.one()
+        x = self.tower.x()
+        x_squared = self.tower.mul(x, x)
+
+        denominator = one - alpha
+        if denominator.is_zero():  # pragma: no cover - equivalent to value == 1
+            raise CompressionError("alpha = 1 is exceptional")
+        c_element = self.tower.mul(
+            self.tower.mul(alpha, x_squared) - x, self.tower.inv(denominator)
+        )
+        if not c_element.is_fp3():
+            # (alpha*x^2 - x)/(1 - alpha) lies in Fp3 exactly when alpha has
+            # norm 1 over Fp3, which every torus element does.
+            raise NotInTorusError("element is not in the norm-1 subgroup over Fp3")
+        c0, c1, c2 = c_element.a.coeffs
+        if c2 == 0:
+            raise CompressionError(
+                "element lies on the exceptional line c2 = 0 (includes alpha = x)"
+            )
+        c2_inv = self.fp.inv(c2)
+        u = self.fp.mul(self.fp.sub(c0, 1), c2_inv)
+        v = self.fp.mul(c1, c2_inv)
+        return CompressedElement(u=u, v=v)
+
+    # -- psi: A^2 -> T6 -------------------------------------------------------------
+
+    def decompress(self, compressed: CompressedElement) -> ExtElement:
+        """Decompress (u, v) back to a torus element in the F1 basis.
+
+        Raises :class:`CompressionError` when (u, v) lies on the exceptional
+        conic u^2 + 4u + 3 + v - v^2 = 0 or parametrises the point c = 1
+        (whose torus element alpha = x is itself exceptional for rho).
+        """
+        f = self.fp
+        u, v = compressed.u % f.p, compressed.v % f.p
+
+        # q(u, v, 1) = u^2 + 4u + 3 + v - v^2
+        q_val = f.add(f.add(f.add(f.mul(u, u), f.mul(4 % f.p, u)), 3 % f.p), f.sub(v, f.mul(v, v)))
+        if q_val == 0:
+            raise CompressionError("(u, v) lies on the exceptional conic of psi")
+        numerator = f.neg(f.add(u, 2 % f.p))
+        if numerator == 0:
+            raise CompressionError("(u, v) parametrises the exceptional point c = 1")
+        t = f.mul(numerator, f.inv(q_val))
+
+        c0 = f.add(1, f.mul(t, u))
+        c1 = f.mul(t, v)
+        c2 = t
+        c = self.fp3([c0, c1, c2])
+
+        one3 = self.fp3.one()
+        # alpha = (c + x) / (c + x^2) with x^2 = -1 - x.
+        numerator_t = TowerElement(self.tower, c, one3)
+        denominator_t = TowerElement(self.tower, c - one3, self.fp3.from_base(f.neg(1)))
+        if denominator_t.is_zero():  # pragma: no cover - cannot happen for t != 0
+            raise CompressionError("degenerate denominator in psi")
+        alpha = self.tower.mul(numerator_t, self.tower.inv(denominator_t))
+        return self.map.to_f1(alpha)
+
+    def decompress_to_element(self, compressed: CompressedElement):
+        """Decompress and wrap as a :class:`~repro.torus.t6.TorusElement`."""
+        from repro.torus.t6 import TorusElement
+
+        return TorusElement(self.group, self.decompress(compressed))

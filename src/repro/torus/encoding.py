@@ -1,0 +1,87 @@
+"""Wire encodings for torus elements.
+
+CEILIDH's selling point (Section 1) is bandwidth: a T6(Fp) element is sent as
+two Fp values — ~340 bits at the 170-bit parameter size — instead of the six
+values of the raw Fp6 representation or the 1024 bits of an RSA modulus-sized
+message.  These helpers define the canonical byte encodings used by the
+protocols, the bandwidth benchmark and the test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ParameterError
+from repro.field.extension import ExtElement
+from repro.field.fp6 import Fp6Field
+from repro.torus.compression import CompressedElement
+from repro.torus.params import TorusParameters
+
+
+def _field_byte_length(p: int) -> int:
+    """Number of bytes needed for one Fp value."""
+    return (p.bit_length() + 7) // 8
+
+
+def compressed_size_bytes(params: TorusParameters) -> int:
+    """Size in bytes of one compressed torus element (two Fp values)."""
+    return 2 * _field_byte_length(params.p)
+
+
+def uncompressed_size_bytes(params: TorusParameters) -> int:
+    """Size in bytes of one raw Fp6 element (six Fp values)."""
+    return 6 * _field_byte_length(params.p)
+
+
+def encode_compressed(params: TorusParameters, compressed: CompressedElement) -> bytes:
+    """Serialise (u, v) as fixed-width big-endian bytes: u || v."""
+    width = _field_byte_length(params.p)
+    for label, value in (("u", compressed.u), ("v", compressed.v)):
+        if not 0 <= value < params.p:
+            raise ParameterError(f"{label} = {value} is not a reduced Fp value")
+    return compressed.u.to_bytes(width, "big") + compressed.v.to_bytes(width, "big")
+
+
+def decode_compressed(params: TorusParameters, data: bytes) -> CompressedElement:
+    """Inverse of :func:`encode_compressed`."""
+    width = _field_byte_length(params.p)
+    if len(data) != 2 * width:
+        raise ParameterError(
+            f"compressed element must be {2 * width} bytes, got {len(data)}"
+        )
+    u = int.from_bytes(data[:width], "big")
+    v = int.from_bytes(data[width:], "big")
+    if u >= params.p or v >= params.p:
+        raise ParameterError("encoded value exceeds the field size")
+    return CompressedElement(u=u, v=v)
+
+
+def encode_fp6(params: TorusParameters, value: ExtElement) -> bytes:
+    """Serialise a raw Fp6 element as six fixed-width big-endian Fp values."""
+    width = _field_byte_length(params.p)
+    return b"".join(c.to_bytes(width, "big") for c in value.coeffs)
+
+
+def decode_fp6(params: TorusParameters, fp6: Fp6Field, data: bytes) -> ExtElement:
+    """Inverse of :func:`encode_fp6`."""
+    width = _field_byte_length(params.p)
+    if len(data) != 6 * width:
+        raise ParameterError(f"Fp6 element must be {6 * width} bytes, got {len(data)}")
+    coeffs = [
+        int.from_bytes(data[i * width : (i + 1) * width], "big") for i in range(6)
+    ]
+    if any(c >= params.p for c in coeffs):
+        raise ParameterError("encoded coefficient exceeds the field size")
+    return fp6(coeffs)
+
+
+def bandwidth_summary(params: TorusParameters) -> Tuple[int, int, int]:
+    """(compressed bits, uncompressed bits, compression factor numerator).
+
+    Returns the transmitted sizes in bits for one group element: compressed
+    (2 log p) versus uncompressed (6 log p); the ratio is the paper's factor
+    n/phi(n) = 3.
+    """
+    compressed_bits = 2 * params.p.bit_length()
+    uncompressed_bits = 6 * params.p.bit_length()
+    return compressed_bits, uncompressed_bits, uncompressed_bits // compressed_bits

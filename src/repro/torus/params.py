@@ -1,0 +1,171 @@
+"""CEILIDH domain parameters.
+
+A parameter set fixes the base prime ``p`` (with p = 2 or 5 mod 9, so that
+z^6 + z^3 + 1 is irreducible over Fp), the prime order ``q`` of the working
+subgroup of T6(Fp) and the cofactor ``h`` with ``p^2 - p + 1 = h * q``.
+
+The named sets include the 170-bit size evaluated by the paper plus smaller
+"toy" sizes used by the fast test-suite and by the cycle-accurate integration
+tests, where running thousands of simulated coprocessor cycles per modular
+multiplication has to stay cheap.  All sets were produced by
+:func:`generate_parameters` (the generation procedure ships with the library
+so they can be reproduced or replaced).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ParameterError
+from repro.nt.factor import trial_division
+from repro.nt.primality import is_probable_prime
+from repro.nt.primegen import random_prime_mod
+
+#: Residues of p modulo 9 for which z^6 + z^3 + 1 stays irreducible (Section 2.2).
+ADMISSIBLE_RESIDUES_MOD_9 = (2, 5)
+
+
+@dataclass(frozen=True)
+class TorusParameters:
+    """Domain parameters of a CEILIDH instance."""
+
+    name: str
+    p: int
+    q: int
+    cofactor: int
+
+    @property
+    def torus_order(self) -> int:
+        """|T6(Fp)| = Phi_6(p) = p^2 - p + 1."""
+        return self.p * self.p - self.p + 1
+
+    @property
+    def p_bits(self) -> int:
+        return self.p.bit_length()
+
+    @property
+    def q_bits(self) -> int:
+        return self.q.bit_length()
+
+    @property
+    def compression_factor(self) -> int:
+        """6 / phi(6) = 3: six Fp coordinates transmitted as two."""
+        return 3
+
+    def validate(self) -> None:
+        """Check every structural property; raises :class:`ParameterError` on failure."""
+        if self.p % 9 not in ADMISSIBLE_RESIDUES_MOD_9:
+            raise ParameterError(
+                f"p = {self.p % 9} (mod 9); CEILIDH needs p = 2 or 5 (mod 9)"
+            )
+        if not is_probable_prime(self.p):
+            raise ParameterError("p is not prime")
+        if not is_probable_prime(self.q):
+            raise ParameterError("q is not prime")
+        if self.cofactor < 1:
+            raise ParameterError("cofactor must be positive")
+        if self.q * self.cofactor != self.torus_order:
+            raise ParameterError("q * cofactor != p^2 - p + 1")
+
+    def __repr__(self) -> str:
+        return (
+            f"TorusParameters(name={self.name!r}, p~2^{self.p_bits}, "
+            f"q~2^{self.q_bits}, cofactor={self.cofactor})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Named parameter sets.
+# ---------------------------------------------------------------------------
+
+#: The paper's evaluation size: a 170-bit prime p = 2 (mod 9) whose Phi_6(p)
+#: has a 311-bit prime factor (the remaining cofactor is 489898389).
+CEILIDH_170 = TorusParameters(
+    name="ceilidh-170",
+    p=1109485483118704838530651968604888341434144398802927,
+    q=2512680312674279643808597333590290519471582599826675605498828878699708551705146660671765321127,
+    cofactor=489898389,
+)
+
+#: 64-bit toy size: large enough to exercise multi-word arithmetic on the
+#: simulated coprocessor (4 words of 16 bits) while keeping tests fast.
+TOY_64 = TorusParameters(
+    name="toy-64",
+    p=13301611920037239509,
+    q=5805455906791245115343323470846649,
+    cofactor=30477,
+)
+
+#: 32-bit toy size used by the quick unit tests.
+TOY_32 = TorusParameters(
+    name="toy-32",
+    p=2494740737,
+    q=606064366381,
+    cofactor=10269093,
+)
+
+#: 20-bit toy size used by exhaustive/property tests.
+TOY_20 = TorusParameters(
+    name="toy-20",
+    p=841241,
+    q=99491857,
+    cofactor=7113,
+)
+
+NAMED_PARAMETERS: Dict[str, TorusParameters] = {
+    params.name: params for params in (CEILIDH_170, TOY_64, TOY_32, TOY_20)
+}
+
+
+def get_parameters(name: str) -> TorusParameters:
+    """Look up a named parameter set (``ceilidh-170``, ``toy-64``, ...)."""
+    try:
+        return NAMED_PARAMETERS[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown parameter set {name!r}; available: {sorted(NAMED_PARAMETERS)}"
+        ) from None
+
+
+def generate_parameters(
+    bits: int,
+    rng: Optional[random.Random] = None,
+    max_cofactor_bits: int = 48,
+    max_attempts: int = 20_000,
+    name: Optional[str] = None,
+) -> TorusParameters:
+    """Generate a fresh CEILIDH parameter set.
+
+    Searches for a ``bits``-bit prime ``p = 2 or 5 (mod 9)`` such that
+    Phi_6(p) = p^2 - p + 1 factors as (small cofactor) * (prime q), where the
+    cofactor — everything removable by trial division up to 2^16 — stays below
+    ``max_cofactor_bits`` bits.  The expected number of attempts is a few
+    hundred at 170 bits (one per candidate prime, dominated by the primality
+    test on the ~2*bits-bit cofactor).
+    """
+    rng = rng or random.Random()
+    for _ in range(max_attempts):
+        p = random_prime_mod(bits, ADMISSIBLE_RESIDUES_MOD_9, 9, rng)
+        phi6 = p * p - p + 1
+        small, remaining = trial_division(phi6, 1 << 16)
+        if remaining == 1:
+            # Fully smooth: usable for tiny toy sizes only.
+            q = max(small)
+            cofactor = phi6 // q
+        else:
+            if not is_probable_prime(remaining):
+                continue
+            q = remaining
+            cofactor = phi6 // q
+        if cofactor.bit_length() > max_cofactor_bits:
+            continue
+        params = TorusParameters(
+            name=name or f"generated-{bits}", p=p, q=q, cofactor=cofactor
+        )
+        params.validate()
+        return params
+    raise ParameterError(
+        f"could not generate a {bits}-bit CEILIDH parameter set in {max_attempts} attempts"
+    )

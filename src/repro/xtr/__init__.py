@@ -1,0 +1,19 @@
+"""XTR — the trace-based sibling of CEILIDH.
+
+The paper motivates CEILIDH by comparison with XTR (Lenstra-Verheul), citing
+Granger, Page and Stam's "A comparison of CEILIDH and XTR" (reference [5]):
+both systems work in the same order-q subgroup of Fp6* (q | p^2 - p + 1), but
+XTR represents an element by its trace over Fp2 — one Fp2 value, a factor-3
+compression like CEILIDH's — and exponentiates with third-order
+Lucas-sequence style recurrences instead of full Fp6 arithmetic.
+
+This package implements XTR over the same parameter sets as the torus package
+(the subgroup is literally the same), so the library can reproduce the
+CEILIDH-versus-XTR comparison the paper leans on: identical bandwidth,
+different per-exponentiation operation counts.
+"""
+
+from repro.xtr.trace import XtrContext, XtrTrace
+from repro.xtr.keyagreement import XtrKeyPair, XtrSystem
+
+__all__ = ["XtrContext", "XtrTrace", "XtrKeyPair", "XtrSystem"]

@@ -1,0 +1,82 @@
+"""XTR key agreement (Diffie-Hellman over traces).
+
+Alice and Bob share the public trace c = Tr(g); each picks a secret exponent
+and publishes Tr(g^a) / Tr(g^b) — a single Fp2 value, the same ~2 log p bits
+of bandwidth as a compressed CEILIDH element.  The shared secret Tr(g^(ab))
+is computed by running the trace ladder on the peer's public value, because
+the recurrences only ever reference the base trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ParameterError
+from repro.torus.params import TorusParameters, get_parameters
+from repro.xtr.trace import XtrContext, XtrTrace
+
+
+@dataclass
+class XtrKeyPair:
+    """An XTR key pair: secret exponent and public trace."""
+
+    private: int
+    public: XtrTrace
+
+
+class XtrSystem:
+    """XTR Diffie-Hellman over a CEILIDH parameter set (same subgroup)."""
+
+    def __init__(self, params: TorusParameters | str = "ceilidh-170"):
+        if isinstance(params, str):
+            params = get_parameters(params)
+        self.params = params
+        self.context = XtrContext(params)
+
+    def generate_keypair(self, rng: Optional[random.Random] = None) -> XtrKeyPair:
+        rng = rng or random.Random()
+        private = rng.randrange(2, self.params.q)
+        public = self.context.exponentiate(self.context.generator_trace(), private)
+        return XtrKeyPair(private=private, public=public)
+
+    def shared_trace(self, own: XtrKeyPair, peer_public: XtrTrace) -> XtrTrace:
+        """Tr(g^(ab)) computed from the peer's public trace."""
+        return self.context.exponentiate(peer_public, own.private)
+
+    def derive_key(
+        self, own: XtrKeyPair, peer_public: XtrTrace, info: bytes = b"", length: int = 32
+    ) -> bytes:
+        """Shared trace followed by a SHA-256 counter-mode KDF."""
+        shared = self.shared_trace(own, peer_public)
+        secret = self.encode_trace(shared)
+        output = b""
+        counter = 0
+        while len(output) < length:
+            output += hashlib.sha256(counter.to_bytes(4, "big") + secret + info).digest()
+            counter += 1
+        return output[:length]
+
+    def encode_trace(self, trace: XtrTrace) -> bytes:
+        """Fixed-width big-endian encoding of the two Fp coefficients."""
+        width = (self.params.p.bit_length() + 7) // 8
+        a, b = trace.coefficients
+        if not (0 <= a < self.params.p and 0 <= b < self.params.p):
+            raise ParameterError("trace coefficients out of range")
+        return a.to_bytes(width, "big") + b.to_bytes(width, "big")
+
+    def decode_trace(self, data: bytes) -> XtrTrace:
+        width = (self.params.p.bit_length() + 7) // 8
+        if len(data) != 2 * width:
+            raise ParameterError(f"an encoded trace is {2 * width} bytes, got {len(data)}")
+        a = int.from_bytes(data[:width], "big")
+        b = int.from_bytes(data[width:], "big")
+        if a >= self.params.p or b >= self.params.p:
+            raise ParameterError("encoded coefficient exceeds the field size")
+        return XtrTrace(coefficients=(a, b))
+
+    def public_size_bytes(self) -> int:
+        """Bytes on the wire per public value (same as compressed CEILIDH)."""
+        return 2 * ((self.params.p.bit_length() + 7) // 8)

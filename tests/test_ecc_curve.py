@@ -1,0 +1,72 @@
+"""Tests for the Weierstrass curve object."""
+
+import pytest
+
+from repro.errors import NotOnCurveError, ParameterError
+from repro.field.fp import PrimeField
+from repro.ecc.curve import WeierstrassCurve
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return WeierstrassCurve(PrimeField(1009), a=3, b=7)
+
+
+class TestConstruction:
+    def test_rejects_singular_curve(self):
+        field = PrimeField(1009)
+        with pytest.raises(ParameterError):
+            WeierstrassCurve(field, a=0, b=0)
+
+    def test_rejects_tiny_characteristic(self):
+        with pytest.raises(ParameterError):
+            WeierstrassCurve(PrimeField(3), a=1, b=1)
+
+    def test_equality(self):
+        field = PrimeField(1009)
+        assert WeierstrassCurve(field, 3, 7) == WeierstrassCurve(field, 3, 7)
+        assert WeierstrassCurve(field, 3, 7) != WeierstrassCurve(field, 3, 8)
+
+
+class TestPointPredicates:
+    def test_is_on_curve(self, curve, rng):
+        x, y = curve.random_point(rng)
+        assert curve.is_on_curve(x, y)
+        assert not curve.is_on_curve(x, y + 1)
+
+    def test_lift_x(self, curve, rng):
+        x, y = curve.random_point(rng)
+        roots = curve.lift_x(x)
+        assert y in roots
+        assert all(curve.is_on_curve(x, candidate) for candidate in roots)
+
+    def test_lift_x_non_residue(self, curve):
+        found = False
+        for x in range(200):
+            rhs = curve.right_hand_side(x)
+            if rhs != 0 and not curve.field.is_square(rhs):
+                with pytest.raises(NotOnCurveError):
+                    curve.lift_x(x)
+                found = True
+                break
+        assert found
+
+    def test_j_invariant_defined(self, curve):
+        assert 0 <= curve.j_invariant() < curve.field.p
+
+
+class TestPointCounting:
+    def test_hasse_bound(self, curve):
+        order = curve.count_points_naive()
+        p = curve.field.p
+        assert abs(order - (p + 1)) <= 2 * int(p ** 0.5) + 1
+
+    def test_counts_match_on_known_small_curve(self):
+        # E: y^2 = x^3 + x + 1 over F_5 has 9 points (including infinity).
+        curve = WeierstrassCurve(PrimeField(5), 1, 1)
+        assert curve.count_points_naive() == 9
+
+    def test_naive_count_refuses_large_fields(self, toy32_params):
+        curve = WeierstrassCurve(PrimeField(toy32_params.p), 1, 1)
+        with pytest.raises(ParameterError):
+            curve.count_points_naive()

@@ -1,0 +1,71 @@
+"""Tests for ECDH and ECDSA on the ECC substrate."""
+
+import random
+
+import pytest
+
+from repro.ecc.curves import generate_toy_curve
+from repro.ecc.ecdh import (
+    ecdh_generate,
+    ecdh_shared_secret,
+    ecdsa_sign,
+    ecdsa_verify,
+)
+
+
+@pytest.fixture(scope="module")
+def toy_named():
+    return generate_toy_curve(2003, random.Random(13), require_prime_order=True)
+
+
+class TestEcdh:
+    def test_shared_secret_agreement(self, toy_named):
+        alice = ecdh_generate(toy_named, random.Random(1))
+        bob = ecdh_generate(toy_named, random.Random(2))
+        assert ecdh_shared_secret(alice, bob.public) == ecdh_shared_secret(bob, alice.public)
+
+    def test_private_key_in_range(self, toy_named):
+        keypair = ecdh_generate(toy_named, random.Random(3))
+        assert 1 <= keypair.private < toy_named.order
+
+    def test_public_bytes_format(self, toy_named):
+        keypair = ecdh_generate(toy_named, random.Random(4))
+        data = keypair.public_bytes()
+        width = (toy_named.p.bit_length() + 7) // 8
+        assert data[0] == 4 and len(data) == 1 + 2 * width
+
+    def test_third_party_disagrees(self, toy_named):
+        alice = ecdh_generate(toy_named, random.Random(5))
+        bob = ecdh_generate(toy_named, random.Random(6))
+        eve = ecdh_generate(toy_named, random.Random(7))
+        assert ecdh_shared_secret(eve, bob.public) != ecdh_shared_secret(alice, bob.public)
+
+
+class TestEcdsa:
+    def test_sign_verify(self, toy_named):
+        keypair = ecdh_generate(toy_named, random.Random(8))
+        signature = ecdsa_sign(keypair, b"hello", random.Random(9))
+        assert ecdsa_verify(toy_named, keypair.public, b"hello", signature)
+
+    def test_wrong_message_rejected(self, toy_named):
+        keypair = ecdh_generate(toy_named, random.Random(10))
+        signature = ecdsa_sign(keypair, b"hello", random.Random(11))
+        assert not ecdsa_verify(toy_named, keypair.public, b"goodbye", signature)
+
+    def test_wrong_key_rejected(self, toy_named):
+        keypair = ecdh_generate(toy_named, random.Random(12))
+        other = ecdh_generate(toy_named, random.Random(13))
+        signature = ecdsa_sign(keypair, b"hello", random.Random(14))
+        assert not ecdsa_verify(toy_named, other.public, b"hello", signature)
+
+    def test_out_of_range_signature_rejected(self, toy_named):
+        keypair = ecdh_generate(toy_named, random.Random(15))
+        assert not ecdsa_verify(toy_named, keypair.public, b"x", (0, 1))
+        assert not ecdsa_verify(toy_named, keypair.public, b"x", (1, toy_named.order))
+
+    def test_secp160r1_sign_verify(self):
+        from repro.ecc.curves import SECP160R1
+
+        keypair = ecdh_generate(SECP160R1, random.Random(16))
+        signature = ecdsa_sign(keypair, b"paper-sized curve", random.Random(17))
+        assert ecdsa_verify(SECP160R1, keypair.public, b"paper-sized curve", signature)

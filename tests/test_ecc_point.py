@@ -1,0 +1,123 @@
+"""Tests for affine/Jacobian point arithmetic."""
+
+import pytest
+
+from repro.errors import NotOnCurveError, ParameterError
+from repro.ecc.point import INFINITY, AffinePoint, JacobianPoint
+
+
+@pytest.fixture(scope="module")
+def curve_and_generator(toy_curve):
+    return toy_curve.build()
+
+
+class TestAffineGroupLaw:
+    def test_point_validation(self, curve_and_generator):
+        curve, generator = curve_and_generator
+        with pytest.raises(NotOnCurveError):
+            AffinePoint(curve, generator.x, generator.y + 1)
+
+    def test_identity_laws(self, curve_and_generator):
+        _, g = curve_and_generator
+        assert g + INFINITY == g
+        assert INFINITY + g == g
+        assert (g + (-g)).is_infinity()
+
+    def test_commutativity(self, curve_and_generator, rng):
+        curve, g = curve_and_generator
+        h = g.double()
+        assert g + h == h + g
+
+    def test_associativity(self, curve_and_generator):
+        _, g = curve_and_generator
+        a, b, c = g, g.double(), g.double().double()
+        assert (a + b) + c == a + (b + c)
+
+    def test_doubling_matches_addition(self, curve_and_generator):
+        _, g = curve_and_generator
+        assert g.double() == g + g
+
+    def test_subtraction(self, curve_and_generator):
+        _, g = curve_and_generator
+        assert (g.double() - g) == g
+
+    def test_order_annihilates_generator(self, curve_and_generator, toy_curve):
+        _, g = curve_and_generator
+        assert (toy_curve.order * g).is_infinity()
+        assert not ((toy_curve.order - 1) * g).is_infinity()
+
+    def test_xy_accessor(self, curve_and_generator):
+        _, g = curve_and_generator
+        assert g.xy() == (g.x, g.y)
+        with pytest.raises(ParameterError):
+            INFINITY.xy()
+
+    def test_cross_curve_rejected(self, curve_and_generator):
+        curve, g = curve_and_generator
+        from repro.ecc.curves import generate_toy_curve
+        import random
+
+        other_named = generate_toy_curve(1013, random.Random(3))
+        _, other_g = other_named.build()
+        with pytest.raises(ParameterError):
+            _ = g + other_g
+
+
+class TestJacobianArithmetic:
+    def test_roundtrip_affine_jacobian(self, curve_and_generator):
+        _, g = curve_and_generator
+        assert g.to_jacobian().to_affine() == g
+
+    def test_double_matches_affine(self, curve_and_generator):
+        _, g = curve_and_generator
+        assert g.to_jacobian().double().to_affine() == g.double()
+
+    def test_add_matches_affine(self, curve_and_generator):
+        _, g = curve_and_generator
+        h = g.double()
+        assert g.to_jacobian().add(h.to_jacobian()).to_affine() == g + h
+
+    def test_add_handles_doubling_case(self, curve_and_generator):
+        _, g = curve_and_generator
+        assert g.to_jacobian().add(g.to_jacobian()).to_affine() == g.double()
+
+    def test_add_handles_inverse_case(self, curve_and_generator):
+        _, g = curve_and_generator
+        assert g.to_jacobian().add((-g).to_jacobian()).is_infinity()
+
+    def test_add_identity(self, curve_and_generator):
+        curve, g = curve_and_generator
+        infinity = JacobianPoint(curve, 1, 1, 0)
+        assert infinity.add(g.to_jacobian()).to_affine() == g
+        assert g.to_jacobian().add(infinity).to_affine() == g
+
+    def test_double_of_two_torsion(self, curve_and_generator):
+        curve, _ = curve_and_generator
+        # A point with y = 0 doubles to infinity; construct one if it exists.
+        f = curve.field
+        for x in range(f.p):
+            if curve.right_hand_side(x) == 0:
+                point = JacobianPoint(curve, x, 0, 1)
+                assert point.double().is_infinity()
+                break
+
+    def test_projective_equality(self, curve_and_generator):
+        curve, g = curve_and_generator
+        f = curve.field
+        scaled = JacobianPoint(
+            curve, f.mul(g.x, f.mul(4, 1)), f.mul(g.y, 8), 2
+        )  # (4X : 8Y : 2Z) represents the same point as (X : Y : Z=1)
+        assert scaled == g.to_jacobian()
+
+    def test_non_equal_points(self, curve_and_generator):
+        _, g = curve_and_generator
+        assert g.to_jacobian() != g.double().to_jacobian()
+
+    def test_random_scalar_chain_consistency(self, curve_and_generator, rng):
+        _, g = curve_and_generator
+        jacobian = g.to_jacobian()
+        affine = g
+        for _ in range(8):
+            jacobian = jacobian.add(g.to_jacobian())
+            affine = affine + g
+            assert jacobian.to_affine() == affine

@@ -1,0 +1,95 @@
+"""Tests for scalar multiplication strategies."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ecc.point import INFINITY
+from repro.ecc.scalar import (
+    ScalarMultCount,
+    scalar_mult,
+    scalar_mult_binary,
+    scalar_mult_ladder,
+    scalar_mult_naf,
+    scalar_mult_window,
+)
+
+
+@pytest.fixture(scope="module")
+def generator(toy_curve):
+    return toy_curve.build()[1]
+
+
+def _reference_multiply(point, scalar):
+    result = INFINITY
+    for _ in range(scalar):
+        result = result + point
+    return result
+
+
+class TestStrategiesAgree:
+    @pytest.mark.parametrize("scalar", [0, 1, 2, 3, 5, 8, 13, 21])
+    def test_against_repeated_addition(self, generator, scalar):
+        expected = _reference_multiply(generator, scalar)
+        assert scalar_mult_binary(generator, scalar) == expected
+        assert scalar_mult_naf(generator, scalar) == expected
+        assert scalar_mult_window(generator, scalar) == expected
+        assert scalar_mult_ladder(generator, scalar) == expected
+
+    def test_large_scalars_agree_with_each_other(self, generator, rng):
+        for _ in range(5):
+            scalar = rng.randrange(1 << 40)
+            reference = scalar_mult_binary(generator, scalar)
+            assert scalar_mult_naf(generator, scalar) == reference
+            assert scalar_mult_window(generator, scalar, 5) == reference
+            assert scalar_mult_ladder(generator, scalar) == reference
+
+    def test_negative_scalar(self, generator):
+        assert scalar_mult_binary(generator, -3) == -scalar_mult_binary(generator, 3)
+        assert scalar_mult_naf(generator, -3) == -scalar_mult_naf(generator, 3)
+
+    def test_order_annihilates(self, generator, toy_curve):
+        for strategy in (scalar_mult_binary, scalar_mult_naf, scalar_mult_ladder):
+            assert strategy(generator, toy_curve.order).is_infinity()
+
+    def test_scalar_mult_on_infinity(self):
+        assert scalar_mult_binary(INFINITY, 12345).is_infinity()
+
+    def test_dispatch(self, generator):
+        reference = scalar_mult_binary(generator, 77)
+        for name in ("binary", "naf", "window", "ladder"):
+            assert scalar_mult(generator, 77, name) == reference
+        with pytest.raises(ParameterError):
+            scalar_mult(generator, 77, "bogus")
+
+    def test_window_width_validation(self, generator):
+        with pytest.raises(ParameterError):
+            scalar_mult_window(generator, 5, window_bits=0)
+
+
+class TestOperationCounts:
+    def test_binary_counts(self, generator):
+        count = ScalarMultCount()
+        scalar = 0b1100101
+        scalar_mult_binary(generator, scalar, count)
+        assert count.doublings == scalar.bit_length() - 1
+        assert count.additions == bin(scalar).count("1") - 1
+
+    def test_paper_scale_counts(self, generator):
+        # Table 3's ECC entry: ~160 doublings and ~80 additions.
+        count = ScalarMultCount()
+        scalar = (1 << 160) | 0x5A5A5A5A
+        scalar_mult_binary(generator, scalar, count)
+        assert count.doublings == 160
+        assert count.additions <= 80
+
+    def test_naf_reduces_additions(self, generator):
+        dense = (1 << 32) - 1
+        binary_count, naf_count = ScalarMultCount(), ScalarMultCount()
+        scalar_mult_binary(generator, dense, binary_count)
+        scalar_mult_naf(generator, dense, naf_count)
+        assert naf_count.additions < binary_count.additions
+
+    def test_ladder_is_regular(self, generator):
+        count = ScalarMultCount()
+        scalar_mult_ladder(generator, 0b10110111, count)
+        assert count.doublings == count.additions == 8

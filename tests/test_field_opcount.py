@@ -1,0 +1,83 @@
+"""Tests for the operation-counting prime field."""
+
+from repro.field.fp6 import make_fp6
+from repro.field.opcount import CountingPrimeField, OperationCounts
+
+
+class TestOperationCounts:
+    def test_accumulates(self):
+        field = CountingPrimeField(10007)
+        field.mul(2, 3)
+        field.add(2, 3)
+        field.sub(2, 3)
+        field.inv(5)
+        assert field.counts.mul == 1
+        assert field.counts.add == 1
+        assert field.counts.sub == 1
+        assert field.counts.inv == 1
+        assert field.counts.additions_total == 2
+        assert field.counts.multiplications_total == 1
+
+    def test_reset(self):
+        field = CountingPrimeField(10007)
+        field.mul(2, 3)
+        field.reset_counts()
+        assert field.counts.mul == 0
+
+    def test_snapshot_and_difference(self):
+        field = CountingPrimeField(10007)
+        field.mul(2, 3)
+        before = field.counts.snapshot()
+        field.mul(4, 5)
+        field.add(1, 1)
+        delta = field.counts - before
+        assert delta.mul == 1 and delta.add == 1
+
+    def test_pow_charges_square_and_multiply(self):
+        field = CountingPrimeField(10007)
+        field.reset_counts()
+        field.pow(3, 0b1011)  # 4 bits: 3 squarings + 2 multiplications
+        assert field.counts.mul == 5
+
+    def test_pow_zero_and_negative(self):
+        field = CountingPrimeField(10007)
+        assert field.pow(5, 0) == 1
+        assert field.pow(5, -1) == field.inv(5) % field.p
+        assert field.counts.inv >= 1
+
+    def test_sqr_counts_as_multiplication(self):
+        field = CountingPrimeField(10007)
+        field.reset_counts()
+        field.sqr(9)
+        assert field.counts.mul == 1
+
+    def test_as_dict(self):
+        counts = OperationCounts(mul=2, add=3, sub=1, inv=0)
+        d = counts.as_dict()
+        assert d["mul"] == 2 and d["add"] == 3 and d["sub"] == 1
+
+    def test_results_match_plain_field(self, rng):
+        plain_results = []
+        counting = CountingPrimeField(10007)
+        for _ in range(10):
+            a, b = rng.randrange(10007), rng.randrange(1, 10007)
+            assert counting.mul(a, b) == a * b % 10007
+            assert counting.add(a, b) == (a + b) % 10007
+            assert counting.inv(b) * b % 10007 == 1
+        del plain_results
+
+    def test_fp6_multiplication_profile(self, rng):
+        from repro.torus.params import TOY_32
+
+        field = CountingPrimeField(TOY_32.p)
+        fp6 = make_fp6(field)
+        a, b = fp6.random_element(rng), fp6.random_element(rng)
+        field.reset_counts()
+        fp6.mul_schoolbook(a, b)
+        schoolbook = field.counts.mul
+        field.reset_counts()
+        fp6.mul_paper(a, b)
+        assert field.counts.mul == 18
+        # The generic schoolbook path (36 coefficient products plus the
+        # polynomial reduction) uses far more base-field multiplications.
+        assert schoolbook > 2 * 18

@@ -1,0 +1,116 @@
+"""Tests for the dense polynomial helpers (repro.field.poly)."""
+
+import pytest
+
+from repro.errors import NotInvertibleError, ParameterError
+from repro.field import poly as P
+from repro.field.fp import PrimeField
+
+
+@pytest.fixture(scope="module")
+def field():
+    return PrimeField(101)
+
+
+class TestBasics:
+    def test_trim_and_degree(self, field):
+        assert P.trim([1, 2, 0, 0]) == [1, 2]
+        assert P.degree([0]) == -1
+        assert P.degree([5]) == 0
+        assert P.degree([0, 0, 3]) == 2
+
+    def test_add_sub(self, field):
+        a, b = [1, 2, 3], [4, 5]
+        assert P.poly_add(field, a, b) == [5, 7, 3]
+        assert P.poly_sub(field, P.poly_add(field, a, b), b) == a
+
+    def test_add_cancels_leading_terms(self, field):
+        a = [1, 100]
+        b = [2, 1]
+        assert P.poly_add(field, a, b) == [3]
+
+    def test_scale(self, field):
+        assert P.poly_scale(field, [1, 2, 3], 2) == [2, 4, 6]
+        assert P.poly_scale(field, [1, 2], 0) == []
+
+    def test_mul(self, field):
+        # (1 + x)(1 + x) = 1 + 2x + x^2
+        assert P.poly_mul(field, [1, 1], [1, 1]) == [1, 2, 1]
+        assert P.poly_mul(field, [], [1, 2]) == []
+
+    def test_eval(self, field):
+        # p(x) = 3 + 2x + x^2 at x = 5 -> 3 + 10 + 25 = 38
+        assert P.poly_eval(field, [3, 2, 1], 5) == 38
+
+
+class TestDivision:
+    def test_divmod_exact(self, field):
+        a = P.poly_mul(field, [1, 2, 1], [3, 1])
+        q, r = P.poly_divmod(field, a, [3, 1])
+        assert q == [1, 2, 1]
+        assert r == []
+
+    def test_divmod_with_remainder(self, field):
+        q, r = P.poly_divmod(field, [1, 0, 0, 1], [1, 1])  # x^3+1 by x+1
+        assert P.poly_add(field, P.poly_mul(field, q, [1, 1]), r) == [1, 0, 0, 1]
+
+    def test_division_by_zero(self, field):
+        with pytest.raises(ParameterError):
+            P.poly_divmod(field, [1, 2], [])
+
+    def test_mod(self, field):
+        assert P.poly_mod(field, [0, 0, 1], [1, 0, 1]) == [field.p - 1]  # x^2 mod x^2+1 = -1
+
+
+class TestEgcdInverse:
+    def test_egcd_bezout(self, field):
+        a, b = [1, 2, 1], [1, 1]
+        g, s, t = P.poly_egcd(field, a, b)
+        lhs = P.poly_add(field, P.poly_mul(field, s, a), P.poly_mul(field, t, b))
+        assert lhs == g
+        assert g == [1, 1]  # gcd is monic x+1
+
+    def test_inverse_mod(self, field):
+        modulus = [1, 0, 1]  # x^2 + 1, irreducible mod 101? 101 = 1 mod 4 -> reducible.
+        modulus = [2, 1, 1]  # x^2 + x + 2 (check by inverse property below)
+        a = [5, 7]
+        inv = P.poly_inverse_mod(field, a, modulus)
+        product = P.poly_mod(field, P.poly_mul(field, a, inv), modulus)
+        assert product == [1]
+
+    def test_inverse_of_non_unit_raises(self, field):
+        modulus = [0, 0, 1]  # x^2 (reducible); x has no inverse
+        with pytest.raises(NotInvertibleError):
+            P.poly_inverse_mod(field, [0, 1], modulus)
+
+    def test_pow_mod(self, field):
+        modulus = [2, 1, 1]
+        a = [3, 4]
+        cube = P.poly_pow_mod(field, a, 3, modulus)
+        direct = P.poly_mod(
+            field, P.poly_mul(field, P.poly_mul(field, a, a), a), modulus
+        )
+        assert cube == direct
+
+    def test_pow_mod_zero_exponent(self, field):
+        assert P.poly_pow_mod(field, [5, 6], 0, [2, 1, 1]) == [1]
+
+
+class TestIrreducibility:
+    def test_linear_always_irreducible(self, field):
+        assert P.is_irreducible(field, [3, 1])
+
+    def test_known_reducible(self, field):
+        # (x+1)(x+2) = x^2 + 3x + 2
+        assert not P.is_irreducible(field, [2, 3, 1])
+
+    def test_ceilidh_moduli(self):
+        from repro.torus.params import TOY_32
+
+        field = PrimeField(TOY_32.p)
+        assert P.is_irreducible(field, [1, field.p - 3, 0, 1])  # y^3 - 3y + 1
+        assert P.is_irreducible(field, [1, 1, 1])  # x^2 + x + 1
+        assert P.is_irreducible(field, [1, 0, 0, 1, 0, 0, 1])  # z^6 + z^3 + 1
+
+    def test_constant_not_irreducible(self, field):
+        assert not P.is_irreducible(field, [7])

@@ -1,0 +1,145 @@
+"""End-to-end integration tests.
+
+These tie the layers together the way the paper's system does: CEILIDH
+protocol traffic whose group operations run through the level-2 sequences and
+(at toy sizes) through the cycle-accurate coprocessor, plus assertions on the
+qualitative results the paper reports (compression factor, Type-A/Type-B
+speed-up, the ECC < torus < RSA ordering).
+"""
+
+import random
+
+import pytest
+
+from repro.ecc.curves import SECP160R1
+from repro.field.fp import PrimeField
+from repro.field.fp6 import make_fp6
+from repro.montgomery.domain import MontgomeryDomain
+from repro.soc.level2 import EngineBackend, SoftwareBackend
+from repro.soc.sequences import fp6_multiplication_program, fp6_operand_memory, fp6_result_from_memory
+from repro.soc.system import Platform
+from repro.torus.ceilidh import CeilidhSystem
+from repro.torus.encoding import bandwidth_summary, encode_compressed
+from repro.torus.params import CEILIDH_170, get_parameters
+from repro.torus.t6 import T6Group
+
+
+class TestCeilidhOverThePlatform:
+    """CEILIDH key agreement where every Fp6 multiplication of one
+    exponentiation is executed through the simulated coprocessor."""
+
+    def _platform_exponentiation(self, group, platform, element, exponent):
+        """Square-and-multiply where each Fp6 product runs on the coprocessor."""
+        engine = platform.engine_for(group.params.p)
+        backend = EngineBackend(engine)
+        program = fp6_multiplication_program()
+        fp6 = group.fp6
+
+        def multiply(a, b):
+            memory = fp6_operand_memory(engine.domain, a, b)
+            program.execute(backend, memory)
+            return fp6_result_from_memory(engine.domain, fp6, memory)
+
+        result = element.value
+        for bit in bin(exponent)[3:]:
+            result = multiply(result, result)
+            if bit == "1":
+                result = multiply(result, element.value)
+        return group.element(result, check=False), backend.cycles
+
+    def test_shared_secret_through_coprocessor(self):
+        params = get_parameters("toy-64")
+        group = T6Group(params)
+        platform = Platform()
+        rng = random.Random(7)
+        generator = group.generator()
+
+        # Small exponents keep the cycle-accurate run short: every Fp6
+        # multiplication is ~80 microcoded modular operations.
+        alice_private = rng.randrange(2, 1 << 14)
+        bob_private = rng.randrange(2, 1 << 14)
+        alice_public, cycles_a = self._platform_exponentiation(
+            group, platform, generator, alice_private
+        )
+        bob_public, _ = self._platform_exponentiation(group, platform, generator, bob_private)
+
+        alice_shared, _ = self._platform_exponentiation(group, platform, bob_public, alice_private)
+        bob_shared, _ = self._platform_exponentiation(group, platform, alice_public, bob_private)
+
+        assert alice_shared == bob_shared
+        # Cross-check against the pure-software group law.
+        assert alice_shared == (generator ** (alice_private * bob_private))
+        assert cycles_a > 0
+
+    def test_platform_exponentiation_matches_reference(self):
+        params = get_parameters("toy-64")
+        group = T6Group(params)
+        platform = Platform()
+        generator = group.generator()
+        exponent = 0b1011011
+        platform_result, _ = self._platform_exponentiation(group, platform, generator, exponent)
+        assert platform_result == generator ** exponent
+
+
+class TestProtocolInteroperability:
+    def test_ceilidh_dh_and_encryption_share_generator(self):
+        system = CeilidhSystem("toy-32")
+        rng = random.Random(3)
+        alice = system.generate_keypair(rng)
+        bob = system.generate_keypair(rng)
+        key_dh = system.derive_key(alice, bob.public)
+        ciphertext = system.encrypt(bob.public, b"integration", rng)
+        assert system.decrypt(bob, ciphertext) == b"integration"
+        assert len(key_dh) == 32
+
+    def test_wire_format_sizes_match_bandwidth_claim(self):
+        system = CeilidhSystem("toy-32")
+        rng = random.Random(4)
+        keypair = system.generate_keypair(rng)
+        wire = encode_compressed(system.params, keypair.public)
+        compressed_bits, uncompressed_bits, factor = bandwidth_summary(system.params)
+        assert len(wire) * 8 >= compressed_bits
+        assert factor == 3
+        assert uncompressed_bits == 3 * compressed_bits
+
+
+class TestPaperHeadlineClaims:
+    def test_compression_factor_three_at_170_bits(self):
+        compressed_bits, uncompressed_bits, factor = bandwidth_summary(CEILIDH_170)
+        assert factor == 3
+        assert compressed_bits == 340
+
+    def test_type_b_speedup_direction(self, platform):
+        cost = platform.fp6_multiplication_cost(CEILIDH_170.p)
+        assert cost.speedup > 2.0  # paper: 3.78x
+
+    def test_full_operation_ordering(self, platform):
+        torus = platform.torus_exponentiation_timing(CEILIDH_170)
+        rsa = platform.rsa_exponentiation_timing(1024)
+        ecc = platform.ecc_scalar_multiplication_timing(SECP160R1)
+        assert ecc.milliseconds < torus.milliseconds < rsa.milliseconds
+
+    def test_torus_vs_rsa_factor(self, platform):
+        torus = platform.torus_exponentiation_timing(CEILIDH_170)
+        rsa = platform.rsa_exponentiation_timing(1024)
+        # The paper reports ~5x; the reproduction preserves a clear >2.5x win.
+        assert rsa.milliseconds / torus.milliseconds > 2.5
+
+    def test_fp6_sequence_equals_field_multiplication_at_full_size(self, rng):
+        field = PrimeField(CEILIDH_170.p)
+        fp6 = make_fp6(field)
+        domain = MontgomeryDomain(CEILIDH_170.p, word_bits=16)
+        backend = SoftwareBackend(domain)
+        program = fp6_multiplication_program()
+        a, b = fp6.random_element(rng), fp6.random_element(rng)
+        memory = fp6_operand_memory(domain, a, b)
+        program.execute(backend, memory)
+        assert fp6_result_from_memory(domain, fp6, memory) == fp6.mul(a, b)
+
+    @pytest.mark.slow
+    def test_full_ceilidh_dh_at_paper_size(self):
+        system = CeilidhSystem(CEILIDH_170)
+        rng = random.Random(11)
+        alice = system.generate_keypair(rng)
+        bob = system.generate_keypair(rng)
+        assert system.derive_key(alice, bob.public) == system.derive_key(bob, alice.public)

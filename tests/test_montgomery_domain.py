@@ -1,0 +1,74 @@
+"""Tests for the Montgomery domain bookkeeping."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.montgomery.domain import MontgomeryDomain
+
+
+@pytest.fixture(scope="module")
+def domain(toy32_params):
+    return MontgomeryDomain(toy32_params.p, word_bits=16)
+
+
+class TestConstruction:
+    def test_rejects_even_modulus(self):
+        with pytest.raises(ParameterError):
+            MontgomeryDomain(100, word_bits=16)
+
+    def test_rejects_tiny_word(self):
+        with pytest.raises(ParameterError):
+            MontgomeryDomain(101, word_bits=1)
+
+    def test_word_count_default(self, toy32_params):
+        domain = MontgomeryDomain(toy32_params.p, word_bits=16)
+        assert domain.num_words == (toy32_params.p.bit_length() + 15) // 16
+
+    def test_explicit_word_count(self, toy32_params):
+        domain = MontgomeryDomain(toy32_params.p, word_bits=16, num_words=4)
+        assert domain.num_words == 4
+        with pytest.raises(ParameterError):
+            MontgomeryDomain(toy32_params.p, word_bits=16, num_words=1)
+
+    def test_p_prime_property(self, domain):
+        # p * p' = -1 mod r
+        assert (domain.modulus * domain.p_prime) % domain.radix == domain.radix - 1
+
+
+class TestConversions:
+    def test_roundtrip(self, domain, rng):
+        for _ in range(10):
+            x = rng.randrange(domain.modulus)
+            assert domain.from_montgomery(domain.to_montgomery(x)) == x
+
+    def test_one(self, domain):
+        assert domain.one() == domain.to_montgomery(1)
+
+    def test_words_roundtrip(self, domain, rng):
+        x = rng.randrange(domain.modulus)
+        assert domain.from_words(domain.to_words(x)) == x
+        assert len(domain.modulus_words()) == domain.num_words
+
+
+class TestReferenceProduct:
+    def test_mont_mul_matches_plain_multiplication(self, domain, rng):
+        p = domain.modulus
+        for _ in range(20):
+            x, y = rng.randrange(p), rng.randrange(p)
+            xb, yb = domain.to_montgomery(x), domain.to_montgomery(y)
+            assert domain.from_montgomery(domain.mont_mul(xb, yb)) == x * y % p
+
+    def test_mont_sqr(self, domain, rng):
+        p = domain.modulus
+        x = rng.randrange(p)
+        xb = domain.to_montgomery(x)
+        assert domain.from_montgomery(domain.mont_sqr(xb)) == x * x % p
+
+    def test_redc_range_check(self, domain):
+        with pytest.raises(ParameterError):
+            domain.redc(domain.modulus * domain.r)
+        with pytest.raises(ParameterError):
+            domain.redc(-1)
+
+    def test_redc_of_zero(self, domain):
+        assert domain.redc(0) == 0

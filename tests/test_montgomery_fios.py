@@ -1,0 +1,69 @@
+"""Tests for the word-level FIOS algorithm (Algorithm 1 of the paper)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.montgomery.domain import MontgomeryDomain
+from repro.montgomery.fios import fios_multiply, fios_trace, fios_word_mult_count
+
+
+@pytest.fixture(scope="module", params=[8, 16, 32])
+def domain(request, toy64_params):
+    return MontgomeryDomain(toy64_params.p, word_bits=request.param)
+
+
+class TestFiosCorrectness:
+    def test_matches_reference(self, domain, rng):
+        p = domain.modulus
+        for _ in range(25):
+            x, y = rng.randrange(p), rng.randrange(p)
+            xb, yb = domain.to_montgomery(x), domain.to_montgomery(y)
+            assert fios_multiply(domain, xb, yb) == domain.mont_mul(xb, yb)
+
+    def test_edge_operands(self, domain):
+        p = domain.modulus
+        assert fios_multiply(domain, 0, 5) == 0
+        assert fios_multiply(domain, p - 1, p - 1) == domain.mont_mul(p - 1, p - 1)
+        one = domain.one()
+        assert domain.from_montgomery(fios_multiply(domain, one, one)) == 1
+
+    def test_rejects_unreduced_operands(self, domain):
+        with pytest.raises(ParameterError):
+            fios_multiply(domain, domain.modulus, 1)
+
+    def test_various_moduli(self, rng):
+        for bits in (20, 61, 170):
+            modulus = None
+            from repro.nt.primegen import random_prime
+
+            modulus = random_prime(bits, rng)
+            domain = MontgomeryDomain(modulus, word_bits=16)
+            x, y = rng.randrange(modulus), rng.randrange(modulus)
+            xb, yb = domain.to_montgomery(x), domain.to_montgomery(y)
+            assert domain.from_montgomery(fios_multiply(domain, xb, yb)) == x * y % modulus
+
+
+class TestFiosTrace:
+    def test_word_mult_count_closed_form(self, domain, rng):
+        p = domain.modulus
+        x, y = rng.randrange(p), rng.randrange(p)
+        trace = fios_trace(domain, domain.to_montgomery(x), domain.to_montgomery(y))
+        assert trace.word_mults == fios_word_mult_count(domain.num_words)
+        assert trace.num_words == domain.num_words
+
+    def test_scaling_is_quadratic(self):
+        assert fios_word_mult_count(11) == 2 * 121 + 11
+        assert fios_word_mult_count(64) == 2 * 4096 + 64
+        # The 1024-bit / 170-bit work ratio underlying the paper's factor ~23.
+        ratio = fios_word_mult_count(64) / fios_word_mult_count(11)
+        assert 30 < ratio < 35
+
+    def test_final_subtraction_flag_consistent(self, domain, rng):
+        p = domain.modulus
+        saw = {True: 0, False: 0}
+        for _ in range(30):
+            x, y = rng.randrange(p), rng.randrange(p)
+            trace = fios_trace(domain, domain.to_montgomery(x), domain.to_montgomery(y))
+            saw[trace.final_subtraction] += 1
+        # Both branches occur over random operands.
+        assert saw[False] > 0

@@ -1,0 +1,98 @@
+"""Tests for the multi-core carry-local FIOS schedule (Fig. 5 / ref. [4])."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.montgomery.domain import MontgomeryDomain
+from repro.montgomery.parallel import (
+    ParallelFiosSchedule,
+    estimate_parallel_cycles,
+    parallel_fios_multiply,
+    parallel_fios_report,
+)
+
+
+class TestScheduleConstruction:
+    def test_blocks_cover_all_words(self):
+        schedule = ParallelFiosSchedule.build(11, 4)
+        covered = [w for core in range(schedule.num_cores) for w in schedule.words_of(core)]
+        assert covered == list(range(11))
+
+    def test_core0_gets_smallest_block(self):
+        schedule = ParallelFiosSchedule.build(11, 4)
+        sizes = [hi - lo + 1 for lo, hi in schedule.blocks]
+        assert sizes[0] == min(sizes)
+
+    def test_core_count_reduced_for_small_operands(self):
+        assert ParallelFiosSchedule.build(4, 4).num_cores == 2
+        assert ParallelFiosSchedule.build(2, 4).num_cores == 1
+        assert ParallelFiosSchedule.build(3, 8).num_cores == 1
+
+    def test_owner_lookup(self):
+        schedule = ParallelFiosSchedule.build(8, 4)
+        for core in range(schedule.num_cores):
+            for word in schedule.words_of(core):
+                assert schedule.owner_of(word) == core
+        with pytest.raises(ParameterError):
+            schedule.owner_of(99)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            ParallelFiosSchedule.build(0, 4)
+        with pytest.raises(ParameterError):
+            ParallelFiosSchedule.build(8, 0)
+
+
+class TestParallelCorrectness:
+    @pytest.mark.parametrize("cores", [1, 2, 3, 4, 8])
+    def test_matches_reference_across_core_counts(self, cores, toy64_params, rng):
+        domain = MontgomeryDomain(toy64_params.p, word_bits=16)
+        p = domain.modulus
+        for _ in range(10):
+            xb, yb = rng.randrange(p), rng.randrange(p)
+            assert parallel_fios_multiply(domain, xb, yb, cores) == domain.mont_mul(xb, yb)
+
+    def test_170_bit(self, ceilidh170_params, rng):
+        domain = MontgomeryDomain(ceilidh170_params.p, word_bits=16)
+        p = domain.modulus
+        for cores in (1, 4):
+            xb, yb = rng.randrange(p), rng.randrange(p)
+            assert parallel_fios_multiply(domain, xb, yb, cores) == domain.mont_mul(xb, yb)
+
+    def test_small_word_size(self, toy32_params, rng):
+        domain = MontgomeryDomain(toy32_params.p, word_bits=8)
+        p = domain.modulus
+        xb, yb = rng.randrange(p), rng.randrange(p)
+        assert parallel_fios_multiply(domain, xb, yb, 4) == domain.mont_mul(xb, yb)
+
+    def test_rejects_unreduced(self, toy64_params):
+        domain = MontgomeryDomain(toy64_params.p, word_bits=16)
+        with pytest.raises(ParameterError):
+            parallel_fios_multiply(domain, domain.modulus, 1, 4)
+
+
+class TestParallelReport:
+    def test_transfers_match_figure5(self, toy64_params, rng):
+        # s words on k cores: (k-1) boundary transfers per iteration, s iterations.
+        domain = MontgomeryDomain(toy64_params.p, word_bits=16)
+        p = domain.modulus
+        report = parallel_fios_report(
+            domain, rng.randrange(p), rng.randrange(p), num_cores=2
+        )
+        k = report.schedule.num_cores
+        s = domain.num_words
+        assert report.inter_core_transfers == (k - 1) * s
+
+    def test_work_distribution(self, ceilidh170_params, rng):
+        domain = MontgomeryDomain(ceilidh170_params.p, word_bits=16)
+        p = domain.modulus
+        report = parallel_fios_report(domain, rng.randrange(p), rng.randrange(p), num_cores=4)
+        assert len(report.word_mults_per_core) == 4
+        # Core 0 also derives m, so it performs extra word multiplications.
+        assert report.word_mults_per_core[0] >= max(report.word_mults_per_core[1:]) - 2 * domain.num_words
+
+    def test_cycle_estimate_improves_with_cores(self):
+        single = estimate_parallel_cycles(16, 1)
+        quad = estimate_parallel_cycles(16, 4)
+        assert quad < single
+        assert single / quad > 1.5

@@ -1,0 +1,57 @@
+"""Tests for the SOS and CIOS Montgomery variants."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.montgomery.domain import MontgomeryDomain
+from repro.montgomery.fios import fios_multiply
+from repro.montgomery.variants import cios_multiply, sos_multiply
+
+
+@pytest.fixture(scope="module", params=[16, 32])
+def domain(request, toy64_params):
+    return MontgomeryDomain(toy64_params.p, word_bits=request.param)
+
+
+class TestVariantsAgree:
+    def test_sos_matches_reference(self, domain, rng):
+        p = domain.modulus
+        for _ in range(20):
+            xb, yb = rng.randrange(p), rng.randrange(p)
+            assert sos_multiply(domain, xb, yb) == domain.mont_mul(xb, yb)
+
+    def test_cios_matches_reference(self, domain, rng):
+        p = domain.modulus
+        for _ in range(20):
+            xb, yb = rng.randrange(p), rng.randrange(p)
+            assert cios_multiply(domain, xb, yb) == domain.mont_mul(xb, yb)
+
+    def test_all_three_agree(self, domain, rng):
+        p = domain.modulus
+        for _ in range(10):
+            xb, yb = rng.randrange(p), rng.randrange(p)
+            reference = fios_multiply(domain, xb, yb)
+            assert sos_multiply(domain, xb, yb) == reference
+            assert cios_multiply(domain, xb, yb) == reference
+
+    def test_edge_cases(self, domain):
+        p = domain.modulus
+        for func in (sos_multiply, cios_multiply):
+            assert func(domain, 0, p - 1) == 0
+            assert func(domain, domain.one(), domain.one()) == domain.mont_mul(
+                domain.one(), domain.one()
+            )
+
+    def test_range_checks(self, domain):
+        with pytest.raises(ParameterError):
+            sos_multiply(domain, domain.modulus, 0)
+        with pytest.raises(ParameterError):
+            cios_multiply(domain, 0, domain.modulus + 1)
+
+    def test_170_bit_modulus(self, ceilidh170_params, rng):
+        domain = MontgomeryDomain(ceilidh170_params.p, word_bits=16)
+        p = domain.modulus
+        xb, yb = rng.randrange(p), rng.randrange(p)
+        reference = domain.mont_mul(xb, yb)
+        assert sos_multiply(domain, xb, yb) == reference
+        assert cios_multiply(domain, xb, yb) == reference

@@ -1,0 +1,75 @@
+"""Tests for repro.nt.factor."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.nt.factor import factorize, largest_prime_factor, pollard_rho, trial_division
+
+
+class TestTrialDivision:
+    def test_smooth_number(self):
+        factors, cofactor = trial_division(2 ** 5 * 3 ** 2 * 7)
+        assert factors == {2: 5, 3: 2, 7: 1}
+        assert cofactor == 1
+
+    def test_large_prime_cofactor_left(self):
+        big_prime = (1 << 61) - 1  # Mersenne prime
+        factors, cofactor = trial_division(12 * big_prime, bound=1000)
+        assert factors == {2: 2, 3: 1}
+        assert cofactor == big_prime
+
+    def test_prime_input(self):
+        factors, cofactor = trial_division(10007)
+        assert factors == {10007: 1}
+        assert cofactor == 1
+
+    def test_one(self):
+        assert trial_division(1) == ({}, 1)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ParameterError):
+            trial_division(0)
+
+
+class TestPollardRho:
+    def test_finds_factor_of_semiprime(self):
+        n = 1000003 * 1000033
+        factor = pollard_rho(n)
+        assert factor in (1000003, 1000033)
+
+    def test_even_shortcut(self):
+        assert pollard_rho(2 * 999983) == 2
+
+    def test_rejects_prime(self):
+        with pytest.raises(ParameterError):
+            pollard_rho(10007)
+
+
+class TestFactorize:
+    def test_reconstructs_input(self):
+        for n in (2, 12, 360, 9699690, 1000003 * 17, 2 ** 10 * 3 ** 5):
+            factors = factorize(n)
+            product = 1
+            for prime, exponent in factors.items():
+                product *= prime ** exponent
+            assert product == n
+
+    def test_factors_are_prime(self):
+        from repro.nt.primality import is_probable_prime
+
+        for prime in factorize(2 ** 4 * 11 * 101 * 10007):
+            assert is_probable_prime(prime)
+
+    def test_one_has_no_factors(self):
+        assert factorize(1) == {}
+
+    def test_toy_torus_order_factors(self):
+        from repro.torus.params import TOY_20
+
+        factors = factorize(TOY_20.torus_order)
+        assert TOY_20.q in factors
+
+    def test_largest_prime_factor(self):
+        assert largest_prime_factor(2 * 3 * 9973) == 9973
+        with pytest.raises(ParameterError):
+            largest_prime_factor(1)

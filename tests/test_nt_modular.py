@@ -1,0 +1,167 @@
+"""Tests for repro.nt.modular."""
+
+import pytest
+
+from repro.errors import NotInvertibleError, ParameterError
+from repro.nt.modular import (
+    crt,
+    crt_pair,
+    egcd,
+    jacobi_symbol,
+    legendre_symbol,
+    modinv,
+    multiplicative_order,
+    sqrt_mod_prime,
+)
+
+
+class TestEgcd:
+    def test_coprime(self):
+        g, x, y = egcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == 2
+
+    def test_identity_on_zero(self):
+        assert egcd(0, 7)[0] == 7
+        assert egcd(7, 0)[0] == 7
+
+    def test_negative_inputs(self):
+        g, x, y = egcd(-12, 18)
+        assert g == 6
+        assert -12 * x + 18 * y == 6
+
+    def test_bezout_holds_for_many_pairs(self):
+        for a in range(-20, 21, 7):
+            for b in range(-15, 16, 4):
+                g, x, y = egcd(a, b)
+                assert a * x + b * y == g
+                assert g >= 0
+
+
+class TestModinv:
+    def test_basic(self):
+        assert modinv(3, 11) == 4
+
+    def test_inverse_property(self):
+        p = 10007
+        for a in (1, 2, 17, 9999, 5003):
+            assert a * modinv(a, p) % p == 1
+
+    def test_negative_value(self):
+        assert (-3) * modinv(-3, 11) % 11 == 1
+
+    def test_not_invertible(self):
+        with pytest.raises(NotInvertibleError):
+            modinv(6, 9)
+
+    def test_zero_not_invertible(self):
+        with pytest.raises(NotInvertibleError):
+            modinv(0, 17)
+
+    def test_bad_modulus(self):
+        with pytest.raises(ParameterError):
+            modinv(3, 0)
+
+
+class TestCrt:
+    def test_pair(self):
+        r, m = crt_pair(2, 3, 3, 5)
+        assert m == 15
+        assert r % 3 == 2 and r % 5 == 3
+
+    def test_pair_non_coprime_compatible(self):
+        r, m = crt_pair(2, 6, 8, 9)
+        assert m == 18
+        assert r % 6 == 2 and r % 9 == 8
+
+    def test_pair_incompatible(self):
+        with pytest.raises(ParameterError):
+            crt_pair(1, 6, 2, 9)
+
+    def test_many(self):
+        r, m = crt([1, 2, 3], [5, 7, 9])
+        assert m == 315
+        assert r % 5 == 1 and r % 7 == 2 and r % 9 == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            crt([], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            crt([1, 2], [3])
+
+
+class TestSymbols:
+    def test_legendre_residues(self):
+        p = 23
+        squares = {pow(x, 2, p) for x in range(1, p)}
+        for a in range(1, p):
+            expected = 1 if a in squares else -1
+            assert legendre_symbol(a, p) == expected
+
+    def test_legendre_zero(self):
+        assert legendre_symbol(0, 13) == 0
+        assert legendre_symbol(26, 13) == 0
+
+    def test_legendre_rejects_even(self):
+        with pytest.raises(ParameterError):
+            legendre_symbol(3, 10)
+
+    def test_jacobi_matches_legendre_for_primes(self):
+        for p in (7, 11, 13, 17):
+            for a in range(p):
+                assert jacobi_symbol(a, p) == legendre_symbol(a, p)
+
+    def test_jacobi_multiplicative_in_denominator(self):
+        n1, n2 = 9, 25
+        for a in range(1, 60):
+            assert jacobi_symbol(a, n1 * n2) == jacobi_symbol(a, n1) * jacobi_symbol(a, n2)
+
+    def test_jacobi_rejects_even_modulus(self):
+        with pytest.raises(ParameterError):
+            jacobi_symbol(3, 8)
+
+
+class TestSqrtModPrime:
+    @pytest.mark.parametrize("p", [3, 7, 11, 13, 17, 10007, 1000003])
+    def test_roots_square_back(self, p):
+        for a in range(1, 30):
+            value = a * a % p
+            root = sqrt_mod_prime(value, p)
+            assert root * root % p == value
+
+    def test_zero(self):
+        assert sqrt_mod_prime(0, 13) == 0
+
+    def test_non_residue_raises(self):
+        # 5 is a non-residue modulo 7 (squares are 1, 2, 4).
+        with pytest.raises(ParameterError):
+            sqrt_mod_prime(5, 7)
+
+    def test_p_equal_one_mod_four(self):
+        # Forces the full Tonelli-Shanks path.
+        p = 1000033  # = 1 mod 4... (1000033 % 4 == 1)
+        assert p % 4 == 1
+        for a in (2, 3, 9, 12345):
+            value = a * a % p
+            root = sqrt_mod_prime(value, p)
+            assert root * root % p == value
+
+
+class TestMultiplicativeOrder:
+    def test_order_of_generator_mod_prime(self):
+        # 3 is a primitive root modulo 7.
+        assert multiplicative_order(3, 7, {2: 1, 3: 1}) == 6
+
+    def test_order_divides_group_order(self):
+        p = 101
+        factorization = {2: 2, 5: 2}  # 100 = 2^2 * 5^2
+        for a in (2, 3, 5, 10, 100):
+            order = multiplicative_order(a, p, factorization)
+            assert pow(a, order, p) == 1
+            assert 100 % order == 0
+
+    def test_wrong_factorization_rejected(self):
+        with pytest.raises(ParameterError):
+            multiplicative_order(3, 7, {2: 1})  # 3^2 != 1 mod 7

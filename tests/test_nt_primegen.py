@@ -1,0 +1,52 @@
+"""Tests for repro.nt.primegen."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.nt.primality import is_probable_prime
+from repro.nt.primegen import random_prime, random_prime_mod, safe_prime
+
+
+class TestRandomPrime:
+    def test_exact_bit_length(self):
+        rng = random.Random(1)
+        for bits in (8, 16, 32, 64, 128):
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_rejects_tiny_sizes(self):
+        with pytest.raises(ParameterError):
+            random_prime(1)
+
+    def test_deterministic_with_seeded_rng(self):
+        assert random_prime(32, random.Random(99)) == random_prime(32, random.Random(99))
+
+
+class TestRandomPrimeMod:
+    def test_congruence_respected(self):
+        rng = random.Random(2)
+        p = random_prime_mod(48, (2, 5), 9, rng)
+        assert p % 9 in (2, 5)
+        assert p.bit_length() == 48
+        assert is_probable_prime(p)
+
+    def test_single_residue(self):
+        rng = random.Random(3)
+        p = random_prime_mod(40, (3,), 4, rng)
+        assert p % 4 == 3
+
+    def test_empty_residues_rejected(self):
+        with pytest.raises(ParameterError):
+            random_prime_mod(32, (), 9)
+
+
+class TestSafePrime:
+    def test_small_safe_prime(self):
+        rng = random.Random(4)
+        p = safe_prime(16, rng)
+        assert is_probable_prime(p)
+        assert is_probable_prime((p - 1) // 2)
+        assert p.bit_length() == 16

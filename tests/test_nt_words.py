@@ -1,0 +1,56 @@
+"""Tests for repro.nt.words."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.nt.words import bit_length_words, from_words, to_words, word_length
+
+
+class TestWordLength:
+    def test_exact_multiples(self):
+        assert word_length(160, 16) == 10
+        assert word_length(1024, 16) == 64
+
+    def test_round_up(self):
+        assert word_length(170, 16) == 11
+        assert word_length(1, 16) == 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            word_length(0, 16)
+        with pytest.raises(ParameterError):
+            word_length(16, 0)
+
+
+class TestToFromWords:
+    def test_roundtrip(self):
+        value = 0x1234_5678_9ABC_DEF0_1122
+        words = to_words(value, 6, 16)
+        assert len(words) == 6
+        assert from_words(words, 16) == value
+
+    def test_little_endian_order(self):
+        assert to_words(0x0102, 2, 8) == [0x02, 0x01]
+
+    def test_zero(self):
+        assert to_words(0, 4, 16) == [0, 0, 0, 0]
+        assert from_words([0, 0, 0], 16) == 0
+
+    def test_overflow_detected(self):
+        with pytest.raises(ParameterError):
+            to_words(1 << 32, 2, 16)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            to_words(-1, 2, 16)
+
+    def test_from_words_range_check(self):
+        with pytest.raises(ParameterError):
+            from_words([1 << 16], 16)
+
+    def test_bit_length_words(self):
+        assert bit_length_words(0, 16) == 1
+        assert bit_length_words(0xFFFF, 16) == 1
+        assert bit_length_words(0x1_0000, 16) == 2
+        with pytest.raises(ParameterError):
+            bit_length_words(-5, 16)

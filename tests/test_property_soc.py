@@ -1,0 +1,56 @@
+"""Property-based tests for the coprocessor microcode.
+
+Every sample runs real microcode on the cycle-accurate simulator, so the
+operand size is kept small (64-bit, four 16-bit words) and the example count
+modest; the fixed-vector tests in test_soc_microcode.py cover the larger
+operand sizes.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.soc.engine import ModularEngine
+from repro.torus.params import TOY_64
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_ENGINE = ModularEngine(TOY_64.p, word_bits=16, num_cores=4)
+_P = TOY_64.p
+
+operands = st.integers(min_value=0, max_value=_P - 1)
+
+
+class TestMicrocodeProperties:
+    @given(x=operands, y=operands)
+    @_SETTINGS
+    def test_montgomery_microcode_matches_reference(self, x, y):
+        value, _ = _ENGINE.mont_mul(x, y)
+        assert value == _ENGINE.domain.mont_mul(x, y)
+
+    @given(a=operands, b=operands)
+    @_SETTINGS
+    def test_addition_microcode(self, a, b):
+        value, _ = _ENGINE.mod_add(a, b)
+        assert value == (a + b) % _P
+
+    @given(a=operands, b=operands)
+    @_SETTINGS
+    def test_subtraction_microcode(self, a, b):
+        value, _ = _ENGINE.mod_sub(a, b)
+        assert value == (a - b) % _P
+
+    @given(a=operands, b=operands, c=operands)
+    @_SETTINGS
+    def test_microcoded_ring_identity(self, a, b, c):
+        # (a + b) * c == a*c + b*c, computed entirely through the coprocessor.
+        domain = _ENGINE.domain
+        left_sum, _ = _ENGINE.mod_add(a, b)
+        left, _ = _ENGINE.mont_mul(domain.to_montgomery(left_sum), domain.to_montgomery(c))
+        ac, _ = _ENGINE.mont_mul(domain.to_montgomery(a), domain.to_montgomery(c))
+        bc, _ = _ENGINE.mont_mul(domain.to_montgomery(b), domain.to_montgomery(c))
+        right, _ = _ENGINE.mod_add(ac, bc)
+        assert domain.from_montgomery(left) == domain.from_montgomery(right)

@@ -1,0 +1,105 @@
+"""Tests for the RSA baseline."""
+
+import random
+
+import pytest
+
+from repro.errors import DecryptionError, ParameterError
+from repro.rsa.keygen import generate_rsa_keypair
+from repro.rsa.rsa import (
+    rsa_decrypt,
+    rsa_decrypt_int,
+    rsa_decrypt_int_crt,
+    rsa_encrypt,
+    rsa_encrypt_int,
+    rsa_sign,
+    rsa_verify,
+)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    # 512 bits: large enough for the SHA-256-based padding paths, small
+    # enough to generate in well under a second.
+    return generate_rsa_keypair(512, rng=random.Random(1))
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, keypair):
+        assert keypair.modulus_bits == 512
+        assert keypair.n == keypair.p * keypair.q
+
+    def test_exponents_are_inverses(self, keypair):
+        phi = (keypair.p - 1) * (keypair.q - 1)
+        assert keypair.e * keypair.d % phi == 1
+
+    def test_crt_components(self, keypair):
+        assert keypair.d_p == keypair.d % (keypair.p - 1)
+        assert keypair.d_q == keypair.d % (keypair.q - 1)
+        assert keypair.q_inv * keypair.q % keypair.p == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            generate_rsa_keypair(8)
+        with pytest.raises(ParameterError):
+            generate_rsa_keypair(256, e=4)
+
+    def test_public_extraction(self, keypair):
+        public = keypair.public()
+        assert public.n == keypair.n and public.e == keypair.e
+
+
+class TestRawRsa:
+    def test_encrypt_decrypt_int(self, keypair, rng):
+        for _ in range(5):
+            message = rng.randrange(keypair.n)
+            ciphertext = rsa_encrypt_int(keypair, message)
+            assert rsa_decrypt_int(keypair, ciphertext) == message
+
+    def test_crt_matches_plain_decryption(self, keypair, rng):
+        message = rng.randrange(keypair.n)
+        ciphertext = rsa_encrypt_int(keypair, message)
+        assert rsa_decrypt_int_crt(keypair, ciphertext) == rsa_decrypt_int(keypair, ciphertext)
+
+    def test_range_checks(self, keypair):
+        with pytest.raises(ParameterError):
+            rsa_encrypt_int(keypair, keypair.n)
+        with pytest.raises(ParameterError):
+            rsa_decrypt_int(keypair, keypair.n + 1)
+
+    def test_matches_builtin_pow(self, keypair, rng):
+        message = rng.randrange(keypair.n)
+        assert rsa_encrypt_int(keypair, message) == pow(message, keypair.e, keypair.n)
+
+
+class TestPaddedRsa:
+    def test_roundtrip(self, keypair):
+        message = b"torus beats RSA on bandwidth"
+        assert rsa_decrypt(keypair, rsa_encrypt(keypair, message)) == message
+
+    def test_roundtrip_without_crt(self, keypair):
+        message = b"no crt"
+        assert rsa_decrypt(keypair, rsa_encrypt(keypair, message), use_crt=False) == message
+
+    def test_message_too_long(self, keypair):
+        with pytest.raises(ParameterError):
+            rsa_encrypt(keypair, b"x" * 128)
+
+    def test_corrupted_ciphertext_detected(self, keypair):
+        ciphertext = bytearray(rsa_encrypt(keypair, b"hi"))
+        ciphertext[-1] ^= 0xFF
+        with pytest.raises(DecryptionError):
+            rsa_decrypt(keypair, bytes(ciphertext))
+
+
+class TestSignatures:
+    def test_sign_verify(self, keypair):
+        signature = rsa_sign(keypair, b"message")
+        assert rsa_verify(keypair, b"message", signature)
+
+    def test_wrong_message_rejected(self, keypair):
+        signature = rsa_sign(keypair, b"message")
+        assert not rsa_verify(keypair, b"other", signature)
+
+    def test_garbage_signature_rejected(self, keypair):
+        assert not rsa_verify(keypair, b"message", b"\x01" * ((keypair.n.bit_length() + 7) // 8))

@@ -1,0 +1,91 @@
+"""Tests for the VLIW scheduler (assembler)."""
+
+import pytest
+
+from repro.errors import AssemblyError, ScheduleError
+from repro.soc.assembler import CoreProgram, schedule_programs
+from repro.soc.isa import ld, mac, st
+
+
+def _programs(*instruction_lists):
+    return [CoreProgram(core_id=i, instructions=list(instrs)) for i, instrs in enumerate(instruction_lists)]
+
+
+class TestBasicScheduling:
+    def test_single_core_sequential(self):
+        programs = _programs([mac(0, 1), mac(2, 3), st(0, 0)])
+        schedule = schedule_programs(programs)
+        assert schedule.cycles == 3
+        assert schedule.instruction_count == 3
+
+    def test_independent_cores_run_in_parallel(self):
+        programs = _programs([mac(0, 1)] * 4, [mac(2, 3)] * 4)
+        schedule = schedule_programs(programs)
+        assert schedule.cycles == 4  # no structural conflicts
+
+    def test_program_order_preserved_per_core(self):
+        programs = _programs([ld(0, 0), mac(0, 0), st(1, 0)])
+        schedule = schedule_programs(programs)
+        ops = [bundle[0].op.value for bundle in schedule.bundles]
+        assert ops == ["LD", "MAC", "ST"]
+
+
+class TestMemoryPort:
+    def test_single_port_serialises_loads(self):
+        programs = _programs([ld(0, 0)], [ld(0, 1)])
+        schedule = schedule_programs(programs)
+        assert schedule.cycles == 2
+        schedule.validate_port_constraint()
+
+    def test_broadcast_load_shares_the_port(self):
+        # Two cores loading the SAME address may share one cycle.
+        programs = _programs([ld(0, 5)], [ld(0, 5)])
+        schedule = schedule_programs(programs)
+        assert schedule.cycles == 1
+        schedule.validate_port_constraint()
+
+    def test_store_plus_load_never_share(self):
+        programs = _programs([st(5, 0)], [ld(0, 5)])
+        schedule = schedule_programs(programs)
+        assert schedule.cycles == 2
+
+    def test_memory_cycles_statistic(self):
+        programs = _programs([ld(0, 0), mac(0, 0)], [mac(1, 1), ld(1, 1)])
+        schedule = schedule_programs(programs)
+        assert schedule.memory_cycles == 2
+
+    def test_utilization(self):
+        programs = _programs([mac(0, 0), mac(0, 0)], [mac(1, 1)])
+        schedule = schedule_programs(programs)
+        utilization = schedule.utilization()
+        assert utilization[0] == 1.0
+        assert 0.0 < utilization[1] <= 1.0
+
+
+class TestDependencies:
+    def test_wait_for_orders_across_cores(self):
+        producer = [st(9, 0, tag="value")]
+        consumer = [ld(0, 9, wait_for=("value",))]
+        schedule = schedule_programs(_programs(producer, consumer))
+        # The consumer must issue strictly after the producer's cycle.
+        producer_cycle = next(i for i, b in enumerate(schedule.bundles) if b[0] is not None)
+        consumer_cycle = next(i for i, b in enumerate(schedule.bundles) if b[1] is not None)
+        assert consumer_cycle > producer_cycle
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(AssemblyError):
+            schedule_programs(_programs([ld(0, 0, wait_for=("missing",))]))
+
+    def test_duplicate_tag_rejected(self):
+        with pytest.raises(AssemblyError):
+            schedule_programs(_programs([st(0, 0, tag="t"), st(1, 0, tag="t")]))
+
+    def test_circular_dependency_detected(self):
+        a = [ld(0, 0, wait_for=("b",), tag="a")]
+        b = [ld(0, 1, wait_for=("a",), tag="b")]
+        with pytest.raises(ScheduleError):
+            schedule_programs(_programs(a, b))
+
+    def test_register_validation_happens_at_schedule_time(self):
+        with pytest.raises(AssemblyError):
+            schedule_programs(_programs([mac(0, 200)]), num_registers=16)

@@ -1,0 +1,97 @@
+"""Tests for the multicore coprocessor execution engine."""
+
+import pytest
+
+from repro.errors import ExecutionError, ParameterError, ScheduleError
+from repro.soc.assembler import CoreProgram
+from repro.soc.coprocessor import Coprocessor, CoprocessorConfig
+from repro.soc.isa import addc, ld, mac, sha, st
+
+
+@pytest.fixture
+def coprocessor():
+    return Coprocessor(CoprocessorConfig(word_bits=16, num_cores=2, data_ram_words=64))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Coprocessor(CoprocessorConfig(num_cores=0))
+        with pytest.raises(ParameterError):
+            Coprocessor(CoprocessorConfig(word_bits=2))
+        with pytest.raises(ParameterError):
+            Coprocessor(CoprocessorConfig(num_registers=4))
+
+
+class TestOperandStaging:
+    def test_write_read_operand(self, coprocessor):
+        coprocessor.allocate_operand("A", 4)
+        coprocessor.write_operand("A", 0xDEADBEEF)
+        assert coprocessor.read_operand("A") == 0xDEADBEEF
+
+    def test_address_lookup(self, coprocessor):
+        base = coprocessor.allocate_operand("B", 2)
+        assert coprocessor.address_of("B") == base
+
+
+class TestExecution:
+    def test_simple_dataflow(self, coprocessor):
+        # Core 0 computes 3 * 4 + 5 via MAC and writes the result back.
+        coprocessor.allocate_operand("X", 1)
+        coprocessor.allocate_operand("Y", 1)
+        coprocessor.allocate_operand("Z", 1)
+        coprocessor.allocate_operand("OUT", 1)
+        coprocessor.write_operand("X", 3)
+        coprocessor.write_operand("Y", 4)
+        coprocessor.write_operand("Z", 5)
+        program = CoreProgram(
+            core_id=0,
+            instructions=[
+                ld(0, coprocessor.address_of("X")),
+                ld(1, coprocessor.address_of("Y")),
+                ld(2, coprocessor.address_of("Z")),
+                ld(3, coprocessor.address_of("Z")),  # unused, exercises more loads
+                mac(0, 1),
+                mac(2, 4),  # register 4 is zero, adds nothing
+                sha(5),
+                addc(6, 5, 2),
+                st(coprocessor.address_of("OUT"), 6),
+            ],
+        )
+        result = coprocessor.run_programs([program])
+        assert coprocessor.read_operand("OUT") == 17
+        assert result.cycles == 9
+        assert result.memory_accesses == 5
+
+    def test_two_core_parallel_execution(self, coprocessor):
+        coprocessor.allocate_operand("A", 2)
+        coprocessor.write_operand("A", (7 << 16) | 3)
+        base = coprocessor.address_of("A")
+        core0 = CoreProgram(0, [ld(0, base), mac(0, 0), sha(1), st(base, 1)])
+        core1 = CoreProgram(1, [ld(0, base + 1), mac(0, 0), sha(1), st(base + 1, 1)])
+        coprocessor.run_programs([core0, core1])
+        assert coprocessor.read_operand("A") == ((49 << 16) | 9)
+
+    def test_too_many_programs_rejected(self, coprocessor):
+        programs = [CoreProgram(i) for i in range(3)]
+        with pytest.raises(ScheduleError):
+            coprocessor.build_schedule(programs)
+
+    def test_execution_statistics(self, coprocessor):
+        program = CoreProgram(0, [mac(0, 0)] * 5)
+        result = coprocessor.run_programs([program])
+        assert result.mac_operations == 5
+        assert result.instructions == 5
+        assert len(result.core_utilization) == 2
+
+    def test_schedule_core_count_mismatch(self, coprocessor):
+        other = Coprocessor(CoprocessorConfig(num_cores=3))
+        schedule = other.build_schedule([CoreProgram(0, [mac(0, 0)])])
+        with pytest.raises(ExecutionError):
+            coprocessor.execute_schedule(schedule)
+
+    def test_total_cycle_accounting(self, coprocessor):
+        program = CoreProgram(0, [mac(0, 0)] * 3)
+        before = coprocessor.total_cycles
+        coprocessor.run_programs([program])
+        assert coprocessor.total_cycles == before + 3

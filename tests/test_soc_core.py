@@ -1,0 +1,118 @@
+"""Tests for the single-core execution model."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.soc.core import Core
+from repro.soc.isa import addc, cla, ld, mac, sha, st, subb
+from repro.soc.memory import DataRam
+
+
+@pytest.fixture
+def core():
+    return Core(core_id=0, word_bits=16, num_registers=16)
+
+
+@pytest.fixture
+def ram():
+    return DataRam(32, word_bits=16)
+
+
+class TestLoadStore:
+    def test_load(self, core, ram):
+        ram.write(5, 0x1234)
+        core.execute(ld(2, 5), ram)
+        assert core.read_register(2) == 0x1234
+        assert core.memory_accesses == 1
+
+    def test_store(self, core, ram):
+        core.write_register(3, 0xBEEF)
+        core.execute(st(7, 3), ram)
+        assert ram.read(7) == 0xBEEF
+
+    def test_nop(self, core, ram):
+        core.execute(None, ram)
+        assert core.executed == 0
+
+
+class TestMacAndShift:
+    def test_mac_accumulates(self, core, ram):
+        core.write_register(0, 1000)
+        core.write_register(1, 2000)
+        core.execute(mac(0, 1), ram)
+        core.execute(mac(0, 1), ram)
+        assert core.accumulator == 2 * 1000 * 2000
+        assert core.mac_count == 2
+
+    def test_sha_extracts_low_word_and_shifts(self, core, ram):
+        core.write_register(0, 0xFFFF)
+        core.write_register(1, 0xFFFF)
+        core.execute(mac(0, 1), ram)  # 0xFFFE0001
+        core.execute(sha(2), ram)
+        core.execute(sha(3), ram)
+        assert core.read_register(2) == 0x0001
+        assert core.read_register(3) == 0xFFFE
+        assert core.accumulator == 0
+
+    def test_cla_clears(self, core, ram):
+        core.write_register(0, 7)
+        core.write_register(1, 9)
+        core.execute(mac(0, 1), ram)
+        core.execute(cla(), ram)
+        assert core.accumulator == 0
+
+    def test_accumulator_overflow_detected(self, core, ram):
+        core.write_register(0, 0xFFFF)
+        core.write_register(1, 0xFFFF)
+        with pytest.raises(ExecutionError):
+            for _ in range(2000):
+                core.execute(mac(0, 1), ram)
+
+
+class TestAddSub:
+    def test_addc_without_carry_in(self, core, ram):
+        core.write_register(0, 0xFFFF)
+        core.write_register(1, 2)
+        core.execute(addc(2, 0, 1), ram)
+        assert core.read_register(2) == 1
+        assert core.carry == 1
+
+    def test_addc_chain(self, core, ram):
+        # 0xFFFF + 1 with carry propagation into the next word.
+        core.write_register(0, 0xFFFF)
+        core.write_register(1, 1)
+        core.write_register(2, 0)  # high word of first operand
+        core.write_register(3, 0)
+        core.execute(addc(4, 0, 1), ram)
+        core.execute(addc(5, 2, 3, use_carry=True), ram)
+        assert core.read_register(4) == 0
+        assert core.read_register(5) == 1
+
+    def test_subb_borrow(self, core, ram):
+        core.write_register(0, 1)
+        core.write_register(1, 2)
+        core.execute(subb(2, 0, 1), ram)
+        assert core.read_register(2) == 0xFFFF
+        assert core.carry == 1
+
+    def test_subb_chain(self, core, ram):
+        # (0x0001_0000) - 1 = 0x0000_FFFF across two words.
+        core.write_register(0, 0)  # low word of a
+        core.write_register(1, 1)  # high word of a
+        core.write_register(2, 1)  # low word of b
+        core.write_register(3, 0)
+        core.execute(subb(4, 0, 2), ram)
+        core.execute(subb(5, 1, 3, use_carry=True), ram)
+        assert core.read_register(4) == 0xFFFF
+        assert core.read_register(5) == 0
+
+    def test_register_width_enforced(self, core):
+        with pytest.raises(ExecutionError):
+            core.write_register(0, 1 << 16)
+
+    def test_reset(self, core, ram):
+        core.write_register(0, 5)
+        core.execute(cla(), ram)
+        core.reset()
+        assert core.read_register(0) == 0
+        assert core.executed == 0

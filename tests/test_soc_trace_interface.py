@@ -1,0 +1,116 @@
+"""Tests for the execution-trace accounting and the public API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AssemblyError,
+    CompressionError,
+    DecryptionError,
+    ExecutionError,
+    MemoryMapError,
+    NotInTorusError,
+    NotInvertibleError,
+    NotOnCurveError,
+    ParameterError,
+    ReproError,
+    ScheduleError,
+    SignatureError,
+    SocError,
+)
+from repro.soc.trace import ExecutionTrace, TraceEvent
+
+
+class TestExecutionTrace:
+    def test_accumulation_and_breakdown(self):
+        trace = ExecutionTrace(name="demo")
+        trace.add("issue", "interface", 184)
+        trace.add("mm", "compute", 300)
+        trace.add("ma", "compute", 47)
+        assert trace.total_cycles == 531
+        assert trace.breakdown() == {"interface": 184, "compute": 347}
+
+    def test_communication_fraction(self):
+        trace = ExecutionTrace(name="demo")
+        trace.add("issue", "interface", 50)
+        trace.add("dispatch", "dispatch", 50)
+        trace.add("mm", "compute", 100)
+        assert trace.communication_fraction() == pytest.approx(0.5)
+
+    def test_empty_trace(self):
+        trace = ExecutionTrace(name="empty")
+        assert trace.total_cycles == 0
+        assert trace.communication_fraction() == 0.0
+
+    def test_render_contains_percentages(self):
+        trace = ExecutionTrace(name="demo", events=[TraceEvent("x", "compute", 10)])
+        assert "100.0%" in trace.render()
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        for exc_type in (
+            ParameterError,
+            NotInvertibleError,
+            NotOnCurveError,
+            CompressionError,
+            NotInTorusError,
+            SignatureError,
+            DecryptionError,
+            SocError,
+            AssemblyError,
+            ScheduleError,
+            ExecutionError,
+            MemoryMapError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_soc_errors_group_together(self):
+        for exc_type in (AssemblyError, ScheduleError, ExecutionError, MemoryMapError):
+            assert issubclass(exc_type, SocError)
+
+    def test_not_invertible_carries_context(self):
+        error = NotInvertibleError(6, 9)
+        assert error.value == 6 and error.modulus == 9
+        assert "6" in str(error) and "9" in str(error)
+
+
+class TestPublicApi:
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.analysis
+        import repro.ecc
+        import repro.field
+        import repro.montgomery
+        import repro.nt
+        import repro.rsa
+        import repro.soc
+        import repro.torus
+        import repro.xtr
+
+        for module in (
+            repro.nt,
+            repro.field,
+            repro.montgomery,
+            repro.torus,
+            repro.ecc,
+            repro.rsa,
+            repro.soc,
+            repro.analysis,
+            repro.xtr,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, f"{module.__name__}.{name}"
+
+    def test_quickstart_surface(self):
+        # The README quickstart relies on exactly these entry points.
+        system = repro.CeilidhSystem(repro.get_parameters("toy-20"))
+        platform = repro.Platform(repro.PlatformConfig(num_cores=2))
+        assert system.params.compression_factor == 3
+        assert platform.config.num_cores == 2

@@ -1,0 +1,123 @@
+"""Tests for the CEILIDH protocols (DH, hybrid encryption, signatures)."""
+
+import random
+
+import pytest
+
+from repro.errors import DecryptionError, ParameterError
+from repro.torus.ceilidh import CeilidhCiphertext, CeilidhSystem
+from repro.torus.params import get_parameters
+
+
+@pytest.fixture(scope="module")
+def system():
+    return CeilidhSystem("toy-32")
+
+
+@pytest.fixture(scope="module")
+def alice(system):
+    return system.generate_keypair(random.Random(1))
+
+
+@pytest.fixture(scope="module")
+def bob(system):
+    return system.generate_keypair(random.Random(2))
+
+
+class TestKeyGeneration:
+    def test_private_key_in_range(self, system, alice):
+        assert 1 <= alice.private < system.params.q
+
+    def test_public_key_decompresses_to_generator_power(self, system, alice):
+        element = system.public_element(alice)
+        expected = system.group.generator() ** alice.private
+        assert element == expected
+
+    def test_accepts_parameter_object(self):
+        params = get_parameters("toy-20")
+        system = CeilidhSystem(params)
+        keypair = system.generate_keypair(random.Random(3))
+        assert system.public_element(keypair) is not None
+
+    def test_rejects_unknown_parameter_name(self):
+        with pytest.raises(ParameterError):
+            CeilidhSystem("no-such-params")
+
+    def test_public_bytes(self, system, alice):
+        data = alice.public_bytes(system.params)
+        assert len(data) == 2 * ((system.params.p.bit_length() + 7) // 8)
+
+
+class TestDiffieHellman:
+    def test_shared_secret_agreement(self, system, alice, bob):
+        assert system.shared_secret(alice, bob.public) == system.shared_secret(bob, alice.public)
+
+    def test_derived_keys_agree(self, system, alice, bob):
+        ka = system.derive_key(alice, bob.public, info=b"session", length=32)
+        kb = system.derive_key(bob, alice.public, info=b"session", length=32)
+        assert ka == kb and len(ka) == 32
+
+    def test_different_info_different_keys(self, system, alice, bob):
+        assert system.derive_key(alice, bob.public, b"a") != system.derive_key(
+            alice, bob.public, b"b"
+        )
+
+    def test_third_party_gets_different_secret(self, system, alice, bob):
+        eve = system.generate_keypair(random.Random(99))
+        assert system.shared_secret(eve, bob.public) != system.shared_secret(alice, bob.public)
+
+
+class TestEncryption:
+    def test_roundtrip(self, system, bob, rng):
+        message = b"the torus compresses six coordinates into two"
+        ciphertext = system.encrypt(bob.public, message, rng)
+        assert system.decrypt(bob, ciphertext) == message
+
+    def test_empty_message(self, system, bob, rng):
+        ciphertext = system.encrypt(bob.public, b"", rng)
+        assert system.decrypt(bob, ciphertext) == b""
+
+    def test_tampered_body_detected(self, system, bob, rng):
+        ciphertext = system.encrypt(bob.public, b"attack at dawn", rng)
+        tampered = CeilidhCiphertext(
+            ephemeral=ciphertext.ephemeral,
+            body=bytes([ciphertext.body[0] ^ 1]) + ciphertext.body[1:],
+            tag=ciphertext.tag,
+        )
+        with pytest.raises(DecryptionError):
+            system.decrypt(bob, tampered)
+
+    def test_wrong_recipient_fails(self, system, alice, bob, rng):
+        ciphertext = system.encrypt(bob.public, b"secret", rng)
+        with pytest.raises(DecryptionError):
+            system.decrypt(alice, ciphertext)
+
+    def test_ciphertext_randomised(self, system, bob):
+        c1 = system.encrypt(bob.public, b"same message", random.Random(10))
+        c2 = system.encrypt(bob.public, b"same message", random.Random(11))
+        assert c1.ephemeral != c2.ephemeral
+
+
+class TestSignatures:
+    def test_sign_verify(self, system, alice, rng):
+        message = b"CEILIDH signature test"
+        signature = system.sign(alice, message, rng)
+        assert system.verify(alice.public, message, signature)
+
+    def test_wrong_message_rejected(self, system, alice, rng):
+        signature = system.sign(alice, b"original", rng)
+        assert not system.verify(alice.public, b"forged", signature)
+
+    def test_wrong_key_rejected(self, system, alice, bob, rng):
+        signature = system.sign(alice, b"message", rng)
+        assert not system.verify(bob.public, b"message", signature)
+
+    def test_out_of_range_signature_rejected(self, system, alice, rng):
+        signature = system.sign(alice, b"message", rng)
+        signature.response = system.params.q
+        assert not system.verify(alice.public, b"message", signature)
+
+    def test_signature_components_in_range(self, system, alice, rng):
+        signature = system.sign(alice, b"range check", rng)
+        assert 0 <= signature.challenge < system.params.q
+        assert 0 <= signature.response < system.params.q

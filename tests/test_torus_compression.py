@@ -1,0 +1,110 @@
+"""Tests for the rho/psi compression maps (the heart of CEILIDH)."""
+
+import pytest
+
+from repro.errors import CompressionError, NotInTorusError
+from repro.torus.compression import CompressedElement, TorusCompressor
+
+
+class TestRoundTrips:
+    def test_compress_then_decompress(self, toy32_group, rng):
+        compressor = toy32_group.compressor
+        for _ in range(20):
+            element = toy32_group.random_element(rng)
+            try:
+                compressed = compressor.compress(element.value)
+            except CompressionError:
+                continue  # exceptional set has density ~1/p
+            assert compressor.decompress(compressed) == element.value
+
+    def test_decompress_then_compress(self, toy32_group, rng):
+        compressor = toy32_group.compressor
+        p = toy32_group.params.p
+        hits = 0
+        for _ in range(20):
+            pair = CompressedElement(rng.randrange(p), rng.randrange(p))
+            try:
+                element = compressor.decompress(pair)
+            except CompressionError:
+                continue
+            hits += 1
+            assert compressor.compress(element) == pair
+        assert hits > 10
+
+    def test_decompressed_values_are_torus_members(self, toy32_group, rng):
+        compressor = toy32_group.compressor
+        p = toy32_group.params.p
+        for _ in range(10):
+            pair = CompressedElement(rng.randrange(p), rng.randrange(p))
+            try:
+                element = compressor.decompress(pair)
+            except CompressionError:
+                continue
+            assert toy32_group.contains_raw(element)
+
+    def test_subgroup_elements_compress(self, toy32_group, rng):
+        compressor = toy32_group.compressor
+        g = toy32_group.generator()
+        element = g ** rng.randrange(2, toy32_group.params.q)
+        compressed = compressor.compress(element.value)
+        assert compressor.decompress(compressed) == element.value
+
+    def test_170_bit_roundtrip(self, ceilidh170_group, rng):
+        compressor = ceilidh170_group.compressor
+        element = ceilidh170_group.generator() ** rng.randrange(1 << 100)
+        compressed = compressor.compress(element.value)
+        assert compressor.decompress(compressed) == element.value
+
+
+class TestExceptionalCases:
+    def test_identity_not_compressible(self, toy32_group):
+        with pytest.raises(CompressionError):
+            toy32_group.compressor.compress(toy32_group.fp6.one())
+
+    def test_cube_root_of_unity_not_compressible(self, toy32_group):
+        # alpha = x = z^3 corresponds to the parametrisation base point c = 1.
+        z_cubed = toy32_group.fp6.pow(toy32_group.fp6.generator(), 3)
+        assert toy32_group.contains_raw(z_cubed)
+        with pytest.raises(CompressionError):
+            toy32_group.compressor.compress(z_cubed)
+
+    def test_non_torus_element_rejected(self, toy32_group, rng):
+        raw = toy32_group.fp6.random_nonzero(rng)
+        with pytest.raises((NotInTorusError, CompressionError)):
+            toy32_group.compressor.compress(raw)
+
+    def test_exceptional_conic_detected(self, toy32_group):
+        # (u, v) with u^2 + 4u + 3 + v - v^2 = 0: take v = 0, u = -1.
+        compressor = toy32_group.compressor
+        p = toy32_group.params.p
+        with pytest.raises(CompressionError):
+            compressor.decompress(CompressedElement((p - 1), 0))
+
+    def test_exceptional_point_u_minus_two(self, toy32_group):
+        compressor = toy32_group.compressor
+        p = toy32_group.params.p
+        with pytest.raises(CompressionError):
+            compressor.decompress(CompressedElement(p - 2, 5))
+
+
+class TestCompressionBandwidth:
+    def test_pair_is_two_field_elements(self, toy32_group, rng):
+        compressed = toy32_group.compressor.compress(
+            toy32_group.random_subgroup_element(rng).value
+        )
+        p = toy32_group.params.p
+        assert 0 <= compressed.u < p and 0 <= compressed.v < p
+        assert compressed.as_tuple() == (compressed.u, compressed.v)
+
+    def test_distinct_elements_compress_differently(self, toy32_group, rng):
+        g = toy32_group.generator()
+        seen = set()
+        for exponent in range(2, 22):
+            compressed = toy32_group.compressor.compress((g ** exponent).value)
+            seen.add(compressed.as_tuple())
+        assert len(seen) == 20
+
+    def test_compressor_reachable_from_element(self, toy32_group, rng):
+        element = toy32_group.random_subgroup_element(rng)
+        compressed = element.compress()
+        assert toy32_group.compressor.decompress_to_element(compressed) == element

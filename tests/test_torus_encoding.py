@@ -1,0 +1,76 @@
+"""Tests for the wire encodings and the bandwidth accounting."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.torus.compression import CompressedElement
+from repro.torus.encoding import (
+    bandwidth_summary,
+    compressed_size_bytes,
+    decode_compressed,
+    decode_fp6,
+    encode_compressed,
+    encode_fp6,
+    uncompressed_size_bytes,
+)
+
+
+class TestCompressedEncoding:
+    def test_roundtrip(self, toy32_group, rng):
+        params = toy32_group.params
+        element = toy32_group.random_subgroup_element(rng)
+        compressed = element.compress()
+        data = encode_compressed(params, compressed)
+        assert len(data) == compressed_size_bytes(params)
+        assert decode_compressed(params, data) == compressed
+
+    def test_fixed_width(self, toy32_params):
+        data = encode_compressed(toy32_params, CompressedElement(1, 2))
+        assert len(data) == compressed_size_bytes(toy32_params)
+
+    def test_rejects_unreduced_values(self, toy32_params):
+        with pytest.raises(ParameterError):
+            encode_compressed(toy32_params, CompressedElement(toy32_params.p, 0))
+
+    def test_decode_length_check(self, toy32_params):
+        with pytest.raises(ParameterError):
+            decode_compressed(toy32_params, b"\x00" * 3)
+
+    def test_decode_range_check(self, toy32_params):
+        width = compressed_size_bytes(toy32_params) // 2
+        data = (toy32_params.p).to_bytes(width, "big") * 2
+        with pytest.raises(ParameterError):
+            decode_compressed(toy32_params, data)
+
+
+class TestFp6Encoding:
+    def test_roundtrip(self, toy32_group, rng):
+        params = toy32_group.params
+        element = toy32_group.random_element(rng).value
+        data = encode_fp6(params, element)
+        assert len(data) == uncompressed_size_bytes(params)
+        assert decode_fp6(params, toy32_group.fp6, data) == element
+
+    def test_length_check(self, toy32_group):
+        with pytest.raises(ParameterError):
+            decode_fp6(toy32_group.params, toy32_group.fp6, b"\x01" * 5)
+
+
+class TestBandwidth:
+    def test_compression_factor_three(self, toy32_params, ceilidh170_params):
+        for params in (toy32_params, ceilidh170_params):
+            compressed_bits, uncompressed_bits, factor = bandwidth_summary(params)
+            assert factor == 3
+            assert compressed_bits == 2 * params.p_bits
+            assert uncompressed_bits == 6 * params.p_bits
+
+    def test_170_bit_sizes(self, ceilidh170_params):
+        # Two Fp values at 170 bits: 340 bits on the wire - a third of the
+        # 1024-bit RSA modulus the paper compares against.
+        compressed_bits, _, _ = bandwidth_summary(ceilidh170_params)
+        assert compressed_bits == 340
+        assert compressed_bits * 3 >= 1020
+
+    def test_byte_sizes(self, ceilidh170_params):
+        assert compressed_size_bytes(ceilidh170_params) == 2 * 22
+        assert uncompressed_size_bytes(ceilidh170_params) == 6 * 22

@@ -1,0 +1,75 @@
+"""Tests for the torus exponentiation strategies."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.torus.exponentiation import (
+    ExponentiationCount,
+    exponentiate_binary,
+    exponentiate_naf,
+    exponentiate_window,
+    multiplication_counts,
+)
+
+
+class TestStrategiesAgree:
+    @pytest.mark.parametrize("exponent", [0, 1, 2, 3, 17, 1023, 65537, 0xDEADBEEF])
+    def test_all_strategies_match_group_pow(self, toy32_group, exponent):
+        g = toy32_group.generator()
+        reference = toy32_group.exponentiate(g, exponent)
+        assert exponentiate_binary(g, exponent) == reference
+        assert exponentiate_naf(g, exponent) == reference
+        assert exponentiate_window(g, exponent) == reference
+        assert exponentiate_window(g, exponent, window_bits=2) == reference
+
+    def test_random_exponents(self, toy32_group, rng):
+        g = toy32_group.generator()
+        for _ in range(5):
+            exponent = rng.randrange(1, toy32_group.params.q)
+            reference = toy32_group.exponentiate(g, exponent)
+            assert exponentiate_binary(g, exponent) == reference
+            assert exponentiate_naf(g, exponent) == reference
+            assert exponentiate_window(g, exponent) == reference
+
+    def test_negative_exponent(self, toy32_group):
+        g = toy32_group.generator()
+        assert exponentiate_binary(g, -7) == toy32_group.exponentiate(g, -7)
+        assert exponentiate_naf(g, -7) == toy32_group.exponentiate(g, -7)
+
+    def test_bad_window_rejected(self, toy32_group):
+        with pytest.raises(ParameterError):
+            exponentiate_window(toy32_group.generator(), 5, window_bits=0)
+
+
+class TestOperationCounts:
+    def test_binary_counts(self, toy32_group):
+        count = ExponentiationCount(0, 0)
+        exponent = 0b1011011
+        exponentiate_binary(toy32_group.generator(), exponent, count)
+        assert count.squarings == exponent.bit_length() - 1
+        assert count.multiplications == bin(exponent).count("1") - 1
+
+    def test_naf_uses_fewer_multiplications_on_dense_exponents(self, toy32_group):
+        dense = (1 << 48) - 1  # all ones: binary needs 47 multiplications
+        binary_count = ExponentiationCount(0, 0)
+        naf_count = ExponentiationCount(0, 0)
+        exponentiate_binary(toy32_group.generator(), dense, binary_count)
+        exponentiate_naf(toy32_group.generator(), dense, naf_count)
+        assert naf_count.multiplications < binary_count.multiplications
+
+    def test_closed_form_counts(self):
+        binary = multiplication_counts(170, "binary")
+        assert binary.squarings == 169
+        assert binary.multiplications == 84
+        naf = multiplication_counts(170, "naf")
+        assert naf.multiplications < binary.multiplications
+        window = multiplication_counts(170, "window4")
+        assert window.total < binary.total
+        with pytest.raises(ParameterError):
+            multiplication_counts(170, "bogus")
+
+    def test_paper_scale_operation_count(self):
+        # ~170-bit exponent -> ~254 Fp6 multiplications, the number behind the
+        # 20 ms Table 3 entry (254 * ~5908 cycles at 74 MHz).
+        count = multiplication_counts(170, "binary")
+        assert 240 <= count.total <= 260

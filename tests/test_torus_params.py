@@ -1,0 +1,79 @@
+"""Tests for CEILIDH parameter sets and generation."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.torus.params import (
+    CEILIDH_170,
+    NAMED_PARAMETERS,
+    TOY_20,
+    TOY_32,
+    TOY_64,
+    TorusParameters,
+    generate_parameters,
+    get_parameters,
+)
+
+
+class TestNamedParameters:
+    @pytest.mark.parametrize("params", list(NAMED_PARAMETERS.values()), ids=lambda p: p.name)
+    def test_all_named_sets_validate(self, params):
+        params.validate()
+
+    def test_ceilidh_170_size(self):
+        assert CEILIDH_170.p_bits == 170
+        assert CEILIDH_170.p % 9 in (2, 5)
+        assert CEILIDH_170.q_bits >= 160
+
+    def test_torus_order_identity(self):
+        for params in (TOY_20, TOY_32, TOY_64, CEILIDH_170):
+            assert params.torus_order == params.p ** 2 - params.p + 1
+            assert params.q * params.cofactor == params.torus_order
+
+    def test_compression_factor(self):
+        assert CEILIDH_170.compression_factor == 3
+
+    def test_lookup(self):
+        assert get_parameters("toy-32") is TOY_32
+        with pytest.raises(ParameterError):
+            get_parameters("nonexistent")
+
+
+class TestValidation:
+    def test_rejects_wrong_residue(self):
+        bad = TorusParameters(name="bad", p=19, q=7, cofactor=(19 * 19 - 19 + 1) // 7)
+        with pytest.raises(ParameterError):
+            bad.validate()
+
+    def test_rejects_composite_q(self):
+        params = TOY_20
+        bad = TorusParameters(
+            name="bad", p=params.p, q=params.q * 2, cofactor=params.cofactor
+        )
+        with pytest.raises(ParameterError):
+            bad.validate()
+
+    def test_rejects_wrong_cofactor(self):
+        params = TOY_20
+        bad = TorusParameters(name="bad", p=params.p, q=params.q, cofactor=params.cofactor + 1)
+        with pytest.raises(ParameterError):
+            bad.validate()
+
+
+class TestGeneration:
+    def test_generate_small_set(self):
+        params = generate_parameters(28, random.Random(11), max_cofactor_bits=64)
+        params.validate()
+        assert params.p_bits == 28
+        assert params.p % 9 in (2, 5)
+
+    def test_generated_sets_differ_by_seed(self):
+        a = generate_parameters(26, random.Random(1), max_cofactor_bits=64)
+        b = generate_parameters(26, random.Random(2), max_cofactor_bits=64)
+        assert a.p != b.p
+
+    def test_custom_name(self):
+        params = generate_parameters(24, random.Random(3), max_cofactor_bits=64, name="custom")
+        assert params.name == "custom"

@@ -1,0 +1,119 @@
+"""Tests for the XTR extension (trace representation, ladder, key agreement).
+
+The trace recurrences are validated against *direct* computation of
+Tr(g^n) through full Fp6 arithmetic, which makes these tests an independent
+check of both the ladder and the tower/trace machinery.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.torus.params import get_parameters
+from repro.torus.t6 import T6Group
+from repro.xtr.keyagreement import XtrSystem
+from repro.xtr.trace import XtrContext
+
+
+@pytest.fixture(scope="module")
+def context32():
+    return XtrContext(get_parameters("toy-32"))
+
+
+@pytest.fixture(scope="module")
+def group32():
+    return T6Group(get_parameters("toy-32"))
+
+
+class TestTraceIdentities:
+    def test_trace_of_identity_is_three(self, context32, group32):
+        trace = context32.trace_of_fp6(group32.identity().value)
+        assert trace.coefficients == (3, 0)
+
+    def test_ladder_matches_direct_traces_small_exponents(self, context32, group32):
+        g = group32.generator()
+        base = context32.trace_of_fp6(g.value)
+        for exponent in range(0, 20):
+            direct = context32.trace_of_fp6((g ** exponent).value)
+            laddered = context32.exponentiate(base, exponent)
+            assert laddered == direct, f"mismatch at exponent {exponent}"
+
+    def test_ladder_matches_direct_traces_random_exponents(self, context32, group32, rng):
+        g = group32.generator()
+        base = context32.trace_of_fp6(g.value)
+        for _ in range(5):
+            exponent = rng.randrange(1, 1 << 28)
+            direct = context32.trace_of_fp6((g ** exponent).value)
+            assert context32.exponentiate(base, exponent) == direct
+
+    def test_negative_exponent_is_conjugate(self, context32, group32):
+        g = group32.generator()
+        base = context32.trace_of_fp6(g.value)
+        minus = context32.exponentiate(base, -7)
+        direct = context32.trace_of_fp6((g ** -7).value)
+        assert minus == direct
+
+    def test_trace_is_invariant_on_conjugates(self, context32, group32, rng):
+        g = group32.generator()
+        element = g ** rng.randrange(2, 1 << 20)
+        conjugate = element.frobenius(2)
+        assert context32.trace_of_fp6(element.value) == context32.trace_of_fp6(conjugate.value)
+
+    def test_ladder_at_170_bits(self):
+        params = get_parameters("ceilidh-170")
+        context = XtrContext(params)
+        group = T6Group(params)
+        g = group.generator()
+        base = context.trace_of_fp6(g.value)
+        exponent = 0xDEADBEEFCAFEBABE
+        direct = context.trace_of_fp6((g ** exponent).value)
+        assert context.exponentiate(base, exponent) == direct
+
+    def test_operation_count_estimate(self, context32):
+        assert context32.ladder_multiplication_count(170) == 680
+
+
+class TestXtrKeyAgreement:
+    def test_shared_secret(self):
+        system = XtrSystem(get_parameters("toy-32"))
+        rng = random.Random(1)
+        alice = system.generate_keypair(rng)
+        bob = system.generate_keypair(rng)
+        assert system.shared_trace(alice, bob.public) == system.shared_trace(bob, alice.public)
+
+    def test_derived_keys_agree(self):
+        system = XtrSystem(get_parameters("toy-32"))
+        rng = random.Random(2)
+        alice = system.generate_keypair(rng)
+        bob = system.generate_keypair(rng)
+        assert system.derive_key(alice, bob.public) == system.derive_key(bob, alice.public)
+
+    def test_third_party_disagrees(self):
+        system = XtrSystem(get_parameters("toy-32"))
+        rng = random.Random(3)
+        alice, bob, eve = (system.generate_keypair(rng) for _ in range(3))
+        assert system.shared_trace(eve, bob.public) != system.shared_trace(alice, bob.public)
+
+    def test_wire_encoding_roundtrip(self):
+        system = XtrSystem(get_parameters("toy-32"))
+        rng = random.Random(4)
+        keypair = system.generate_keypair(rng)
+        data = system.encode_trace(keypair.public)
+        assert len(data) == system.public_size_bytes()
+        assert system.decode_trace(data) == keypair.public
+
+    def test_decode_rejects_bad_lengths_and_ranges(self):
+        system = XtrSystem(get_parameters("toy-32"))
+        with pytest.raises(ParameterError):
+            system.decode_trace(b"\x00")
+        width = system.public_size_bytes() // 2
+        too_big = system.params.p.to_bytes(width, "big") * 2
+        with pytest.raises(ParameterError):
+            system.decode_trace(too_big)
+
+    def test_same_bandwidth_as_ceilidh(self):
+        from repro.torus.encoding import compressed_size_bytes
+
+        params = get_parameters("ceilidh-170")
+        assert XtrSystem(params).public_size_bytes() == compressed_size_bytes(params)
