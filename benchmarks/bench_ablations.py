@@ -55,7 +55,7 @@ def bench_exponentiation_strategy_ablation(benchmark, platform, record_table):
 
     def sweep():
         rows = []
-        for strategy in ("binary", "naf", "window4"):
+        for strategy in ("binary", "naf", "window4", "wnaf4", "sliding4"):
             counts = multiplication_counts(170, strategy)
             cycles = model.exponentiation_cycles(
                 sequence.type_b_cycles, counts.squarings, counts.multiplications

@@ -1,4 +1,27 @@
-"""Setuptools shim so that legacy installs (python setup.py develop) work offline."""
-from setuptools import setup
+"""Setuptools entry point so that ``pip install -e .`` works offline.
 
-setup()
+The package has no third-party runtime dependencies; the test suite needs
+only pytest (benchmarks additionally use pytest-benchmark).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-fanbsv08-tori",
+    version="1.0.0",
+    description=(
+        "Reproduction of Fan, Batina, Sakiyama, Verbauwhede (DATE 2008): "
+        "FPGA design for algebraic tori-based public-key cryptography"
+    ),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    license="MIT",
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Security :: Cryptography",
+        "Intended Audience :: Science/Research",
+    ],
+)

@@ -6,6 +6,10 @@ multicore FPGA coprocessor.  This package rebuilds the whole stack in Python:
 
 * :mod:`repro.nt`, :mod:`repro.field` — number theory and the Fp / Fp2 / Fp3 /
   Fp6 tower (with the paper's 18M Fp6 multiplication),
+* :mod:`repro.exp` — the unified exponentiation engine: one strategy kernel
+  (binary, NAF, wNAF, sliding/fixed window, Montgomery ladder, fixed-base
+  tables, Shamir double exponentiation) powering the field, torus,
+  Montgomery/RSA and ECC layers,
 * :mod:`repro.montgomery` — FIOS Montgomery multiplication and the multi-core
   carry-local schedule of Fig. 5,
 * :mod:`repro.torus` — T6(Fp), the factor-3 compression maps and the CEILIDH

@@ -11,9 +11,12 @@ self-validation and toy curves for exhaustive testing.
 from repro.ecc.curve import WeierstrassCurve
 from repro.ecc.point import AffinePoint, JacobianPoint, INFINITY
 from repro.ecc.scalar import (
+    ScalarMultCount,
+    double_scalar_mult,
     scalar_mult,
     scalar_mult_binary,
     scalar_mult_naf,
+    scalar_mult_wnaf,
     scalar_mult_ladder,
     scalar_mult_window,
 )
@@ -31,11 +34,14 @@ __all__ = [
     "AffinePoint",
     "JacobianPoint",
     "INFINITY",
+    "ScalarMultCount",
     "scalar_mult",
     "scalar_mult_binary",
     "scalar_mult_naf",
+    "scalar_mult_wnaf",
     "scalar_mult_ladder",
     "scalar_mult_window",
+    "double_scalar_mult",
     "NamedCurve",
     "NAMED_CURVES",
     "get_curve",

@@ -17,7 +17,7 @@ from repro.errors import ParameterError, SignatureError
 from repro.nt.modular import modinv
 from repro.ecc.curves import NamedCurve
 from repro.ecc.point import AffinePoint
-from repro.ecc.scalar import scalar_mult_binary
+from repro.ecc.scalar import double_scalar_mult, scalar_mult
 
 
 @dataclass
@@ -39,13 +39,13 @@ def ecdh_generate(named: NamedCurve, rng: Optional[random.Random] = None) -> Ecd
     rng = rng or random.Random()
     _, generator = named.build()
     private = rng.randrange(1, named.order)
-    public = scalar_mult_binary(generator, private)
+    public = scalar_mult(generator, private)
     return EcdhKeyPair(curve=named, private=private, public=public)
 
 
 def ecdh_shared_secret(own: EcdhKeyPair, peer_public: AffinePoint) -> bytes:
     """X-coordinate of the shared point, fixed width big-endian."""
-    shared = scalar_mult_binary(peer_public, own.private)
+    shared = scalar_mult(peer_public, own.private)
     if shared.is_infinity():
         raise ParameterError("degenerate ECDH shared point")
     width = (own.curve.p.bit_length() + 7) // 8
@@ -71,7 +71,7 @@ def ecdsa_sign(
     e = _hash_to_int(message, named.order)
     for _ in range(64):
         k = rng.randrange(1, named.order)
-        point = scalar_mult_binary(generator, k)
+        point = scalar_mult(generator, k)
         r = point.x % named.order
         if r == 0:
             continue
@@ -94,7 +94,8 @@ def ecdsa_verify(
     w = modinv(s, named.order)
     u1 = e * w % named.order
     u2 = r * w % named.order
-    point = scalar_mult_binary(generator, u1) + scalar_mult_binary(public, u2)
+    # Shamir double-scalar multiplication: one shared doubling chain.
+    point = double_scalar_mult(generator, u1, public, u2)
     if point.is_infinity():
         return False
     return point.x % named.order == r

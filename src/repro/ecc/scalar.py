@@ -1,92 +1,92 @@
-"""Scalar multiplication strategies.
+"""Scalar multiplication strategies — thin wrappers over :mod:`repro.exp`.
 
 The paper's 160-bit ECC timing uses the plain double-and-add loop over
 Jacobian coordinates (Table 3: ~160 doublings + ~80 additions at the Type-B
-cost of Table 2); NAF, windowed and Montgomery-ladder variants are provided
-for the ablation benchmark and for the protocols.
+cost of Table 2).  All strategies now run on the unified engine with the
+Jacobian group adapter; point negation is free, so the engine's default is
+wNAF (~n/5 additions instead of n/2), and Shamir double-scalar
+multiplication backs ECDSA-style ``u1*G + u2*Q`` verification.  Counts are
+emitted as the unified :class:`~repro.exp.trace.OpTrace`, with the
+historical ``ScalarMultCount`` name kept as an additive-vocabulary subclass.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ParameterError
-from repro.ecc.point import INFINITY, AffinePoint, JacobianPoint
+from repro.exp.group import JacobianExpGroup
+from repro.exp.strategies import (
+    check_window_bits,
+    double_exponentiate as _double_exponentiate,
+    exponentiate as _exponentiate,
+)
+from repro.exp.trace import ScalarMultCount
+from repro.ecc.point import INFINITY, AffinePoint
+
+__all__ = [
+    "ScalarMultCount",
+    "scalar_mult",
+    "scalar_mult_binary",
+    "scalar_mult_naf",
+    "scalar_mult_wnaf",
+    "scalar_mult_window",
+    "scalar_mult_ladder",
+    "double_scalar_mult",
+]
+
+#: Strategy names accepted by :func:`scalar_mult`.
+SCALAR_STRATEGIES = ("auto", "binary", "naf", "wnaf", "sliding", "window", "ladder")
 
 
-@dataclass
-class ScalarMultCount:
-    """Point-operation tally of one scalar multiplication."""
-
-    doublings: int = 0
-    additions: int = 0
-
-    @property
-    def total(self) -> int:
-        return self.doublings + self.additions
+def _run(
+    point: AffinePoint,
+    scalar: int,
+    strategy: str,
+    count: Optional[ScalarMultCount],
+    window_bits: Optional[int] = None,
+) -> AffinePoint:
+    if window_bits is not None:
+        check_window_bits(window_bits)  # reject bad widths even for trivial scalars
+    if scalar == 0 or point.is_infinity():
+        return INFINITY
+    group = JacobianExpGroup(point.curve)
+    result = _exponentiate(
+        group,
+        point.to_jacobian(),
+        scalar,
+        strategy=strategy,
+        trace=count,
+        window_bits=window_bits,
+    )
+    return result.to_affine()
 
 
 def scalar_mult_binary(
     point: AffinePoint, scalar: int, count: Optional[ScalarMultCount] = None
 ) -> AffinePoint:
     """Left-to-right double-and-add in Jacobian coordinates (paper's strategy)."""
-    if scalar < 0:
-        return scalar_mult_binary(-point, -scalar, count)
-    if scalar == 0 or point.is_infinity():
-        return INFINITY
-    base = point.to_jacobian()
-    acc = base
-    for bit in bin(scalar)[3:]:
-        acc = acc.double()
-        if count is not None:
-            count.doublings += 1
-        if bit == "1":
-            acc = acc.add(base)
-            if count is not None:
-                count.additions += 1
-    return acc.to_affine()
-
-
-def _naf_digits(scalar: int):
-    digits = []
-    while scalar > 0:
-        if scalar & 1:
-            digit = 2 - (scalar % 4)
-            scalar -= digit
-        else:
-            digit = 0
-        digits.append(digit)
-        scalar >>= 1
-    return digits
+    return _run(point, scalar, "binary", count)
 
 
 def scalar_mult_naf(
     point: AffinePoint, scalar: int, count: Optional[ScalarMultCount] = None
 ) -> AffinePoint:
     """Signed-digit (NAF) double-and-add: ~n/3 additions instead of n/2."""
-    if scalar < 0:
-        return scalar_mult_naf(-point, -scalar, count)
-    if scalar == 0 or point.is_infinity():
-        return INFINITY
-    base = point.to_jacobian()
-    base_neg = (-point).to_jacobian()
-    digits = _naf_digits(scalar)
-    acc = JacobianPoint(point.curve, 1, 1, 0)
-    for digit in reversed(digits):
-        if not acc.is_infinity():
-            acc = acc.double()
-            if count is not None:
-                count.doublings += 1
-        if digit == 1:
-            acc = acc.add(base)
-            if count is not None:
-                count.additions += 1
-        elif digit == -1:
-            acc = acc.add(base_neg)
-            if count is not None:
-                count.additions += 1
-    return acc.to_affine()
+    return _run(point, scalar, "naf", count)
+
+
+def scalar_mult_wnaf(
+    point: AffinePoint,
+    scalar: int,
+    window_bits: Optional[int] = None,
+    count: Optional[ScalarMultCount] = None,
+) -> AffinePoint:
+    """Width-w NAF with an odd-multiple table: ~n/(w+1) additions.
+
+    The default fast path — point negation is free, so the signed digits
+    cost nothing beyond the table."""
+    return _run(point, scalar, "wnaf", count, window_bits)
 
 
 def scalar_mult_window(
@@ -96,70 +96,56 @@ def scalar_mult_window(
     count: Optional[ScalarMultCount] = None,
 ) -> AffinePoint:
     """Fixed-window scalar multiplication with a 2^w-entry table."""
-    if not 1 <= window_bits <= 8:
-        raise ParameterError("window width must be between 1 and 8 bits")
-    if scalar < 0:
-        return scalar_mult_window(-point, -scalar, window_bits, count)
-    if scalar == 0 or point.is_infinity():
-        return INFINITY
-    base = point.to_jacobian()
-    table = [JacobianPoint(point.curve, 1, 1, 0), base]
-    for _ in range((1 << window_bits) - 2):
-        table.append(table[-1].add(base))
-        if count is not None:
-            count.additions += 1
-    digits = []
-    e = scalar
-    while e:
-        digits.append(e & ((1 << window_bits) - 1))
-        e >>= window_bits
-    digits.reverse()
-    acc = table[digits[0]]
-    for digit in digits[1:]:
-        for _ in range(window_bits):
-            acc = acc.double()
-            if count is not None:
-                count.doublings += 1
-        if digit:
-            acc = acc.add(table[digit])
-            if count is not None:
-                count.additions += 1
-    return acc.to_affine()
+    return _run(point, scalar, "window", count, window_bits)
 
 
 def scalar_mult_ladder(
     point: AffinePoint, scalar: int, count: Optional[ScalarMultCount] = None
 ) -> AffinePoint:
     """Montgomery ladder over Jacobian coordinates (regular operation pattern)."""
-    if scalar < 0:
-        return scalar_mult_ladder(-point, -scalar, count)
-    if scalar == 0 or point.is_infinity():
-        return INFINITY
-    r0 = JacobianPoint(point.curve, 1, 1, 0)
-    r1 = point.to_jacobian()
-    for bit in bin(scalar)[2:]:
-        if bit == "1":
-            r0 = r0.add(r1)
-            r1 = r1.double()
-        else:
-            r1 = r0.add(r1)
-            r0 = r0.double()
-        if count is not None:
-            count.doublings += 1
-            count.additions += 1
-    return r0.to_affine()
+    return _run(point, scalar, "ladder", count)
 
 
-def scalar_mult(point: AffinePoint, scalar: int, strategy: str = "binary") -> AffinePoint:
-    """Dispatch on the strategy name (binary, naf, window, ladder)."""
-    strategies = {
-        "binary": scalar_mult_binary,
-        "naf": scalar_mult_naf,
-        "ladder": scalar_mult_ladder,
-    }
-    if strategy == "window":
-        return scalar_mult_window(point, scalar)
-    try:
-        return strategies[strategy](point, scalar)
-    except KeyError:
-        raise ParameterError(f"unknown scalar multiplication strategy {strategy!r}") from None
+def double_scalar_mult(
+    point_a: AffinePoint,
+    scalar_a: int,
+    point_b: AffinePoint,
+    scalar_b: int,
+    count: Optional[ScalarMultCount] = None,
+) -> AffinePoint:
+    """Shamir/Straus simultaneous multiplication ``a*P + b*Q``.
+
+    One shared doubling chain over max(bits(a), bits(b)) instead of two —
+    the standard trick for ECDSA verification's ``u1*G + u2*Q``.
+    """
+    if point_a.is_infinity() or scalar_a == 0:
+        return _run(point_b, scalar_b, "auto", count)
+    if point_b.is_infinity() or scalar_b == 0:
+        return _run(point_a, scalar_a, "auto", count)
+    if point_a.curve != point_b.curve:
+        raise ParameterError("points lie on different curves")
+    group = JacobianExpGroup(point_a.curve)
+    result = _double_exponentiate(
+        group,
+        point_a.to_jacobian(),
+        scalar_a,
+        point_b.to_jacobian(),
+        scalar_b,
+        trace=count,
+    )
+    return result.to_affine()
+
+
+def scalar_mult(
+    point: AffinePoint,
+    scalar: int,
+    strategy: str = "auto",
+    count: Optional[ScalarMultCount] = None,
+) -> AffinePoint:
+    """Dispatch on the strategy name (auto, binary, naf, wnaf, sliding, window, ladder).
+
+    ``auto`` resolves to wNAF for cryptographic scalar sizes — measurably
+    fewer point additions than the paper's double-and-add at 160 bits."""
+    if strategy not in SCALAR_STRATEGIES:
+        raise ParameterError(f"unknown scalar multiplication strategy {strategy!r}")
+    return _run(point, scalar, strategy, count)

@@ -1,0 +1,571 @@
+"""The strategy kernel: every exponentiation loop in the library, once.
+
+Each strategy takes a :class:`~repro.exp.group.Group`, a base element and a
+non-negative exponent, optionally records group operations into an
+:class:`~repro.exp.trace.OpTrace`, and returns the power.  The same eight
+strategies therefore serve field powers, torus exponentiation, Montgomery/RSA
+exponentiation and ECC scalar multiplication:
+
+=================  ==========================================================
+``binary``         left-to-right square-and-multiply (the paper's strategy)
+``naf``            signed non-adjacent form, ~n/3 multiplications
+``wnaf``           width-w NAF with odd-power table, ~n/(w+1) multiplications
+``sliding``        sliding window over an odd-power table (no inversions)
+``window``         fixed 2^w-entry window (the historical windowed variant)
+``ladder``         Montgomery ladder (regular pattern, side-channel shape)
+``fixed_base``     full precomputed power table, zero online squarings
+``shamir``         Shamir/Straus simultaneous double exponentiation
+=================  ==========================================================
+
+Signed strategies pay one inversion per distinct negative digit value, which
+is free exactly where the paper exploits it (torus Frobenius, point negation);
+:func:`select_strategy` uses the group's ``cheap_inverse`` flag to pick wNAF
+there and the inversion-free sliding window elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ParameterError
+from repro.exp.group import Group
+from repro.exp.trace import OpTrace
+
+Strategy = Callable[..., Any]
+
+#: Name -> strategy function.  Populated by :func:`register_strategy`.
+STRATEGIES: Dict[str, Strategy] = {}
+
+
+def register_strategy(name: str) -> Callable[[Strategy], Strategy]:
+    def wrap(fn: Strategy) -> Strategy:
+        STRATEGIES[name] = fn
+        return fn
+
+    return wrap
+
+
+def get_strategy(name: str) -> Strategy:
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown exponentiation strategy {name!r}; "
+            f"available: {', '.join(available_strategies())}"
+        ) from None
+
+
+def available_strategies() -> List[str]:
+    return sorted(STRATEGIES)
+
+
+# ---------------------------------------------------------------------------
+# Trace bookkeeping and recoding helpers.
+# ---------------------------------------------------------------------------
+
+
+def _sq(trace: Optional[OpTrace]) -> None:
+    if trace is not None:
+        trace.squarings += 1
+
+
+def _mul(trace: Optional[OpTrace]) -> None:
+    if trace is not None:
+        trace.multiplications += 1
+
+
+def _inv(trace: Optional[OpTrace]) -> None:
+    if trace is not None:
+        trace.inversions += 1
+
+
+def naf_digits(exponent: int) -> List[int]:
+    """Non-adjacent form, least-significant digit first, digits in {-1, 0, 1}."""
+    digits: List[int] = []
+    while exponent > 0:
+        if exponent & 1:
+            digit = 2 - (exponent % 4)
+            exponent -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        exponent >>= 1
+    return digits
+
+
+def wnaf_digits(exponent: int, width: int) -> List[int]:
+    """Width-``w`` NAF, least-significant first; non-zero digits are odd and
+    lie in ``(-2^(w-1), 2^(w-1))``, with at least ``w-1`` zeros between them."""
+    if width < 2:
+        return naf_digits(exponent)
+    digits: List[int] = []
+    modulus = 1 << width
+    half = 1 << (width - 1)
+    while exponent > 0:
+        if exponent & 1:
+            digit = exponent % modulus
+            if digit >= half:
+                digit -= modulus
+            exponent -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        exponent >>= 1
+    return digits
+
+
+def default_window_bits(exponent_bits: int) -> int:
+    """Window width minimising table-build plus per-digit multiplications."""
+    if exponent_bits < 24:
+        return 2
+    if exponent_bits < 80:
+        return 3
+    if exponent_bits < 240:
+        return 4
+    if exponent_bits < 768:
+        return 5
+    return 6
+
+
+def check_window_bits(window_bits: int) -> None:
+    if not 1 <= window_bits <= 8:
+        raise ParameterError("window width must be between 1 and 8 bits")
+
+
+def _odd_power_table(
+    group: Group, base: Any, limit: int, trace: Optional[OpTrace]
+) -> Dict[int, Any]:
+    """Precompute ``{1: g, 3: g^3, ..., limit: g^limit}`` for odd ``limit >= 1``."""
+    table = {1: base}
+    if limit >= 3:
+        square = group.square(base)
+        _sq(trace)
+        current = base
+        for k in range(3, limit + 1, 2):
+            current = group.op(current, square)
+            _mul(trace)
+            table[k] = current
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Strategies.  All take exponent >= 0 (the front door handles negatives).
+# ---------------------------------------------------------------------------
+
+
+@register_strategy("binary")
+def exp_binary(
+    group: Group, base: Any, exponent: int, trace: Optional[OpTrace] = None, **_: Any
+) -> Any:
+    """Left-to-right square-and-multiply: n-1 squarings, popcount-1 products."""
+    if exponent == 0:
+        return group.identity()
+    result = base
+    for bit in bin(exponent)[3:]:
+        result = group.square(result)
+        _sq(trace)
+        if bit == "1":
+            result = group.op(result, base)
+            _mul(trace)
+    return result
+
+
+def _signed_digit_walk(
+    group: Group,
+    digits: List[int],
+    lookup: Callable[[int], Any],
+    trace: Optional[OpTrace],
+) -> Any:
+    """Left-to-right walk over signed digits (most-significant first).
+
+    The accumulator stays un-materialised (``None``) until the first non-zero
+    digit, so leading squarings of the identity are neither performed nor
+    counted — matching how the historical per-layer loops behaved.
+    """
+    result = None
+    for digit in digits:
+        if result is not None:
+            result = group.square(result)
+            _sq(trace)
+        if digit:
+            operand = lookup(digit)
+            if result is None:
+                result = operand
+            else:
+                result = group.op(result, operand)
+                _mul(trace)
+    return group.identity() if result is None else result
+
+
+@register_strategy("naf")
+def exp_naf(
+    group: Group, base: Any, exponent: int, trace: Optional[OpTrace] = None, **_: Any
+) -> Any:
+    """Signed-digit (NAF) recoding: ~n/3 general multiplications.
+
+    Pays one base inversion, which is free where ``cheap_inverse`` holds (the
+    torus's Frobenius, point negation on a curve).
+    """
+    if exponent == 0:
+        return group.identity()
+    digits = naf_digits(exponent)
+    inverse = None
+    if any(d < 0 for d in digits):
+        inverse = group.inverse(base)
+        _inv(trace)
+    return _signed_digit_walk(
+        group,
+        list(reversed(digits)),
+        lambda d: base if d > 0 else inverse,
+        trace,
+    )
+
+
+@register_strategy("wnaf")
+def exp_wnaf(
+    group: Group,
+    base: Any,
+    exponent: int,
+    trace: Optional[OpTrace] = None,
+    window_bits: Optional[int] = None,
+    **_: Any,
+) -> Any:
+    """Width-w NAF with a table of odd powers: ~n/(w+1) multiplications."""
+    if window_bits is None:
+        window_bits = max(2, default_window_bits(exponent.bit_length()))
+    check_window_bits(window_bits)
+    if exponent == 0:
+        return group.identity()
+    digits = wnaf_digits(exponent, window_bits)
+    largest = max((abs(d) for d in digits if d), default=1)
+    table = _odd_power_table(group, base, largest, trace)
+    negatives: Dict[int, Any] = {}
+
+    def lookup(digit: int) -> Any:
+        if digit > 0:
+            return table[digit]
+        cached = negatives.get(-digit)
+        if cached is None:
+            cached = group.inverse(table[-digit])
+            _inv(trace)
+            negatives[-digit] = cached
+        return cached
+
+    return _signed_digit_walk(group, list(reversed(digits)), lookup, trace)
+
+
+@register_strategy("sliding")
+def exp_sliding(
+    group: Group,
+    base: Any,
+    exponent: int,
+    trace: Optional[OpTrace] = None,
+    window_bits: Optional[int] = None,
+    **_: Any,
+) -> Any:
+    """Sliding window over odd powers — the inversion-free fast path."""
+    if window_bits is None:
+        window_bits = default_window_bits(exponent.bit_length())
+    check_window_bits(window_bits)
+    if exponent == 0:
+        return group.identity()
+    if window_bits == 1:
+        return exp_binary(group, base, exponent, trace)
+    bits = bin(exponent)[2:]
+    # First pass: recode into (chunk, width) events — chunk 0 is one squaring,
+    # an odd chunk is `width` squarings then one table multiplication.
+    events: List[tuple] = []
+    i = 0
+    while i < len(bits):
+        if bits[i] == "0":
+            events.append((0, 1))
+            i += 1
+            continue
+        # Longest window starting here that ends in a 1 (so the chunk is odd).
+        j = min(i + window_bits, len(bits))
+        while bits[j - 1] == "0":
+            j -= 1
+        events.append((int(bits[i:j], 2), j - i))
+        i = j
+    # Size the table by the largest chunk that actually occurs, so sparse
+    # exponents (e.g. RSA's 65537) never pay for unused entries.
+    largest = max(chunk for chunk, _width in events)
+    table = _odd_power_table(group, base, largest, trace)
+    result = None
+    for chunk, width in events:
+        if chunk == 0:
+            result = group.square(result)
+            _sq(trace)
+        elif result is None:
+            result = table[chunk]
+        else:
+            for _unused in range(width):
+                result = group.square(result)
+                _sq(trace)
+            result = group.op(result, table[chunk])
+            _mul(trace)
+    return result
+
+
+@register_strategy("window")
+def exp_window(
+    group: Group,
+    base: Any,
+    exponent: int,
+    trace: Optional[OpTrace] = None,
+    window_bits: Optional[int] = None,
+    **_: Any,
+) -> Any:
+    """Fixed 2^w-entry window (the historical windowed variant of each layer)."""
+    if window_bits is None:
+        window_bits = default_window_bits(exponent.bit_length())
+    check_window_bits(window_bits)
+    if exponent == 0:
+        return group.identity()
+    table = [group.identity(), base]
+    for _unused in range((1 << window_bits) - 2):
+        table.append(group.op(table[-1], base))
+        _mul(trace)
+    digits: List[int] = []
+    e = exponent
+    mask = (1 << window_bits) - 1
+    while e:
+        digits.append(e & mask)
+        e >>= window_bits
+    digits.reverse()
+    result = table[digits[0]]
+    for digit in digits[1:]:
+        for _unused in range(window_bits):
+            result = group.square(result)
+            _sq(trace)
+        if digit:
+            result = group.op(result, table[digit])
+            _mul(trace)
+    return result
+
+
+@register_strategy("ladder")
+def exp_ladder(
+    group: Group, base: Any, exponent: int, trace: Optional[OpTrace] = None, **_: Any
+) -> Any:
+    """Montgomery ladder: one squaring and one multiplication per bit."""
+    if exponent == 0:
+        return group.identity()
+    r0 = group.identity()
+    r1 = base
+    for bit in bin(exponent)[2:]:
+        if bit == "1":
+            r0 = group.op(r0, r1)
+            r1 = group.square(r1)
+        else:
+            r1 = group.op(r0, r1)
+            r0 = group.square(r0)
+        _sq(trace)
+        _mul(trace)
+    return r0
+
+
+@register_strategy("fixed_base")
+def exp_fixed_base(
+    group: Group, base: Any, exponent: int, trace: Optional[OpTrace] = None, **_: Any
+) -> Any:
+    """One-shot fixed-base strategy: build the table, then use it.
+
+    Only sensible through the registry for cost comparisons; real fixed-base
+    users keep a :class:`FixedBaseTable` across many exponentiations so the
+    squaring chain is paid once.
+    """
+    table = FixedBaseTable(group, base, max(1, exponent.bit_length()), trace=trace)
+    return table.power(exponent, trace=trace)
+
+
+# ---------------------------------------------------------------------------
+# Fixed-base precomputation.
+# ---------------------------------------------------------------------------
+
+
+class FixedBaseTable:
+    """Precomputed powers ``g^(2^i)`` of a fixed base.
+
+    Building the table costs ``max_bits - 1`` squarings once; afterwards each
+    ``power`` call needs only ~popcount(e) - 1 general multiplications and
+    *zero* squarings — the classic trade for generator exponentiations in key
+    generation, CEILIDH/ECDH key agreement and Schnorr commitments.
+    """
+
+    def __init__(
+        self,
+        group: Group,
+        base: Any,
+        max_bits: int,
+        trace: Optional[OpTrace] = None,
+    ):
+        if max_bits < 1:
+            raise ParameterError("fixed-base table needs max_bits >= 1")
+        self.group = group
+        self.base = base
+        self._powers: List[Any] = [base]
+        self._extend(max_bits, trace)
+
+    def _extend(self, max_bits: int, trace: Optional[OpTrace] = None) -> None:
+        while len(self._powers) < max_bits:
+            self._powers.append(self.group.square(self._powers[-1]))
+            _sq(trace)
+
+    @property
+    def max_bits(self) -> int:
+        return len(self._powers)
+
+    def power(self, exponent: int, trace: Optional[OpTrace] = None) -> Any:
+        """``base^exponent`` using only stored doublings."""
+        group = self.group
+        if exponent < 0:
+            result = self.power(-exponent, trace)
+            _inv(trace)
+            return group.inverse(result)
+        if exponent == 0:
+            return group.identity()
+        self._extend(exponent.bit_length(), trace)
+        result = None
+        index = 0
+        e = exponent
+        while e:
+            if e & 1:
+                if result is None:
+                    result = self._powers[index]
+                else:
+                    result = group.op(result, self._powers[index])
+                    _mul(trace)
+            e >>= 1
+            index += 1
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Front door.
+# ---------------------------------------------------------------------------
+
+
+def select_strategy(group: Group, exponent: int) -> str:
+    """Default strategy choice: binary for tiny exponents, then wNAF where
+    inversion is free and sliding window elsewhere."""
+    if exponent.bit_length() <= 16:
+        return "binary"
+    return "wnaf" if group.cheap_inverse else "sliding"
+
+
+def exponentiate(
+    group: Group,
+    base: Any,
+    exponent: int,
+    strategy: str = "auto",
+    trace: Optional[OpTrace] = None,
+    window_bits: Optional[int] = None,
+) -> Any:
+    """Compute ``base^exponent`` in ``group`` with the named strategy.
+
+    Negative exponents invert the base once (cheap on the torus and on
+    curves) and proceed with ``-exponent``.  ``strategy="auto"`` delegates to
+    :func:`select_strategy`.
+    """
+    if exponent < 0:
+        base = group.inverse(base)
+        _inv(trace)
+        exponent = -exponent
+    if strategy == "auto":
+        strategy = select_strategy(group, exponent)
+    fn = get_strategy(strategy)
+    return fn(group, base, exponent, trace=trace, window_bits=window_bits)
+
+
+def double_exponentiate(
+    group: Group,
+    base_a: Any,
+    exponent_a: int,
+    base_b: Any,
+    exponent_b: int,
+    trace: Optional[OpTrace] = None,
+) -> Any:
+    """Shamir/Straus simultaneous exponentiation: ``a^ea * b^eb``.
+
+    One shared squaring chain over ``max(bits(ea), bits(eb))`` plus at most
+    one multiplication per bit (expected 3/4), against the two full chains of
+    independent exponentiations — the trick behind ECDSA-style
+    ``u1*G + u2*Q`` verification.
+    """
+    if exponent_a < 0:
+        base_a = group.inverse(base_a)
+        _inv(trace)
+        exponent_a = -exponent_a
+    if exponent_b < 0:
+        base_b = group.inverse(base_b)
+        _inv(trace)
+        exponent_b = -exponent_b
+    if exponent_a == 0:
+        return exponentiate(group, base_b, exponent_b, trace=trace)
+    if exponent_b == 0:
+        return exponentiate(group, base_a, exponent_a, trace=trace)
+    both = None  # a*b, built lazily on the first shared digit column
+    result = None
+    for shift in range(max(exponent_a.bit_length(), exponent_b.bit_length()) - 1, -1, -1):
+        if result is not None:
+            result = group.square(result)
+            _sq(trace)
+        bit_a = (exponent_a >> shift) & 1
+        bit_b = (exponent_b >> shift) & 1
+        if not (bit_a or bit_b):
+            continue
+        if bit_a and bit_b:
+            if both is None:
+                both = group.op(base_a, base_b)
+                _mul(trace)
+            operand = both
+        else:
+            operand = base_a if bit_a else base_b
+        if result is None:
+            result = operand
+        else:
+            result = group.op(result, operand)
+            _mul(trace)
+    return group.identity() if result is None else result
+
+
+# ---------------------------------------------------------------------------
+# Closed-form expected costs (analytical models, ablations, Table 3).
+# ---------------------------------------------------------------------------
+
+
+def expected_counts(
+    strategy: str, exponent_bits: int, window_bits: Optional[int] = None
+) -> OpTrace:
+    """Expected squaring/multiplication counts for a random ``n``-bit exponent.
+
+    The ``binary``, ``naf`` and ``window`` forms reproduce the historical
+    torus closed forms used by the Table 3 cost model; the others follow the
+    standard averages (wNAF/sliding: ~n/(w+1) window hits plus the odd-power
+    table of 2^(w-1) - 1 products and one squaring).
+    """
+    n = exponent_bits
+    if n < 1:
+        raise ParameterError("exponent_bits must be positive")
+    if strategy == "binary":
+        return OpTrace(squarings=n - 1, multiplications=(n - 1) // 2)
+    if strategy == "naf":
+        return OpTrace(squarings=n, multiplications=n // 3)
+    w = window_bits if window_bits is not None else default_window_bits(n)
+    check_window_bits(w)
+    if strategy == "window":
+        return OpTrace(squarings=n, multiplications=n // w + (1 << w) - 2)
+    if strategy == "wnaf":
+        table = (1 << max(w - 1, 1)) - 1
+        return OpTrace(squarings=n + 1, multiplications=n // (w + 1) + table // 2)
+    if strategy == "sliding":
+        table = (1 << (w - 1)) - 1
+        return OpTrace(squarings=n + 1, multiplications=n // (w + 1) + table)
+    if strategy == "ladder":
+        return OpTrace(squarings=n, multiplications=n)
+    if strategy == "fixed_base":
+        return OpTrace(squarings=0, multiplications=max(n // 2 - 1, 0))
+    if strategy == "shamir":
+        return OpTrace(squarings=n, multiplications=3 * n // 4 + 1)
+    raise ParameterError(f"unknown strategy {strategy!r}")

@@ -147,6 +147,7 @@ class ExtensionField:
         self.name = name
         self.var = var
         self._frobenius_matrices: dict = {}
+        self._exp_group = None
 
     # -- element constructors ----------------------------------------------
 
@@ -213,17 +214,21 @@ class ExtensionField:
         inverse = P.poly_inverse_mod(self.base, list(a.coeffs), self.modulus)
         return self(list(inverse))
 
-    def pow(self, a: ExtElement, e: int) -> ExtElement:
-        if e < 0:
-            return self.pow(self.inv(a), -e)
-        result = self.one()
-        base_elt = a
-        while e:
-            if e & 1:
-                result = self.mul(result, base_elt)
-            base_elt = self.mul(base_elt, base_elt)
-            e >>= 1
-        return result
+    def exp_group(self):
+        """This field's unit group as seen by :mod:`repro.exp`."""
+        if self._exp_group is None:
+            from repro.exp.group import ExtensionExpGroup
+
+            self._exp_group = ExtensionExpGroup(self)
+        return self._exp_group
+
+    def pow(
+        self, a: ExtElement, e: int, strategy: str = "auto", trace=None
+    ) -> ExtElement:
+        """``a^e`` via the unified engine (sliding window by default)."""
+        from repro.exp.strategies import exponentiate
+
+        return exponentiate(self.exp_group(), a, e, strategy=strategy, trace=trace)
 
     # -- Galois structure ----------------------------------------------------
 

@@ -13,6 +13,9 @@ import random
 from typing import Optional
 
 from repro.errors import FieldMismatchError, ParameterError
+from repro.exp.group import FieldExpGroup
+from repro.exp.strategies import exponentiate
+from repro.exp.trace import OpTrace
 from repro.nt.modular import modinv, sqrt_mod_prime, legendre_symbol
 from repro.nt.primality import is_probable_prime
 
@@ -31,6 +34,7 @@ class PrimeField:
         if check_prime and not is_probable_prime(p):
             raise ParameterError(f"{p} is not prime")
         self.p = p
+        self._exp_group: Optional[FieldExpGroup] = None
 
     # -- basic arithmetic on reduced integers ------------------------------
 
@@ -60,11 +64,31 @@ class PrimeField:
         """Return ``a^-1 mod p``."""
         return modinv(a, self.p)
 
-    def pow(self, a: int, e: int) -> int:
-        """Return ``a^e mod p`` (``e`` may be negative)."""
-        if e < 0:
-            return pow(self.inv(a), -e, self.p)
-        return pow(a, e, self.p)
+    def exp_group(self) -> FieldExpGroup:
+        """The multiplicative group Fp* as seen by :mod:`repro.exp`."""
+        if self._exp_group is None:
+            self._exp_group = FieldExpGroup(self)
+        return self._exp_group
+
+    def pow(
+        self,
+        a: int,
+        e: int,
+        strategy: str = "auto",
+        trace: Optional[OpTrace] = None,
+    ) -> int:
+        """Return ``a^e mod p`` (``e`` may be negative).
+
+        Delegates to the unified exponentiation engine when a ``strategy`` or
+        ``trace`` is requested; the plain call keeps Python's C-level ``pow``
+        (a single Fp power is the platform's native operation, not a loop
+        worth recoding).
+        """
+        if trace is None and strategy == "auto":
+            if e < 0:
+                return pow(self.inv(a % self.p), -e, self.p)
+            return pow(a, e, self.p)
+        return exponentiate(self.exp_group(), a % self.p, e, strategy=strategy, trace=trace)
 
     def half(self, a: int) -> int:
         """Return ``a / 2 mod p`` for odd ``p``."""

@@ -49,12 +49,38 @@ class OperationCounts:
     def snapshot(self) -> "OperationCounts":
         return OperationCounts(self.mul, self.add, self.sub, self.inv, dict(self.extra))
 
+    def __add__(self, other: "OperationCounts") -> "OperationCounts":
+        extra = dict(self.extra)
+        for key, value in other.extra.items():
+            extra[key] = extra.get(key, 0) + value
+        return OperationCounts(
+            self.mul + other.mul,
+            self.add + other.add,
+            self.sub + other.sub,
+            self.inv + other.inv,
+            extra,
+        )
+
     def __sub__(self, other: "OperationCounts") -> "OperationCounts":
+        extra = dict(self.extra)
+        for key, value in other.extra.items():
+            extra[key] = extra.get(key, 0) - value
         return OperationCounts(
             self.mul - other.mul,
             self.add - other.add,
             self.sub - other.sub,
             self.inv - other.inv,
+            extra,
+        )
+
+    def scaled(self, factor: int) -> "OperationCounts":
+        """Every counter multiplied by ``factor`` (cost-model composition)."""
+        return OperationCounts(
+            self.mul * factor,
+            self.add * factor,
+            self.sub * factor,
+            self.inv * factor,
+            {key: value * factor for key, value in self.extra.items()},
         )
 
     def __repr__(self) -> str:
@@ -100,20 +126,8 @@ class CountingPrimeField(PrimeField):
         self.counts.inv += 1
         return super().inv(a)
 
-    def pow(self, a: int, e: int) -> int:
-        # Charge the square-and-multiply cost explicitly so that counting is
-        # faithful to what the platform would execute.
-        if e < 0:
-            a = self.inv(a)
-            e = -e
-        result = 1
-        started = False
-        for bit in bin(e)[2:] if e else "0":
-            if started:
-                result = self.mul(result, result)
-                if bit == "1":
-                    result = self.mul(result, a)
-            elif bit == "1":
-                result = a
-                started = True
-        return result if started else 1
+    def pow(self, a: int, e: int, strategy: str = "binary", trace=None) -> int:
+        # Default to the binary strategy so counting stays faithful to the
+        # square-and-multiply sequence the platform executes; every charged
+        # operation flows through self.mul / self.sqr / self.inv.
+        return super().pow(a, e, strategy=strategy, trace=trace)

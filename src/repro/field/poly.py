@@ -132,19 +132,29 @@ def poly_inverse_mod(field: PrimeField, a: Sequence[int], modulus: Sequence[int]
     return poly_mod(field, s, modulus)
 
 
-def poly_pow_mod(field: PrimeField, a: Sequence[int], e: int, modulus: Sequence[int]) -> Poly:
-    """Compute ``a^e mod modulus`` by square-and-multiply."""
+def poly_pow_mod(
+    field: PrimeField,
+    a: Sequence[int],
+    e: int,
+    modulus: Sequence[int],
+    strategy: str = "auto",
+    trace=None,
+) -> Poly:
+    """Compute ``a^e mod modulus`` through the unified exponentiation engine.
+
+    The default sliding-window path matters here: the irreducibility test
+    raises to ``p^d``-sized exponents, where windowing saves a third of the
+    polynomial products over plain square-and-multiply.
+    """
+    from repro.exp.group import PolyModExpGroup
+    from repro.exp.strategies import exponentiate
+
     if e < 0:
         a = poly_inverse_mod(field, a, modulus)
         e = -e
-    result: Poly = [1]
-    base = poly_mod(field, a, modulus)
-    while e:
-        if e & 1:
-            result = poly_mod(field, poly_mul(field, result, base), modulus)
-        base = poly_mod(field, poly_mul(field, base, base), modulus)
-        e >>= 1
-    return result
+    base = poly_mod(field, list(a), modulus)
+    group = PolyModExpGroup(field, modulus)
+    return list(exponentiate(group, base, e, strategy=strategy, trace=trace))
 
 
 def poly_eval(field: PrimeField, a: Sequence[int], x: int) -> int:

@@ -107,6 +107,7 @@ class TowerFp6:
             raise ParameterError("the tower needs p = 2 (mod 3)")
         self.base = base
         self.fp3 = make_fp3(base)
+        self._exp_group = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -156,17 +157,21 @@ class TowerFp6:
         conj = u.conjugate()
         return TowerElement(self, conj.a * norm_inv, conj.b * norm_inv)
 
-    def pow(self, u: TowerElement, e: int) -> TowerElement:
-        if e < 0:
-            return self.pow(self.inv(u), -e)
-        result = self.one()
-        base_elt = u
-        while e:
-            if e & 1:
-                result = self.mul(result, base_elt)
-            base_elt = self.mul(base_elt, base_elt)
-            e >>= 1
-        return result
+    def exp_group(self):
+        """The tower's unit group as seen by :mod:`repro.exp`."""
+        if self._exp_group is None:
+            from repro.exp.group import TowerExpGroup
+
+            self._exp_group = TowerExpGroup(self)
+        return self._exp_group
+
+    def pow(
+        self, u: TowerElement, e: int, strategy: str = "auto", trace=None
+    ) -> TowerElement:
+        """``u^e`` via the unified engine (sliding window by default)."""
+        from repro.exp.strategies import exponentiate
+
+        return exponentiate(self.exp_group(), u, e, strategy=strategy, trace=trace)
 
     def frobenius_p3(self, u: TowerElement) -> TowerElement:
         """The Frobenius of Fp6 over Fp3 (same as conjugation over Fp3)."""

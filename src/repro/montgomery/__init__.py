@@ -14,7 +14,13 @@ from repro.montgomery.domain import MontgomeryDomain
 from repro.montgomery.fios import fios_multiply, fios_trace
 from repro.montgomery.variants import sos_multiply, cios_multiply
 from repro.montgomery.parallel import ParallelFiosSchedule, parallel_fios_multiply
-from repro.montgomery.exponent import montgomery_exponent, montgomery_ladder_exponent
+from repro.montgomery.exponent import (
+    ExponentiationTrace,
+    montgomery_exponent,
+    montgomery_ladder_exponent,
+    montgomery_power,
+    montgomery_window_exponent,
+)
 
 __all__ = [
     "MontgomeryDomain",
@@ -24,6 +30,9 @@ __all__ = [
     "cios_multiply",
     "ParallelFiosSchedule",
     "parallel_fios_multiply",
+    "ExponentiationTrace",
+    "montgomery_power",
     "montgomery_exponent",
     "montgomery_ladder_exponent",
+    "montgomery_window_exponent",
 ]

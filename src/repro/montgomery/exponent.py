@@ -1,30 +1,68 @@
-"""Modular exponentiation in the Montgomery domain.
+"""Modular exponentiation in the Montgomery domain — wrappers over :mod:`repro.exp`.
 
-RSA on the platform is a plain square-and-multiply loop of 1024-bit Montgomery
-multiplications (Section 3.2); these helpers provide the reference software
-version, a constant-time Montgomery ladder and a fixed-window variant used by
-the ablation benchmark.
+RSA on the platform is a loop of 1024-bit Montgomery multiplications
+(Section 3.2); the loop itself now lives in the unified exponentiation
+engine, with :class:`~repro.exp.group.MontgomeryExpGroup` supplying the
+Montgomery product as the group operation.  The historical helpers keep
+their signatures (binary reference, constant-time ladder, fixed window)
+and :func:`montgomery_power` exposes the full strategy registry — the
+engine's sliding-window default saves ~30% of the multiplications at
+RSA sizes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ParameterError
+from repro.exp.group import MontgomeryExpGroup
+from repro.exp.strategies import check_window_bits, exponentiate
+from repro.exp.trace import ExponentiationTrace, OpTrace
 from repro.montgomery.domain import MontgomeryDomain
 
+__all__ = [
+    "ExponentiationTrace",
+    "montgomery_power",
+    "montgomery_exponent",
+    "montgomery_ladder_exponent",
+    "montgomery_window_exponent",
+]
 
-@dataclass
-class ExponentiationTrace:
-    """Number of Montgomery multiplications/squarings an exponentiation used."""
 
-    squarings: int
-    multiplications: int
+def montgomery_power(
+    domain: MontgomeryDomain,
+    base: int,
+    exponent: int,
+    strategy: str = "auto",
+    trace: Optional[OpTrace] = None,
+    window_bits: Optional[int] = None,
+) -> int:
+    """``base^exponent mod P`` with any engine strategy.
 
-    @property
-    def total(self) -> int:
-        return self.squarings + self.multiplications
+    ``base`` is an ordinary residue (not in the Montgomery domain); the
+    conversion in and out is handled here, matching what the MicroBlaze-side
+    software does around the coprocessor calls.  Inversion in the Montgomery
+    domain is an extended-gcd affair, so negative exponents stay rejected and
+    the auto-selected strategy is the inversion-free sliding window.
+    """
+    if exponent < 0:
+        raise ParameterError("negative exponents are not supported")
+    if window_bits is not None:
+        check_window_bits(window_bits)  # reject bad widths even for exponent 0
+    p = domain.modulus
+    base %= p
+    if exponent == 0:
+        return 1 % p
+    group = MontgomeryExpGroup(domain)
+    result = exponentiate(
+        group,
+        domain.to_montgomery(base),
+        exponent,
+        strategy=strategy,
+        trace=trace,
+        window_bits=window_bits,
+    )
+    return domain.from_montgomery(result)
 
 
 def montgomery_exponent(
@@ -33,30 +71,8 @@ def montgomery_exponent(
     exponent: int,
     trace: Optional[ExponentiationTrace] = None,
 ) -> int:
-    """Left-to-right binary exponentiation: returns ``base^exponent mod P``.
-
-    ``base`` is an ordinary residue (not in the Montgomery domain); the
-    conversion in and out is handled here, matching what the MicroBlaze-side
-    software does around the coprocessor calls.
-    """
-    if exponent < 0:
-        raise ParameterError("negative exponents are not supported")
-    p = domain.modulus
-    base %= p
-    if exponent == 0:
-        return 1 % p
-    acc = domain.to_montgomery(base)
-    result = acc
-    bits = bin(exponent)[3:]  # skip the leading 1
-    for bit in bits:
-        result = domain.mont_mul(result, result)
-        if trace is not None:
-            trace.squarings += 1
-        if bit == "1":
-            result = domain.mont_mul(result, acc)
-            if trace is not None:
-                trace.multiplications += 1
-    return domain.from_montgomery(result)
+    """Left-to-right binary exponentiation: returns ``base^exponent mod P``."""
+    return montgomery_power(domain, base, exponent, strategy="binary", trace=trace)
 
 
 def montgomery_ladder_exponent(
@@ -66,25 +82,7 @@ def montgomery_ladder_exponent(
     trace: Optional[ExponentiationTrace] = None,
 ) -> int:
     """Montgomery-ladder exponentiation (regular operation pattern)."""
-    if exponent < 0:
-        raise ParameterError("negative exponents are not supported")
-    p = domain.modulus
-    base %= p
-    if exponent == 0:
-        return 1 % p
-    r0 = domain.one()
-    r1 = domain.to_montgomery(base)
-    for bit in bin(exponent)[2:]:
-        if bit == "1":
-            r0 = domain.mont_mul(r0, r1)
-            r1 = domain.mont_mul(r1, r1)
-        else:
-            r1 = domain.mont_mul(r0, r1)
-            r0 = domain.mont_mul(r0, r0)
-        if trace is not None:
-            trace.squarings += 1
-            trace.multiplications += 1
-    return domain.from_montgomery(r0)
+    return montgomery_power(domain, base, exponent, strategy="ladder", trace=trace)
 
 
 def montgomery_window_exponent(
@@ -95,36 +93,6 @@ def montgomery_window_exponent(
     trace: Optional[ExponentiationTrace] = None,
 ) -> int:
     """Fixed-window exponentiation with a 2^w-entry table."""
-    if exponent < 0:
-        raise ParameterError("negative exponents are not supported")
-    if not 1 <= window_bits <= 8:
-        raise ParameterError("window width must be between 1 and 8 bits")
-    p = domain.modulus
-    base %= p
-    if exponent == 0:
-        return 1 % p
-    base_m = domain.to_montgomery(base)
-    table = [domain.one()]
-    for _ in range((1 << window_bits) - 1):
-        table.append(domain.mont_mul(table[-1], base_m))
-        if trace is not None:
-            trace.multiplications += 1
-
-    digits = []
-    e = exponent
-    while e:
-        digits.append(e & ((1 << window_bits) - 1))
-        e >>= window_bits
-    digits.reverse()
-
-    result = table[digits[0]]
-    for digit in digits[1:]:
-        for _ in range(window_bits):
-            result = domain.mont_mul(result, result)
-            if trace is not None:
-                trace.squarings += 1
-        if digit:
-            result = domain.mont_mul(result, table[digit])
-            if trace is not None:
-                trace.multiplications += 1
-    return domain.from_montgomery(result)
+    return montgomery_power(
+        domain, base, exponent, strategy="window", trace=trace, window_bits=window_bits
+    )

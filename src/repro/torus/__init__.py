@@ -17,9 +17,14 @@ from repro.torus.params import (
 from repro.torus.t6 import T6Group, TorusElement
 from repro.torus.compression import TorusCompressor, CompressedElement
 from repro.torus.exponentiation import (
+    ExponentiationCount,
     exponentiate_binary,
+    exponentiate_double,
+    exponentiate_ladder,
     exponentiate_naf,
+    exponentiate_sliding,
     exponentiate_window,
+    exponentiate_wnaf,
     multiplication_counts,
 )
 from repro.torus.ceilidh import (
@@ -45,9 +50,14 @@ __all__ = [
     "TorusElement",
     "TorusCompressor",
     "CompressedElement",
+    "ExponentiationCount",
     "exponentiate_binary",
     "exponentiate_naf",
+    "exponentiate_wnaf",
+    "exponentiate_sliding",
     "exponentiate_window",
+    "exponentiate_ladder",
+    "exponentiate_double",
     "multiplication_counts",
     "CeilidhKeyPair",
     "CeilidhSystem",

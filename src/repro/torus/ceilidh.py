@@ -75,10 +75,10 @@ class CeilidhSystem:
     def generate_keypair(self, rng: Optional[random.Random] = None) -> CeilidhKeyPair:
         """Generate a key pair; retries on the (O(1/p)) exceptional compressions."""
         rng = rng or random.Random()
-        generator = self.group.generator()
         for _ in range(64):
             private = rng.randrange(1, self.params.q)
-            public_element = generator ** private
+            # Fixed-base table on the generator: no online squarings.
+            public_element = self.group.generator_power(private)
             try:
                 public = self.compressor.compress(public_element.value)
             except CompressionError:
@@ -127,11 +127,10 @@ class CeilidhSystem:
     ) -> CeilidhCiphertext:
         """Hybrid encryption to a compressed public key."""
         rng = rng or random.Random()
-        generator = self.group.generator()
         recipient = self.compressor.decompress_to_element(recipient_public)
         for _ in range(64):
             ephemeral_exponent = rng.randrange(1, self.params.q)
-            ephemeral_element = generator ** ephemeral_exponent
+            ephemeral_element = self.group.generator_power(ephemeral_exponent)
             try:
                 ephemeral = self.compressor.compress(ephemeral_element.value)
                 shared = recipient ** ephemeral_exponent
@@ -169,10 +168,9 @@ class CeilidhSystem:
     ) -> CeilidhSignature:
         """Schnorr signature: commitment in the torus, challenge from SHA-256."""
         rng = rng or random.Random()
-        generator = self.group.generator()
         for _ in range(64):
             nonce = rng.randrange(1, self.params.q)
-            commitment = generator ** nonce
+            commitment = self.group.generator_power(nonce)
             try:
                 commitment_compressed = self.compressor.compress(commitment.value)
             except CompressionError:
@@ -192,9 +190,10 @@ class CeilidhSystem:
             return False
         generator = self.group.generator()
         public_element = self.compressor.decompress_to_element(public)
-        # r' = g^s * (pub)^(-e); on the torus the inverse is a Frobenius map.
-        candidate = (generator ** signature.response) * (
-            public_element.inverse() ** signature.challenge
+        # r' = g^s * (pub)^(-e) as one Shamir double exponentiation; on the
+        # torus the inverse is a Frobenius map, so negating e is free.
+        candidate = self.group.double_exponentiate(
+            generator, signature.response, public_element, -signature.challenge
         )
         try:
             candidate_compressed = self.compressor.compress(candidate.value)

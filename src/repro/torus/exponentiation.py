@@ -1,72 +1,66 @@
-"""Exponentiation strategies in T6(Fp).
+"""Exponentiation strategies in T6(Fp) — thin wrappers over :mod:`repro.exp`.
 
 The platform performs torus exponentiation as a sequence of Fp6
 multiplications (each 18M + ~60A in Fp); the number of Fp6 multiplications is
-what the Table 3 timing scales with.  This module provides the square-and-
-multiply strategy the paper uses, plus two cheaper-on-average strategies
-(signed NAF — attractive on the torus because inversion is a free Frobenius —
-and sliding windows), together with closed-form multiplication counts used by
-the analytical cost model and the ablation benchmark.
+what the Table 3 timing scales with.  All strategies now run on the unified
+engine with the torus group adapter — inversion is a free Frobenius, so the
+signed-digit recodings (NAF, wNAF) are the profitable fast path here — and
+every function keeps its historical signature, emitting the unified
+:class:`~repro.exp.trace.OpTrace` through the ``ExponentiationCount`` alias.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from typing import Optional
 
 from repro.errors import ParameterError
-from repro.torus.t6 import T6Group, TorusElement
+from repro.exp.strategies import (
+    double_exponentiate as _double_exponentiate,
+    expected_counts,
+    exponentiate as _exponentiate,
+)
+from repro.exp.trace import ExponentiationCount
+from repro.torus.t6 import TorusElement
+
+__all__ = [
+    "ExponentiationCount",
+    "exponentiate_binary",
+    "exponentiate_naf",
+    "exponentiate_wnaf",
+    "exponentiate_sliding",
+    "exponentiate_window",
+    "exponentiate_ladder",
+    "exponentiate_double",
+    "multiplication_counts",
+]
 
 
-@dataclass
-class ExponentiationCount:
-    """Number of Fp6 squarings and general multiplications used."""
-
-    squarings: int
-    multiplications: int
-
-    @property
-    def total(self) -> int:
-        return self.squarings + self.multiplications
+def _run(
+    element: TorusElement,
+    exponent: int,
+    strategy: str,
+    count: Optional[ExponentiationCount],
+    window_bits: Optional[int] = None,
+) -> TorusElement:
+    return _exponentiate(
+        element.group.exp_group(),
+        element,
+        exponent,
+        strategy=strategy,
+        trace=count,
+        window_bits=window_bits,
+    )
 
 
 def exponentiate_binary(
-    element: TorusElement, exponent: int, count: ExponentiationCount = None
+    element: TorusElement, exponent: int, count: Optional[ExponentiationCount] = None
 ) -> TorusElement:
     """Left-to-right binary square-and-multiply (the paper's strategy)."""
-    if exponent < 0:
-        return exponentiate_binary(element.inverse(), -exponent, count)
-    group = element.group
-    if exponent == 0:
-        return group.identity()
-    result = element
-    for bit in bin(exponent)[3:]:
-        result = result.square()
-        if count is not None:
-            count.squarings += 1
-        if bit == "1":
-            result = result * element
-            if count is not None:
-                count.multiplications += 1
-    return result
-
-
-def _naf_digits(exponent: int) -> List[int]:
-    """Non-adjacent form, least-significant digit first (digits in {-1, 0, 1})."""
-    digits: List[int] = []
-    while exponent > 0:
-        if exponent & 1:
-            digit = 2 - (exponent % 4)
-            exponent -= digit
-        else:
-            digit = 0
-        digits.append(digit)
-        exponent >>= 1
-    return digits
+    return _run(element, exponent, "binary", count)
 
 
 def exponentiate_naf(
-    element: TorusElement, exponent: int, count: ExponentiationCount = None
+    element: TorusElement, exponent: int, count: Optional[ExponentiationCount] = None
 ) -> TorusElement:
     """Signed-digit (NAF) exponentiation.
 
@@ -74,69 +68,69 @@ def exponentiate_naf(
     negative digits cost the same as positive ones — the average number of
     general multiplications drops from n/2 to n/3.
     """
-    if exponent < 0:
-        return exponentiate_naf(element.inverse(), -exponent, count)
-    group = element.group
-    if exponent == 0:
-        return group.identity()
-    inverse = element.inverse()
-    digits = _naf_digits(exponent)
-    result = group.identity()
-    for digit in reversed(digits):
-        if not result.is_identity():
-            result = result.square()
-            if count is not None:
-                count.squarings += 1
-        if digit == 1:
-            result = result * element if not result.is_identity() else element
-            if count is not None and not (result is element):
-                count.multiplications += 1
-        elif digit == -1:
-            result = result * inverse
-            if count is not None:
-                count.multiplications += 1
-    return result
+    return _run(element, exponent, "naf", count)
+
+
+def exponentiate_wnaf(
+    element: TorusElement,
+    exponent: int,
+    window_bits: Optional[int] = None,
+    count: Optional[ExponentiationCount] = None,
+) -> TorusElement:
+    """Width-w NAF with an odd-power table: ~n/(w+1) multiplications.
+
+    The default fast path for torus exponentiation (free Frobenius inversion
+    makes the signed digits costless).
+    """
+    return _run(element, exponent, "wnaf", count, window_bits)
+
+
+def exponentiate_sliding(
+    element: TorusElement,
+    exponent: int,
+    window_bits: Optional[int] = None,
+    count: Optional[ExponentiationCount] = None,
+) -> TorusElement:
+    """Sliding-window exponentiation over an odd-power table."""
+    return _run(element, exponent, "sliding", count, window_bits)
 
 
 def exponentiate_window(
     element: TorusElement,
     exponent: int,
     window_bits: int = 4,
-    count: ExponentiationCount = None,
+    count: Optional[ExponentiationCount] = None,
 ) -> TorusElement:
     """Fixed-window exponentiation with a precomputed table of 2^w entries."""
-    if exponent < 0:
-        return exponentiate_window(element.inverse(), -exponent, window_bits, count)
-    if not 1 <= window_bits <= 8:
-        raise ParameterError("window width must be between 1 and 8 bits")
-    group = element.group
-    if exponent == 0:
-        return group.identity()
+    return _run(element, exponent, "window", count, window_bits)
 
-    table = [group.identity(), element]
-    for _ in range((1 << window_bits) - 2):
-        table.append(table[-1] * element)
-        if count is not None:
-            count.multiplications += 1
 
-    digits = []
-    e = exponent
-    while e:
-        digits.append(e & ((1 << window_bits) - 1))
-        e >>= window_bits
-    digits.reverse()
+def exponentiate_ladder(
+    element: TorusElement, exponent: int, count: Optional[ExponentiationCount] = None
+) -> TorusElement:
+    """Montgomery-ladder exponentiation (regular operation pattern)."""
+    return _run(element, exponent, "ladder", count)
 
-    result = table[digits[0]]
-    for digit in digits[1:]:
-        for _ in range(window_bits):
-            result = result.square()
-            if count is not None:
-                count.squarings += 1
-        if digit:
-            result = result * table[digit]
-            if count is not None:
-                count.multiplications += 1
-    return result
+
+def exponentiate_double(
+    element_a: TorusElement,
+    exponent_a: int,
+    element_b: TorusElement,
+    exponent_b: int,
+    count: Optional[ExponentiationCount] = None,
+) -> TorusElement:
+    """Shamir/Straus simultaneous exponentiation ``a^ea * b^eb``.
+
+    One shared squaring chain instead of two — the fast path for CEILIDH
+    signature verification (``g^s * y^c``)."""
+    return _double_exponentiate(
+        element_a.group.exp_group(),
+        element_a,
+        exponent_a,
+        element_b,
+        exponent_b,
+        trace=count,
+    )
 
 
 def multiplication_counts(exponent_bits: int, strategy: str = "binary") -> ExponentiationCount:
@@ -146,7 +140,10 @@ def multiplication_counts(exponent_bits: int, strategy: str = "binary") -> Expon
 
     * ``binary``: (n-1) squarings and ~(n-1)/2 multiplications,
     * ``naf``: (n) squarings and ~n/3 multiplications,
-    * ``window4``: n squarings, n/4 multiplications plus 14 table entries.
+    * ``window4``: n squarings, n/4 multiplications plus 14 table entries,
+    * ``wnaf4`` / ``sliding4``: n squarings, ~n/5 multiplications plus the
+      odd-power table,
+    * ``ladder``: n squarings and n multiplications.
     """
     n = exponent_bits
     if strategy == "binary":
@@ -155,4 +152,10 @@ def multiplication_counts(exponent_bits: int, strategy: str = "binary") -> Expon
         return ExponentiationCount(squarings=n, multiplications=n // 3)
     if strategy == "window4":
         return ExponentiationCount(squarings=n, multiplications=n // 4 + 14)
+    if strategy in ("wnaf", "wnaf4", "sliding", "sliding4", "ladder", "fixed_base", "shamir"):
+        base = strategy[:-1] if strategy.endswith("4") else strategy
+        generic = expected_counts(base, n, window_bits=4)
+        return ExponentiationCount(
+            squarings=generic.squarings, multiplications=generic.multiplications
+        )
     raise ParameterError(f"unknown strategy {strategy!r}")

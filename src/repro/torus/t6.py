@@ -15,6 +15,9 @@ import random
 from typing import Optional
 
 from repro.errors import NotInTorusError, ParameterError
+from repro.exp.group import TorusExpGroup
+from repro.exp.strategies import FixedBaseTable, double_exponentiate, exponentiate
+from repro.exp.trace import OpTrace
 from repro.field.extension import ExtElement
 from repro.field.fp import PrimeField
 from repro.field.fp6 import Fp6Field, make_fp6
@@ -99,6 +102,8 @@ class T6Group:
         self.fp6: Fp6Field = make_fp6(self.fp)
         self._generator: Optional[TorusElement] = None
         self._compressor = None
+        self._exp_group: Optional[TorusExpGroup] = None
+        self._generator_table: Optional[FixedBaseTable] = None
 
     # -- derived objects --------------------------------------------------------
 
@@ -152,7 +157,7 @@ class T6Group:
         """Random element of the order-q subgroup: generator^k for random k."""
         rng = rng or random.Random()
         exponent = rng.randrange(1, self.params.q)
-        return self.exponentiate(self.generator(), exponent)
+        return self.generator_power(exponent)
 
     def generator(self) -> TorusElement:
         """A fixed generator of the order-q subgroup.
@@ -177,15 +182,57 @@ class T6Group:
 
     # -- exponentiation -------------------------------------------------------------
 
-    def exponentiate(self, element: TorusElement, exponent: int) -> TorusElement:
-        """Exponentiation in the torus (binary square-and-multiply by default).
+    def exp_group(self) -> TorusExpGroup:
+        """T6(Fp) as a :class:`repro.exp` group (cheap Frobenius inversion)."""
+        if self._exp_group is None:
+            self._exp_group = TorusExpGroup(self)
+        return self._exp_group
 
-        Negative exponents use the cheap Frobenius inversion.
+    def exponentiate(
+        self,
+        element: TorusElement,
+        exponent: int,
+        strategy: str = "auto",
+        count: Optional[OpTrace] = None,
+    ) -> TorusElement:
+        """Exponentiation in the torus through the unified engine.
+
+        The default strategy is wNAF — inversion is a free Frobenius map, so
+        signed digits cost nothing and the multiplication count drops to
+        ~n/(w+1).  Negative exponents use the same cheap inversion.
         """
-        if exponent < 0:
-            return self.exponentiate(element.inverse(), -exponent)
-        result = self.fp6.pow(element.value, exponent)
-        return TorusElement(self, result)
+        return exponentiate(
+            self.exp_group(), element, exponent, strategy=strategy, trace=count
+        )
+
+    def generator_power(
+        self, exponent: int, count: Optional[OpTrace] = None
+    ) -> TorusElement:
+        """``generator^exponent`` from a cached fixed-base table.
+
+        The squaring chain is precomputed once per group (sized by the
+        subgroup order q), so each call needs only ~popcount(exponent) - 1
+        Fp6 multiplications and no squarings — the fast path for key
+        generation, ephemeral DH values and Schnorr commitments.
+        """
+        if self._generator_table is None:
+            self._generator_table = FixedBaseTable(
+                self.exp_group(), self.generator(), self.params.q.bit_length()
+            )
+        return self._generator_table.power(exponent, trace=count)
+
+    def double_exponentiate(
+        self,
+        element_a: TorusElement,
+        exponent_a: int,
+        element_b: TorusElement,
+        exponent_b: int,
+        count: Optional[OpTrace] = None,
+    ) -> TorusElement:
+        """Shamir/Straus ``a^ea * b^eb`` on one shared squaring chain."""
+        return double_exponentiate(
+            self.exp_group(), element_a, exponent_a, element_b, exponent_b, trace=count
+        )
 
     def __repr__(self) -> str:
         return f"T6Group({self.params!r})"

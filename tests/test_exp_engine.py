@@ -1,0 +1,379 @@
+"""Tests for the unified exponentiation engine (repro.exp).
+
+Covers the strategy registry, cross-strategy/cross-group agreement against a
+naive square-and-multiply reference, the unified OpTrace (and its
+backwards-compatible per-layer subclasses), fixed-base tables, Shamir double
+exponentiation, and the headline cost claims: wNAF uses >= 20% fewer general
+multiplications than binary at 160-bit exponents on both T6 and ECC, and one
+Shamir double exponentiation beats two independent exponentiations.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.exp import (
+    FieldExpGroup,
+    FixedBaseTable,
+    JacobianExpGroup,
+    MontgomeryExpGroup,
+    OpTrace,
+    PolyModExpGroup,
+    TorusExpGroup,
+    available_strategies,
+    double_exponentiate,
+    expected_counts,
+    exponentiate,
+    get_strategy,
+    select_strategy,
+)
+from repro.exp.trace import ExponentiationCount, ExponentiationTrace, ScalarMultCount
+from repro.field import poly as P
+from repro.field.fp import PrimeField
+from repro.field.fp6 import make_fp6
+from repro.field.opcount import CountingPrimeField, OperationCounts
+from repro.field.towers import TowerFp6
+from repro.montgomery.domain import MontgomeryDomain
+
+
+# ---------------------------------------------------------------------------
+# Reference: naive square-and-multiply written directly against the group.
+# ---------------------------------------------------------------------------
+
+
+def naive_power(group, base, exponent):
+    if exponent < 0:
+        return naive_power(group, group.inverse(base), -exponent)
+    result = group.identity()
+    acc = base
+    while exponent:
+        if exponent & 1:
+            result = group.op(result, acc)
+        acc = group.square(acc)
+        exponent >>= 1
+    return result
+
+
+def make_groups(toy32_group, toy_curve, rng):
+    """(group, random-element, equality) triples spanning every layer."""
+    fp = PrimeField(10007)
+    fp6 = make_fp6(PrimeField(toy32_group.params.p, check_prime=False))
+    tower = TowerFp6(PrimeField(toy32_group.params.p, check_prime=False))
+    domain = MontgomeryDomain(10007, word_bits=8)
+    curve, generator = toy_curve.build()
+    poly_field = PrimeField(10007)
+    poly_modulus = [2, 0, 1]  # t^2 + 2, irreducible mod 10007 (-2 is a non-residue)
+
+    def poly_sample():
+        while True:
+            candidate = [rng.randrange(10007), rng.randrange(10007)]
+            if P.trim(candidate):
+                return candidate
+
+    jacobian = JacobianExpGroup(curve)
+    return [
+        (FieldExpGroup(fp), lambda: rng.randrange(1, 10007), lambda a, b: a == b),
+        (
+            ExtensionGroupForTest(fp6),
+            lambda: fp6.random_nonzero(rng),
+            lambda a, b: a == b,
+        ),
+        (
+            TowerGroupForTest(tower),
+            lambda: tower.element(tower.fp3.random_nonzero(rng), tower.fp3.random_element(rng)),
+            lambda a, b: a == b,
+        ),
+        (
+            PolyModExpGroup(poly_field, poly_modulus),
+            poly_sample,
+            lambda a, b: P.trim(a) == P.trim(b),
+        ),
+        (
+            TorusExpGroup(toy32_group),
+            lambda: toy32_group.random_element(rng),
+            lambda a, b: a == b,
+        ),
+        (
+            MontgomeryExpGroup(domain),
+            lambda: domain.to_montgomery(rng.randrange(1, 10007)),
+            lambda a, b: a == b,
+        ),
+        (
+            jacobian,
+            lambda: generator.to_jacobian(),
+            lambda a, b: a == b,
+        ),
+    ]
+
+
+def ExtensionGroupForTest(fp6):
+    from repro.exp.group import ExtensionExpGroup
+
+    return ExtensionExpGroup(fp6)
+
+
+def TowerGroupForTest(tower):
+    from repro.exp.group import TowerExpGroup
+
+    return TowerExpGroup(tower)
+
+
+# ---------------------------------------------------------------------------
+# Cross-strategy x cross-group agreement.
+# ---------------------------------------------------------------------------
+
+
+class TestCrossStrategyAgreement:
+    def test_every_strategy_on_every_group(self, toy32_group, toy_curve, rng):
+        """Property test: all strategies match naive square-and-multiply on
+        random inputs in Fp, Fp6, the tower, a polynomial ring, T6(Fp), the
+        Montgomery domain and E(Fp)."""
+        strategies = available_strategies()
+        assert set(strategies) >= {
+            "binary",
+            "naf",
+            "wnaf",
+            "sliding",
+            "window",
+            "ladder",
+            "fixed_base",
+        }
+        for group, sample, equal in make_groups(toy32_group, toy_curve, rng):
+            for _ in range(3):
+                base = sample()
+                exponent = rng.randrange(1, 1 << rng.randrange(4, 48))
+                reference = naive_power(group, base, exponent)
+                for strategy in strategies:
+                    result = exponentiate(group, base, exponent, strategy=strategy)
+                    assert equal(result, reference), (group.name, strategy, exponent)
+
+    def test_edge_exponents(self, toy32_group, toy_curve, rng):
+        for group, sample, equal in make_groups(toy32_group, toy_curve, rng):
+            base = sample()
+            for strategy in available_strategies():
+                assert group.is_identity(
+                    exponentiate(group, base, 0, strategy=strategy)
+                ), (group.name, strategy)
+                assert equal(exponentiate(group, base, 1, strategy=strategy), base)
+
+    def test_negative_exponents_where_invertible(self, toy32_group, rng):
+        group = TorusExpGroup(toy32_group)
+        base = toy32_group.random_element(rng)
+        inverse_ref = naive_power(group, base, toy32_group.order - 5)
+        for strategy in ("binary", "naf", "wnaf", "sliding"):
+            assert exponentiate(group, base, -5, strategy=strategy) == inverse_ref
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ParameterError):
+            get_strategy("bogus")
+
+    def test_bad_window_rejected(self, rng):
+        group = FieldExpGroup(PrimeField(10007))
+        for strategy in ("wnaf", "sliding", "window"):
+            with pytest.raises(ParameterError):
+                exponentiate(group, 3, 99, strategy=strategy, window_bits=0)
+
+    def test_auto_selection(self, toy32_group):
+        field_group = FieldExpGroup(PrimeField(10007))
+        torus_group = TorusExpGroup(toy32_group)
+        assert select_strategy(field_group, 7) == "binary"
+        assert select_strategy(field_group, 1 << 100) == "sliding"
+        assert select_strategy(torus_group, 1 << 100) == "wnaf"
+
+
+# ---------------------------------------------------------------------------
+# The unified trace and its per-layer aliases.
+# ---------------------------------------------------------------------------
+
+
+class TestOpTrace:
+    def test_additive_aliases_share_counters(self):
+        trace = OpTrace()
+        trace.doublings += 3
+        trace.additions += 2
+        assert trace.squarings == 3
+        assert trace.multiplications == 2
+        assert trace.total == 5
+
+    def test_legacy_subclasses(self):
+        count = ExponentiationCount(5, 2)
+        assert count.squarings == 5 and count.multiplications == 2
+        trace = ExponentiationTrace(squarings=4, multiplications=1)
+        assert trace.total == 5
+        scalar = ScalarMultCount(doublings=7, additions=3)
+        assert scalar.squarings == 7 and scalar.additions == 3
+        assert isinstance(count, OpTrace)
+        assert isinstance(trace, OpTrace)
+        assert isinstance(scalar, OpTrace)
+
+    def test_arithmetic_and_merge(self):
+        a = OpTrace(3, 2, 1)
+        b = OpTrace(1, 1, 0)
+        assert (a + b).as_dict() == {"squarings": 4, "multiplications": 3, "inversions": 1}
+        assert (a - b).squarings == 2
+        a.merge(b)
+        assert a.squarings == 4
+        a.reset()
+        assert a.total == 0
+
+    def test_to_operation_counts_default(self):
+        trace = OpTrace(squarings=10, multiplications=4)
+        counts = trace.to_operation_counts()
+        assert isinstance(counts, OperationCounts)
+        assert counts.mul == 14
+
+    def test_to_operation_counts_with_costs(self):
+        # One Fp6 multiplication is 18M + ~60A (the paper's Table 2 unit).
+        fp6_mul = OperationCounts(mul=18, add=30, sub=30)
+        trace = OpTrace(squarings=2, multiplications=1)
+        counts = trace.to_operation_counts(mul_cost=fp6_mul)
+        assert counts.mul == 3 * 18
+        assert counts.additions_total == 3 * 60
+
+    def test_counting_field_pow_binary_charge(self):
+        field = CountingPrimeField(10007)
+        field.reset_counts()
+        field.pow(3, 0b101101)
+        assert field.counts.mul == (6 - 1) + (4 - 1)
+
+    def test_operation_counts_sub_keeps_extra(self):
+        a = OperationCounts(mul=5, extra={"frobenius": 3})
+        b = OperationCounts(mul=2, extra={"frobenius": 1})
+        delta = a - b
+        assert delta.mul == 3
+        assert delta.extra == {"frobenius": 2}
+        total = a + b
+        assert total.extra == {"frobenius": 4}
+        assert a.scaled(2).extra == {"frobenius": 6}
+
+
+# ---------------------------------------------------------------------------
+# Cost claims: the reason the engine exists.
+# ---------------------------------------------------------------------------
+
+
+class TestCostClaims:
+    def test_wnaf_beats_binary_on_torus_160bit(self, toy32_group):
+        rng = random.Random(160)
+        element = toy32_group.random_element(rng)
+        exponent = rng.randrange(1 << 159, 1 << 160)
+        binary, wnaf = OpTrace(), OpTrace()
+        reference = toy32_group.exponentiate(element, exponent, "binary", count=binary)
+        fast = toy32_group.exponentiate(element, exponent, "wnaf", count=wnaf)
+        assert fast == reference
+        # >= 20% fewer general Fp6 multiplications (squarings stay ~equal).
+        assert wnaf.multiplications <= 0.8 * binary.multiplications
+        assert wnaf.total < binary.total
+
+    def test_wnaf_beats_binary_on_ecc_160bit(self, toy_curve):
+        from repro.ecc.scalar import scalar_mult_binary, scalar_mult_wnaf
+
+        rng = random.Random(161)
+        _, generator = toy_curve.build()
+        scalar = rng.randrange(1 << 159, 1 << 160)
+        binary, wnaf = ScalarMultCount(), ScalarMultCount()
+        reference = scalar_mult_binary(generator, scalar, binary)
+        fast = scalar_mult_wnaf(generator, scalar, count=wnaf)
+        assert fast == reference
+        assert wnaf.additions <= 0.8 * binary.additions
+        assert wnaf.total < binary.total
+
+    def test_sliding_beats_binary_at_rsa_sizes(self):
+        domain = MontgomeryDomain(10007, word_bits=8)
+        rng = random.Random(1024)
+        exponent = rng.randrange(1 << 1023, 1 << 1024)
+        from repro.montgomery.exponent import montgomery_power
+
+        binary, sliding = ExponentiationTrace(), ExponentiationTrace()
+        ref = montgomery_power(domain, 1234, exponent, strategy="binary", trace=binary)
+        fast = montgomery_power(domain, 1234, exponent, strategy="sliding", trace=sliding)
+        assert ref == fast == pow(1234, exponent, 10007)
+        assert sliding.multiplications <= 0.8 * binary.multiplications
+
+    def test_shamir_beats_two_exponentiations(self, toy32_group):
+        rng = random.Random(77)
+        a = toy32_group.random_element(rng)
+        b = toy32_group.random_element(rng)
+        ea = rng.randrange(1 << 159, 1 << 160)
+        eb = rng.randrange(1 << 159, 1 << 160)
+        group = toy32_group.exp_group()
+        shamir, separate = OpTrace(), OpTrace()
+        combined = double_exponentiate(group, a, ea, b, eb, trace=shamir)
+        left = exponentiate(group, a, ea, strategy="binary", trace=separate)
+        right = exponentiate(group, b, eb, strategy="binary", trace=separate)
+        assert combined == left * right
+        assert shamir.total < separate.total
+
+    def test_fixed_base_table_has_no_online_squarings(self, toy32_group):
+        rng = random.Random(99)
+        group = toy32_group.exp_group()
+        generator = toy32_group.generator()
+        q_bits = toy32_group.params.q.bit_length()
+        table = FixedBaseTable(group, generator, q_bits)
+        online = OpTrace()
+        exponent = rng.randrange(1, toy32_group.params.q)
+        result = table.power(exponent, trace=online)
+        assert result == toy32_group.exponentiate(generator, exponent, "binary")
+        assert online.squarings == 0
+        assert online.multiplications < exponent.bit_length()
+
+    def test_generator_power_matches_exponentiate(self, toy32_group, rng):
+        exponent = rng.randrange(1, toy32_group.params.q)
+        assert toy32_group.generator_power(exponent) == toy32_group.exponentiate(
+            toy32_group.generator(), exponent
+        )
+
+    def test_expected_counts_model(self):
+        binary = expected_counts("binary", 170)
+        wnaf = expected_counts("wnaf", 170, window_bits=4)
+        assert binary.squarings == 169 and binary.multiplications == 84
+        assert wnaf.multiplications < 0.8 * binary.multiplications
+        shamir = expected_counts("shamir", 170)
+        assert shamir.total < 2 * binary.total
+        with pytest.raises(ParameterError):
+            expected_counts("bogus", 170)
+
+
+# ---------------------------------------------------------------------------
+# Protocol integration: the new scenarios the engine unlocks.
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolIntegration:
+    def test_ecdsa_verify_uses_double_scalar_mult(self, rng):
+        from repro.ecc.curves import get_curve
+        from repro.ecc.ecdh import ecdh_generate, ecdsa_sign, ecdsa_verify
+        from repro.ecc.scalar import double_scalar_mult, scalar_mult
+
+        named = get_curve("secp160r1")
+        keypair = ecdh_generate(named, rng)
+        signature = ecdsa_sign(keypair, b"engine", rng)
+        assert ecdsa_verify(named, keypair.public, b"engine", signature)
+        assert not ecdsa_verify(named, keypair.public, b"tampered", signature)
+
+        # Degenerate scalars fall back to single multiplications.
+        _, generator = named.build()
+        assert double_scalar_mult(generator, 0, keypair.public, 5) == scalar_mult(
+            keypair.public, 5
+        )
+        assert double_scalar_mult(generator, 5, keypair.public, 0) == scalar_mult(
+            generator, 5
+        )
+
+    def test_ceilidh_roundtrip_still_works(self, toy32_params, rng):
+        from repro.torus.ceilidh import CeilidhSystem
+
+        system = CeilidhSystem(toy32_params)
+        keypair = system.generate_keypair(rng)
+        signature = system.sign(keypair, b"fixed-base", rng)
+        assert system.verify(keypair.public, b"fixed-base", signature)
+        ciphertext = system.encrypt(keypair.public, b"hello torus", rng)
+        assert system.decrypt(keypair, ciphertext) == b"hello torus"
+
+    def test_torus_shamir_helper(self, toy32_group, rng):
+        a = toy32_group.random_element(rng)
+        b = toy32_group.random_element(rng)
+        ea, eb = rng.randrange(1 << 40), rng.randrange(1 << 40)
+        combined = toy32_group.double_exponentiate(a, ea, b, eb)
+        assert combined == toy32_group.exponentiate(a, ea) * toy32_group.exponentiate(b, eb)
