@@ -13,7 +13,7 @@ import random
 
 from repro.analysis.figures import bandwidth_comparison
 from repro.analysis.report import render_table
-from repro.torus.ceilidh import CeilidhSystem
+from repro.pkc import get_scheme
 from repro.torus.params import CEILIDH_170
 
 
@@ -36,28 +36,58 @@ def bench_bandwidth_comparison(benchmark, record_table):
     assert 2.8 < rsa.transmitted_bits / ceilidh.transmitted_bits < 3.3
 
 
+def bench_wire_sizes_registry(record_table):
+    """Protocol message sizes for every registered Table 3 scheme.
+
+    One generic loop over the unified registry: each scheme reports the wire
+    bytes of the messages it actually supports (public key always, plus
+    ciphertext overhead and signature where implemented).
+    """
+    rows = []
+    for name in ("ceilidh-170", "xtr-170", "ecdh-p160", "rsa-1024"):
+        scheme = get_scheme(name)
+        rows.append(
+            (
+                scheme.name,
+                scheme.bit_length,
+                scheme.public_key_size(),
+                ", ".join(sorted(scheme.capabilities)),
+            )
+        )
+    text = render_table(
+        ["scheme", "bits", "public key bytes", "capabilities"],
+        rows,
+        title="Wire sizes and capabilities via the repro.pkc registry",
+    )
+    record_table("wire_sizes_registry", text)
+    by_name = dict((r[0], r) for r in rows)
+    # CEILIDH and XTR transmit the same two Fp values; RSA is ~3x larger.
+    assert by_name["ceilidh-170"][2] == by_name["xtr-170"][2]
+    assert by_name["rsa-1024"][2] > 2.8 * by_name["ceilidh-170"][2]
+
+
 def bench_ceilidh_keypair_generation(benchmark):
     """Wall-clock cost of generating a 170-bit CEILIDH key pair."""
-    system = CeilidhSystem(CEILIDH_170)
+    scheme = get_scheme("ceilidh-170")
     rng = random.Random(20)
-    keypair = benchmark(system.generate_keypair, rng)
-    assert 1 <= keypair.private < CEILIDH_170.q
+    keypair = benchmark(scheme.keygen, rng)
+    assert 1 <= keypair.native.private < CEILIDH_170.q
 
 
 def bench_ceilidh_key_agreement(benchmark):
     """Wall-clock cost of one CEILIDH shared-secret derivation at 170 bits."""
-    system = CeilidhSystem(CEILIDH_170)
+    scheme = get_scheme("ceilidh-170")
     rng = random.Random(21)
-    alice = system.generate_keypair(rng)
-    bob = system.generate_keypair(rng)
-    shared = benchmark(system.derive_key, alice, bob.public)
-    assert shared == system.derive_key(bob, alice.public)
+    alice = scheme.keygen(rng)
+    bob = scheme.keygen(rng)
+    shared = benchmark(scheme.key_agreement, alice, bob.public_wire)
+    assert shared == scheme.key_agreement(bob, alice.public_wire)
 
 
 def bench_ceilidh_signature(benchmark):
     """Wall-clock cost of one CEILIDH (Schnorr-style) signature at 170 bits."""
-    system = CeilidhSystem(CEILIDH_170)
+    scheme = get_scheme("ceilidh-170")
     rng = random.Random(22)
-    keypair = system.generate_keypair(rng)
-    signature = benchmark(system.sign, keypair, b"benchmark message", rng)
-    assert system.verify(keypair.public, b"benchmark message", signature)
+    keypair = scheme.keygen(rng)
+    signature = benchmark(scheme.sign, keypair, b"benchmark message", rng)
+    assert scheme.verify(keypair.public_wire, b"benchmark message", signature)

@@ -2,8 +2,15 @@
 
 Every benchmark writes its paper-vs-measured table both to stdout (visible
 with ``pytest -s`` / in verbose CI logs) and to ``benchmarks/results/`` so a
-plain ``pytest benchmarks/ --benchmark-only`` run leaves a permanent record
-next to the timing numbers.
+full ``pytest -c benchmarks/pytest.ini benchmarks/`` run leaves a permanent
+record next to the timing numbers.
+
+``--quick`` puts the harness into smoke mode: benchmarks consult the
+``quick`` fixture to shrink expensive parameters (fewer batch sessions,
+profile projections without the full protocol legs) so CI can execute every
+``bench_*.py`` end to end — combined with pytest-benchmark's
+``--benchmark-disable`` this keeps the figure/table scripts from silently
+rotting without paying for real timing runs.
 """
 
 from __future__ import annotations
@@ -16,6 +23,21 @@ import pytest
 from repro.soc.system import Platform
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke mode: run every benchmark with minimal workloads",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request):
+    """True when the harness runs in ``--quick`` smoke mode."""
+    return request.config.getoption("--quick", default=False)
 
 
 @pytest.fixture(scope="session")

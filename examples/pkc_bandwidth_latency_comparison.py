@@ -1,4 +1,4 @@
-"""CEILIDH vs ECC vs RSA: bandwidth and platform latency for a key exchange.
+"""CEILIDH vs ECC vs RSA vs XTR: bandwidth and platform latency, one loop.
 
 Combines the two halves of the paper's argument:
 
@@ -7,9 +7,11 @@ Combines the two halves of the paper's argument:
 * **latency** (Table 3): on the same platform a torus exponentiation is ~5x
   faster than RSA-1024 and ~2x slower than 160-bit ECC.
 
-The script performs one real key exchange with each system (CEILIDH, ECDH,
-RSA key transport) and reports the transmitted bytes together with the
-simulated platform time for the underlying group operation.
+Since the unified scheme layer, the whole comparison is one generic loop:
+every registered scheme is profiled by the same call path — real protocol
+runs for the operation tallies and wire sizes, one executed headline
+exponentiation projected onto the simulated platform for the latency — with
+no scheme-specific branches anywhere below.
 
 Run:  python examples/pkc_bandwidth_latency_comparison.py
 """
@@ -18,58 +20,36 @@ from __future__ import annotations
 
 import random
 
-from repro import CeilidhSystem
+from repro import Platform
 from repro.analysis.report import render_table
-from repro.ecc.curves import SECP160R1
-from repro.ecc.ecdh import ecdh_generate, ecdh_shared_secret
-from repro.rsa.keygen import generate_rsa_keypair
-from repro.rsa.rsa import rsa_decrypt, rsa_encrypt
-from repro.soc.system import Platform
-from repro.torus.params import CEILIDH_170
+from repro.analysis.tables import TABLE3_SCHEMES, table3_profiles
 
 
 def main() -> None:
-    rng = random.Random(7)
     platform = Platform()
-
-    # --- CEILIDH -----------------------------------------------------------
-    ceilidh = CeilidhSystem(CEILIDH_170)
-    alice = ceilidh.generate_keypair(rng)
-    bob = ceilidh.generate_keypair(rng)
-    assert ceilidh.derive_key(alice, bob.public) == ceilidh.derive_key(bob, alice.public)
-    ceilidh_bytes = len(alice.public_bytes(CEILIDH_170))
-    ceilidh_ms = platform.torus_exponentiation_timing(CEILIDH_170).milliseconds
-
-    # --- ECDH on secp160r1 --------------------------------------------------
-    ecdh_alice = ecdh_generate(SECP160R1, rng)
-    ecdh_bob = ecdh_generate(SECP160R1, rng)
-    assert ecdh_shared_secret(ecdh_alice, ecdh_bob.public) == ecdh_shared_secret(
-        ecdh_bob, ecdh_alice.public
-    )
-    ecdh_bytes = len(ecdh_alice.public_bytes())
-    ecdh_ms = platform.ecc_scalar_multiplication_timing(SECP160R1).milliseconds
-
-    # --- RSA-1024 key transport ----------------------------------------------
-    print("generating an RSA-1024 key pair (pure Python, a few seconds)...")
-    rsa_keypair = generate_rsa_keypair(1024, rng=rng)
-    session_key = bytes(rng.randrange(256) for _ in range(32))
-    wrapped = rsa_encrypt(rsa_keypair, session_key)
-    assert rsa_decrypt(rsa_keypair, wrapped) == session_key
-    rsa_bytes = len(wrapped)
-    rsa_ms = platform.rsa_exponentiation_timing(1024).milliseconds
+    print("profiling every registered scheme (RSA keygen takes a moment)...")
+    profiles = table3_profiles(platform, TABLE3_SCHEMES, rng=random.Random(7))
 
     print()
     print(render_table(
-        ["system", "transmitted bytes / message", "platform time per operation (ms)"],
+        ["scheme", "bits", "public key B", "protocols", "projected ms", "paper ms"],
         [
-            ("CEILIDH 170-bit (compressed torus)", ceilidh_bytes, round(ceilidh_ms, 1)),
-            ("ECDH secp160r1 (uncompressed point)", ecdh_bytes, round(ecdh_ms, 1)),
-            ("RSA-1024 key transport", rsa_bytes, round(rsa_ms, 1)),
+            (
+                p.scheme,
+                p.bit_length,
+                p.wire_bytes["public_key"],
+                ", ".join(sorted(p.capabilities)),
+                round(p.projected_ms, 1),
+                p.paper_ms if p.paper_ms is not None else "-",
+            )
+            for p in profiles
         ],
-        title="Key exchange: bandwidth vs simulated platform latency (paper Table 3: 20 / 9.4 / 96 ms)",
+        title="Key exchange: bandwidth vs simulated platform latency "
+              "(paper Table 3: 20 / 96 / 9.4 ms; XTR projected only)",
     ))
     print("\nCEILIDH keeps the bandwidth of ECC-class systems while replacing the")
-    print("elliptic-curve group law with plain Fp6 arithmetic, and beats RSA on both axes.")
+    print("elliptic-curve group law with plain Fp6 arithmetic, and beats RSA on both")
+    print("axes; XTR transmits the same two Fp values per message.")
 
 
 if __name__ == "__main__":

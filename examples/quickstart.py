@@ -1,11 +1,14 @@
-"""Quickstart: CEILIDH key agreement with compressed torus elements.
+"""Quickstart: CEILIDH key agreement through the unified scheme registry.
 
 This is the smallest end-to-end use of the library's public API:
 
-1. pick a parameter set (the paper's 170-bit size),
+1. look the scheme up by name (the paper's 170-bit size),
 2. generate two key pairs,
-3. exchange the *compressed* public keys (two Fp values, ~43 bytes),
+3. exchange the *compressed* public keys (two Fp values, ~44 bytes),
 4. derive the same shared key on both sides.
+
+Swap the name for ``"ecdh-p160"``, ``"xtr-170"`` (or ``"rsa-1024"`` for the
+encryption/signature protocols) and the same calls drive any other scheme.
 
 Run:  python examples/quickstart.py
 """
@@ -14,30 +17,30 @@ from __future__ import annotations
 
 import random
 
-from repro import CeilidhSystem, get_parameters
-from repro.torus.encoding import bandwidth_summary, compressed_size_bytes
+from repro import get_scheme
+from repro.torus.encoding import bandwidth_summary
 
 
 def main() -> None:
-    params = get_parameters("ceilidh-170")
-    system = CeilidhSystem(params)
+    scheme = get_scheme("ceilidh-170")
+    params = scheme.params
     rng = random.Random(2008)
 
-    print(f"parameter set  : {params.name}")
+    print(f"scheme          : {scheme.name} (capabilities: {', '.join(sorted(scheme.capabilities))})")
     print(f"  p             ~ 2^{params.p_bits} (p = 2 mod 9)")
     print(f"  subgroup order~ 2^{params.q_bits}")
     compressed_bits, uncompressed_bits, factor = bandwidth_summary(params)
     print(f"  torus element : {uncompressed_bits} bits raw -> {compressed_bits} bits "
           f"compressed (factor {factor})")
 
-    alice = system.generate_keypair(rng)
-    bob = system.generate_keypair(rng)
-    print(f"\npublic key size on the wire: {compressed_size_bytes(params)} bytes "
-          f"(vs {6 * compressed_size_bytes(params) // 2} bytes uncompressed, "
+    alice = scheme.keygen(rng)
+    bob = scheme.keygen(rng)
+    print(f"\npublic key size on the wire: {scheme.public_key_size()} bytes "
+          f"(vs {3 * scheme.public_key_size()} bytes uncompressed, "
           f"128 bytes for RSA-1024)")
 
-    alice_key = system.derive_key(alice, bob.public, info=b"quickstart")
-    bob_key = system.derive_key(bob, alice.public, info=b"quickstart")
+    alice_key = scheme.key_agreement(alice, bob.public_wire, info=b"quickstart")
+    bob_key = scheme.key_agreement(bob, alice.public_wire, info=b"quickstart")
     assert alice_key == bob_key, "key agreement failed"
     print(f"shared key (both sides agree): {alice_key.hex()}")
 

@@ -15,6 +15,10 @@ multicore FPGA coprocessor.  This package rebuilds the whole stack in Python:
 * :mod:`repro.torus` — T6(Fp), the factor-3 compression maps and the CEILIDH
   protocols (the paper's primary subject),
 * :mod:`repro.ecc`, :mod:`repro.rsa` — the two baselines of Table 3,
+* :mod:`repro.pkc` — the unified protocol layer: one KeyAgreement /
+  PublicKeyEncryption / Signature interface and a string-keyed registry
+  (``get_scheme("ceilidh-170")``, ``"ecdh-p160"``, ``"rsa-1024"``,
+  ``"xtr-170"``) with uniform Table 3 profiling and batched serving runs,
 * :mod:`repro.soc` — the cycle-accurate platform simulator (7-instruction
   cores, single-port DataRAM, Type-A/Type-B hierarchies, MicroBlaze interface
   cost model, area model),
@@ -24,6 +28,7 @@ multicore FPGA coprocessor.  This package rebuilds the whole stack in Python:
 __version__ = "1.0.0"
 
 from repro import errors
+from repro.pkc import available_schemes, build_profile, get_scheme
 from repro.torus.ceilidh import CeilidhSystem
 from repro.torus.params import get_parameters, generate_parameters
 from repro.torus.t6 import T6Group
@@ -38,4 +43,7 @@ __all__ = [
     "T6Group",
     "Platform",
     "PlatformConfig",
+    "get_scheme",
+    "available_schemes",
+    "build_profile",
 ]

@@ -6,12 +6,14 @@ harness (and EXPERIMENTS.md) can report paper-vs-measured side by side.
 """
 
 from repro.analysis.tables import (
+    TABLE3_SCHEMES,
     Table1Row,
     Table2Row,
     Table3Row,
     table1,
     table2,
     table3,
+    table3_profiles,
 )
 from repro.analysis.figures import (
     fig1_operation_counts,
@@ -29,6 +31,8 @@ __all__ = [
     "table1",
     "table2",
     "table3",
+    "table3_profiles",
+    "TABLE3_SCHEMES",
     "fig1_operation_counts",
     "fig2_platform_inventory",
     "fig34_hierarchy_breakdown",

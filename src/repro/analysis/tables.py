@@ -14,13 +14,17 @@ Every row carries the paper's number next to the measured one.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.ecc.curves import SECP160R1
 from repro.soc.cost import PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE3
 from repro.soc.system import Platform, default_rsa_modulus
 from repro.torus.params import CEILIDH_170, TorusParameters
+
+#: The registry rows of the paper's comparison, in Table 3 order.
+TABLE3_SCHEMES = ("ceilidh-170", "rsa-1024", "ecdh-p160", "xtr-170")
 
 
 @dataclass
@@ -170,3 +174,29 @@ def table3(
                   ecc.milliseconds, PAPER_TABLE3["ecc"]["time_ms"]),
     ]
     return rows
+
+
+def table3_profiles(
+    platform: Optional[Platform] = None,
+    names: Sequence[str] = TABLE3_SCHEMES,
+    rng: Optional[random.Random] = None,
+    include_protocols: bool = True,
+):
+    """Table 3 through the unified scheme registry: one generic loop.
+
+    Every named scheme is profiled by the same call path — executed headline
+    exponentiation, platform cycle projection, protocol traces and wire
+    sizes — with no scheme-specific branches here or in
+    :func:`repro.pkc.profile.build_profile`.  Returns the
+    :class:`~repro.pkc.profile.SchemeProfile` list in registry order.
+    """
+    from repro.pkc import build_profile, get_scheme
+
+    platform = platform or Platform()
+    rng = rng or random.Random(0x7AB1E3)
+    return [
+        build_profile(
+            get_scheme(name), platform, rng, include_protocols=include_protocols
+        )
+        for name in names
+    ]

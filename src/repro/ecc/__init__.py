@@ -28,6 +28,7 @@ from repro.ecc.curves import (
     generate_toy_curve,
 )
 from repro.ecc.ecdh import EcdhKeyPair, ecdh_generate, ecdh_shared_secret, ecdsa_sign, ecdsa_verify
+from repro.ecc.encoding import decode_point, encode_point, point_size_bytes
 
 __all__ = [
     "WeierstrassCurve",
@@ -52,4 +53,7 @@ __all__ = [
     "ecdh_shared_secret",
     "ecdsa_sign",
     "ecdsa_verify",
+    "encode_point",
+    "decode_point",
+    "point_size_bytes",
 ]

@@ -14,7 +14,9 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.errors import ParameterError, SignatureError
+from repro.exp.trace import ScalarMultCount
 from repro.nt.modular import modinv
+from repro.nt.sampling import sample_exponent
 from repro.ecc.curves import NamedCurve
 from repro.ecc.point import AffinePoint
 from repro.ecc.scalar import double_scalar_mult, scalar_mult
@@ -28,24 +30,33 @@ class EcdhKeyPair:
     private: int
     public: AffinePoint
 
-    def public_bytes(self) -> bytes:
-        """Uncompressed SEC1-style encoding 0x04 || X || Y."""
-        width = (self.curve.p.bit_length() + 7) // 8
-        return b"\x04" + self.public.x.to_bytes(width, "big") + self.public.y.to_bytes(width, "big")
+    def public_bytes(self, compressed: bool = False) -> bytes:
+        """SEC1 encoding, uncompressed ``0x04 || X || Y`` by default."""
+        from repro.ecc.encoding import encode_point
+
+        return encode_point(self.public, compressed=compressed)
 
 
-def ecdh_generate(named: NamedCurve, rng: Optional[random.Random] = None) -> EcdhKeyPair:
+def ecdh_generate(
+    named: NamedCurve,
+    rng: Optional[random.Random] = None,
+    count: Optional[ScalarMultCount] = None,
+) -> EcdhKeyPair:
     """Generate a key pair on a named curve."""
     rng = rng or random.Random()
     _, generator = named.build()
-    private = rng.randrange(1, named.order)
-    public = scalar_mult(generator, private)
+    private = sample_exponent(named.order, rng)
+    public = scalar_mult(generator, private, count=count)
     return EcdhKeyPair(curve=named, private=private, public=public)
 
 
-def ecdh_shared_secret(own: EcdhKeyPair, peer_public: AffinePoint) -> bytes:
+def ecdh_shared_secret(
+    own: EcdhKeyPair,
+    peer_public: AffinePoint,
+    count: Optional[ScalarMultCount] = None,
+) -> bytes:
     """X-coordinate of the shared point, fixed width big-endian."""
-    shared = scalar_mult(peer_public, own.private)
+    shared = scalar_mult(peer_public, own.private, count=count)
     if shared.is_infinity():
         raise ParameterError("degenerate ECDH shared point")
     width = (own.curve.p.bit_length() + 7) // 8
@@ -62,7 +73,10 @@ def _hash_to_int(message: bytes, order: int) -> int:
 
 
 def ecdsa_sign(
-    own: EcdhKeyPair, message: bytes, rng: Optional[random.Random] = None
+    own: EcdhKeyPair,
+    message: bytes,
+    rng: Optional[random.Random] = None,
+    count: Optional[ScalarMultCount] = None,
 ) -> Tuple[int, int]:
     """ECDSA signature (r, s) with a SHA-256 message digest."""
     rng = rng or random.Random()
@@ -70,8 +84,8 @@ def ecdsa_sign(
     _, generator = named.build()
     e = _hash_to_int(message, named.order)
     for _ in range(64):
-        k = rng.randrange(1, named.order)
-        point = scalar_mult(generator, k)
+        k = sample_exponent(named.order, rng)
+        point = scalar_mult(generator, k, count=count)
         r = point.x % named.order
         if r == 0:
             continue
@@ -83,7 +97,11 @@ def ecdsa_sign(
 
 
 def ecdsa_verify(
-    named: NamedCurve, public: AffinePoint, message: bytes, signature: Tuple[int, int]
+    named: NamedCurve,
+    public: AffinePoint,
+    message: bytes,
+    signature: Tuple[int, int],
+    count: Optional[ScalarMultCount] = None,
 ) -> bool:
     """Verify an ECDSA signature."""
     r, s = signature
@@ -95,7 +113,7 @@ def ecdsa_verify(
     u1 = e * w % named.order
     u2 = r * w % named.order
     # Shamir double-scalar multiplication: one shared doubling chain.
-    point = double_scalar_mult(generator, u1, public, u2)
+    point = double_scalar_mult(generator, u1, public, u2, count=count)
     if point.is_infinity():
         return False
     return point.x % named.order == r

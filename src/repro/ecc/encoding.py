@@ -1,0 +1,85 @@
+"""SEC1 wire encodings for elliptic-curve points.
+
+The bandwidth half of the paper's comparison needs ECC messages in their
+standard transmitted form.  SEC1 defines two: the uncompressed encoding
+``0x04 || X || Y`` (what the legacy examples always used) and the compressed
+encoding ``0x02/0x03 || X`` that sends only the X coordinate plus the parity
+of Y — the elliptic-curve analogue of the torus compression rho, at half the
+uncompressed size plus one byte.  Decompression solves the curve equation
+with a modular square root and picks the root of the right parity.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotOnCurveError, ParameterError
+from repro.nt.modular import sqrt_mod_prime
+from repro.ecc.curves import NamedCurve
+from repro.ecc.point import AffinePoint
+
+__all__ = ["point_size_bytes", "encode_point", "decode_point"]
+
+
+def _field_byte_length(p: int) -> int:
+    return (p.bit_length() + 7) // 8
+
+
+def point_size_bytes(named: NamedCurve, compressed: bool = False) -> int:
+    """Bytes on the wire for one SEC1-encoded point."""
+    width = _field_byte_length(named.p)
+    return 1 + width if compressed else 1 + 2 * width
+
+
+def encode_point(point: AffinePoint, compressed: bool = False) -> bytes:
+    """SEC1 encoding of a finite point (infinity is not a wire value here)."""
+    if point.is_infinity():
+        raise ParameterError("the point at infinity has no SEC1 wire encoding")
+    p = point.curve.field.p
+    width = _field_byte_length(p)
+    x_bytes = point.x.to_bytes(width, "big")
+    if not compressed:
+        return b"\x04" + x_bytes + point.y.to_bytes(width, "big")
+    prefix = b"\x03" if point.y & 1 else b"\x02"
+    return prefix + x_bytes
+
+
+def decode_point(named: NamedCurve, data: bytes) -> AffinePoint:
+    """Inverse of :func:`encode_point`; validates curve membership.
+
+    Accepts both SEC1 forms.  Compressed points are lifted by solving
+    ``y^2 = x^3 + ax + b`` with a Tonelli-Shanks square root; a non-residue
+    right-hand side (an X that is not the abscissa of any curve point) raises
+    :class:`~repro.errors.NotOnCurveError`.
+    """
+    if not data:
+        raise ParameterError("empty point encoding")
+    curve, _ = named.build()
+    width = _field_byte_length(named.p)
+    prefix = data[0]
+    if prefix == 0x04:
+        if len(data) != 1 + 2 * width:
+            raise ParameterError(
+                f"uncompressed point must be {1 + 2 * width} bytes, got {len(data)}"
+            )
+        x = int.from_bytes(data[1 : 1 + width], "big")
+        y = int.from_bytes(data[1 + width :], "big")
+        if x >= named.p or y >= named.p:
+            raise ParameterError("encoded coordinate exceeds the field size")
+        return AffinePoint(curve, x, y)  # membership checked by the constructor
+    if prefix in (0x02, 0x03):
+        if len(data) != 1 + width:
+            raise ParameterError(
+                f"compressed point must be {1 + width} bytes, got {len(data)}"
+            )
+        x = int.from_bytes(data[1:], "big")
+        if x >= named.p:
+            raise ParameterError("encoded coordinate exceeds the field size")
+        field = curve.field
+        rhs = field.add(field.mul(field.sqr(x), x), field.add(field.mul(curve.a, x), curve.b))
+        try:
+            y = sqrt_mod_prime(rhs, named.p)
+        except ParameterError:
+            raise NotOnCurveError(f"x = {x} is not the abscissa of a curve point") from None
+        if (y & 1) != (prefix & 1):
+            y = named.p - y
+        return AffinePoint(curve, x, y)
+    raise ParameterError(f"unknown SEC1 prefix 0x{prefix:02x}")

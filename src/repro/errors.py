@@ -45,6 +45,14 @@ class SignatureError(ReproError):
     """A signature failed to verify or could not be produced."""
 
 
+class UnsupportedOperationError(ReproError):
+    """A PKC scheme was asked for a protocol it does not implement.
+
+    XTR ships only key agreement, RSA has no Diffie-Hellman-style agreement;
+    the unified scheme layer signals the gap with this error instead of
+    silently degrading."""
+
+
 class DecryptionError(ReproError):
     """Ciphertext could not be decrypted (wrong key, corrupted data...)."""
 

@@ -17,6 +17,7 @@ from repro.nt.modular import (
     multiplicative_order,
 )
 from repro.nt.primality import is_probable_prime, is_prime, next_prime
+from repro.nt.sampling import sample_exponent
 from repro.nt.primegen import random_prime, random_prime_mod, safe_prime
 from repro.nt.factor import trial_division, pollard_rho, factorize, largest_prime_factor
 from repro.nt.words import to_words, from_words, word_length, bit_length_words
@@ -30,6 +31,7 @@ __all__ = [
     "legendre_symbol",
     "sqrt_mod_prime",
     "multiplicative_order",
+    "sample_exponent",
     "is_probable_prime",
     "is_prime",
     "next_prime",

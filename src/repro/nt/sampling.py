@@ -1,0 +1,34 @@
+"""Secret-exponent sampling shared by every protocol layer.
+
+Before the unified PKC layer, each cryptosystem drew its secret exponents
+with its own inline ``randrange`` call and its own range convention: the XTR
+key agreement used ``[2, q)``, ECDH used ``[1, order)`` and CEILIDH carried a
+third copy of the same line.  The differences were harmless but made the
+protocol layers needlessly non-uniform; :func:`sample_exponent` fixes one
+convention — the full multiplicative range ``[1, q)`` — and every key
+generation, ephemeral value and signature nonce in the library goes through
+it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import ParameterError
+
+__all__ = ["sample_exponent"]
+
+
+def sample_exponent(q: int, rng: Optional[random.Random] = None) -> int:
+    """A uniformly random secret exponent in ``[1, q)``.
+
+    ``q`` is the order of the working (sub)group: the torus subgroup order
+    for CEILIDH and XTR, the base-point order for ECDH/ECDSA.  The identity
+    exponent 0 is excluded; ``q`` must be at least 2 so that the range is
+    non-empty.
+    """
+    if q < 2:
+        raise ParameterError(f"exponent range [1, q) needs q >= 2, got {q}")
+    rng = rng or random.Random()
+    return rng.randrange(1, q)

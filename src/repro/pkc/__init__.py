@@ -1,0 +1,124 @@
+"""The unified public-key-cryptosystem layer.
+
+One protocol vocabulary — :class:`~repro.pkc.base.KeyAgreement`,
+:class:`~repro.pkc.base.PublicKeyEncryption`,
+:class:`~repro.pkc.base.Signature` — spoken by all four cryptosystems the
+paper compares, behind a string-keyed registry:
+
+>>> from repro.pkc import get_scheme
+>>> scheme = get_scheme("ceilidh-170")          # or "ecdh-p160", "rsa-1024", "xtr-170"
+>>> alice, bob = scheme.keygen(), scheme.keygen()
+>>> scheme.key_agreement(alice, bob.public_wire) == scheme.key_agreement(bob, alice.public_wire)
+True
+
+:func:`~repro.pkc.profile.build_profile` turns any registered scheme into a
+Table 3 row (operation tallies, wire bytes, projected SoC cycles), and
+:mod:`repro.pkc.bench` runs batched multi-session serving workloads.  The
+concrete adapters live beside the implementations they wrap —
+``repro.torus.pkc``, ``repro.ecc.pkc``, ``repro.rsa.pkc``,
+``repro.xtr.pkc`` — and the legacy per-scheme entry points remain available
+underneath.
+"""
+
+from repro.pkc.base import (
+    ENCRYPTION,
+    KEY_AGREEMENT,
+    SIGNATURE,
+    KeyAgreement,
+    PkcScheme,
+    PublicKeyEncryption,
+    SchemeKeyPair,
+    Signature,
+    kdf,
+)
+from repro.pkc.bench import BatchResult, registry_batch_comparison, run_batch
+from repro.pkc.profile import SchemeProfile, build_profile, canonical_exponent
+from repro.pkc.registry import available_schemes, get_scheme, register_scheme
+
+__all__ = [
+    "KEY_AGREEMENT",
+    "ENCRYPTION",
+    "SIGNATURE",
+    "KeyAgreement",
+    "PublicKeyEncryption",
+    "Signature",
+    "PkcScheme",
+    "SchemeKeyPair",
+    "kdf",
+    "SchemeProfile",
+    "build_profile",
+    "canonical_exponent",
+    "register_scheme",
+    "get_scheme",
+    "available_schemes",
+    "BatchResult",
+    "run_batch",
+    "registry_batch_comparison",
+]
+
+
+def _register_default_schemes() -> None:
+    """Register the four cryptosystems of the paper plus the toy test sizes.
+
+    Factories import lazily so that ``repro.pkc`` never pays for a layer the
+    caller does not look up.
+    """
+
+    def ceilidh(params: str, name: str, paper_ms=None, security_bits: int = 80):
+        def factory():
+            from repro.torus.pkc import CeilidhScheme
+
+            return CeilidhScheme(
+                params, name=name, security_bits=security_bits, paper_ms=paper_ms
+            )
+
+        register_scheme(name, factory)
+
+    def ecdh(curve_name: str, name: str, paper_ms=None, security_bits: int = 80):
+        def factory():
+            from repro.ecc.curves import get_curve
+            from repro.ecc.pkc import EcdhScheme
+
+            return EcdhScheme(
+                get_curve(curve_name),
+                name=name,
+                security_bits=security_bits,
+                paper_ms=paper_ms,
+            )
+
+        register_scheme(name, factory)
+
+    def rsa(bits: int, name: str, paper_ms=None, security_bits: int = 80):
+        def factory():
+            from repro.rsa.pkc import RsaScheme
+
+            return RsaScheme(
+                bits, name=name, security_bits=security_bits, paper_ms=paper_ms
+            )
+
+        register_scheme(name, factory)
+
+    def xtr(params: str, name: str, security_bits: int = 80):
+        def factory():
+            from repro.xtr.pkc import XtrScheme
+
+            return XtrScheme(params, name=name, security_bits=security_bits)
+
+        register_scheme(name, factory)
+
+    # The paper's Table 3 rows (paper_ms from PAPER_TABLE3) plus XTR.
+    ceilidh("ceilidh-170", "ceilidh-170", paper_ms=20.0)
+    ecdh("secp160r1", "ecdh-p160", paper_ms=9.4)
+    rsa(1024, "rsa-1024", paper_ms=96.0)
+    xtr("ceilidh-170", "xtr-170")
+    # Larger curves for the bandwidth/scaling comparisons.
+    ecdh("secp192r1", "ecdh-p192", security_bits=96)
+    ecdh("secp256k1", "ecdh-k256", security_bits=128)
+    # Small sizes for fast tests and the cycle-accurate integration paths.
+    ceilidh("toy-64", "ceilidh-toy64", security_bits=0)
+    ceilidh("toy-32", "ceilidh-toy32", security_bits=0)
+    rsa(512, "rsa-512", security_bits=0)
+    xtr("toy-32", "xtr-toy32", security_bits=0)
+
+
+_register_default_schemes()

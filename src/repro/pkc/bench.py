@@ -1,0 +1,157 @@
+"""Batched multi-session protocol runs — the serving-workload harness.
+
+The ROADMAP's production story is many concurrent sessions, not one: a
+server terminating N key agreements (or decrypting N hybrid messages, or
+signing N tokens) per interval, with fixed-cost state — CEILIDH's and ECDH's
+fixed-base generator tables, RSA's long-lived key pair — paid once and
+amortised across the batch.  :func:`run_batch` executes such a batch through
+the scheme-agnostic protocol API and reports wall-clock, per-session group
+operations and wire bytes; one loop over the registry yields the multi-
+scheme serving comparison.
+
+Only the protocol layer is exercised (pure-Python arithmetic); the platform
+projection of the same workload is the profile layer's job.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import ParameterError, UnsupportedOperationError
+from repro.exp.trace import OpTrace
+from repro.pkc.base import ENCRYPTION, KEY_AGREEMENT, SIGNATURE, PkcScheme, SchemeKeyPair
+from repro.pkc.registry import get_scheme
+
+__all__ = ["BatchResult", "run_batch", "registry_batch_comparison", "BATCH_OPERATIONS"]
+
+#: Operations :func:`run_batch` understands, mapped to the capability needed.
+BATCH_OPERATIONS = {
+    "key-agreement": KEY_AGREEMENT,
+    "encryption": ENCRYPTION,
+    "signature": SIGNATURE,
+}
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one batched multi-session run."""
+
+    scheme: str
+    operation: str
+    sessions: int
+    wall_seconds: float
+    #: Aggregate group-operation tally across every session (server + client
+    #: sides of a key agreement, encrypt + decrypt of an encryption session).
+    ops: OpTrace = field(default_factory=OpTrace)
+    #: Total protocol bytes that crossed the wire for the whole batch.
+    wire_bytes: int = 0
+
+    @property
+    def ms_per_session(self) -> float:
+        return self.wall_seconds * 1e3 / self.sessions if self.sessions else 0.0
+
+    @property
+    def sessions_per_second(self) -> float:
+        return self.sessions / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+
+    @property
+    def ops_per_session(self) -> float:
+        return self.ops.total / self.sessions if self.sessions else 0.0
+
+    @property
+    def wire_bytes_per_session(self) -> float:
+        return self.wire_bytes / self.sessions if self.sessions else 0.0
+
+
+def run_batch(
+    scheme: PkcScheme,
+    operation: str,
+    sessions: int,
+    rng: Optional[random.Random] = None,
+    payload: bytes = b"batched session payload.........",
+    server: Optional[SchemeKeyPair] = None,
+) -> BatchResult:
+    """Run ``sessions`` independent protocol sessions against one server key.
+
+    * ``key-agreement`` — per session: a fresh client key pair, the client's
+      derivation against the server public, the server's derivation against
+      the client public (checked equal).  Wire: one public key each way.
+    * ``encryption`` — per session: encrypt ``payload`` to the server,
+      server decrypts (checked).  Wire: the ciphertext.
+    * ``signature`` — per session: server signs ``payload`` bound to the
+      session index, client verifies.  Wire: the signature.
+
+    The server key pair (and with it any fixed-base table the scheme keeps)
+    is created once outside the timed region, so the batch measures the
+    steady-state serving cost.
+    """
+    if operation not in BATCH_OPERATIONS:
+        raise ParameterError(
+            f"unknown batch operation {operation!r}; available: {sorted(BATCH_OPERATIONS)}"
+        )
+    if sessions < 1:
+        raise ParameterError("a batch needs at least one session")
+    capability = BATCH_OPERATIONS[operation]
+    if capability not in scheme.capabilities:
+        raise UnsupportedOperationError(f"{scheme.name} does not implement {operation}")
+    rng = rng or random.Random()
+
+    server = server or scheme.keygen(rng)
+    ops = OpTrace()
+    wire = 0
+    started = time.perf_counter()
+    if operation == "key-agreement":
+        for _ in range(sessions):
+            client = scheme.keygen(rng, trace=ops)
+            client_key = scheme.key_agreement(client, server.public_wire, trace=ops)
+            server_key = scheme.key_agreement(server, client.public_wire, trace=ops)
+            if client_key != server_key:
+                raise ParameterError(f"{scheme.name}: key agreement mismatch")  # pragma: no cover
+            wire += len(client.public_wire) + len(server.public_wire)
+    elif operation == "encryption":
+        for _ in range(sessions):
+            ciphertext = scheme.encrypt(server.public_wire, payload, rng, trace=ops)
+            if scheme.decrypt(server, ciphertext, trace=ops) != payload:
+                raise ParameterError(f"{scheme.name}: decryption mismatch")  # pragma: no cover
+            wire += len(ciphertext)
+    else:  # signature
+        for index in range(sessions):
+            message = payload + index.to_bytes(4, "big")
+            signature = scheme.sign(server, message, rng, trace=ops)
+            if not scheme.verify(server.public_wire, message, signature, trace=ops):
+                raise ParameterError(f"{scheme.name}: signature rejected")  # pragma: no cover
+            wire += len(signature)
+    elapsed = time.perf_counter() - started
+
+    return BatchResult(
+        scheme=scheme.name,
+        operation=operation,
+        sessions=sessions,
+        wall_seconds=elapsed,
+        ops=ops,
+        wire_bytes=wire,
+    )
+
+
+def registry_batch_comparison(
+    names: Sequence[str],
+    operation: str = "key-agreement",
+    sessions: int = 8,
+    rng: Optional[random.Random] = None,
+) -> "list[BatchResult]":
+    """Batch every named scheme that supports ``operation`` — one generic loop."""
+    if operation not in BATCH_OPERATIONS:
+        raise ParameterError(
+            f"unknown batch operation {operation!r}; available: {sorted(BATCH_OPERATIONS)}"
+        )
+    capability = BATCH_OPERATIONS[operation]
+    results = []
+    for name in names:
+        scheme = get_scheme(name)
+        if capability not in scheme.capabilities:
+            continue
+        results.append(run_batch(scheme, operation, sessions, rng=rng))
+    return results

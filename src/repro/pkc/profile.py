@@ -1,0 +1,158 @@
+"""Uniform scheme profiling: one call path per Table 3 row.
+
+:func:`build_profile` drives any registered scheme through every protocol it
+supports, tallying each operation's :class:`~repro.exp.trace.OpTrace` and
+wire bytes, then runs the scheme's *headline* exponentiation (the operation
+the paper's Table 3 times, with the paper's binary/double-and-add strategy)
+and projects it onto the simulated platform through
+:class:`~repro.soc.cost.CostModel`-derived per-operation cycle costs.  The
+result is one :class:`SchemeProfile` per scheme — ops, bandwidth and a
+projected SoC cycle count, with no scheme-specific branches anywhere in the
+caller.
+
+The headline exponent is the canonical *half-weight* pattern ``1010...`` of
+the scheme's bit length: its binary expansion has exactly the average
+popcount, so the executed squaring/multiplication counts equal the expected
+counts the platform model composes (``n - 1`` squarings and
+``(n - 1) // 2`` multiplications for an ``n``-bit exponent) and the
+projection reproduces :meth:`repro.soc.system.Platform` Table 3 timings
+exactly, while still being derived from a real executed exponentiation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ParameterError
+from repro.exp.trace import OpTrace
+from repro.pkc.base import ENCRYPTION, KEY_AGREEMENT, SIGNATURE, PkcScheme
+
+__all__ = ["SchemeProfile", "build_profile", "canonical_exponent"]
+
+#: Plaintext used for the encryption/signature legs of a profile run.
+PROFILE_MESSAGE = b"repro.pkc profile message (32B)!"
+
+
+def canonical_exponent(bits: int) -> int:
+    """The ``bits``-bit alternating exponent ``101010...``.
+
+    Top bit set (so the length is exact), every second bit below it set —
+    popcount ``ceil(bits / 2)``, which makes a left-to-right binary
+    exponentiation perform exactly ``bits - 1`` squarings and
+    ``(bits - 1) // 2`` general multiplications: the closed-form averages the
+    paper's Table 3 composition assumes.
+    """
+    if bits < 1:
+        raise ParameterError("canonical exponent needs bits >= 1")
+    exponent = 0
+    for i in range(bits - 1, -1, -2):
+        exponent |= 1 << i
+    return exponent
+
+
+@dataclass
+class SchemeProfile:
+    """Everything one Table 3 row needs, for any scheme."""
+
+    scheme: str
+    bit_length: int
+    security_bits: int
+    capabilities: frozenset
+    #: Wire bytes per message kind: ``public_key`` always; additionally
+    #: ``key_agreement_message``, ``ciphertext_overhead`` and ``signature``
+    #: for the protocols the scheme supports.
+    wire_bytes: Dict[str, int] = field(default_factory=dict)
+    #: Group-operation tallies of every protocol operation performed.
+    traces: Dict[str, OpTrace] = field(default_factory=dict)
+    #: The Table 3 operation and its executed (binary-strategy) tally.
+    headline_operation: str = ""
+    headline_trace: OpTrace = field(default_factory=OpTrace)
+    #: Projection of the headline operation onto the simulated platform.
+    projected_cycles: int = 0
+    projected_ms: float = 0.0
+    area_slices: int = 0
+    frequency_mhz: float = 0.0
+    paper_ms: Optional[float] = None
+
+    @property
+    def ratio_to_paper(self) -> Optional[float]:
+        if not self.paper_ms:
+            return None
+        return self.projected_ms / self.paper_ms
+
+    @property
+    def total_protocol_ops(self) -> OpTrace:
+        """Sum of every protocol operation's tally."""
+        total = OpTrace()
+        for trace in self.traces.values():
+            total.merge(trace)
+        return total
+
+
+def build_profile(
+    scheme: PkcScheme,
+    platform=None,
+    rng: Optional[random.Random] = None,
+    include_protocols: bool = True,
+    message: bytes = PROFILE_MESSAGE,
+) -> SchemeProfile:
+    """Profile one scheme end to end; the single generic Table 3 call path.
+
+    With ``include_protocols`` the scheme's supported protocols are actually
+    executed (two key pairs, a key agreement checked from both sides, an
+    encrypt/decrypt round trip, a sign/verify round trip) and their traces
+    recorded.  The headline projection runs either way; pass
+    ``include_protocols=False`` for a pure Table 3 reproduction.
+    """
+    if platform is None:
+        from repro.soc.system import Platform
+
+        platform = Platform()
+    rng = rng or random.Random()
+
+    profile = SchemeProfile(
+        scheme=scheme.name,
+        bit_length=scheme.bit_length,
+        security_bits=scheme.security_bits,
+        capabilities=scheme.capabilities,
+        headline_operation=scheme.headline_operation,
+        paper_ms=scheme.paper_ms,
+    )
+    profile.wire_bytes["public_key"] = scheme.public_key_size()
+
+    if include_protocols:
+        def traced(name: str) -> OpTrace:
+            return profile.traces.setdefault(name, OpTrace())
+
+        own = scheme.keygen(rng, trace=traced("keygen"))
+        if KEY_AGREEMENT in scheme.capabilities:
+            peer = scheme.keygen(rng)
+            shared = scheme.key_agreement(own, peer.public_wire, trace=traced("key_agreement"))
+            if shared != scheme.key_agreement(peer, own.public_wire):
+                raise ParameterError(f"{scheme.name}: key agreement mismatch")  # pragma: no cover
+            profile.wire_bytes["key_agreement_message"] = len(peer.public_wire)
+        if ENCRYPTION in scheme.capabilities:
+            ciphertext = scheme.encrypt(own.public_wire, message, rng, trace=traced("encrypt"))
+            if scheme.decrypt(own, ciphertext, trace=traced("decrypt")) != message:
+                raise ParameterError(f"{scheme.name}: decryption mismatch")  # pragma: no cover
+            profile.wire_bytes["ciphertext_overhead"] = len(ciphertext) - len(message)
+        if SIGNATURE in scheme.capabilities:
+            signature = scheme.sign(own, message, rng, trace=traced("sign"))
+            if not scheme.verify(own.public_wire, message, signature, trace=traced("verify")):
+                raise ParameterError(f"{scheme.name}: signature rejected")  # pragma: no cover
+            profile.wire_bytes["signature"] = len(signature)
+
+    # -- headline operation + platform projection ---------------------------
+    scheme.headline_exponentiation(profile.headline_trace)
+    cost_sq, cost_mul = scheme.platform_cycles_per_operation(platform)
+    profile.projected_cycles = (
+        profile.headline_trace.squarings * cost_sq
+        + profile.headline_trace.multiplications * cost_mul
+    )
+    profile.projected_ms = profile.projected_cycles / (platform.config.clock_mhz * 1e3)
+    area = platform.area_report()
+    profile.area_slices = area.total_slices
+    profile.frequency_mhz = area.frequency_mhz
+    return profile

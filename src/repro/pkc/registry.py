@@ -1,0 +1,53 @@
+"""The string-keyed scheme registry.
+
+``get_scheme("ceilidh-170")`` / ``"ecdh-p160"`` / ``"rsa-1024"`` /
+``"xtr-170"`` return ready adapter instances; a generic loop over
+:func:`available_schemes` is all a benchmark or example needs to compare
+every cryptosystem the library implements.  Instances are cached per name so
+per-scheme amortised state (CEILIDH's and ECDH's fixed-base generator
+tables, RSA's lazily generated key material) is shared by every caller —
+the behaviour the batched serving harness in :mod:`repro.pkc.bench` relies
+on; pass ``fresh=True`` for an isolated instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ParameterError
+from repro.pkc.base import PkcScheme
+
+__all__ = ["register_scheme", "get_scheme", "available_schemes"]
+
+_FACTORIES: Dict[str, Callable[[], PkcScheme]] = {}
+_INSTANCES: Dict[str, PkcScheme] = {}
+
+
+def register_scheme(
+    name: str, factory: Callable[[], PkcScheme], replace: bool = False
+) -> None:
+    """Register a scheme factory under a wire-format-stable name."""
+    if not replace and name in _FACTORIES:
+        raise ParameterError(f"scheme {name!r} is already registered")
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def get_scheme(name: str, fresh: bool = False) -> PkcScheme:
+    """Look up a scheme adapter by name (cached unless ``fresh``)."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown scheme {name!r}; available: {list(available_schemes())}"
+        ) from None
+    if fresh:
+        return factory()
+    if name not in _INSTANCES:
+        _INSTANCES[name] = factory()
+    return _INSTANCES[name]
+
+
+def available_schemes() -> Tuple[str, ...]:
+    """Registered scheme names, sorted."""
+    return tuple(sorted(_FACTORIES))

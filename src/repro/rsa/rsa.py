@@ -12,9 +12,10 @@ they are not a substitute for OAEP/PSS and say so.
 from __future__ import annotations
 
 import hashlib
-from typing import Union
+from typing import Optional, Union
 
 from repro.errors import DecryptionError, ParameterError
+from repro.exp.trace import OpTrace
 from repro.montgomery.domain import MontgomeryDomain
 from repro.montgomery.exponent import montgomery_power
 from repro.rsa.keygen import RsaKeyPair, RsaPublicKey
@@ -26,31 +27,37 @@ def _public(key: PublicLike) -> RsaPublicKey:
     return key.public() if isinstance(key, RsaKeyPair) else key
 
 
-def rsa_encrypt_int(key: PublicLike, message: int, word_bits: int = 16) -> int:
+def rsa_encrypt_int(
+    key: PublicLike, message: int, word_bits: int = 16, trace: Optional[OpTrace] = None
+) -> int:
     """Raw RSA: message^e mod n via Montgomery exponentiation."""
     public = _public(key)
     if not 0 <= message < public.n:
         raise ParameterError("message representative out of range")
     domain = MontgomeryDomain(public.n, word_bits=word_bits)
-    return montgomery_power(domain, message, public.e)
+    return montgomery_power(domain, message, public.e, trace=trace)
 
 
-def rsa_decrypt_int(key: RsaKeyPair, ciphertext: int, word_bits: int = 16) -> int:
+def rsa_decrypt_int(
+    key: RsaKeyPair, ciphertext: int, word_bits: int = 16, trace: Optional[OpTrace] = None
+) -> int:
     """Raw RSA decryption without CRT (the paper's 1024-bit exponentiation)."""
     if not 0 <= ciphertext < key.n:
         raise ParameterError("ciphertext representative out of range")
     domain = MontgomeryDomain(key.n, word_bits=word_bits)
-    return montgomery_power(domain, ciphertext, key.d)
+    return montgomery_power(domain, ciphertext, key.d, trace=trace)
 
 
-def rsa_decrypt_int_crt(key: RsaKeyPair, ciphertext: int, word_bits: int = 16) -> int:
+def rsa_decrypt_int_crt(
+    key: RsaKeyPair, ciphertext: int, word_bits: int = 16, trace: Optional[OpTrace] = None
+) -> int:
     """CRT decryption: two half-size exponentiations plus recombination."""
     if not 0 <= ciphertext < key.n:
         raise ParameterError("ciphertext representative out of range")
     domain_p = MontgomeryDomain(key.p, word_bits=word_bits)
     domain_q = MontgomeryDomain(key.q, word_bits=word_bits)
-    m_p = montgomery_power(domain_p, ciphertext % key.p, key.d_p)
-    m_q = montgomery_power(domain_q, ciphertext % key.q, key.d_q)
+    m_p = montgomery_power(domain_p, ciphertext % key.p, key.d_p, trace=trace)
+    m_q = montgomery_power(domain_q, ciphertext % key.q, key.d_q, trace=trace)
     h = key.q_inv * (m_p - m_q) % key.p
     return m_q + h * key.q
 
@@ -92,37 +99,48 @@ def _unpad(value: int, n: int) -> bytes:
     return block[separator + 1 :]
 
 
-def rsa_encrypt(key: PublicLike, message: bytes) -> bytes:
+def rsa_encrypt(key: PublicLike, message: bytes, trace: Optional[OpTrace] = None) -> bytes:
     """Encrypt a short message with the deterministic padding."""
     public = _public(key)
-    value = rsa_encrypt_int(public, _pad(message, public.n))
+    value = rsa_encrypt_int(public, _pad(message, public.n), trace=trace)
     return value.to_bytes(_modulus_bytes(public.n), "big")
 
 
-def rsa_decrypt(key: RsaKeyPair, ciphertext: bytes, use_crt: bool = True) -> bytes:
+def rsa_decrypt(
+    key: RsaKeyPair,
+    ciphertext: bytes,
+    use_crt: bool = True,
+    trace: Optional[OpTrace] = None,
+) -> bytes:
     """Decrypt and strip the padding."""
     value = int.from_bytes(ciphertext, "big")
     if value >= key.n:
         raise DecryptionError("ciphertext out of range")
-    plain = rsa_decrypt_int_crt(key, value) if use_crt else rsa_decrypt_int(key, value)
+    plain = (
+        rsa_decrypt_int_crt(key, value, trace=trace)
+        if use_crt
+        else rsa_decrypt_int(key, value, trace=trace)
+    )
     return _unpad(plain, key.n)
 
 
-def rsa_sign(key: RsaKeyPair, message: bytes) -> bytes:
+def rsa_sign(key: RsaKeyPair, message: bytes, trace: Optional[OpTrace] = None) -> bytes:
     """Hash-then-sign (SHA-256 digest, deterministic padding)."""
     digest = hashlib.sha256(message).digest()
-    value = rsa_decrypt_int_crt(key, _pad(digest, key.n))
+    value = rsa_decrypt_int_crt(key, _pad(digest, key.n), trace=trace)
     return value.to_bytes(_modulus_bytes(key.n), "big")
 
 
-def rsa_verify(key: PublicLike, message: bytes, signature: bytes) -> bool:
+def rsa_verify(
+    key: PublicLike, message: bytes, signature: bytes, trace: Optional[OpTrace] = None
+) -> bool:
     """Verify a hash-then-sign signature."""
     public = _public(key)
     value = int.from_bytes(signature, "big")
     if value >= public.n:
         return False
     try:
-        recovered = _unpad(rsa_encrypt_int(public, value), public.n)
+        recovered = _unpad(rsa_encrypt_int(public, value, trace=trace), public.n)
     except DecryptionError:
         return False
     return recovered == hashlib.sha256(message).digest()

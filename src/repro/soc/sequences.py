@@ -251,6 +251,38 @@ def ecc_point_addition_program() -> Level2Program:
     return program
 
 
+def xtr_fp2_multiplication_program() -> Level2Program:
+    """One Fp2 multiplication as the platform would microcode it: 3 MM + 6 MA/MS.
+
+    The XTR trace ladder is a loop of Fp2 multiplications (Lenstra-Verheul
+    count their algorithms in this unit), so projecting XTR onto the paper's
+    platform needs the level-2 cost of one of them.  Over
+    Fp2 = Fp[x]/(x^2 + x + 1) the Karatsuba form is
+
+        t0 = a0*b0,  t1 = a1*b1,  t2 = (a0+a1)*(b0+b1)
+        c0 = t0 - t1,  c1 = (t2 - t0 - t1) - t1
+
+    using x^2 = -1 - x: three Montgomery multiplications plus two additions
+    and four subtractions — the same 3M shape the torus tower uses for its
+    quadratic level.
+    """
+    program = Level2Program(
+        name="xtr-fp2-multiplication",
+        inputs=("A0", "A1", "B0", "B1"),
+        outputs=("C0", "C1"),
+    )
+    program.ma("sa", "A0", "A1")
+    program.ma("sb", "B0", "B1")
+    program.mm("t0", "A0", "B0")
+    program.mm("t1", "A1", "B1")
+    program.mm("t2", "sa", "sb")
+    program.ms("C0", "t0", "t1")
+    program.ms("m0", "t2", "t0", comment="cross term a0b1 + a1b0")
+    program.ms("m1", "m0", "t1")
+    program.ms("C1", "m1", "t1", comment="x^2 = -1 - x folds t1 in twice")
+    return program
+
+
 def ecc_point_memory(
     domain: MontgomeryDomain,
     coordinates: Dict[str, int],

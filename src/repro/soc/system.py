@@ -31,6 +31,7 @@ from repro.soc.sequences import (
     fp6_multiplication_program,
     fp6_operand_memory,
     fp6_result_from_memory,
+    xtr_fp2_multiplication_program,
 )
 from repro.soc.trace import ExecutionTrace
 from repro.torus.params import TorusParameters
@@ -144,6 +145,16 @@ class Platform:
             model.sequence_cost(ecc_point_addition_program()),
             model.sequence_cost(ecc_point_doubling_program()),
         )
+
+    def xtr_fp2_multiplication_cost(self, modulus: int) -> SequenceCost:
+        """Type-A/Type-B cycle counts of one Fp2 multiplication (XTR's unit).
+
+        Not a paper table — the paper cites the XTR comparison rather than
+        running it — but the unified scheme registry projects the XTR ladder
+        onto the same platform through this sequence.
+        """
+        costs = self.measure_operation_costs(modulus, label="XTR")
+        return self.cost_model(costs).sequence_cost(xtr_fp2_multiplication_program())
 
     # -- full public-key operations (Table 3) -----------------------------------------------
 

@@ -20,12 +20,13 @@ Exponent-blinded variants are not required by the paper and are out of scope.
 from __future__ import annotations
 
 import hashlib
-import hmac
 import random
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.errors import CompressionError, DecryptionError, ParameterError, SignatureError
+from repro.exp.trace import OpTrace
+from repro.nt.sampling import sample_exponent
 from repro.torus.compression import CompressedElement
 from repro.torus.encoding import encode_compressed
 from repro.torus.params import TorusParameters, get_parameters
@@ -72,13 +73,15 @@ class CeilidhSystem:
 
     # -- key management ---------------------------------------------------------
 
-    def generate_keypair(self, rng: Optional[random.Random] = None) -> CeilidhKeyPair:
+    def generate_keypair(
+        self, rng: Optional[random.Random] = None, count: Optional[OpTrace] = None
+    ) -> CeilidhKeyPair:
         """Generate a key pair; retries on the (O(1/p)) exceptional compressions."""
         rng = rng or random.Random()
         for _ in range(64):
-            private = rng.randrange(1, self.params.q)
+            private = sample_exponent(self.params.q, rng)
             # Fixed-base table on the generator: no online squarings.
-            public_element = self.group.generator_power(private)
+            public_element = self.group.generator_power(private, count=count)
             try:
                 public = self.compressor.compress(public_element.value)
             except CompressionError:
@@ -97,10 +100,15 @@ class CeilidhSystem:
 
     # -- Diffie-Hellman -----------------------------------------------------------
 
-    def shared_secret(self, own: CeilidhKeyPair, peer_public: CompressedElement) -> bytes:
+    def shared_secret(
+        self,
+        own: CeilidhKeyPair,
+        peer_public: CompressedElement,
+        count: Optional[OpTrace] = None,
+    ) -> bytes:
         """Raw DH shared secret: canonical encoding of rho((g^y)^x)."""
         peer_element = self.compressor.decompress_to_element(peer_public)
-        shared = peer_element ** own.private
+        shared = self.group.exponentiate(peer_element, own.private, count=count)
         try:
             compressed = self.compressor.compress(shared.value)
         except CompressionError:
@@ -111,10 +119,15 @@ class CeilidhSystem:
         return encode_compressed(self.params, compressed)
 
     def derive_key(
-        self, own: CeilidhKeyPair, peer_public: CompressedElement, info: bytes = b"", length: int = 32
+        self,
+        own: CeilidhKeyPair,
+        peer_public: CompressedElement,
+        info: bytes = b"",
+        length: int = 32,
+        count: Optional[OpTrace] = None,
     ) -> bytes:
         """DH followed by a SHA-256 based KDF (counter mode)."""
-        secret = self.shared_secret(own, peer_public)
+        secret = self.shared_secret(own, peer_public, count=count)
         return _kdf(secret, info, length)
 
     # -- hashed ElGamal -------------------------------------------------------------
@@ -124,53 +137,59 @@ class CeilidhSystem:
         recipient_public: CompressedElement,
         plaintext: bytes,
         rng: Optional[random.Random] = None,
+        count: Optional[OpTrace] = None,
     ) -> CeilidhCiphertext:
         """Hybrid encryption to a compressed public key."""
         rng = rng or random.Random()
         recipient = self.compressor.decompress_to_element(recipient_public)
         for _ in range(64):
-            ephemeral_exponent = rng.randrange(1, self.params.q)
-            ephemeral_element = self.group.generator_power(ephemeral_exponent)
+            ephemeral_exponent = sample_exponent(self.params.q, rng)
+            ephemeral_element = self.group.generator_power(ephemeral_exponent, count=count)
             try:
                 ephemeral = self.compressor.compress(ephemeral_element.value)
-                shared = recipient ** ephemeral_exponent
+                shared = self.group.exponentiate(recipient, ephemeral_exponent, count=count)
                 shared_compressed = self.compressor.compress(shared.value)
             except CompressionError:
                 continue
+            from repro.pkc.base import seal_body
+
             shared_bytes = encode_compressed(self.params, shared_compressed)
-            keystream = _kdf(shared_bytes, b"ceilidh-elgamal-stream", len(plaintext))
-            tag_key = _kdf(shared_bytes, b"ceilidh-elgamal-tag", 32)
-            body = bytes(p ^ k for p, k in zip(plaintext, keystream))
-            tag = hmac.new(tag_key, body, hashlib.sha256).digest()[:16]
+            body, tag = seal_body(shared_bytes, b"ceilidh-elgamal", plaintext)
             return CeilidhCiphertext(ephemeral=ephemeral, body=body, tag=tag)
         raise ParameterError("could not find a compressible ephemeral key")  # pragma: no cover
 
-    def decrypt(self, own: CeilidhKeyPair, ciphertext: CeilidhCiphertext) -> bytes:
+    def decrypt(
+        self,
+        own: CeilidhKeyPair,
+        ciphertext: CeilidhCiphertext,
+        count: Optional[OpTrace] = None,
+    ) -> bytes:
         """Decrypt a hashed-ElGamal ciphertext; raises on tag mismatch."""
         ephemeral_element = self.compressor.decompress_to_element(ciphertext.ephemeral)
-        shared = ephemeral_element ** own.private
+        shared = self.group.exponentiate(ephemeral_element, own.private, count=count)
         try:
             shared_compressed = self.compressor.compress(shared.value)
         except CompressionError as exc:  # pragma: no cover - sender avoided these
             raise DecryptionError("shared point is exceptional") from exc
+        from repro.pkc.base import open_body
+
         shared_bytes = encode_compressed(self.params, shared_compressed)
-        keystream = _kdf(shared_bytes, b"ceilidh-elgamal-stream", len(ciphertext.body))
-        tag_key = _kdf(shared_bytes, b"ceilidh-elgamal-tag", 32)
-        expected_tag = hmac.new(tag_key, ciphertext.body, hashlib.sha256).digest()[:16]
-        if not hmac.compare_digest(expected_tag, ciphertext.tag):
-            raise DecryptionError("integrity tag mismatch")
-        return bytes(c ^ k for c, k in zip(ciphertext.body, keystream))
+        return open_body(shared_bytes, b"ceilidh-elgamal", ciphertext.body, ciphertext.tag)
 
     # -- Schnorr signatures -----------------------------------------------------------
 
     def sign(
-        self, own: CeilidhKeyPair, message: bytes, rng: Optional[random.Random] = None
+        self,
+        own: CeilidhKeyPair,
+        message: bytes,
+        rng: Optional[random.Random] = None,
+        count: Optional[OpTrace] = None,
     ) -> CeilidhSignature:
         """Schnorr signature: commitment in the torus, challenge from SHA-256."""
         rng = rng or random.Random()
         for _ in range(64):
-            nonce = rng.randrange(1, self.params.q)
-            commitment = self.group.generator_power(nonce)
+            nonce = sample_exponent(self.params.q, rng)
+            commitment = self.group.generator_power(nonce, count=count)
             try:
                 commitment_compressed = self.compressor.compress(commitment.value)
             except CompressionError:
@@ -181,7 +200,11 @@ class CeilidhSystem:
         raise SignatureError("could not find a compressible commitment")  # pragma: no cover
 
     def verify(
-        self, public: CompressedElement, message: bytes, signature: CeilidhSignature
+        self,
+        public: CompressedElement,
+        message: bytes,
+        signature: CeilidhSignature,
+        count: Optional[OpTrace] = None,
     ) -> bool:
         """Verify a Schnorr signature against a compressed public key."""
         if not 0 <= signature.challenge < self.params.q:
@@ -193,7 +216,7 @@ class CeilidhSystem:
         # r' = g^s * (pub)^(-e) as one Shamir double exponentiation; on the
         # torus the inverse is a Frobenius map, so negating e is free.
         candidate = self.group.double_exponentiate(
-            generator, signature.response, public_element, -signature.challenge
+            generator, signature.response, public_element, -signature.challenge, count=count
         )
         try:
             candidate_compressed = self.compressor.compress(candidate.value)
@@ -212,13 +235,7 @@ class CeilidhSystem:
 
 
 def _kdf(secret: bytes, info: bytes, length: int) -> bytes:
-    """SHA-256 counter-mode key derivation."""
-    output = b""
-    counter = 0
-    while len(output) < length:
-        block = hashlib.sha256(
-            counter.to_bytes(4, "big") + secret + info
-        ).digest()
-        output += block
-        counter += 1
-    return output[:length]
+    """SHA-256 counter-mode key derivation (the library-wide construction)."""
+    from repro.pkc.base import kdf
+
+    return kdf(secret, info, length)

@@ -155,8 +155,9 @@ class T6Group:
 
     def random_subgroup_element(self, rng: Optional[random.Random] = None) -> TorusElement:
         """Random element of the order-q subgroup: generator^k for random k."""
-        rng = rng or random.Random()
-        exponent = rng.randrange(1, self.params.q)
+        from repro.nt.sampling import sample_exponent
+
+        exponent = sample_exponent(self.params.q, rng)
         return self.generator_power(exponent)
 
     def generator(self) -> TorusElement:

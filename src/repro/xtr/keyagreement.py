@@ -9,12 +9,13 @@ the recurrences only ever reference the base trace.
 
 from __future__ import annotations
 
-import hashlib
 import random
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ParameterError
+from repro.exp.trace import OpTrace
+from repro.nt.sampling import sample_exponent
 from repro.torus.params import TorusParameters, get_parameters
 from repro.xtr.trace import XtrContext, XtrTrace
 
@@ -36,28 +37,34 @@ class XtrSystem:
         self.params = params
         self.context = XtrContext(params)
 
-    def generate_keypair(self, rng: Optional[random.Random] = None) -> XtrKeyPair:
-        rng = rng or random.Random()
-        private = rng.randrange(2, self.params.q)
-        public = self.context.exponentiate(self.context.generator_trace(), private)
+    def generate_keypair(
+        self, rng: Optional[random.Random] = None, count: Optional[OpTrace] = None
+    ) -> XtrKeyPair:
+        private = sample_exponent(self.params.q, rng)
+        public = self.context.exponentiate(
+            self.context.generator_trace(), private, trace=count
+        )
         return XtrKeyPair(private=private, public=public)
 
-    def shared_trace(self, own: XtrKeyPair, peer_public: XtrTrace) -> XtrTrace:
+    def shared_trace(
+        self, own: XtrKeyPair, peer_public: XtrTrace, count: Optional[OpTrace] = None
+    ) -> XtrTrace:
         """Tr(g^(ab)) computed from the peer's public trace."""
-        return self.context.exponentiate(peer_public, own.private)
+        return self.context.exponentiate(peer_public, own.private, trace=count)
 
     def derive_key(
-        self, own: XtrKeyPair, peer_public: XtrTrace, info: bytes = b"", length: int = 32
+        self,
+        own: XtrKeyPair,
+        peer_public: XtrTrace,
+        info: bytes = b"",
+        length: int = 32,
+        count: Optional[OpTrace] = None,
     ) -> bytes:
         """Shared trace followed by a SHA-256 counter-mode KDF."""
-        shared = self.shared_trace(own, peer_public)
-        secret = self.encode_trace(shared)
-        output = b""
-        counter = 0
-        while len(output) < length:
-            output += hashlib.sha256(counter.to_bytes(4, "big") + secret + info).digest()
-            counter += 1
-        return output[:length]
+        from repro.pkc.base import kdf
+
+        shared = self.shared_trace(own, peer_public, count=count)
+        return kdf(self.encode_trace(shared), info, length)
 
     def encode_trace(self, trace: XtrTrace) -> bytes:
         """Fixed-width big-endian encoding of the two Fp coefficients."""

@@ -1,0 +1,100 @@
+"""XTR under the unified PKC layer.
+
+XTR ships exactly what Lenstra-Verheul defined and the repo implements: a
+trace-based Diffie-Hellman.  The adapter advertises the single
+``key-agreement`` capability — the generic comparison loop reads that and
+skips the other protocols without any XTR-specific branch — and transmits
+public values in the existing two-coefficient Fp2 encoding (the same ~2 log p
+bits as a compressed CEILIDH element).
+
+The headline operation is one full trace-ladder exponentiation.  Its
+:class:`~repro.exp.trace.OpTrace` counts Fp2 multiplications (one "squaring"
+per ``c_2n`` step, two general multiplications per off-by-one product), and
+the platform projection prices each through the 3 MM + 6 MA/MS Karatsuba
+sequence of :func:`repro.soc.sequences.xtr_fp2_multiplication_program` under
+the Type-B hierarchy.  The paper cites this comparison rather than running
+it, so the row carries no ``paper_ms``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.exp.trace import OpTrace
+from repro.pkc.base import KEY_AGREEMENT, PkcScheme, SchemeKeyPair
+from repro.pkc.profile import canonical_exponent
+from repro.torus.params import TorusParameters
+from repro.xtr.keyagreement import XtrSystem
+from repro.xtr.trace import XtrTrace
+
+__all__ = ["XtrScheme"]
+
+
+class XtrScheme(PkcScheme):
+    """XTR trace Diffie-Hellman as a registry scheme."""
+
+    capabilities = frozenset({KEY_AGREEMENT})
+    headline_operation = "XTR trace-ladder exponentiation (Fp2 multiplications)"
+
+    def __init__(
+        self,
+        params: "TorusParameters | str" = "ceilidh-170",
+        name: Optional[str] = None,
+        security_bits: int = 80,
+        paper_ms: Optional[float] = None,
+    ):
+        self.system = XtrSystem(params)
+        self.params = self.system.params
+        self.name = name or f"xtr-{self.params.p_bits}"
+        self.bit_length = self.params.p_bits
+        self.security_bits = security_bits
+        self.paper_ms = paper_ms
+
+    # -- keys -------------------------------------------------------------------
+
+    def keygen(
+        self, rng: Optional[random.Random] = None, trace: Optional[OpTrace] = None
+    ) -> SchemeKeyPair:
+        keypair = self.system.generate_keypair(rng, count=trace)
+        return SchemeKeyPair(
+            scheme=self.name,
+            public_wire=self.system.encode_trace(keypair.public),
+            native=keypair,
+        )
+
+    def public_key_size(self) -> int:
+        return self.system.public_size_bytes()
+
+    def decode_public(self, data: bytes) -> XtrTrace:
+        return self.system.decode_trace(data)
+
+    def encode_public(self, public: XtrTrace) -> bytes:
+        return self.system.encode_trace(public)
+
+    # -- key agreement -----------------------------------------------------------
+
+    def key_agreement(
+        self,
+        own: SchemeKeyPair,
+        peer_public: bytes,
+        info: bytes = b"",
+        length: int = 32,
+        trace: Optional[OpTrace] = None,
+    ) -> bytes:
+        peer = self.system.decode_trace(peer_public)
+        return self.system.derive_key(own.native, peer, info=info, length=length, count=trace)
+
+    # -- platform projection ---------------------------------------------------------
+
+    def headline_exponentiation(self, trace: OpTrace) -> None:
+        """One ``p_bits``-bit trace-ladder exponentiation from Tr(g)."""
+        self.system.context.exponentiate(
+            self.system.context.generator_trace(),
+            canonical_exponent(self.bit_length),
+            trace=trace,
+        )
+
+    def platform_cycles_per_operation(self, platform) -> Tuple[int, int]:
+        cost = platform.xtr_fp2_multiplication_cost(self.params.p)
+        return cost.type_b_cycles, cost.type_b_cycles

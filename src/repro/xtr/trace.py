@@ -28,11 +28,13 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.errors import ParameterError
+from repro.exp.trace import OpTrace
 from repro.field.extension import ExtElement, ExtensionField
 from repro.field.fp import PrimeField
 from repro.field.fp2 import make_fp2
 from repro.field.fp6 import Fp6Field, make_fp6
 from repro.field.towers import F1ToF2Map, TowerFp6
+from repro.nt.sampling import sample_exponent
 from repro.torus.params import TorusParameters
 
 
@@ -112,11 +114,22 @@ class XtrContext:
 
     # -- the XTR exponentiation ladder --------------------------------------------------
 
-    def exponentiate(self, base_trace: XtrTrace, exponent: int) -> XtrTrace:
-        """Compute Tr(g^exponent) from c = Tr(g) using the LV triple ladder."""
+    def exponentiate(
+        self, base_trace: XtrTrace, exponent: int, trace: Optional[OpTrace] = None
+    ) -> XtrTrace:
+        """Compute Tr(g^exponent) from c = Tr(g) using the LV triple ladder.
+
+        ``trace``, when given, tallies the Fp2 multiplications of the ladder
+        in the unified :class:`~repro.exp.trace.OpTrace` vocabulary: every
+        :meth:`_double_trace` is one Fp2 squaring, every :meth:`_mixed` is two
+        general Fp2 multiplications.  (The ladder has no single group
+        operation the way torus/RSA/ECC do, so the counted unit here is the
+        Fp2 multiplication — the quantity Lenstra-Verheul's own cost analysis
+        is written in.)
+        """
         if exponent < 0:
             # c_(-n) = c_n^p
-            positive = self.exponentiate(base_trace, -exponent)
+            positive = self.exponentiate(base_trace, -exponent, trace=trace)
             return self.trace_value(self._conjugate(self.element(positive.coefficients)))
         fp2 = self.fp2
         c1 = self.element(base_trace.coefficients)
@@ -128,31 +141,33 @@ class XtrContext:
         if exponent == 1:
             return base_trace
         if exponent == 2:
-            return self.trace_value(self._double_trace(c1))
+            return self.trace_value(self._double_trace(c1, trace))
 
         # Triple S_k = (c_(k-1), c_k, c_(k+1)), starting at k = 1.
-        c_prev, c_cur, c_next = three, c1, self._double_trace(c1)
+        c_prev, c_cur, c_next = three, c1, self._double_trace(c1, trace)
         k = 1
         for bit in bin(exponent)[3:]:
-            c2k_minus_1 = self._mixed(c_prev, c_cur, c_next, c1_conj, conj_last=True)
-            c2k = self._double_trace(c_cur)
-            c2k_plus_1 = self._mixed(c_next, c_cur, c_prev, c1, conj_last=True)
+            c2k_minus_1 = self._mixed(c_prev, c_cur, c_next, c1_conj, conj_last=True, trace=trace)
+            c2k = self._double_trace(c_cur, trace)
+            c2k_plus_1 = self._mixed(c_next, c_cur, c_prev, c1, conj_last=True, trace=trace)
             if bit == "0":
                 c_prev, c_cur, c_next = c2k_minus_1, c2k, c2k_plus_1
                 k = 2 * k
             else:
-                c2k_plus_2 = self._double_trace(c_next)
+                c2k_plus_2 = self._double_trace(c_next, trace)
                 c_prev, c_cur, c_next = c2k, c2k_plus_1, c2k_plus_2
                 k = 2 * k + 1
         if k != exponent:  # pragma: no cover - ladder invariant
             raise ParameterError("XTR ladder lost track of the exponent")
         return self.trace_value(c_cur)
 
-    def _double_trace(self, c_n: ExtElement) -> ExtElement:
+    def _double_trace(self, c_n: ExtElement, trace: Optional[OpTrace] = None) -> ExtElement:
         """c_(2n) = c_n^2 - 2 c_n^p."""
         fp2 = self.fp2
         square = fp2.mul(c_n, c_n)
         twice_conj = fp2.scalar_mul(self._conjugate(c_n), 2)
+        if trace is not None:
+            trace.squarings += 1
         return fp2.sub(square, twice_conj)
 
     def _mixed(
@@ -162,6 +177,7 @@ class XtrContext:
         c_b: ExtElement,
         c_factor: ExtElement,
         conj_last: bool,
+        trace: Optional[OpTrace] = None,
     ) -> ExtElement:
         """The off-by-one products of the ladder.
 
@@ -173,6 +189,8 @@ class XtrContext:
         term1 = fp2.mul(c_a, c_k)
         term2 = fp2.mul(c_factor, self._conjugate(c_k))
         term3 = self._conjugate(c_b) if conj_last else c_b
+        if trace is not None:
+            trace.multiplications += 2
         return fp2.add(fp2.sub(term1, term2), term3)
 
     # -- operation counting ------------------------------------------------------------
@@ -188,5 +206,4 @@ class XtrContext:
         return 4 * exponent_bits
 
     def random_exponent(self, rng: Optional[random.Random] = None) -> int:
-        rng = rng or random.Random()
-        return rng.randrange(2, self.params.q)
+        return sample_exponent(self.params.q, rng)

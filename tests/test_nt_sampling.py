@@ -1,0 +1,50 @@
+"""The unified secret-exponent sampler."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.nt.sampling import sample_exponent
+
+
+class TestSampleExponent:
+    def test_range_is_1_inclusive_q_exclusive(self):
+        rng = random.Random(1)
+        seen = {sample_exponent(7, rng) for _ in range(500)}
+        assert seen == {1, 2, 3, 4, 5, 6}
+
+    def test_q_two_always_returns_one(self):
+        rng = random.Random(2)
+        assert all(sample_exponent(2, rng) == 1 for _ in range(10))
+
+    @pytest.mark.parametrize("q", [1, 0, -5])
+    def test_degenerate_q_rejected(self, q):
+        with pytest.raises(ParameterError):
+            sample_exponent(q)
+
+    def test_deterministic_under_seeded_rng(self):
+        assert sample_exponent(10**9, random.Random(3)) == sample_exponent(
+            10**9, random.Random(3)
+        )
+
+    def test_default_rng_used_when_omitted(self):
+        value = sample_exponent(1 << 64)
+        assert 1 <= value < (1 << 64)
+
+    def test_every_protocol_layer_uses_it(self, rng):
+        """The [1, q) convention holds at every keygen site (XTR's old floor was 2)."""
+        from repro.ecc.curves import generate_toy_curve
+        from repro.ecc.ecdh import ecdh_generate
+        from repro.torus.ceilidh import CeilidhSystem
+        from repro.xtr.keyagreement import XtrSystem
+
+        ceilidh = CeilidhSystem("toy-20")
+        xtr = XtrSystem("toy-20")
+        curve = generate_toy_curve(1009, random.Random(7))
+        for _ in range(5):
+            assert 1 <= ceilidh.generate_keypair(rng).private < ceilidh.params.q
+            assert 1 <= xtr.generate_keypair(rng).private < xtr.params.q
+            assert 1 <= ecdh_generate(curve, rng).private < curve.order

@@ -1,0 +1,194 @@
+"""The unified PKC layer: registry, capabilities and protocol behaviour.
+
+One parametrised loop drives every registered scheme through every protocol
+it advertises — the same generic call path the benchmarks and examples use —
+plus negative-path checks (tampering, wrong keys, unsupported operations).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import (
+    DecryptionError,
+    ParameterError,
+    UnsupportedOperationError,
+)
+from repro.exp.trace import OpTrace
+from repro.pkc import (
+    ENCRYPTION,
+    KEY_AGREEMENT,
+    SIGNATURE,
+    available_schemes,
+    get_scheme,
+)
+
+#: Schemes small enough (or cached enough) for the full protocol matrix.
+FAST_SCHEMES = ["ceilidh-toy32", "ceilidh-toy64", "xtr-toy32", "rsa-512", "ecdh-p160"]
+
+MESSAGE = b"the quick brown fox, on a torus"
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0x5EED)
+
+
+class TestRegistry:
+    def test_all_four_cryptosystems_registered(self):
+        names = available_schemes()
+        for required in ("ceilidh-170", "ecdh-p160", "rsa-1024", "xtr-170"):
+            assert required in names
+
+    def test_unknown_name_raises_with_inventory(self):
+        with pytest.raises(ParameterError, match="available"):
+            get_scheme("dsa-1024")
+
+    def test_instances_are_cached_unless_fresh(self):
+        assert get_scheme("ceilidh-toy32") is get_scheme("ceilidh-toy32")
+        assert get_scheme("ceilidh-toy32") is not get_scheme("ceilidh-toy32", fresh=True)
+
+    def test_paper_rows_carry_paper_times(self):
+        assert get_scheme("ceilidh-170").paper_ms == 20.0
+        assert get_scheme("rsa-1024").paper_ms == 96.0
+        assert get_scheme("ecdh-p160").paper_ms == 9.4
+        assert get_scheme("xtr-170").paper_ms is None
+
+    def test_capability_sets(self):
+        assert get_scheme("xtr-toy32").capabilities == {KEY_AGREEMENT}
+        assert get_scheme("rsa-512").capabilities == {ENCRYPTION, SIGNATURE}
+        assert get_scheme("ceilidh-toy32").capabilities == {
+            KEY_AGREEMENT,
+            ENCRYPTION,
+            SIGNATURE,
+        }
+
+
+@pytest.mark.parametrize("name", FAST_SCHEMES)
+class TestProtocolMatrix:
+    """Generic protocol round trips — no scheme-specific branches."""
+
+    def test_keygen_produces_wire_sized_public(self, name, rng):
+        scheme = get_scheme(name)
+        keypair = scheme.keygen(rng)
+        assert keypair.scheme == scheme.name
+        assert len(keypair.public_wire) == scheme.public_key_size()
+
+    def test_key_agreement_agrees(self, name, rng):
+        scheme = get_scheme(name)
+        if KEY_AGREEMENT not in scheme.capabilities:
+            pytest.skip(f"{name} has no key agreement")
+        alice, bob = scheme.keygen(rng), scheme.keygen(rng)
+        assert scheme.key_agreement(alice, bob.public_wire) == scheme.key_agreement(
+            bob, alice.public_wire
+        )
+
+    def test_key_agreement_binds_info_and_peer(self, name, rng):
+        scheme = get_scheme(name)
+        if KEY_AGREEMENT not in scheme.capabilities:
+            pytest.skip(f"{name} has no key agreement")
+        alice, bob, eve = (scheme.keygen(rng) for _ in range(3))
+        base = scheme.key_agreement(alice, bob.public_wire)
+        assert scheme.key_agreement(alice, bob.public_wire, info=b"x") != base
+        assert scheme.key_agreement(alice, eve.public_wire) != base
+
+    def test_encryption_round_trip_and_tamper_detection(self, name, rng):
+        scheme = get_scheme(name)
+        if ENCRYPTION not in scheme.capabilities:
+            pytest.skip(f"{name} has no encryption")
+        keypair = scheme.keygen(rng)
+        ciphertext = scheme.encrypt(keypair.public_wire, MESSAGE, rng)
+        assert scheme.decrypt(keypair, ciphertext) == MESSAGE
+        corrupted = ciphertext[:-1] + bytes([ciphertext[-1] ^ 1])
+        with pytest.raises(DecryptionError):
+            scheme.decrypt(keypair, corrupted)
+
+    def test_signature_round_trip_and_rejection(self, name, rng):
+        scheme = get_scheme(name)
+        if SIGNATURE not in scheme.capabilities:
+            pytest.skip(f"{name} has no signatures")
+        keypair = scheme.keygen(rng)
+        signature = scheme.sign(keypair, MESSAGE, rng)
+        assert scheme.verify(keypair.public_wire, MESSAGE, signature)
+        assert not scheme.verify(keypair.public_wire, MESSAGE + b"!", signature)
+        assert not scheme.verify(keypair.public_wire, MESSAGE, signature[:-1])
+        # Malformed public-key bytes must report False, never raise.
+        assert not scheme.verify(b"\x00\x01\x02", MESSAGE, signature)
+        # A fresh adapter sidesteps per-scheme key caching (RSA), and a
+        # differently-seeded rng keeps the draw from reproducing the same key.
+        other = get_scheme(name, fresh=True).keygen(random.Random(0xD1FF))
+        assert not scheme.verify(other.public_wire, MESSAGE, signature)
+
+    def test_unsupported_operations_raise(self, name, rng):
+        scheme = get_scheme(name)
+        keypair = scheme.keygen(rng)
+        if KEY_AGREEMENT not in scheme.capabilities:
+            with pytest.raises(UnsupportedOperationError):
+                scheme.key_agreement(keypair, keypair.public_wire)
+        if ENCRYPTION not in scheme.capabilities:
+            with pytest.raises(UnsupportedOperationError):
+                scheme.encrypt(keypair.public_wire, MESSAGE, rng)
+        if SIGNATURE not in scheme.capabilities:
+            with pytest.raises(UnsupportedOperationError):
+                scheme.sign(keypair, MESSAGE, rng)
+
+    def test_traces_record_group_operations(self, name, rng):
+        scheme = get_scheme(name)
+        if KEY_AGREEMENT not in scheme.capabilities:
+            pytest.skip(f"{name} has no key agreement")
+        keygen_trace, agree_trace = OpTrace(), OpTrace()
+        alice = scheme.keygen(rng, trace=keygen_trace)
+        bob = scheme.keygen(rng)
+        scheme.key_agreement(alice, bob.public_wire, trace=agree_trace)
+        assert keygen_trace.total > 0
+        assert agree_trace.total > 0
+
+
+class TestSchemeSpecifics:
+    def test_rsa_keygen_is_cached_per_adapter(self, rng):
+        scheme = get_scheme("rsa-512", fresh=True)
+        first = scheme.keygen(rng)
+        second = scheme.keygen(rng)
+        assert first.native is second.native
+        third = scheme.keygen(rng, fresh=True)
+        assert third.native is not first.native
+
+    def test_rsa_keygen_traces_no_group_operations(self, rng):
+        trace = OpTrace()
+        get_scheme("rsa-512").keygen(rng, trace=trace)
+        assert trace.total == 0
+
+    def test_ceilidh_wire_matches_legacy_encoding(self, rng):
+        from repro.torus.encoding import encode_compressed
+
+        scheme = get_scheme("ceilidh-toy32")
+        keypair = scheme.keygen(rng)
+        assert keypair.public_wire == encode_compressed(
+            scheme.params, keypair.native.public
+        )
+
+    def test_xtr_and_ceilidh_share_wire_size(self):
+        assert (
+            get_scheme("xtr-170").public_key_size()
+            == get_scheme("ceilidh-170").public_key_size()
+        )
+
+    def test_ecdh_fixed_base_keygen_matches_plain_scalar_mult(self, rng):
+        from repro.ecc.scalar import scalar_mult_binary
+
+        scheme = get_scheme("ecdh-p160")
+        keypair = scheme.keygen(rng)
+        _, generator = scheme.curve.build()
+        assert keypair.native.public == scalar_mult_binary(
+            generator, keypair.native.private
+        )
+
+    def test_ecdh_keygen_uses_only_table_multiplications(self, rng):
+        scheme = get_scheme("ecdh-p160")
+        scheme.keygen(rng)  # ensure the table is built
+        trace = OpTrace()
+        scheme.keygen(rng, trace=trace)
+        assert trace.squarings == 0
+        assert trace.multiplications > 0
