@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import random
 
-from repro.analysis.report import render_table
 from repro.montgomery.domain import MontgomeryDomain
 from repro.montgomery.fios import fios_trace
 from repro.soc.engine import ModularEngine
@@ -35,12 +34,11 @@ def bench_core_count_ablation(benchmark, record_table):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    text = render_table(
+    record_table("ablation_core_count",
         ["cores", "170-bit MM cycles", "torus exponentiation ms", "slices", "MHz"],
         rows,
         title="Ablation - core count vs multiplication cycles, torus time and area",
     )
-    record_table("ablation_core_count", text)
     mm_cycles = [row[1] for row in rows]
     assert mm_cycles[0] > mm_cycles[2]  # 4 cores beat 1 core
     areas = [row[3] for row in rows]
@@ -65,12 +63,11 @@ def bench_exponentiation_strategy_ablation(benchmark, platform, record_table):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    text = render_table(
+    record_table("ablation_exponentiation_strategy",
         ["strategy", "squarings", "multiplications", "cycles", "ms @ 74 MHz"],
         rows,
         title="Ablation - torus exponentiation strategy (Type-B, 170-bit exponent)",
     )
-    record_table("ablation_exponentiation_strategy", text)
     by_strategy = {row[0]: row[3] for row in rows}
     assert by_strategy["naf"] < by_strategy["binary"]
 
@@ -92,12 +89,11 @@ def bench_montgomery_variant_ablation(benchmark, record_table):
         ]
 
     rows = benchmark.pedantic(analyse, rounds=1, iterations=1)
-    text = render_table(
+    record_table("ablation_montgomery_variants",
         ["variant", "word multiplications", "word additions"],
         rows,
         title="Ablation - Montgomery word-scanning variants (170-bit operand, w = 16)",
     )
-    record_table("ablation_montgomery_variants", text)
     assert rows[0][1] == rows[1][1]  # all variants share the 2s^2+s multiplication count
 
 
@@ -118,10 +114,9 @@ def bench_register_file_pressure(benchmark, record_table):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    text = render_table(
+    record_table("ablation_register_pressure",
         ["operand bits", "words", "words per core", "registers needed per core"],
         rows,
         title="Ablation - per-core register-file pressure (4 cores, w = 16)",
     )
-    record_table("ablation_register_pressure", text)
     assert rows[-1][3] <= 80  # the default register file covers 1024-bit RSA

@@ -12,7 +12,6 @@ from __future__ import annotations
 import random
 
 from repro.analysis.figures import bandwidth_comparison
-from repro.analysis.report import render_table
 from repro.pkc import get_scheme
 from repro.torus.params import CEILIDH_170
 
@@ -20,12 +19,11 @@ from repro.torus.params import CEILIDH_170
 def bench_bandwidth_comparison(benchmark, record_table):
     """Transmitted bits per group element: CEILIDH vs raw Fp6 vs RSA vs ECC."""
     rows = benchmark.pedantic(bandwidth_comparison, args=(CEILIDH_170,), rounds=1, iterations=1)
-    text = render_table(
+    record_table("bandwidth_compression",
         ["system", "security reference", "transmitted bits", "compression vs raw Fp6"],
         [(r.system, r.security_equivalent, r.transmitted_bits, r.compression_vs_fp6) for r in rows],
         title="Bandwidth - transmitted bits per element (Section 1 claim: factor 3)",
     )
-    record_table("bandwidth_compression", text)
 
     by_system = {r.system: r for r in rows}
     ceilidh = by_system["CEILIDH (compressed T6)"]
@@ -54,12 +52,11 @@ def bench_wire_sizes_registry(record_table):
                 ", ".join(sorted(scheme.capabilities)),
             )
         )
-    text = render_table(
+    record_table("wire_sizes_registry",
         ["scheme", "bits", "public key bytes", "capabilities"],
         rows,
         title="Wire sizes and capabilities via the repro.pkc registry",
     )
-    record_table("wire_sizes_registry", text)
     by_name = dict((r[0], r) for r in rows)
     # CEILIDH and XTR transmit the same two Fp values; RSA is ~3x larger.
     assert by_name["ceilidh-170"][2] == by_name["xtr-170"][2]

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import random
 
-from repro.analysis.report import render_table
 from repro.field.opcount import CountingPrimeField
 from repro.torus.ceilidh import CeilidhSystem
 from repro.torus.encoding import compressed_size_bytes
@@ -43,13 +42,12 @@ def bench_ceilidh_vs_xtr_operation_counts(benchmark, record_table):
         ]
 
     rows = benchmark.pedantic(analyse, rounds=1, iterations=1)
-    text = render_table(
+    record_table("ceilidh_vs_xtr",
         ["system", "bytes per public value", "group ops / ladder steps", "Fp multiplication cost"],
         rows,
         title="CEILIDH vs XTR - bandwidth and arithmetic cost per 170-bit exponentiation "
               "(paper reference [5])",
     )
-    record_table("ceilidh_vs_xtr", text)
     assert rows[0][1] == rows[1][1]  # identical bandwidth
 
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 import random
 
 from repro.analysis.figures import fig1_operation_counts
-from repro.analysis.report import render_table
 from repro.field.fp import PrimeField
 from repro.field.fp6 import make_fp6
 from repro.field.towers import F1ToF2Map
@@ -24,7 +23,7 @@ def bench_fig1_operation_counts(benchmark, record_table):
     profiles = benchmark.pedantic(
         fig1_operation_counts, args=(CEILIDH_170,), rounds=1, iterations=1
     )
-    text = render_table(
+    record_table("fig1_operation_structure",
         ["level", "operation", "Fp mult (M)", "Fp add/sub (A)", "Fp inv"],
         [
             (p.level, p.operation, p.counts.mul, p.counts.additions_total, p.counts.inv)
@@ -32,7 +31,6 @@ def bench_fig1_operation_counts(benchmark, record_table):
         ],
         title="Fig. 1 - operation structure of T6(Fp) (Fp operation counts per box)",
     )
-    record_table("fig1_operation_structure", text)
 
     by_key = {(p.level, p.operation): p.counts for p in profiles}
     fp6_mul = by_key[("Fp6 (F1)", "mul (18M)")]

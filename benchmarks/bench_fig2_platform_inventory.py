@@ -10,7 +10,6 @@ with the number of cores.
 from __future__ import annotations
 
 from repro.analysis.figures import fig2_platform_inventory
-from repro.analysis.report import render_table
 from repro.soc.area import AreaModel
 
 
@@ -19,12 +18,11 @@ def bench_fig2_platform_inventory(benchmark, platform, record_table):
     inventory = benchmark.pedantic(
         fig2_platform_inventory, args=(platform,), rounds=1, iterations=1
     )
-    text = render_table(
+    record_table("fig2_platform_inventory",
         ["component / parameter", "value"],
         sorted((str(k), str(v)) for k, v in inventory.items()),
         title="Fig. 2 - platform inventory (simulated)",
     )
-    record_table("fig2_platform_inventory", text)
     assert inventory["core_instruction_count"] == 7
     assert inventory["area_slices_total"] == 5419
     assert inventory["area_slices_coprocessor"] == 3285
@@ -37,7 +35,7 @@ def bench_area_scaling_with_cores(benchmark, record_table):
     reports = benchmark.pedantic(
         lambda: [model.report(cores) for cores in (1, 2, 4, 8, 16)], rounds=1, iterations=1
     )
-    text = render_table(
+    record_table("fig2_area_scaling",
         ["cores", "coprocessor slices", "total slices", "frequency MHz", "block RAMs"],
         [
             (r.num_cores, r.coprocessor_slices, r.total_slices, r.frequency_mhz, r.block_rams)
@@ -45,5 +43,4 @@ def bench_area_scaling_with_cores(benchmark, record_table):
         ],
         title="Fig. 2 (scaling) - area model vs number of cores",
     )
-    record_table("fig2_area_scaling", text)
     assert reports[2].total_slices == 5419  # the paper's 4-core configuration

@@ -11,7 +11,6 @@ computation split.
 from __future__ import annotations
 
 from repro.analysis.figures import fig34_hierarchy_breakdown
-from repro.analysis.report import render_table
 
 
 def bench_fig34_hierarchy_breakdown(benchmark, platform, record_table):
@@ -19,7 +18,7 @@ def bench_fig34_hierarchy_breakdown(benchmark, platform, record_table):
     breakdowns = benchmark.pedantic(
         fig34_hierarchy_breakdown, args=(platform,), rounds=1, iterations=1
     )
-    text = render_table(
+    record_table("fig34_hierarchy_breakdown",
         ["hierarchy", "operation", "total cycles", "interface cycles", "compute cycles",
          "communication share"],
         [
@@ -29,7 +28,6 @@ def bench_fig34_hierarchy_breakdown(benchmark, platform, record_table):
         ],
         title="Figs. 3/4 - communication vs computation per level-2 operation",
     )
-    record_table("fig34_hierarchy_breakdown", text)
 
     by_key = {(b.hierarchy, b.operation): b for b in breakdowns}
     t6_a = by_key[("type-a", "T6 multiplication")]
@@ -60,12 +58,11 @@ def bench_interface_cost_ablation(benchmark, platform, record_table):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    text = render_table(
+    record_table("fig34_interface_ablation",
         ["interface scale", "round trip cycles", "Type-A cycles", "Type-B cycles", "speedup"],
         rows,
         title="Ablation - Type-A/Type-B gap vs MicroBlaze interface cost (Fp6 multiplication)",
     )
-    record_table("fig34_interface_ablation", text)
     # The faster the interface, the smaller the benefit of Type-B.
     speedups = [row[4] for row in rows]
     assert speedups == sorted(speedups, reverse=True)

@@ -13,7 +13,6 @@ from __future__ import annotations
 import random
 
 from repro.analysis.figures import fig5_parallel_speedup
-from repro.analysis.report import render_table
 from repro.montgomery.domain import MontgomeryDomain
 from repro.montgomery.parallel import parallel_fios_multiply
 from repro.soc.engine import ModularEngine
@@ -25,7 +24,7 @@ def bench_fig5_core_count_sweep(benchmark, record_table):
     points = benchmark.pedantic(
         fig5_parallel_speedup, args=(256, [1, 2, 4, 8]), rounds=1, iterations=1
     )
-    text = render_table(
+    record_table("fig5_parallel_montgomery",
         ["requested cores", "active cores", "cycles", "speedup vs 1 core",
          "inter-core transfers per mult"],
         [
@@ -36,7 +35,6 @@ def bench_fig5_core_count_sweep(benchmark, record_table):
         title="Fig. 5 - 256-bit Montgomery multiplication vs core count "
               "(paper/ref [4]: 2.96x on 4 cores)",
     )
-    record_table("fig5_parallel_montgomery", text)
 
     by_cores = {p.num_cores: p for p in points}
     assert by_cores[4].cycles < by_cores[2].cycles < by_cores[1].cycles
@@ -62,12 +60,11 @@ def bench_fig5_operand_size_sweep(benchmark, record_table):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    text = render_table(
+    record_table("fig5_operand_size_sweep",
         ["bits", "1-core cycles", "4-core cycles", "speedup"],
         rows,
         title="Fig. 5 (extended) - multi-core Montgomery speedup vs operand size",
     )
-    record_table("fig5_operand_size_sweep", text)
     assert all(row[2] > 0 for row in rows)
 
 

@@ -1,27 +1,45 @@
 """Batched multi-session serving runs through the unified scheme registry.
 
-The first step toward the ROADMAP's heavy-traffic story: N independent
-protocol sessions per scheme against one long-lived server key, with the
-fixed-base generator tables (CEILIDH, ECDH) and the RSA key pair amortised
-across the batch.  One generic loop over the registry produces the
-cross-scheme serving comparison — sessions/second, group operations and
-wire bytes per session.
+The ROADMAP's heavy-traffic story: N independent protocol sessions per
+scheme against one long-lived server key, with the fixed-base generator
+tables (CEILIDH, ECDH) and the RSA key pair amortised across the batch.
+One generic loop over the registry produces the cross-scheme serving
+comparison — sessions/second, group operations and wire bytes per session —
+and ``bench_perf_tracking`` reports every headline ``scheme x operation``
+cell through the ``repro.perf`` emitter into the persistent
+``BENCH_pkc.json``, gated against the committed baseline.
 """
 
 from __future__ import annotations
 
+import os
+import pathlib
 import random
 
-from repro.analysis.report import render_table
+# bench_path is aliased so pytest's python_functions = bench_* rule does not
+# collect the imported library helper as a benchmark.
+from repro.perf import (
+    bench_path as perf_bench_path,
+    compare,
+    format_regressions,
+    load_bench,
+    record_from_batch,
+)
 from repro.pkc import get_scheme
-from repro.pkc.bench import registry_batch_comparison, run_batch
+from repro.pkc.bench import BATCH_OPERATIONS, registry_batch_comparison, run_batch
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 #: Schemes whose serving behaviour the comparison tracks.
 BATCH_SCHEMES = ("ceilidh-170", "xtr-170", "ecdh-p160", "rsa-1024")
 
+#: Throughput tolerance of the baseline gate (fraction below baseline).
+BASELINE_TOLERANCE = 0.2
+
 
 def _render(results, record_table, name: str, title: str) -> None:
-    text = render_table(
+    record_table(
+        name,
         ["scheme", "sessions", "ms/session", "sessions/s", "group ops/session",
          "wire B/session"],
         [
@@ -37,7 +55,6 @@ def _render(results, record_table, name: str, title: str) -> None:
         ],
         title=title,
     )
-    record_table(name, text)
 
 
 def bench_batch_key_agreement(record_table, quick):
@@ -87,3 +104,103 @@ def bench_batch_amortization(benchmark, quick):
     # per-session squaring count is bounded by the two online derivations.
     assert result.ops.squarings < result.ops.total
     assert result.sessions == sessions
+
+
+def bench_untraced_fast_path(record_table, quick):
+    """Tracing off vs on for the batched CEILIDH serving path.
+
+    With ``collect_ops=False`` the engine takes its null-trace fast path
+    (direct bound group methods, zero bookkeeping); the result element
+    stream is identical, so the shared keys still agree — the batch itself
+    asserts that per session.
+    """
+    sessions = 2 if quick else 16
+    scheme = get_scheme("ceilidh-170")
+    rng = random.Random(33)
+    server = scheme.keygen(rng)
+    run_batch(scheme, "key-agreement", 1, rng=rng, server=server)  # warm tables
+    traced = run_batch(scheme, "key-agreement", sessions, rng=rng, server=server)
+    untraced = run_batch(
+        scheme, "key-agreement", sessions, rng=rng, server=server, collect_ops=False
+    )
+    record_table(
+        "untraced_fast_path",
+        ["mode", "sessions", "ms/session", "sessions/s", "group ops recorded"],
+        [
+            ("traced", traced.sessions, round(traced.ms_per_session, 2),
+             round(traced.sessions_per_second, 1), traced.ops.total),
+            ("untraced", untraced.sessions, round(untraced.ms_per_session, 2),
+             round(untraced.sessions_per_second, 1), untraced.ops.total),
+        ],
+        title="ceilidh-170 key agreement: OpTrace bookkeeping on vs off",
+    )
+    assert traced.ops.total > 0
+    assert untraced.ops.total == 0  # the fast path records nothing
+
+
+def bench_perf_tracking(record_table, record_perf, platform, quick):
+    """Every headline ``scheme x operation`` cell into BENCH_pkc.json.
+
+    Runs each of the four Table 3 schemes through every protocol it
+    supports, emits one PerfRecord per cell (merged into the repo-root
+    ``BENCH_pkc.json`` at session end) and compares the fresh throughputs
+    against the committed baseline.  The gate *fails* the benchmark on a
+    >20% regression when ``REPRO_BENCH_ENFORCE`` is set (the CI smoke job
+    sets it together with ``REPRO_BENCH_CALIBRATE`` to cancel machine-speed
+    differences); otherwise regressions are only reported.
+    """
+    # Quick mode shrinks the batch, so noise per timed region grows: take
+    # the best of three runs per cell (standard minimum-of-N timing) to
+    # keep the enforced gate from flagging scheduler jitter as regression.
+    sessions = 4 if quick else 16
+    repeats = 3 if quick else 1
+    rng = random.Random(34)
+    current = {}
+    rows = []
+    for name in BATCH_SCHEMES:
+        scheme = get_scheme(name)
+        for operation in sorted(BATCH_OPERATIONS):
+            if BATCH_OPERATIONS[operation] not in scheme.capabilities:
+                continue
+            result = min(
+                (run_batch(scheme, operation, sessions, rng=rng) for _ in range(repeats)),
+                key=lambda r: r.wall_seconds,
+            )
+            record = record_from_batch(
+                result, scheme=scheme, platform=platform, quick=quick, sessions=sessions
+            )
+            record_perf(record)
+            current[record.key] = record
+            rows.append(
+                (
+                    record.scheme,
+                    record.operation,
+                    record.sessions,
+                    round(record.ops_per_second, 1),
+                    round(record.ms_per_op, 2),
+                    record.squarings + record.multiplications,
+                    record.projected_cycles,
+                )
+            )
+    record_table(
+        "perf_tracking",
+        ["scheme", "operation", "sessions", "ops/s", "ms/op", "group ops",
+         "projected cycles"],
+        rows,
+        title="Perf tracking - headline scheme x operation cells (-> BENCH_pkc.json)",
+    )
+    # All four schemes produced at least one cell each.
+    assert {record.scheme for record in current.values()} == set(BATCH_SCHEMES)
+
+    baseline = load_bench(perf_bench_path(REPO_ROOT))
+    regressions = compare(
+        current,
+        baseline,
+        tolerance=BASELINE_TOLERANCE,
+        calibrate=bool(os.environ.get("REPRO_BENCH_CALIBRATE")),
+    )
+    report = format_regressions(regressions, tolerance=BASELINE_TOLERANCE)
+    if report:
+        print(report)
+    if os.environ.get("REPRO_BENCH_ENFORCE"):
+        assert not regressions, report

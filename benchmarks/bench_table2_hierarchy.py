@@ -9,7 +9,6 @@ point operations).
 
 from __future__ import annotations
 
-from repro.analysis.report import render_table
 from repro.analysis.tables import table2
 from repro.ecc.curves import SECP160R1
 from repro.torus.params import CEILIDH_170
@@ -18,12 +17,11 @@ from repro.torus.params import CEILIDH_170
 def bench_table2_reproduction(benchmark, platform, record_table):
     """Regenerate Table 2 and check the Type-A/Type-B relationships."""
     rows = benchmark.pedantic(table2, args=(platform,), rounds=1, iterations=1)
-    text = render_table(
+    record_table("table2_hierarchy",
         ["architecture", "operation", "measured cycles", "paper cycles", "ratio"],
         [(r.architecture, r.operation, r.measured_cycles, r.paper_cycles, r.ratio) for r in rows],
         title="Table 2 - level-2 operations under Type-A and Type-B (measured vs paper)",
     )
-    record_table("table2_hierarchy", text)
 
     by_key = {(r.architecture, r.operation): r.measured_cycles for r in rows}
     for operation in ("T6 multiplication", "ECC point addition", "ECC point doubling"):

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import random
 
-from repro.analysis.report import render_table
 from repro.analysis.tables import TABLE3_SCHEMES, table3, table3_profiles
 from repro.ecc.curves import SECP160R1
 from repro.ecc.scalar import scalar_mult_binary
@@ -32,7 +31,7 @@ from repro.torus.t6 import T6Group
 def bench_table3_reproduction(benchmark, platform, record_table):
     """Regenerate Table 3 and check the paper's ordering and factors."""
     rows = benchmark.pedantic(table3, args=(platform,), rounds=1, iterations=1)
-    text = render_table(
+    record_table("table3_pkc_comparison",
         ["system", "bits", "slices", "MHz", "measured ms", "paper ms", "ratio"],
         [
             (r.system, r.bit_length, r.area_slices, r.frequency_mhz, r.measured_ms, r.paper_ms, r.ratio)
@@ -40,7 +39,6 @@ def bench_table3_reproduction(benchmark, platform, record_table):
         ],
         title="Table 3 - full public-key operations on the platform (measured vs paper)",
     )
-    record_table("table3_pkc_comparison", text)
 
     by_name = {r.system: r for r in rows}
     torus = by_name["170-bit torus (CEILIDH)"]
@@ -64,7 +62,7 @@ def bench_table3_registry_profiles(benchmark, platform, record_table, quick):
         rounds=1,
         iterations=1,
     )
-    text = render_table(
+    record_table("table3_registry_profiles",
         ["scheme", "bits", "sq", "mul", "public key B", "projected cycles",
          "projected ms", "paper ms"],
         [
@@ -82,7 +80,6 @@ def bench_table3_registry_profiles(benchmark, platform, record_table, quick):
         ],
         title="Table 3 via repro.pkc registry (generic loop; XTR projected, not in paper)",
     )
-    record_table("table3_registry_profiles", text)
 
     by_name = {p.scheme: p for p in profiles}
     torus, rsa, ecc = by_name["ceilidh-170"], by_name["rsa-1024"], by_name["ecdh-p160"]

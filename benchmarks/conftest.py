@@ -1,9 +1,12 @@
 """Shared fixtures for the benchmark harness.
 
-Every benchmark writes its paper-vs-measured table both to stdout (visible
-with ``pytest -s`` / in verbose CI logs) and to ``benchmarks/results/`` so a
-full ``pytest -c benchmarks/pytest.ini benchmarks/`` run leaves a permanent
-record next to the timing numbers.
+Every benchmark hands its table to :func:`record_table` as structured rows;
+the ``repro.perf`` emitter is the single writer behind it, rendering each
+table twice — the historical aligned-ASCII ``benchmarks/results/<name>.txt``
+and JSON rows in ``<name>.json`` beside it (one writer, two renderers, so
+the formats cannot drift).  Scheme-level throughput measurements are
+additionally collected through :func:`record_perf` and merged into the
+persistent ``BENCH_pkc.json`` at the repo root when the session ends.
 
 ``--quick`` puts the harness into smoke mode: benchmarks consult the
 ``quick`` fixture to shrink expensive parameters (fewer batch sessions,
@@ -15,14 +18,18 @@ rotting without paying for real timing runs.
 
 from __future__ import annotations
 
-import os
 import pathlib
+from typing import List
 
 import pytest
 
+from repro.perf import PerfRecord, bench_path, update_bench, write_result
 from repro.soc.system import Platform
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+_PERF_RECORDS: List[PerfRecord] = []
 
 
 def pytest_addoption(parser):
@@ -48,13 +55,50 @@ def platform():
 
 @pytest.fixture(scope="session")
 def record_table():
-    """Write a rendered table to the results directory and echo it."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    """Write a table (txt + json, one writer) to the results directory and echo it."""
 
-    def _record(name: str, text: str) -> None:
-        path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(text + os.linesep)
+    def _record(name: str, headers, rows, title: str = "") -> None:
+        text = write_result(RESULTS_DIR, name, headers, rows, title=title)
         print()
         print(text)
 
     return _record
+
+
+@pytest.fixture(scope="session")
+def record_perf():
+    """Queue a :class:`PerfRecord` for the end-of-session BENCH_pkc.json merge."""
+
+    def _record(record: PerfRecord) -> None:
+        _PERF_RECORDS.append(record)
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge every queued record into the repo-root trajectory file.
+
+    Two guards protect the committed baseline:
+
+    * a failed run (including one the regression gate itself failed) never
+      overwrites the file — otherwise the gate would erase its own
+      reference and pass on the next run;
+    * ``--quick`` smoke numbers (tiny, noisy workloads) are kept out of
+      the baseline unless ``REPRO_BENCH_WRITE_QUICK`` is set, which the CI
+      smoke job does so its uploaded artifact reflects the fresh run.
+    """
+    import os
+
+    if not _PERF_RECORDS:
+        return
+    records, _PERF_RECORDS[:] = list(_PERF_RECORDS), []
+    if exitstatus != 0:
+        print("\nperf trajectory NOT updated (run failed)")
+        return
+    quick = session.config.getoption("--quick", default=False)
+    if quick and not os.environ.get("REPRO_BENCH_WRITE_QUICK"):
+        print("\nperf trajectory NOT updated (--quick; set REPRO_BENCH_WRITE_QUICK=1 to force)")
+        return
+    path = bench_path(REPO_ROOT)
+    update_bench(path, records)
+    print(f"\nperf trajectory updated: {path} ({len(records)} records)")

@@ -7,6 +7,7 @@ from typing import Optional, Tuple
 
 from repro.errors import NotOnCurveError, ParameterError
 from repro.field.fp import PrimeField
+from repro.nt.sampling import resolve_rng
 
 
 class WeierstrassCurve:
@@ -56,7 +57,7 @@ class WeierstrassCurve:
 
     def random_point(self, rng: Optional[random.Random] = None) -> Tuple[int, int]:
         """A uniformly-ish random affine point (random x until the rhs is a square)."""
-        rng = rng or random.Random()
+        rng = resolve_rng(rng)
         while True:
             x = rng.randrange(self.field.p)
             rhs = self.right_hand_side(x)

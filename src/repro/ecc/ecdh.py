@@ -16,7 +16,7 @@ from typing import Optional, Tuple
 from repro.errors import ParameterError, SignatureError
 from repro.exp.trace import ScalarMultCount
 from repro.nt.modular import modinv
-from repro.nt.sampling import sample_exponent
+from repro.nt.sampling import resolve_rng, sample_exponent
 from repro.ecc.curves import NamedCurve
 from repro.ecc.point import AffinePoint
 from repro.ecc.scalar import double_scalar_mult, scalar_mult
@@ -43,7 +43,7 @@ def ecdh_generate(
     count: Optional[ScalarMultCount] = None,
 ) -> EcdhKeyPair:
     """Generate a key pair on a named curve."""
-    rng = rng or random.Random()
+    rng = resolve_rng(rng)
     _, generator = named.build()
     private = sample_exponent(named.order, rng)
     public = scalar_mult(generator, private, count=count)
@@ -79,7 +79,7 @@ def ecdsa_sign(
     count: Optional[ScalarMultCount] = None,
 ) -> Tuple[int, int]:
     """ECDSA signature (r, s) with a SHA-256 message digest."""
-    rng = rng or random.Random()
+    rng = resolve_rng(rng)
     named = own.curve
     _, generator = named.build()
     e = _hash_to_int(message, named.order)

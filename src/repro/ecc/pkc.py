@@ -18,7 +18,7 @@ from repro.errors import DecryptionError, ParameterError, ReproError
 from repro.exp.group import JacobianExpGroup
 from repro.exp.strategies import FixedBaseTable
 from repro.exp.trace import OpTrace
-from repro.nt.sampling import sample_exponent
+from repro.nt.sampling import resolve_rng, sample_exponent
 from repro.pkc.base import (
     ENCRYPTION,
     KEY_AGREEMENT,
@@ -130,7 +130,7 @@ class EcdhScheme(PkcScheme):
         rng: Optional[random.Random] = None,
         trace: Optional[OpTrace] = None,
     ) -> bytes:
-        rng = rng or random.Random()
+        rng = resolve_rng(rng)
         recipient = decode_point(self.curve, recipient_public)
         ephemeral_scalar = sample_exponent(self.curve.order, rng)
         ephemeral = self.generator_power(ephemeral_scalar, trace=trace)

@@ -168,17 +168,24 @@ class TorusExpGroup(Group):
     cheap_inverse = True
 
     def __init__(self, group):
+        from repro.torus.t6 import TorusElement
+
+        self._TorusElement = TorusElement
         self.group = group
+        self.fp6 = group.fp6
         self.name = f"T6(p={group.params.p})"
 
     def identity(self):
         return self.group.identity()
 
     def op(self, a, b):
-        return a * b
+        # Engine operands are always elements of this one group, so the
+        # cross-group validation of TorusElement.__mul__ is skipped here —
+        # one Fp6 multiplication and a raw wrap per group operation.
+        return self._TorusElement(self.group, self.fp6.mul(a.value, b.value))
 
     def square(self, a):
-        return a.square()
+        return self._TorusElement(self.group, self.fp6.sqr(a.value))
 
     def inverse(self, a):
         return a.inverse()

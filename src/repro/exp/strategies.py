@@ -25,7 +25,7 @@ there and the inversion-free sliding window elsewhere.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ParameterError
 from repro.exp.group import Group
@@ -64,19 +64,34 @@ def available_strategies() -> List[str]:
 # ---------------------------------------------------------------------------
 
 
-def _sq(trace: Optional[OpTrace]) -> None:
-    if trace is not None:
+def _bound_ops(group: Group, trace: Optional[OpTrace]):
+    """Bind this run's (square, op, inverse) callables exactly once.
+
+    This is the engine's null-trace fast path: with ``trace=None`` the
+    strategies call the group's bound methods directly — no per-operation
+    ``if trace is not None`` branch, no counting closure, zero bookkeeping.
+    With a trace, each callable increments the tally and delegates, so
+    traced and untraced runs execute the *same* group operations in the
+    same order and return identical elements.
+    """
+    if trace is None:
+        return group.square, group.op, group.inverse
+
+    group_square, group_op, group_inverse = group.square, group.op, group.inverse
+
+    def square(a: Any) -> Any:
         trace.squarings += 1
+        return group_square(a)
 
-
-def _mul(trace: Optional[OpTrace]) -> None:
-    if trace is not None:
+    def op(a: Any, b: Any) -> Any:
         trace.multiplications += 1
+        return group_op(a, b)
 
-
-def _inv(trace: Optional[OpTrace]) -> None:
-    if trace is not None:
+    def inverse(a: Any) -> Any:
         trace.inversions += 1
+        return group_inverse(a)
+
+    return square, op, inverse
 
 
 def naf_digits(exponent: int) -> List[int]:
@@ -114,6 +129,19 @@ def wnaf_digits(exponent: int, width: int) -> List[int]:
     return digits
 
 
+def wnaf_recoding(exponent: int, width: int) -> Tuple[int, ...]:
+    """Width-w NAF recoding, most-significant digit first.
+
+    Deliberately **not** memoised: wNAF is the default path for secret
+    exponents (ephemerals, signature nonces, server keys), and a
+    process-wide cache keyed by exponent would retain every secret it ever
+    saw for the life of the process.  Recoding is pure integer work —
+    well under 1% of a protocol session — so the fixed-base tables (built
+    from the *public* generator) carry the per-key amortisation instead.
+    """
+    return tuple(reversed(wnaf_digits(exponent, width)))
+
+
 def default_window_bits(exponent_bits: int) -> int:
     """Window width minimising table-build plus per-digit multiplications."""
     if exponent_bits < 24:
@@ -132,18 +160,14 @@ def check_window_bits(window_bits: int) -> None:
         raise ParameterError("window width must be between 1 and 8 bits")
 
 
-def _odd_power_table(
-    group: Group, base: Any, limit: int, trace: Optional[OpTrace]
-) -> Dict[int, Any]:
+def _odd_power_table(square, op, base: Any, limit: int) -> Dict[int, Any]:
     """Precompute ``{1: g, 3: g^3, ..., limit: g^limit}`` for odd ``limit >= 1``."""
     table = {1: base}
     if limit >= 3:
-        square = group.square(base)
-        _sq(trace)
+        base_squared = square(base)
         current = base
         for k in range(3, limit + 1, 2):
-            current = group.op(current, square)
-            _mul(trace)
+            current = op(current, base_squared)
             table[k] = current
     return table
 
@@ -160,21 +184,21 @@ def exp_binary(
     """Left-to-right square-and-multiply: n-1 squarings, popcount-1 products."""
     if exponent == 0:
         return group.identity()
+    square, op, _ = _bound_ops(group, trace)
     result = base
     for bit in bin(exponent)[3:]:
-        result = group.square(result)
-        _sq(trace)
+        result = square(result)
         if bit == "1":
-            result = group.op(result, base)
-            _mul(trace)
+            result = op(result, base)
     return result
 
 
 def _signed_digit_walk(
     group: Group,
-    digits: List[int],
+    square,
+    op,
+    digits,
     lookup: Callable[[int], Any],
-    trace: Optional[OpTrace],
 ) -> Any:
     """Left-to-right walk over signed digits (most-significant first).
 
@@ -185,15 +209,13 @@ def _signed_digit_walk(
     result = None
     for digit in digits:
         if result is not None:
-            result = group.square(result)
-            _sq(trace)
+            result = square(result)
         if digit:
             operand = lookup(digit)
             if result is None:
                 result = operand
             else:
-                result = group.op(result, operand)
-                _mul(trace)
+                result = op(result, operand)
     return group.identity() if result is None else result
 
 
@@ -208,16 +230,17 @@ def exp_naf(
     """
     if exponent == 0:
         return group.identity()
+    square, op, inv = _bound_ops(group, trace)
     digits = naf_digits(exponent)
     inverse = None
     if any(d < 0 for d in digits):
-        inverse = group.inverse(base)
-        _inv(trace)
+        inverse = inv(base)
     return _signed_digit_walk(
         group,
-        list(reversed(digits)),
+        square,
+        op,
+        reversed(digits),
         lambda d: base if d > 0 else inverse,
-        trace,
     )
 
 
@@ -230,15 +253,21 @@ def exp_wnaf(
     window_bits: Optional[int] = None,
     **_: Any,
 ) -> Any:
-    """Width-w NAF with a table of odd powers: ~n/(w+1) multiplications."""
+    """Width-w NAF with a table of odd powers: ~n/(w+1) multiplications.
+
+    The recoding is recomputed per call on purpose — see
+    :func:`wnaf_recoding` for why memoising it would retain secret
+    exponents process-wide.
+    """
     if window_bits is None:
         window_bits = max(2, default_window_bits(exponent.bit_length()))
     check_window_bits(window_bits)
     if exponent == 0:
         return group.identity()
-    digits = wnaf_digits(exponent, window_bits)
+    square, op, inv = _bound_ops(group, trace)
+    digits = wnaf_recoding(exponent, window_bits)
     largest = max((abs(d) for d in digits if d), default=1)
-    table = _odd_power_table(group, base, largest, trace)
+    table = _odd_power_table(square, op, base, largest)
     negatives: Dict[int, Any] = {}
 
     def lookup(digit: int) -> Any:
@@ -246,12 +275,11 @@ def exp_wnaf(
             return table[digit]
         cached = negatives.get(-digit)
         if cached is None:
-            cached = group.inverse(table[-digit])
-            _inv(trace)
+            cached = inv(table[-digit])
             negatives[-digit] = cached
         return cached
 
-    return _signed_digit_walk(group, list(reversed(digits)), lookup, trace)
+    return _signed_digit_walk(group, square, op, digits, lookup)
 
 
 @register_strategy("sliding")
@@ -271,6 +299,7 @@ def exp_sliding(
         return group.identity()
     if window_bits == 1:
         return exp_binary(group, base, exponent, trace)
+    square, op, _ = _bound_ops(group, trace)
     bits = bin(exponent)[2:]
     # First pass: recode into (chunk, width) events — chunk 0 is one squaring,
     # an odd chunk is `width` squarings then one table multiplication.
@@ -290,20 +319,17 @@ def exp_sliding(
     # Size the table by the largest chunk that actually occurs, so sparse
     # exponents (e.g. RSA's 65537) never pay for unused entries.
     largest = max(chunk for chunk, _width in events)
-    table = _odd_power_table(group, base, largest, trace)
+    table = _odd_power_table(square, op, base, largest)
     result = None
     for chunk, width in events:
         if chunk == 0:
-            result = group.square(result)
-            _sq(trace)
+            result = square(result)
         elif result is None:
             result = table[chunk]
         else:
             for _unused in range(width):
-                result = group.square(result)
-                _sq(trace)
-            result = group.op(result, table[chunk])
-            _mul(trace)
+                result = square(result)
+            result = op(result, table[chunk])
     return result
 
 
@@ -322,10 +348,10 @@ def exp_window(
     check_window_bits(window_bits)
     if exponent == 0:
         return group.identity()
+    square, op, _ = _bound_ops(group, trace)
     table = [group.identity(), base]
     for _unused in range((1 << window_bits) - 2):
-        table.append(group.op(table[-1], base))
-        _mul(trace)
+        table.append(op(table[-1], base))
     digits: List[int] = []
     e = exponent
     mask = (1 << window_bits) - 1
@@ -336,11 +362,9 @@ def exp_window(
     result = table[digits[0]]
     for digit in digits[1:]:
         for _unused in range(window_bits):
-            result = group.square(result)
-            _sq(trace)
+            result = square(result)
         if digit:
-            result = group.op(result, table[digit])
-            _mul(trace)
+            result = op(result, table[digit])
     return result
 
 
@@ -351,17 +375,16 @@ def exp_ladder(
     """Montgomery ladder: one squaring and one multiplication per bit."""
     if exponent == 0:
         return group.identity()
+    square, op, _ = _bound_ops(group, trace)
     r0 = group.identity()
     r1 = base
     for bit in bin(exponent)[2:]:
         if bit == "1":
-            r0 = group.op(r0, r1)
-            r1 = group.square(r1)
+            r0 = op(r0, r1)
+            r1 = square(r1)
         else:
-            r1 = group.op(r0, r1)
-            r0 = group.square(r0)
-        _sq(trace)
-        _mul(trace)
+            r1 = op(r0, r1)
+            r0 = square(r0)
     return r0
 
 
@@ -408,9 +431,11 @@ class FixedBaseTable:
         self._extend(max_bits, trace)
 
     def _extend(self, max_bits: int, trace: Optional[OpTrace] = None) -> None:
+        if len(self._powers) >= max_bits:
+            return
+        square, _, _ = _bound_ops(self.group, trace)
         while len(self._powers) < max_bits:
-            self._powers.append(self.group.square(self._powers[-1]))
-            _sq(trace)
+            self._powers.append(square(self._powers[-1]))
 
     @property
     def max_bits(self) -> int:
@@ -421,21 +446,22 @@ class FixedBaseTable:
         group = self.group
         if exponent < 0:
             result = self.power(-exponent, trace)
-            _inv(trace)
-            return group.inverse(result)
+            _, _, inv = _bound_ops(group, trace)
+            return inv(result)
         if exponent == 0:
             return group.identity()
         self._extend(exponent.bit_length(), trace)
+        _, op, _ = _bound_ops(group, trace)
+        powers = self._powers
         result = None
         index = 0
         e = exponent
         while e:
             if e & 1:
                 if result is None:
-                    result = self._powers[index]
+                    result = powers[index]
                 else:
-                    result = group.op(result, self._powers[index])
-                    _mul(trace)
+                    result = op(result, powers[index])
             e >>= 1
             index += 1
         return result
@@ -469,8 +495,8 @@ def exponentiate(
     :func:`select_strategy`.
     """
     if exponent < 0:
-        base = group.inverse(base)
-        _inv(trace)
+        _, _, inv = _bound_ops(group, trace)
+        base = inv(base)
         exponent = -exponent
     if strategy == "auto":
         strategy = select_strategy(group, exponent)
@@ -493,13 +519,12 @@ def double_exponentiate(
     independent exponentiations — the trick behind ECDSA-style
     ``u1*G + u2*Q`` verification.
     """
+    square, op, inv = _bound_ops(group, trace)
     if exponent_a < 0:
-        base_a = group.inverse(base_a)
-        _inv(trace)
+        base_a = inv(base_a)
         exponent_a = -exponent_a
     if exponent_b < 0:
-        base_b = group.inverse(base_b)
-        _inv(trace)
+        base_b = inv(base_b)
         exponent_b = -exponent_b
     if exponent_a == 0:
         return exponentiate(group, base_b, exponent_b, trace=trace)
@@ -509,24 +534,21 @@ def double_exponentiate(
     result = None
     for shift in range(max(exponent_a.bit_length(), exponent_b.bit_length()) - 1, -1, -1):
         if result is not None:
-            result = group.square(result)
-            _sq(trace)
+            result = square(result)
         bit_a = (exponent_a >> shift) & 1
         bit_b = (exponent_b >> shift) & 1
         if not (bit_a or bit_b):
             continue
         if bit_a and bit_b:
             if both is None:
-                both = group.op(base_a, base_b)
-                _mul(trace)
+                both = op(base_a, base_b)
             operand = both
         else:
             operand = base_a if bit_a else base_b
         if result is None:
             result = operand
         else:
-            result = group.op(result, operand)
-            _mul(trace)
+            result = op(result, operand)
     return group.identity() if result is None else result
 
 

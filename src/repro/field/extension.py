@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.errors import FieldMismatchError, ParameterError
 from repro.field import poly as P
 from repro.field.fp import PrimeField
+from repro.nt.sampling import resolve_rng
 
 
 class ExtElement:
@@ -29,6 +30,19 @@ class ExtElement:
             )
         self.field = field
         self.coeffs: Tuple[int, ...] = tuple(c % field.base.p for c in coeffs)
+
+    @classmethod
+    def _raw(cls, field: "ExtensionField", coeffs: Tuple[int, ...]) -> "ExtElement":
+        """Wrap coefficients already reduced into ``[0, p)`` without checks.
+
+        Hot-path constructor for arithmetic that guarantees reduction itself
+        (the inline Fp6 multiplication); skips the per-coefficient ``% p``
+        and the length validation of ``__init__``.
+        """
+        element = object.__new__(cls)
+        element.field = field
+        element.coeffs = coeffs
+        return element
 
     # -- arithmetic ---------------------------------------------------------
 
@@ -173,7 +187,7 @@ class ExtensionField:
         return self([0, 1])
 
     def random_element(self, rng: Optional[random.Random] = None) -> ExtElement:
-        rng = rng or random
+        rng = resolve_rng(rng)
         return self([rng.randrange(self.base.p) for _ in range(self.degree)])
 
     def random_nonzero(self, rng: Optional[random.Random] = None) -> ExtElement:

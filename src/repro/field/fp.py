@@ -18,6 +18,7 @@ from repro.exp.strategies import exponentiate
 from repro.exp.trace import OpTrace
 from repro.nt.modular import modinv, sqrt_mod_prime, legendre_symbol
 from repro.nt.primality import is_probable_prime
+from repro.nt.sampling import resolve_rng
 
 
 class PrimeField:
@@ -110,12 +111,12 @@ class PrimeField:
 
     def random_element(self, rng: Optional[random.Random] = None) -> int:
         """Uniformly random element of the field."""
-        rng = rng or random
+        rng = resolve_rng(rng)
         return rng.randrange(self.p)
 
     def random_nonzero(self, rng: Optional[random.Random] = None) -> int:
         """Uniformly random non-zero element of the field."""
-        rng = rng or random
+        rng = resolve_rng(rng)
         return rng.randrange(1, self.p)
 
     # -- element factory ----------------------------------------------------

@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 
 from repro.errors import ParameterError
 from repro.nt.primality import is_probable_prime
+from repro.nt.sampling import resolve_rng
 
 _DEFAULT_ATTEMPTS_PER_BIT = 200
 
@@ -28,7 +29,7 @@ def _candidate(bits: int, rng: random.Random) -> int:
 
 def random_prime(bits: int, rng: Optional[random.Random] = None) -> int:
     """Random (probable) prime with exactly ``bits`` bits."""
-    rng = rng or random.Random()
+    rng = resolve_rng(rng)
     attempts = _DEFAULT_ATTEMPTS_PER_BIT * max(bits, 8)
     for _ in range(attempts):
         candidate = _candidate(bits, rng)
@@ -49,7 +50,7 @@ def random_prime_mod(
     residue class before primality testing, so the congruence condition does
     not slow the search down by the naive rejection factor.
     """
-    rng = rng or random.Random()
+    rng = resolve_rng(rng)
     residues = sorted(set(r % modulus for r in residues))
     if not residues:
         raise ParameterError("need at least one admissible residue class")
@@ -74,7 +75,7 @@ def safe_prime(bits: int, rng: Optional[random.Random] = None) -> int:
     Only intended for small/medium sizes used in examples; safe-prime search
     at 1024 bits in pure Python is slow and not needed by the reproduction.
     """
-    rng = rng or random.Random()
+    rng = resolve_rng(rng)
     attempts = _DEFAULT_ATTEMPTS_PER_BIT * max(bits, 8) * 4
     for _ in range(attempts):
         q = random_prime(bits - 1, rng)

@@ -8,6 +8,16 @@ protocol layers needlessly non-uniform; :func:`sample_exponent` fixes one
 convention — the full multiplicative range ``[1, q)`` — and every key
 generation, ephemeral value and signature nonce in the library goes through
 it.
+
+This module also owns the library-wide **default randomness policy**.  Every
+sampling site used to fall back to a per-call ``random.Random()`` — the
+non-cryptographic Mersenne Twister, seeded from whatever the interpreter
+found lying around — which is unacceptable for key material and signature
+nonces.  The default is now one module-level :data:`DEFAULT_RNG`, a
+``random.SystemRandom`` backed by the operating system's CSPRNG
+(``os.urandom``).  Callers that need reproducibility (tests, deterministic
+benchmarks) keep injecting an explicit seeded ``random.Random``; only the
+*absence* of an injected generator routes to the system CSPRNG.
 """
 
 from __future__ import annotations
@@ -17,7 +27,23 @@ from typing import Optional
 
 from repro.errors import ParameterError
 
-__all__ = ["sample_exponent"]
+__all__ = ["DEFAULT_RNG", "resolve_rng", "sample_exponent"]
+
+#: The library-wide default randomness source: the OS CSPRNG.  Secrets
+#: (private keys, ephemeral exponents, signature nonces, RSA prime search)
+#: must never fall back to the Mersenne Twister.
+DEFAULT_RNG: random.Random = random.SystemRandom()
+
+
+def resolve_rng(rng: Optional[random.Random] = None) -> random.Random:
+    """The generator to use: the injected ``rng``, else :data:`DEFAULT_RNG`.
+
+    Resolve once at the entry point of a batch or protocol operation and
+    thread the result down — never construct a fresh generator per call.
+    Reads the module global at call time so tests can monkeypatch
+    ``DEFAULT_RNG``.
+    """
+    return DEFAULT_RNG if rng is None else rng
 
 
 def sample_exponent(q: int, rng: Optional[random.Random] = None) -> int:
@@ -26,9 +52,10 @@ def sample_exponent(q: int, rng: Optional[random.Random] = None) -> int:
     ``q`` is the order of the working (sub)group: the torus subgroup order
     for CEILIDH and XTR, the base-point order for ECDH/ECDSA.  The identity
     exponent 0 is excluded; ``q`` must be at least 2 so that the range is
-    non-empty.
+    non-empty.  With no ``rng`` the sample is drawn from :data:`DEFAULT_RNG`
+    (the OS CSPRNG).
     """
     if q < 2:
         raise ParameterError(f"exponent range [1, q) needs q >= 2, got {q}")
-    rng = rng or random.Random()
+    rng = resolve_rng(rng)
     return rng.randrange(1, q)

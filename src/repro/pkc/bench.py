@@ -18,14 +18,22 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import ParameterError, UnsupportedOperationError
 from repro.exp.trace import OpTrace
+from repro.nt import sampling as _sampling
+from repro.nt.sampling import resolve_rng
 from repro.pkc.base import ENCRYPTION, KEY_AGREEMENT, SIGNATURE, PkcScheme, SchemeKeyPair
 from repro.pkc.registry import get_scheme
 
-__all__ = ["BatchResult", "run_batch", "registry_batch_comparison", "BATCH_OPERATIONS"]
+__all__ = [
+    "BatchResult",
+    "run_batch",
+    "run_batch_parallel",
+    "registry_batch_comparison",
+    "BATCH_OPERATIONS",
+]
 
 #: Operations :func:`run_batch` understands, mapped to the capability needed.
 BATCH_OPERATIONS = {
@@ -73,6 +81,8 @@ def run_batch(
     rng: Optional[random.Random] = None,
     payload: bytes = b"batched session payload.........",
     server: Optional[SchemeKeyPair] = None,
+    collect_ops: bool = True,
+    workers: int = 1,
 ) -> BatchResult:
     """Run ``sessions`` independent protocol sessions against one server key.
 
@@ -86,7 +96,15 @@ def run_batch(
 
     The server key pair (and with it any fixed-base table the scheme keeps)
     is created once outside the timed region, so the batch measures the
-    steady-state serving cost.
+    steady-state serving cost.  ``collect_ops=False`` drops the group-
+    operation tally and takes the engine's tracing-free fast path (the
+    ``ops`` field of the result stays zero).  ``workers > 1`` splits the
+    batch over that many OS processes (see :func:`run_batch_parallel`).
+
+    The RNG is resolved exactly once here — the system CSPRNG unless a
+    seeded generator is injected — and threaded down through every keygen,
+    ephemeral and nonce of the batch; no per-session generator is ever
+    constructed.
     """
     if operation not in BATCH_OPERATIONS:
         raise ParameterError(
@@ -97,31 +115,42 @@ def run_batch(
     capability = BATCH_OPERATIONS[operation]
     if capability not in scheme.capabilities:
         raise UnsupportedOperationError(f"{scheme.name} does not implement {operation}")
-    rng = rng or random.Random()
+    if workers > 1:
+        if server is not None:
+            raise ParameterError(
+                "a shared server key cannot cross process boundaries; "
+                "each parallel worker serves with its own long-lived key"
+            )
+        return run_batch_parallel(
+            scheme.name, operation, sessions, workers,
+            rng=rng, payload=payload, collect_ops=collect_ops,
+        )
+    rng = resolve_rng(rng)
 
     server = server or scheme.keygen(rng)
     ops = OpTrace()
+    trace = ops if collect_ops else None
     wire = 0
     started = time.perf_counter()
     if operation == "key-agreement":
         for _ in range(sessions):
-            client = scheme.keygen(rng, trace=ops)
-            client_key = scheme.key_agreement(client, server.public_wire, trace=ops)
-            server_key = scheme.key_agreement(server, client.public_wire, trace=ops)
+            client = scheme.keygen(rng, trace=trace)
+            client_key = scheme.key_agreement(client, server.public_wire, trace=trace)
+            server_key = scheme.key_agreement(server, client.public_wire, trace=trace)
             if client_key != server_key:
                 raise ParameterError(f"{scheme.name}: key agreement mismatch")  # pragma: no cover
             wire += len(client.public_wire) + len(server.public_wire)
     elif operation == "encryption":
         for _ in range(sessions):
-            ciphertext = scheme.encrypt(server.public_wire, payload, rng, trace=ops)
-            if scheme.decrypt(server, ciphertext, trace=ops) != payload:
+            ciphertext = scheme.encrypt(server.public_wire, payload, rng, trace=trace)
+            if scheme.decrypt(server, ciphertext, trace=trace) != payload:
                 raise ParameterError(f"{scheme.name}: decryption mismatch")  # pragma: no cover
             wire += len(ciphertext)
     else:  # signature
         for index in range(sessions):
             message = payload + index.to_bytes(4, "big")
-            signature = scheme.sign(server, message, rng, trace=ops)
-            if not scheme.verify(server.public_wire, message, signature, trace=ops):
+            signature = scheme.sign(server, message, rng, trace=trace)
+            if not scheme.verify(server.public_wire, message, signature, trace=trace):
                 raise ParameterError(f"{scheme.name}: signature rejected")  # pragma: no cover
             wire += len(signature)
     elapsed = time.perf_counter() - started
@@ -136,11 +165,84 @@ def run_batch(
     )
 
 
+def _parallel_worker(args) -> BatchResult:
+    """One worker's share of a parallel batch (runs in a child process).
+
+    Receives the scheme *name* rather than the adapter so each process
+    resolves its own instance (with its own fixed-base tables and server
+    key) from the registry; ``seed=None`` means the worker samples from its
+    own OS CSPRNG.
+    """
+    scheme_name, operation, sessions, seed, payload, collect_ops = args
+    rng = random.Random(seed) if seed is not None else None
+    scheme = get_scheme(scheme_name)
+    return run_batch(
+        scheme, operation, sessions, rng=rng, payload=payload, collect_ops=collect_ops
+    )
+
+
+def run_batch_parallel(
+    scheme_name: str,
+    operation: str,
+    sessions: int,
+    workers: int,
+    rng: Optional[random.Random] = None,
+    payload: bytes = b"batched session payload.........",
+    collect_ops: bool = True,
+) -> BatchResult:
+    """Split one batch across ``workers`` OS processes and merge the results.
+
+    Multi-core serving: each worker owns a long-lived server key and runs
+    ``sessions // workers`` (+1 for the remainder) independent sessions.
+    Group operations and wire bytes are summed; ``wall_seconds`` is the
+    longest worker's *timed region* — the concurrent serving time, excluding
+    process spawn and interpreter start-up, which a real deployment pays
+    once at boot, not per batch.  With an injected seeded ``rng``, each
+    worker receives a seed drawn from it, keeping parallel runs
+    reproducible.
+    """
+    import concurrent.futures
+
+    if workers < 1:
+        raise ParameterError("a parallel batch needs at least one worker")
+    workers = min(workers, sessions)
+    share, remainder = divmod(sessions, workers)
+    shares = [share + (1 if i < remainder else 0) for i in range(workers)]
+    # Only derive worker seeds from an explicitly injected (deterministic)
+    # generator; with the default CSPRNG each worker samples its own.  The
+    # module attribute is read at call time so a monkeypatched default is
+    # still recognised as "not injected".
+    seeded = rng is not None and rng is not _sampling.DEFAULT_RNG
+    seeds = [rng.getrandbits(64) if seeded else None for _ in range(workers)]
+    jobs = [
+        (scheme_name, operation, shares[i], seeds[i], payload, collect_ops)
+        for i in range(workers)
+    ]
+    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        results: List[BatchResult] = list(pool.map(_parallel_worker, jobs))
+
+    merged_ops = OpTrace()
+    wire = 0
+    for result in results:
+        merged_ops.merge(result.ops)
+        wire += result.wire_bytes
+    return BatchResult(
+        scheme=scheme_name,
+        operation=operation,
+        sessions=sessions,
+        wall_seconds=max(result.wall_seconds for result in results),
+        ops=merged_ops,
+        wire_bytes=wire,
+    )
+
+
 def registry_batch_comparison(
     names: Sequence[str],
     operation: str = "key-agreement",
     sessions: int = 8,
     rng: Optional[random.Random] = None,
+    collect_ops: bool = True,
+    workers: int = 1,
 ) -> "list[BatchResult]":
     """Batch every named scheme that supports ``operation`` — one generic loop."""
     if operation not in BATCH_OPERATIONS:
@@ -148,10 +250,18 @@ def registry_batch_comparison(
             f"unknown batch operation {operation!r}; available: {sorted(BATCH_OPERATIONS)}"
         )
     capability = BATCH_OPERATIONS[operation]
+    # No pre-resolution here: run_batch resolves at its own entry, and the
+    # parallel dispatch must still see "no rng injected" as None so workers
+    # sample their own CSPRNGs.
     results = []
     for name in names:
         scheme = get_scheme(name)
         if capability not in scheme.capabilities:
             continue
-        results.append(run_batch(scheme, operation, sessions, rng=rng))
+        results.append(
+            run_batch(
+                scheme, operation, sessions, rng=rng,
+                collect_ops=collect_ops, workers=workers,
+            )
+        )
     return results

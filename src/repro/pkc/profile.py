@@ -27,6 +27,7 @@ from typing import Dict, Optional
 
 from repro.errors import ParameterError
 from repro.exp.trace import OpTrace
+from repro.nt.sampling import resolve_rng
 from repro.pkc.base import ENCRYPTION, KEY_AGREEMENT, SIGNATURE, PkcScheme
 
 __all__ = ["SchemeProfile", "build_profile", "canonical_exponent"]
@@ -110,7 +111,7 @@ def build_profile(
         from repro.soc.system import Platform
 
         platform = Platform()
-    rng = rng or random.Random()
+    rng = resolve_rng(rng)
 
     profile = SchemeProfile(
         scheme=scheme.name,

@@ -10,6 +10,7 @@ from typing import Optional
 from repro.errors import ParameterError
 from repro.nt.modular import modinv
 from repro.nt.primegen import random_prime
+from repro.nt.sampling import resolve_rng
 
 
 @dataclass
@@ -54,7 +55,7 @@ def generate_rsa_keypair(
         raise ParameterError("RSA modulus must be at least 16 bits")
     if e % 2 == 0 or e < 3:
         raise ParameterError("public exponent must be an odd integer >= 3")
-    rng = rng or random.Random()
+    rng = resolve_rng(rng)
     half = bits // 2
     for _ in range(200):
         p = random_prime(bits - half, rng)

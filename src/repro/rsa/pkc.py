@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 from repro.errors import DecryptionError, ParameterError
 from repro.exp.trace import OpTrace
 from repro.montgomery.domain import MontgomeryDomain
+from repro.nt.sampling import resolve_rng
 from repro.montgomery.exponent import montgomery_power
 from repro.pkc.base import (
     ENCRYPTION,
@@ -125,7 +126,7 @@ class RsaScheme(PkcScheme):
         rng: Optional[random.Random] = None,
         trace: Optional[OpTrace] = None,
     ) -> bytes:
-        rng = rng or random.Random()
+        rng = resolve_rng(rng)
         public = self.decode_public(recipient_public)
         seed = rng.randrange(2, public.n - 1)
         wrapped = rsa_encrypt_int(public, seed, trace=trace)

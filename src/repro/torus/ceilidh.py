@@ -26,7 +26,7 @@ from typing import Optional, Tuple
 
 from repro.errors import CompressionError, DecryptionError, ParameterError, SignatureError
 from repro.exp.trace import OpTrace
-from repro.nt.sampling import sample_exponent
+from repro.nt.sampling import resolve_rng, sample_exponent
 from repro.torus.compression import CompressedElement
 from repro.torus.encoding import encode_compressed
 from repro.torus.params import TorusParameters, get_parameters
@@ -77,7 +77,7 @@ class CeilidhSystem:
         self, rng: Optional[random.Random] = None, count: Optional[OpTrace] = None
     ) -> CeilidhKeyPair:
         """Generate a key pair; retries on the (O(1/p)) exceptional compressions."""
-        rng = rng or random.Random()
+        rng = resolve_rng(rng)
         for _ in range(64):
             private = sample_exponent(self.params.q, rng)
             # Fixed-base table on the generator: no online squarings.
@@ -140,7 +140,7 @@ class CeilidhSystem:
         count: Optional[OpTrace] = None,
     ) -> CeilidhCiphertext:
         """Hybrid encryption to a compressed public key."""
-        rng = rng or random.Random()
+        rng = resolve_rng(rng)
         recipient = self.compressor.decompress_to_element(recipient_public)
         for _ in range(64):
             ephemeral_exponent = sample_exponent(self.params.q, rng)
@@ -186,7 +186,7 @@ class CeilidhSystem:
         count: Optional[OpTrace] = None,
     ) -> CeilidhSignature:
         """Schnorr signature: commitment in the torus, challenge from SHA-256."""
-        rng = rng or random.Random()
+        rng = resolve_rng(rng)
         for _ in range(64):
             nonce = sample_exponent(self.params.q, rng)
             commitment = self.group.generator_power(nonce, count=count)

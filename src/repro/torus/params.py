@@ -22,6 +22,7 @@ from repro.errors import ParameterError
 from repro.nt.factor import trial_division
 from repro.nt.primality import is_probable_prime
 from repro.nt.primegen import random_prime_mod
+from repro.nt.sampling import resolve_rng
 
 #: Residues of p modulo 9 for which z^6 + z^3 + 1 stays irreducible (Section 2.2).
 ADMISSIBLE_RESIDUES_MOD_9 = (2, 5)
@@ -145,7 +146,7 @@ def generate_parameters(
     hundred at 170 bits (one per candidate prime, dominated by the primality
     test on the ~2*bits-bit cofactor).
     """
-    rng = rng or random.Random()
+    rng = resolve_rng(rng)
     for _ in range(max_attempts):
         p = random_prime_mod(bits, ADMISSIBLE_RESIDUES_MOD_9, 9, rng)
         phi6 = p * p - p + 1

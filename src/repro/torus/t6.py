@@ -19,6 +19,7 @@ from repro.exp.group import TorusExpGroup
 from repro.exp.strategies import FixedBaseTable, double_exponentiate, exponentiate
 from repro.exp.trace import OpTrace
 from repro.field.extension import ExtElement
+from repro.nt.sampling import resolve_rng
 from repro.field.fp import PrimeField
 from repro.field.fp6 import Fp6Field, make_fp6
 from repro.torus.params import TorusParameters
@@ -146,7 +147,7 @@ class T6Group:
 
     def random_element(self, rng: Optional[random.Random] = None) -> TorusElement:
         """Uniformly random element of T6(Fp) (cofactor projection of a random unit)."""
-        rng = rng or random.Random()
+        rng = resolve_rng(rng)
         while True:
             candidate = self.fp6.random_nonzero(rng)
             projected = self.fp6.project_to_torus(candidate)

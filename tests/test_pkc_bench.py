@@ -80,3 +80,34 @@ class TestRegistryComparison:
         )
         assert [r.scheme for r in results] == ["ceilidh-toy32", "rsa-512"]
         assert all(r.sessions == 2 for r in results)
+
+
+class TestFastPathAndParallel:
+    def test_collect_ops_false_takes_the_null_trace_path(self, rng):
+        scheme = get_scheme("ceilidh-toy32")
+        result = run_batch(scheme, "key-agreement", 3, rng=rng, collect_ops=False)
+        assert result.sessions == 3
+        assert result.ops.total == 0  # nothing recorded on the fast path
+
+    def test_parallel_batch_merges_worker_results(self):
+        result = run_batch(
+            get_scheme("ceilidh-toy32"), "key-agreement", 5,
+            rng=random.Random(77), workers=2,
+        )
+        assert result.sessions == 5
+        assert result.ops.total > 0
+        assert result.wire_bytes > 0
+        assert result.wall_seconds > 0
+
+    def test_parallel_rejects_a_shared_server_key(self, rng):
+        scheme = get_scheme("ceilidh-toy32")
+        server = scheme.keygen(rng)
+        with pytest.raises(ParameterError):
+            run_batch(scheme, "key-agreement", 4, rng=rng, server=server, workers=2)
+
+    def test_parallel_caps_workers_at_sessions(self):
+        result = run_batch(
+            get_scheme("ceilidh-toy32"), "key-agreement", 1,
+            rng=random.Random(78), workers=8,
+        )
+        assert result.sessions == 1

@@ -1,0 +1,131 @@
+"""The default-randomness policy: SystemRandom everywhere, injection intact.
+
+Regression tests for the library-wide RNG bugfix: every secret sampled
+without an explicitly injected generator must come from the one module-level
+``random.SystemRandom`` (:data:`repro.nt.sampling.DEFAULT_RNG`), never from
+a per-call Mersenne Twister — and an injected seeded generator must still
+reproduce byte-identical wire output across every registry scheme, which is
+what keeps the deterministic tests and benchmarks meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.nt.sampling as sampling
+from repro.nt.sampling import DEFAULT_RNG, resolve_rng, sample_exponent
+from repro.pkc import get_scheme
+
+
+class CountingRandom(random.Random):
+    """A seeded generator that records whether it was consulted."""
+
+    def __init__(self, seed=0):
+        super().__init__(seed)
+        self.calls = 0
+
+    def random(self):
+        self.calls += 1
+        return super().random()
+
+    def getrandbits(self, k):
+        self.calls += 1
+        return super().getrandbits(k)
+
+
+class TestDefaultRngPolicy:
+    def test_default_is_the_system_csprng(self):
+        assert isinstance(DEFAULT_RNG, random.SystemRandom)
+
+    def test_resolve_prefers_the_injected_generator(self):
+        injected = random.Random(1)
+        assert resolve_rng(injected) is injected
+
+    def test_resolve_falls_back_to_the_module_default(self):
+        assert resolve_rng(None) is sampling.DEFAULT_RNG
+
+    def test_sample_exponent_consults_the_default(self, monkeypatch):
+        spy = CountingRandom(7)
+        monkeypatch.setattr(sampling, "DEFAULT_RNG", spy)
+        sample_exponent(1 << 64)
+        assert spy.calls > 0
+
+    @pytest.mark.parametrize(
+        "site",
+        [
+            "ceilidh-keygen",
+            "ecdh-keygen",
+            "xtr-keygen",
+            "prime-search",
+            "field-element",
+        ],
+    )
+    def test_every_default_sampling_site_routes_through_it(self, site, monkeypatch):
+        """Keygen/prime/field sampling with no rng reaches DEFAULT_RNG."""
+        spy = CountingRandom(11)
+        monkeypatch.setattr(sampling, "DEFAULT_RNG", spy)
+        if site == "ceilidh-keygen":
+            from repro.torus.ceilidh import CeilidhSystem
+
+            CeilidhSystem("toy-20").generate_keypair()
+        elif site == "ecdh-keygen":
+            get_scheme("ecdh-p160", fresh=True).keygen()
+        elif site == "xtr-keygen":
+            from repro.xtr.keyagreement import XtrSystem
+
+            XtrSystem("toy-20").generate_keypair()
+        elif site == "prime-search":
+            from repro.nt.primegen import random_prime
+
+            random_prime(24)
+        else:
+            from repro.field.fp import PrimeField
+
+            PrimeField(1009).random_element()
+        assert spy.calls > 0
+
+    def test_monkeypatched_default_makes_keygen_reproducible(self, monkeypatch):
+        """The default is resolved at call time, not bound at import."""
+        publics = []
+        for _ in range(2):
+            monkeypatch.setattr(sampling, "DEFAULT_RNG", random.Random(99))
+            scheme = get_scheme("ceilidh-toy32", fresh=True)
+            publics.append(scheme.keygen().public_wire)
+        assert publics[0] == publics[1]
+
+
+#: Scheme names small enough to regenerate keys repeatedly in a test.
+DETERMINISM_SCHEMES = ("ceilidh-toy32", "ceilidh-toy64", "ecdh-p160", "rsa-512", "xtr-toy32")
+
+
+class TestSeededWireDeterminism:
+    """An injected seeded rng reproduces byte-identical wire output."""
+
+    @pytest.mark.parametrize("name", DETERMINISM_SCHEMES)
+    def test_keygen_wire_bytes(self, name):
+        def wire():
+            scheme = get_scheme(name, fresh=True)
+            kwargs = {"fresh": True} if name.startswith("rsa") else {}
+            return scheme.keygen(random.Random(0xD5EED), **kwargs).public_wire
+
+        assert wire() == wire()
+
+    @pytest.mark.parametrize("name", DETERMINISM_SCHEMES)
+    def test_protocol_wire_bytes(self, name):
+        from repro.pkc.base import ENCRYPTION, SIGNATURE
+
+        def transcripts():
+            scheme = get_scheme(name, fresh=True)
+            keypair = scheme.keygen(random.Random(1))
+            out = [keypair.public_wire]
+            if ENCRYPTION in scheme.capabilities:
+                out.append(
+                    scheme.encrypt(keypair.public_wire, b"determinism", random.Random(2))
+                )
+            if SIGNATURE in scheme.capabilities:
+                out.append(scheme.sign(keypair, b"determinism", random.Random(3)))
+            return out
+
+        assert transcripts() == transcripts()
