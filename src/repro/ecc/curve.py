@@ -17,8 +17,10 @@ class WeierstrassCurve:
         if field.p <= 3:
             raise ParameterError("short Weierstrass form needs p > 3")
         self.field = field
-        self.a = a % field.p
-        self.b = b % field.p
+        # Domain parameters arrive as plain integers; the stored coefficients
+        # are resident in the field's representation.
+        self.a = field.enter(a % field.p)
+        self.b = field.enter(b % field.p)
         if self.discriminant() == 0:
             raise ParameterError("singular curve: 4a^3 + 27b^2 = 0")
 
@@ -26,15 +28,15 @@ class WeierstrassCurve:
         """-16 (4a^3 + 27b^2) up to the factor -16 (only zero-ness matters)."""
         f = self.field
         return f.add(
-            f.mul(4, f.mul(self.a, f.mul(self.a, self.a))),
-            f.mul(27, f.mul(self.b, self.b)),
+            f.mul(f.embed(4), f.mul(self.a, f.mul(self.a, self.a))),
+            f.mul(f.embed(27), f.mul(self.b, self.b)),
         )
 
     def j_invariant(self) -> int:
-        """The j-invariant 1728 * 4a^3 / (4a^3 + 27b^2)."""
+        """The j-invariant 1728 * 4a^3 / (4a^3 + 27b^2), as a plain integer."""
         f = self.field
-        a_cubed_4 = f.mul(4, f.mul(self.a, f.mul(self.a, self.a)))
-        return f.mul(f.mul(1728 % f.p, a_cubed_4), f.inv(self.discriminant()))
+        a_cubed_4 = f.mul(f.embed(4), f.mul(self.a, f.mul(self.a, self.a)))
+        return f.exit(f.mul(f.mul(f.embed(1728), a_cubed_4), f.inv(self.discriminant())))
 
     def right_hand_side(self, x: int) -> int:
         """x^3 + a*x + b."""
@@ -59,7 +61,9 @@ class WeierstrassCurve:
         """A uniformly-ish random affine point (random x until the rhs is a square)."""
         rng = resolve_rng(rng)
         while True:
-            x = rng.randrange(self.field.p)
+            # Plain draw entered into the representation, so seeded runs pick
+            # the same logical point under every backend.
+            x = self.field.enter(rng.randrange(self.field.p))
             rhs = self.right_hand_side(x)
             if self.field.is_square(rhs):
                 y = self.field.sqrt(rhs)
@@ -73,8 +77,8 @@ class WeierstrassCurve:
             raise ParameterError("naive point counting is limited to p <= 100000")
         f = self.field
         count = 1  # point at infinity
-        for x in range(f.p):
-            rhs = self.right_hand_side(x)
+        for x_plain in range(f.p):
+            rhs = self.right_hand_side(f.enter(x_plain))
             if rhs == 0:
                 count += 1
             elif f.is_square(rhs):

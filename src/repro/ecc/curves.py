@@ -39,11 +39,18 @@ class NamedCurve:
     order: int
     cofactor: int
 
-    def build(self) -> Tuple[WeierstrassCurve, AffinePoint]:
-        """Instantiate the curve object and its base point."""
-        field = PrimeField(self.p, check_prime=False)
+    def build(self, backend=None) -> Tuple[WeierstrassCurve, AffinePoint]:
+        """Instantiate the curve object and its base point.
+
+        ``backend`` selects the field-arithmetic substrate (see
+        :mod:`repro.field.backend`); the named domain parameters are plain
+        integers and enter the representation here.
+        """
+        field = PrimeField(self.p, check_prime=False, backend=backend)
         curve = WeierstrassCurve(field, self.a, self.b)
-        generator = AffinePoint(curve, self.gx, self.gy)
+        generator = AffinePoint(
+            curve, field.enter(self.gx), field.enter(self.gy)
+        )
         return curve, generator
 
     @property
@@ -165,8 +172,8 @@ def generate_toy_curve(
                     p=p,
                     a=a,
                     b=b,
-                    gx=candidate.x,
-                    gy=candidate.y,
+                    gx=field.exit(candidate.x),
+                    gy=field.exit(candidate.y),
                     order=largest,
                     cofactor=cofactor,
                 )

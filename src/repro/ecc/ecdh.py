@@ -42,7 +42,11 @@ def ecdh_generate(
     rng: Optional[random.Random] = None,
     count: Optional[ScalarMultCount] = None,
 ) -> EcdhKeyPair:
-    """Generate a key pair on a named curve."""
+    """Generate a key pair on a named curve.
+
+    (The scheme layer does not route through here — its keygen runs from a
+    cached fixed-base table on its backend-built generator.)
+    """
     rng = resolve_rng(rng)
     _, generator = named.build()
     private = sample_exponent(named.order, rng)
@@ -55,12 +59,12 @@ def ecdh_shared_secret(
     peer_public: AffinePoint,
     count: Optional[ScalarMultCount] = None,
 ) -> bytes:
-    """X-coordinate of the shared point, fixed width big-endian."""
+    """X-coordinate of the shared point (plain), fixed width big-endian."""
     shared = scalar_mult(peer_public, own.private, count=count)
     if shared.is_infinity():
         raise ParameterError("degenerate ECDH shared point")
     width = (own.curve.p.bit_length() + 7) // 8
-    return shared.x.to_bytes(width, "big")
+    return shared.curve.field.exit(shared.x).to_bytes(width, "big")
 
 
 def _hash_to_int(message: bytes, order: int) -> int:
@@ -77,16 +81,18 @@ def ecdsa_sign(
     message: bytes,
     rng: Optional[random.Random] = None,
     count: Optional[ScalarMultCount] = None,
+    generator: Optional[AffinePoint] = None,
 ) -> Tuple[int, int]:
     """ECDSA signature (r, s) with a SHA-256 message digest."""
     rng = resolve_rng(rng)
     named = own.curve
-    _, generator = named.build()
+    if generator is None:
+        _, generator = named.build()
     e = _hash_to_int(message, named.order)
     for _ in range(64):
         k = sample_exponent(named.order, rng)
         point = scalar_mult(generator, k, count=count)
-        r = point.x % named.order
+        r = point.curve.field.exit(point.x) % named.order
         if r == 0:
             continue
         s = modinv(k, named.order) * (e + r * own.private) % named.order
@@ -102,12 +108,14 @@ def ecdsa_verify(
     message: bytes,
     signature: Tuple[int, int],
     count: Optional[ScalarMultCount] = None,
+    generator: Optional[AffinePoint] = None,
 ) -> bool:
     """Verify an ECDSA signature."""
     r, s = signature
     if not (1 <= r < named.order and 1 <= s < named.order):
         return False
-    _, generator = named.build()
+    if generator is None:
+        _, generator = named.build()
     e = _hash_to_int(message, named.order)
     w = modinv(s, named.order)
     u1 = e * w % named.order
@@ -116,4 +124,4 @@ def ecdsa_verify(
     point = double_scalar_mult(generator, u1, public, u2, count=count)
     if point.is_infinity():
         return False
-    return point.x % named.order == r
+    return point.curve.field.exit(point.x) % named.order == r

@@ -30,29 +30,42 @@ def point_size_bytes(named: NamedCurve, compressed: bool = False) -> int:
 
 
 def encode_point(point: AffinePoint, compressed: bool = False) -> bytes:
-    """SEC1 encoding of a finite point (infinity is not a wire value here)."""
+    """SEC1 encoding of a finite point (infinity is not a wire value here).
+
+    The coordinates exit the field's representation here, so the wire bytes
+    (and the compressed parity bit) are identical under every backend.
+    """
     if point.is_infinity():
         raise ParameterError("the point at infinity has no SEC1 wire encoding")
-    p = point.curve.field.p
-    width = _field_byte_length(p)
-    x_bytes = point.x.to_bytes(width, "big")
+    field = point.curve.field
+    width = _field_byte_length(field.p)
+    x_plain = field.exit(point.x)
+    y_plain = field.exit(point.y)
+    x_bytes = x_plain.to_bytes(width, "big")
     if not compressed:
-        return b"\x04" + x_bytes + point.y.to_bytes(width, "big")
-    prefix = b"\x03" if point.y & 1 else b"\x02"
+        return b"\x04" + x_bytes + y_plain.to_bytes(width, "big")
+    prefix = b"\x03" if y_plain & 1 else b"\x02"
     return prefix + x_bytes
 
 
-def decode_point(named: NamedCurve, data: bytes) -> AffinePoint:
+def decode_point(named: NamedCurve, data: bytes, curve=None) -> AffinePoint:
     """Inverse of :func:`encode_point`; validates curve membership.
 
     Accepts both SEC1 forms.  Compressed points are lifted by solving
     ``y^2 = x^3 + ax + b`` with a Tonelli-Shanks square root; a non-residue
     right-hand side (an X that is not the abscissa of any curve point) raises
     :class:`~repro.errors.NotOnCurveError`.
+
+    ``curve`` optionally supplies a prebuilt curve object (the scheme layer
+    passes its backend-built curve so decoded points live in the same
+    representation as the rest of the run); wire coordinates enter that
+    curve's field representation here.
     """
     if not data:
         raise ParameterError("empty point encoding")
-    curve, _ = named.build()
+    if curve is None:
+        curve, _ = named.build()
+    field = curve.field
     width = _field_byte_length(named.p)
     prefix = data[0]
     if prefix == 0x04:
@@ -64,22 +77,25 @@ def decode_point(named: NamedCurve, data: bytes) -> AffinePoint:
         y = int.from_bytes(data[1 + width :], "big")
         if x >= named.p or y >= named.p:
             raise ParameterError("encoded coordinate exceeds the field size")
-        return AffinePoint(curve, x, y)  # membership checked by the constructor
+        # Membership checked by the constructor on the resident coordinates.
+        return AffinePoint(curve, field.enter(x), field.enter(y))
     if prefix in (0x02, 0x03):
         if len(data) != 1 + width:
             raise ParameterError(
                 f"compressed point must be {1 + width} bytes, got {len(data)}"
             )
-        x = int.from_bytes(data[1:], "big")
-        if x >= named.p:
+        x_plain = int.from_bytes(data[1:], "big")
+        if x_plain >= named.p:
             raise ParameterError("encoded coordinate exceeds the field size")
-        field = curve.field
+        x = field.enter(x_plain)
         rhs = field.add(field.mul(field.sqr(x), x), field.add(field.mul(curve.a, x), curve.b))
         try:
-            y = sqrt_mod_prime(rhs, named.p)
+            y_plain = sqrt_mod_prime(field.exit(rhs), named.p)
         except ParameterError:
-            raise NotOnCurveError(f"x = {x} is not the abscissa of a curve point") from None
-        if (y & 1) != (prefix & 1):
-            y = named.p - y
-        return AffinePoint(curve, x, y)
+            raise NotOnCurveError(
+                f"x = {x_plain} is not the abscissa of a curve point"
+            ) from None
+        if (y_plain & 1) != (prefix & 1):
+            y_plain = named.p - y_plain
+        return AffinePoint(curve, x, field.enter(y_plain))
     raise ParameterError(f"unknown SEC1 prefix 0x{prefix:02x}")

@@ -60,14 +60,18 @@ class EcdhScheme(PkcScheme):
         security_bits: int = 80,
         paper_ms: Optional[float] = None,
         compressed: bool = False,
+        backend=None,
     ):
+        from repro.field.backend import get_backend
+
+        self.field_backend = get_backend(backend)
         self.curve = curve
         self.name = name or curve.name
         self.bit_length = curve.p.bit_length()
         self.security_bits = security_bits
         self.paper_ms = paper_ms
         self.compressed = compressed
-        self._curve_obj, self._generator = curve.build()
+        self._curve_obj, self._generator = curve.build(backend=self.field_backend)
         self._exp_group = JacobianExpGroup(self._curve_obj)
         self._generator_table: Optional[FixedBaseTable] = None
         self._scalar_width = (curve.order.bit_length() + 7) // 8
@@ -102,7 +106,7 @@ class EcdhScheme(PkcScheme):
         return point_size_bytes(self.curve, compressed=self.compressed)
 
     def decode_public(self, data: bytes) -> AffinePoint:
-        return decode_point(self.curve, data)
+        return decode_point(self.curve, data, curve=self._curve_obj)
 
     def encode_public(self, public: AffinePoint) -> bytes:
         return encode_point(public, compressed=self.compressed)
@@ -117,7 +121,7 @@ class EcdhScheme(PkcScheme):
         length: int = 32,
         trace: Optional[OpTrace] = None,
     ) -> bytes:
-        peer = decode_point(self.curve, peer_public)
+        peer = decode_point(self.curve, peer_public, curve=self._curve_obj)
         shared = ecdh_shared_secret(own.native, peer, count=trace)
         return kdf(shared, info, length)
 
@@ -131,7 +135,7 @@ class EcdhScheme(PkcScheme):
         trace: Optional[OpTrace] = None,
     ) -> bytes:
         rng = resolve_rng(rng)
-        recipient = decode_point(self.curve, recipient_public)
+        recipient = decode_point(self.curve, recipient_public, curve=self._curve_obj)
         ephemeral_scalar = sample_exponent(self.curve.order, rng)
         ephemeral = self.generator_power(ephemeral_scalar, trace=trace)
         ephemeral_keypair = EcdhKeyPair(
@@ -149,7 +153,7 @@ class EcdhScheme(PkcScheme):
         if len(ciphertext) < header:
             raise ParameterError(f"ciphertext shorter than the {header}-byte ECIES header")
         try:
-            ephemeral = decode_point(self.curve, ciphertext[:point_bytes])
+            ephemeral = decode_point(self.curve, ciphertext[:point_bytes], curve=self._curve_obj)
         except ReproError as exc:
             raise DecryptionError("malformed ephemeral point") from exc
         tag = ciphertext[point_bytes:header]
@@ -166,7 +170,7 @@ class EcdhScheme(PkcScheme):
         rng: Optional[random.Random] = None,
         trace: Optional[OpTrace] = None,
     ) -> bytes:
-        r, s = ecdsa_sign(own.native, message, rng, count=trace)
+        r, s = ecdsa_sign(own.native, message, rng, count=trace, generator=self._generator)
         return encode_scalar_pair(r, s, self._scalar_width)
 
     def verify(
@@ -180,10 +184,13 @@ class EcdhScheme(PkcScheme):
         if scalars is None:
             return False
         try:
-            public_point = decode_point(self.curve, public)
+            public_point = decode_point(self.curve, public, curve=self._curve_obj)
         except ReproError:
             return False
-        return ecdsa_verify(self.curve, public_point, message, scalars, count=trace)
+        return ecdsa_verify(
+            self.curve, public_point, message, scalars, count=trace,
+            generator=self._generator,
+        )
 
     # -- platform projection ---------------------------------------------------------
 
@@ -197,3 +204,6 @@ class EcdhScheme(PkcScheme):
         pa_cost, pd_cost = platform.ecc_point_costs(self.curve.p)
         # A "squaring" is a point doubling, a "multiplication" a point addition.
         return pd_cost.type_b_cycles, pa_cost.type_b_cycles
+
+    def headline_modulus(self) -> int:
+        return self.curve.p

@@ -59,9 +59,11 @@ class AffinePoint:
         if self.x == other.x:
             if f.add(self.y, other.y) == 0:
                 return INFINITY
-            # Doubling.
-            numerator = f.add(f.mul(3, f.mul(self.x, self.x)), self.curve.a)
-            denominator = f.mul(2, self.y)
+            # Doubling.  Small-constant multiples are addition chains, as the
+            # platform's modular-add microcode computes them.
+            xx = f.mul(self.x, self.x)
+            numerator = f.add(f.add(f.add(xx, xx), xx), self.curve.a)
+            denominator = f.add(self.y, self.y)
         else:
             numerator = f.sub(other.y, self.y)
             denominator = f.sub(other.x, self.x)
@@ -88,7 +90,8 @@ class AffinePoint:
     def to_jacobian(self) -> "JacobianPoint":
         if self.infinity:
             return JacobianPoint(self.curve, 1, 1, 0)
-        return JacobianPoint(self.curve, self.x, self.y, 1)
+        # Z = 1 must be resident in the field's representation.
+        return JacobianPoint(self.curve, self.x, self.y, self.curve.field.one_value)
 
     def xy(self) -> Tuple[int, int]:
         if self.infinity:
@@ -138,7 +141,14 @@ class JacobianPoint:
     # -- group law (inversion-free) ------------------------------------------------
 
     def double(self) -> "JacobianPoint":
-        """General Jacobian doubling (includes the a*Z^4 term)."""
+        """General Jacobian doubling (includes the a*Z^4 term).
+
+        Small-constant multiples (2S, 3XX, 8YYYY, 2YZ) are computed as
+        addition chains — exactly the MA operations of
+        :func:`repro.soc.sequences.ecc_point_doubling_program` — so the
+        executed Fp operation stream matches the platform sequence
+        (10 MM + 13 MA/MS) and stays valid under every field backend.
+        """
         f = self.curve.field
         if self.is_infinity() or self.y == 0:
             return JacobianPoint(self.curve, 1, 1, 0)
@@ -146,12 +156,17 @@ class JacobianPoint:
         yy = f.mul(self.y, self.y)                      # Y^2
         yyyy = f.mul(yy, yy)                            # Y^4
         zz = f.mul(self.z, self.z)                      # Z^2
-        s = f.mul(4, f.mul(self.x, yy))                 # 4*X*Y^2
+        t0 = f.mul(self.x, yy)                          # X*Y^2
+        t1 = f.add(t0, t0)
+        s = f.add(t1, t1)                               # 4*X*Y^2
         zz2 = f.mul(zz, zz)                             # Z^4
-        m = f.add(f.mul(3, xx), f.mul(self.curve.a, zz2))
-        x3 = f.sub(f.mul(m, m), f.mul(2, s))
-        y3 = f.sub(f.mul(m, f.sub(s, x3)), f.mul(8, yyyy))
-        z3 = f.mul(2, f.mul(self.y, self.z))
+        m = f.add(f.add(f.add(xx, xx), xx), f.mul(self.curve.a, zz2))
+        x3 = f.sub(f.mul(m, m), f.add(s, s))
+        y4_2 = f.add(yyyy, yyyy)
+        y4_4 = f.add(y4_2, y4_2)
+        y3 = f.sub(f.mul(m, f.sub(s, x3)), f.add(y4_4, y4_4))
+        t10 = f.mul(self.y, self.z)
+        z3 = f.add(t10, t10)
         return JacobianPoint(self.curve, x3, y3, z3)
 
     def add(self, other: "JacobianPoint") -> "JacobianPoint":
@@ -176,7 +191,7 @@ class JacobianPoint:
         hh = f.mul(h, h)
         hhh = f.mul(h, hh)
         v = f.mul(u1, hh)
-        x3 = f.sub(f.sub(f.mul(r, r), hhh), f.mul(2, v))
+        x3 = f.sub(f.sub(f.mul(r, r), hhh), f.add(v, v))
         y3 = f.sub(f.mul(r, f.sub(v, x3)), f.mul(s1, hhh))
         z3 = f.mul(h, f.mul(self.z, other.z))
         return JacobianPoint(self.curve, x3, y3, z3)

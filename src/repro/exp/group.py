@@ -67,7 +67,10 @@ class FieldExpGroup(Group):
         self.name = f"Fp(p={field.p})"
 
     def identity(self) -> int:
-        return 1
+        # ``one_value`` is the field's *resident* 1 (R mod p under a
+        # Montgomery backend); bare fields predating the backend layer
+        # fall back to the literal.
+        return getattr(self.field, "one_value", 1)
 
     def op(self, a: int, b: int) -> int:
         return self.field.mul(a, b)
@@ -79,7 +82,7 @@ class FieldExpGroup(Group):
         return self.field.inv(a)
 
     def is_identity(self, a: int) -> bool:
-        return a == 1
+        return a == self.identity()
 
 
 class ExtensionExpGroup(Group):
@@ -145,7 +148,7 @@ class PolyModExpGroup(Group):
         self.name = f"Fp[t]/(deg {P.degree(self.modulus)})"
 
     def identity(self):
-        return [1]
+        return [getattr(self.field, "one_value", 1)]
 
     def op(self, a, b):
         P = self._P
@@ -155,7 +158,7 @@ class PolyModExpGroup(Group):
         return self._P.poly_inverse_mod(self.field, a, self.modulus)
 
     def is_identity(self, a) -> bool:
-        return self._P.trim(a) == [1]
+        return self._P.trim(a) == self.identity()
 
 
 class TorusExpGroup(Group):

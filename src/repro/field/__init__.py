@@ -17,6 +17,13 @@ for primes p = 2 or 5 (mod 9).  This package provides:
   of Fig. 1 (:mod:`repro.field.opcount`).
 """
 
+from repro.field.backend import (
+    MontgomeryBackend,
+    PlainBackend,
+    WordCountingBackend,
+    WordOpStream,
+    get_backend,
+)
 from repro.field.fp import PrimeField, FpElement
 from repro.field.extension import ExtensionField, ExtElement
 from repro.field.fp2 import make_fp2
@@ -26,6 +33,11 @@ from repro.field.towers import TowerFp6, TowerElement, F1ToF2Map
 from repro.field.opcount import CountingPrimeField, OperationCounts
 
 __all__ = [
+    "PlainBackend",
+    "MontgomeryBackend",
+    "WordCountingBackend",
+    "WordOpStream",
+    "get_backend",
     "PrimeField",
     "FpElement",
     "ExtensionField",

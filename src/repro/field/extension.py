@@ -19,7 +19,14 @@ from repro.nt.sampling import resolve_rng
 
 
 class ExtElement:
-    """An element of an :class:`ExtensionField`, stored as a coefficient tuple."""
+    """An element of an :class:`ExtensionField`, stored as a coefficient tuple.
+
+    Coefficients are *resident* base-field values (see
+    :mod:`repro.field.backend`): internal arithmetic constructs elements
+    directly from resident coefficients, while plain integers enter the
+    representation through :meth:`ExtensionField.__call__` /
+    :meth:`ExtensionField.from_base`.
+    """
 
     __slots__ = ("field", "coeffs")
 
@@ -100,10 +107,12 @@ class ExtElement:
         return all(c == 0 for c in self.coeffs)
 
     def is_one(self) -> bool:
-        return self.coeffs[0] == 1 and all(c == 0 for c in self.coeffs[1:])
+        return self.coeffs[0] == self.field.base.one_value and all(
+            c == 0 for c in self.coeffs[1:]
+        )
 
     def scalar_part(self) -> int:
-        """The constant coefficient (useful when the element lies in Fp)."""
+        """The constant coefficient as a *resident* base-field value."""
         return self.coeffs[0]
 
     def in_base_field(self) -> bool:
@@ -146,10 +155,12 @@ class ExtensionField:
         var: str = "t",
         check_irreducible: bool = True,
     ):
-        modulus = P.trim(modulus)
+        # The modulus arrives as plain integer coefficients; enter them into
+        # the base field's representation before any resident arithmetic.
+        modulus = [base.enter(c % base.p) for c in P.trim(modulus)]
         if P.degree(modulus) < 1:
             raise ParameterError("modulus must have degree >= 1")
-        if modulus[-1] != 1:
+        if modulus[-1] != base.one_value:
             inv_lead = base.inv(modulus[-1])
             modulus = [base.mul(c, inv_lead) for c in modulus]
         if check_irreducible and not P.is_irreducible(base, modulus):
@@ -166,6 +177,14 @@ class ExtensionField:
     # -- element constructors ----------------------------------------------
 
     def __call__(self, coeffs: Sequence[int]) -> ExtElement:
+        """Build an element from *plain* integer coefficients (any size/sign)."""
+        base = self.base
+        entered = [base.enter(c % base.p) for c in coeffs]
+        return self._from_coeffs(entered)
+
+    def _from_coeffs(self, coeffs: Sequence[int]) -> ExtElement:
+        """Build an element from coefficients already *resident* in the base
+        field (internal arithmetic and representation-aware callers)."""
         padded = list(coeffs) + [0] * (self.degree - len(coeffs))
         if len(padded) > self.degree:
             reduced = P.poly_mod(self.base, list(coeffs), self.modulus)
@@ -173,7 +192,7 @@ class ExtensionField:
         return ExtElement(self, padded)
 
     def from_base(self, value: int) -> ExtElement:
-        """Embed an Fp element as a constant."""
+        """Embed a plain Fp integer as a constant."""
         return self([value])
 
     def zero(self) -> ExtElement:
@@ -211,13 +230,15 @@ class ExtensionField:
         return ExtElement(self, [base.neg(x) for x in a.coeffs])
 
     def scalar_mul(self, a: ExtElement, c: int) -> ExtElement:
+        """Multiply by the *plain* integer scalar ``c``."""
         base = self.base
-        return ExtElement(self, [base.mul(x, c) for x in a.coeffs])
+        resident = base.embed(c)
+        return ExtElement(self, [base.mul(x, resident) for x in a.coeffs])
 
     def mul(self, a: ExtElement, b: ExtElement) -> ExtElement:
         product = P.poly_mul(self.base, list(a.coeffs), list(b.coeffs))
         reduced = P.poly_mod(self.base, product, self.modulus)
-        return self(list(reduced))
+        return self._from_coeffs(list(reduced))
 
     def sqr(self, a: ExtElement) -> ExtElement:
         return self.mul(a, a)
@@ -226,7 +247,7 @@ class ExtensionField:
         if a.is_zero():
             raise ParameterError("cannot invert zero")
         inverse = P.poly_inverse_mod(self.base, list(a.coeffs), self.modulus)
-        return self(list(inverse))
+        return self._from_coeffs(list(inverse))
 
     def exp_group(self):
         """This field's unit group as seen by :mod:`repro.exp`."""
@@ -252,10 +273,11 @@ class ExtensionField:
         if k in self._frobenius_matrices:
             return self._frobenius_matrices[k]
         p = self.base.p
+        one = self.base.one_value
         # Image of t under Frobenius^k.
-        t_image = P.poly_pow_mod(self.base, [0, 1], p ** k, self.modulus)
+        t_image = P.poly_pow_mod(self.base, [0, one], p ** k, self.modulus)
         columns: List[List[int]] = []
-        current: List[int] = [1]
+        current: List[int] = [one]
         for _ in range(self.degree):
             padded = list(current) + [0] * (self.degree - len(current))
             columns.append(padded)
@@ -283,22 +305,22 @@ class ExtensionField:
         return ExtElement(self, out)
 
     def norm(self, a: ExtElement) -> int:
-        """Norm to Fp: product of all conjugates."""
+        """Norm to Fp: product of all conjugates, as a *plain* integer."""
         acc = self.one()
         for k in range(self.degree):
             acc = self.mul(acc, self.frobenius(a, k))
         if not acc.in_base_field():
             raise ParameterError("norm did not land in the base field (bug)")
-        return acc.scalar_part()
+        return self.base.exit(acc.scalar_part())
 
     def trace(self, a: ExtElement) -> int:
-        """Trace to Fp: sum of all conjugates."""
+        """Trace to Fp: sum of all conjugates, as a *plain* integer."""
         acc = self.zero()
         for k in range(self.degree):
             acc = self.add(acc, self.frobenius(a, k))
         if not acc.in_base_field():
             raise ParameterError("trace did not land in the base field (bug)")
-        return acc.scalar_part()
+        return self.base.exit(acc.scalar_part())
 
     # -- dunder ---------------------------------------------------------------
 

@@ -5,39 +5,88 @@ that an operation-counting subclass (see :mod:`repro.field.opcount`) can
 observe exactly how many Fp multiplications and additions a higher-level
 routine performs — the quantity the paper's cost analysis is written in
 (18M + 60A per Fp6 multiplication, and so on).
+
+Since the backend refactor the field also carries a **word-level arithmetic
+backend** (:mod:`repro.field.backend`): the default :class:`PlainBackend`
+keeps the historical plain-integer fast path, while the Montgomery-resident
+backends keep every element in Montgomery form across whole protocol runs.
+Plain integers cross into the field's representation exactly once, through
+:meth:`PrimeField.enter` (or the element/constant constructors, which call
+it), and leave through :meth:`PrimeField.exit` at wire/encode boundaries.
+The representation-linear operations (add/sub/neg/half) are shared; the
+multiplicative ones delegate to the backend.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import FieldMismatchError, ParameterError
 from repro.exp.group import FieldExpGroup
 from repro.exp.strategies import exponentiate
 from repro.exp.trace import OpTrace
+from repro.field.backend import get_backend
 from repro.nt.modular import modinv, sqrt_mod_prime, legendre_symbol
 from repro.nt.primality import is_probable_prime
 from repro.nt.sampling import resolve_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (post-PR 3, sampling
+    # defaults route through resolve_rng; no runtime use of `random` remains)
+    import random
 
 
 class PrimeField:
     """The field of integers modulo a prime ``p``.
 
-    The arithmetic methods (:meth:`add`, :meth:`mul`, ...) act on plain
-    integers already reduced modulo ``p``; :class:`FpElement` wraps them with
-    operator syntax for user-facing code.
+    The arithmetic methods (:meth:`add`, :meth:`mul`, ...) act on *resident*
+    integers — reduced modulo ``p`` and, for a Montgomery backend, already in
+    Montgomery form; :class:`FpElement` wraps them with operator syntax for
+    user-facing code.  With the default plain backend "resident" simply means
+    "reduced", and nothing about the historical behaviour changes.
     """
 
-    def __init__(self, p: int, check_prime: bool = True):
+    def __init__(self, p: int, check_prime: bool = True, backend=None):
         if p < 2:
             raise ParameterError(f"field characteristic must be >= 2, got {p}")
         if check_prime and not is_probable_prime(p):
             raise ParameterError(f"{p} is not prime")
         self.p = p
+        spec = get_backend(backend)
+        self.backend_name = spec.name
+        self.backend = spec.bind(p)
+        #: The resident representation of 1 (``R mod p`` under Montgomery).
+        self.one_value = self.backend.one
+        if not self.backend.plain:
+            if type(self) is not PrimeField:
+                raise ParameterError(
+                    f"{type(self).__name__} instruments the plain arithmetic "
+                    "path and only supports the plain backend"
+                )
+            # Rebind the multiplicative (and, for counting backends, the
+            # additive) operations to the backend's resident implementations.
+            # Plain fields keep the class-level fast path below untouched.
+            self.add = self.backend.add
+            self.sub = self.backend.sub
+            self.mul = self.backend.mul
+            self.sqr = self.backend.sqr
+            self.inv = self.backend.inv
         self._exp_group: Optional[FieldExpGroup] = None
 
-    # -- basic arithmetic on reduced integers ------------------------------
+    # -- representation boundary -------------------------------------------
+
+    def enter(self, x: int) -> int:
+        """Map a plain reduced integer into the field's representation."""
+        return self.backend.enter(x)
+
+    def exit(self, x: int) -> int:
+        """Map a resident value back to its plain reduced integer."""
+        return self.backend.exit(x)
+
+    def embed(self, k: int) -> int:
+        """Resident representation of the integer constant ``k`` (any sign)."""
+        return self.backend.enter(k % self.p)
+
+    # -- basic arithmetic on resident integers ------------------------------
 
     def add(self, a: int, b: int) -> int:
         """Return ``a + b mod p``."""
@@ -81,69 +130,96 @@ class PrimeField:
         """Return ``a^e mod p`` (``e`` may be negative).
 
         Delegates to the unified exponentiation engine when a ``strategy`` or
-        ``trace`` is requested; the plain call keeps Python's C-level ``pow``
-        (a single Fp power is the platform's native operation, not a loop
-        worth recoding).
+        ``trace`` is requested; the plain call keeps the backend's native
+        power (Python's C-level ``pow``, or the resident Montgomery power —
+        a single Fp power is not a loop worth recoding).
         """
         if trace is None and strategy == "auto":
+            if not self.backend.plain:
+                return self.backend.pow(a, e)
             if e < 0:
                 return pow(self.inv(a % self.p), -e, self.p)
             return pow(a, e, self.p)
         return exponentiate(self.exp_group(), a % self.p, e, strategy=strategy, trace=trace)
 
     def half(self, a: int) -> int:
-        """Return ``a / 2 mod p`` for odd ``p``."""
+        """Return ``a / 2 mod p`` for odd ``p`` (representation-linear)."""
         return (a >> 1) if a % 2 == 0 else ((a + self.p) >> 1)
 
     # -- derived helpers ----------------------------------------------------
 
     def reduce(self, a: int) -> int:
-        """Reduce an arbitrary integer into ``[0, p)``."""
+        """Reduce an arbitrary *plain* integer into ``[0, p)``.
+
+        A plain-value helper — it does not enter the representation; use
+        :meth:`enter` / :meth:`embed` for that.
+        """
         return a % self.p
 
     def sqrt(self, a: int) -> int:
-        """Square root modulo ``p`` (raises for non-residues)."""
-        return sqrt_mod_prime(a, self.p)
+        """Square root modulo ``p`` of a resident value (raises for
+        non-residues); the result is resident again."""
+        if self.backend.plain:
+            return sqrt_mod_prime(a, self.p)
+        return self.enter(sqrt_mod_prime(self.exit(a), self.p))
 
     def is_square(self, a: int) -> bool:
         """True when ``a`` is a quadratic residue (0 counts as a square)."""
-        return a % self.p == 0 or legendre_symbol(a, self.p) == 1
+        value = a if self.backend.plain else self.exit(a)
+        return value % self.p == 0 or legendre_symbol(value, self.p) == 1
 
-    def random_element(self, rng: Optional[random.Random] = None) -> int:
-        """Uniformly random element of the field."""
+    def random_element(self, rng: Optional["random.Random"] = None) -> int:
+        """Uniformly random element of the field.
+
+        The draw is a plain integer (so seeded runs pick the same *logical*
+        element under every backend) and is entered into the representation.
+        """
         rng = resolve_rng(rng)
-        return rng.randrange(self.p)
+        return self.backend.enter(rng.randrange(self.p))
 
-    def random_nonzero(self, rng: Optional[random.Random] = None) -> int:
+    def random_nonzero(self, rng: Optional["random.Random"] = None) -> int:
         """Uniformly random non-zero element of the field."""
         rng = resolve_rng(rng)
-        return rng.randrange(1, self.p)
+        return self.backend.enter(rng.randrange(1, self.p))
 
     # -- element factory ----------------------------------------------------
 
     def __call__(self, value: int) -> "FpElement":
-        return FpElement(self, value % self.p)
+        """Wrap a *plain* integer (any size/sign) as a field element."""
+        return FpElement(self, self.backend.enter(value % self.p))
 
     def zero(self) -> "FpElement":
         return FpElement(self, 0)
 
     def one(self) -> "FpElement":
-        return FpElement(self, 1)
+        return FpElement(self, self.one_value)
 
     # -- dunder -------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, PrimeField) and self.p == other.p
+        # Equality includes the value representation (with R for Montgomery
+        # residency), so elements of representation-incompatible fields trip
+        # the FieldMismatchError guards instead of silently mixing.
+        return (
+            isinstance(other, PrimeField)
+            and self.p == other.p
+            and self.backend.representation_key == other.backend.representation_key
+        )
 
     def __hash__(self) -> int:
-        return hash(("PrimeField", self.p))
+        return hash(("PrimeField", self.p, self.backend.representation_key))
 
     def __repr__(self) -> str:
-        return f"PrimeField(p={self.p})"
+        suffix = "" if self.backend.plain else f", backend={self.backend_name!r}"
+        return f"PrimeField(p={self.p}{suffix})"
 
 
 class FpElement:
-    """A single element of a :class:`PrimeField`, with operator overloading."""
+    """A single element of a :class:`PrimeField`, with operator overloading.
+
+    ``value`` is the *resident* integer; :meth:`__int__` and
+    :meth:`to_plain` return the plain reduced integer regardless of backend.
+    """
 
     __slots__ = ("field", "value")
 
@@ -157,7 +233,7 @@ class FpElement:
                 raise FieldMismatchError("elements belong to different prime fields")
             return other
         if isinstance(other, int):
-            return FpElement(self.field, other)
+            return self.field(other)
         return NotImplemented  # type: ignore[return-value]
 
     def __add__(self, other: object) -> "FpElement":
@@ -217,9 +293,13 @@ class FpElement:
     def is_zero(self) -> bool:
         return self.value == 0
 
+    def to_plain(self) -> int:
+        """The plain reduced integer this element represents."""
+        return self.field.exit(self.value)
+
     def __eq__(self, other: object) -> bool:
         if isinstance(other, int):
-            return self.value == other % self.field.p
+            return self.to_plain() == other % self.field.p
         return (
             isinstance(other, FpElement)
             and self.field == other.field
@@ -227,10 +307,10 @@ class FpElement:
         )
 
     def __hash__(self) -> int:
-        return hash((self.field.p, self.value))
+        return hash((self.field.p, self.to_plain()))
 
     def __int__(self) -> int:
-        return self.value
+        return self.to_plain()
 
     def __repr__(self) -> str:
-        return f"FpElement({self.value} mod {self.field.p})"
+        return f"FpElement({self.to_plain()} mod {self.field.p})"

@@ -33,10 +33,11 @@ class Fp6Field(ExtensionField):
             base, list(FP6_MODULUS), name="Fp6", var="z", check_irreducible=False
         )
         # The inline fast multiplication is only valid when base-field
-        # operations are unobserved pure arithmetic; a subclass (e.g.
-        # CountingPrimeField) must keep seeing every M and A, so it routes
-        # through the instrumented mul_paper instead.
-        self._plain_base = type(base) is PrimeField
+        # operations are unobserved pure *plain-integer* arithmetic; a
+        # subclass (e.g. CountingPrimeField) must keep seeing every M and A,
+        # and a resident backend (Montgomery/word-counting) owns the product
+        # semantics, so both route through the instrumented mul_paper.
+        self._plain_base = type(base) is PrimeField and base.backend.plain
 
     # -- paper multiplication ------------------------------------------------
 
@@ -172,14 +173,23 @@ class Fp6Field(ExtensionField):
         # Middle block C0 + C1 - C2.
         mid = [f.sub(f.add(x, y), w) for x, y, w in zip(c0, c1, c2)]
 
-        # Assemble the degree-10 product: C0 + mid*z^3 + C1*z^6.
+        # Assemble the degree-10 product: C0 + mid*z^3 + C1*z^6.  Only the
+        # overlapping positions (3, 4 between C0 and mid; 6, 7 between mid
+        # and C1) cost an addition — matching the level-2 sequence of
+        # :func:`repro.soc.sequences.fp6_multiplication_program`, which
+        # references the block-product registers directly elsewhere, so the
+        # executed A-count equals the one the platform model composes.
         prod = [0] * 11
         for i, v in enumerate(c0):
             prod[i] = v
         for i, v in enumerate(mid):
-            prod[3 + i] = f.add(prod[3 + i], v)
+            # mid spans z^3..z^7; only z^3, z^4 overlap C0 (degrees 0..4).
+            j = 3 + i
+            prod[j] = f.add(prod[j], v) if j <= 4 else v
         for i, v in enumerate(c1):
-            prod[6 + i] = f.add(prod[6 + i], v)
+            # C1 spans z^6..z^10; only z^6, z^7 overlap mid.
+            j = 6 + i
+            prod[j] = f.add(prod[j], v) if j <= 7 else v
 
         return self._reduce_degree10(prod)
 

@@ -98,8 +98,10 @@ class CountingPrimeField(PrimeField):
     ``pow`` is charged as the square-and-multiply sequence it expands to.
     """
 
-    def __init__(self, p: int, check_prime: bool = True):
-        super().__init__(p, check_prime=check_prime)
+    def __init__(self, p: int, check_prime: bool = True, backend=None):
+        # The counting field instruments the plain arithmetic path; the base
+        # class rejects any resident backend for instrumented subclasses.
+        super().__init__(p, check_prime=check_prime, backend=backend)
         self.counts = OperationCounts()
 
     def reset_counts(self) -> None:

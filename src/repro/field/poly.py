@@ -1,10 +1,14 @@
 """Dense univariate polynomial arithmetic over a prime field.
 
-Coefficients are plain integers reduced modulo ``p`` and stored
-little-endian (index = degree).  These helpers back the generic extension
-field construction (multiplication with reduction, inversion via the
-extended Euclidean algorithm) and the basis-change matrices of the tower
-representations.
+Coefficients are *resident* field values reduced modulo ``p`` (plain
+integers under the default backend, Montgomery representatives under a
+resident backend — see :mod:`repro.field.backend`) and stored little-endian
+(index = degree).  These helpers back the generic extension field
+construction (multiplication with reduction, inversion via the extended
+Euclidean algorithm) and the basis-change matrices of the tower
+representations.  The only representation-sensitive constants are the
+literal ones (the monic leading 1, the gcd seed polynomials), which are
+taken from ``field.one_value``.
 """
 
 from __future__ import annotations
@@ -53,7 +57,7 @@ def poly_sub(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> Poly:
 
 
 def poly_scale(field: PrimeField, a: Sequence[int], c: int) -> Poly:
-    """Multiply every coefficient by the scalar ``c``."""
+    """Multiply every coefficient by the *resident* scalar ``c``."""
     return trim([field.mul(x, c) for x in a])
 
 
@@ -82,8 +86,8 @@ def poly_divmod(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> Tuple[
         return [], a
     # Monic divisors (every field modulus used in the tower) need no leading
     # inversion or scaling, which keeps the operation counts honest.
-    monic = b[-1] == 1
-    lead_inv = 1 if monic else field.inv(b[-1])
+    monic = b[-1] == field.one_value
+    lead_inv = field.one_value if monic else field.inv(b[-1])
     remainder = list(a)
     quotient = [0] * (len(a) - len(b) + 1)
     for shift in range(len(a) - len(b), -1, -1):
@@ -107,8 +111,8 @@ def poly_egcd(
 ) -> Tuple[Poly, Poly, Poly]:
     """Extended gcd: returns monic ``(g, s, t)`` with ``s*a + t*b = g``."""
     r0, r1 = trim(a), trim(b)
-    s0, s1 = [1], []
-    t0, t1 = [], [1]
+    s0, s1 = [field.one_value], []
+    t0, t1 = [], [field.one_value]
     while r1:
         q, r = poly_divmod(field, r0, r1)
         r0, r1 = r1, r
@@ -174,7 +178,7 @@ def is_irreducible(field: PrimeField, poly: Sequence[int]) -> bool:
     if d == 1:
         return True
     p = field.p
-    x: Poly = [0, 1]
+    x: Poly = [0, field.one_value]
     # x^(p^d) = x mod poly and gcd(x^(p^(d/q)) - x, poly) = 1 for prime q | d.
     xq = poly_pow_mod(field, x, p ** d, poly)
     if trim(poly_sub(field, xq, x)):

@@ -202,10 +202,12 @@ class F1ToF2Map:
         """Columns = z-basis coordinates of {1, y, y^2, x, xy, xy^2}."""
         f = self.base
         modulus = self.fp6.modulus
-        # y = z - z^2 - z^5 and x = z^3, as polynomials in z.
-        y_poly = [0, 1, f.neg(1), 0, 0, f.neg(1)]
-        x_poly = [0, 0, 0, 1]
-        one = [1]
+        one_v = f.one_value
+        # y = z - z^2 - z^5 and x = z^3, as polynomials in z (coefficients
+        # resident in the base field's representation).
+        y_poly = [0, one_v, f.neg(one_v), 0, 0, f.neg(one_v)]
+        x_poly = [0, 0, 0, one_v]
+        one = [one_v]
         y2_poly = P.poly_mod(f, P.poly_mul(f, y_poly, y_poly), modulus)
         basis_polys = [
             one,
@@ -227,13 +229,14 @@ class F1ToF2Map:
         """tau: convert an F1 element (z-basis) to the tower representation."""
         coords = _apply_matrix(self.base, self._matrix_f1_to_f2, list(a.coeffs))
         fp3 = self.tower.fp3
-        return TowerElement(self.tower, fp3(coords[0:3]), fp3(coords[3:6]))
+        # The coordinates are already resident base-field values.
+        return TowerElement(self.tower, fp3._from_coeffs(coords[0:3]), fp3._from_coeffs(coords[3:6]))
 
     def to_f1(self, u: TowerElement) -> ExtElement:
         """tau^-1: convert a tower element back to the F1 (z-basis) form."""
         coords = list(u.a.coeffs) + list(u.b.coeffs)
         z_coords = _apply_matrix(self.base, self._matrix_f2_to_f1, coords)
-        return self.fp6(z_coords)
+        return self.fp6._from_coeffs(z_coords)
 
 
 def _apply_matrix(
@@ -255,8 +258,9 @@ def _apply_matrix(
 def _invert_matrix(field: PrimeField, columns: List[List[int]]) -> List[List[int]]:
     """Invert a column-major matrix over Fp by Gauss-Jordan elimination."""
     n = len(columns)
+    one_v = field.one_value
     # Convert to row-major augmented matrix [M | I].
-    rows = [[columns[j][i] for j in range(n)] + [1 if k == i else 0 for k in range(n)]
+    rows = [[columns[j][i] for j in range(n)] + [one_v if k == i else 0 for k in range(n)]
             for i in range(n)]
     for col in range(n):
         pivot_row = next((r for r in range(col, n) if rows[r][col] != 0), None)

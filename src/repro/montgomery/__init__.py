@@ -11,7 +11,13 @@ microcode that runs on the simulated coprocessor lives in
 """
 
 from repro.montgomery.domain import MontgomeryDomain
-from repro.montgomery.fios import fios_multiply, fios_trace
+from repro.montgomery.fios import (
+    FiosBatchStats,
+    FiosTrace,
+    fios_batch_stats,
+    fios_multiply,
+    fios_trace,
+)
 from repro.montgomery.variants import sos_multiply, cios_multiply
 from repro.montgomery.parallel import ParallelFiosSchedule, parallel_fios_multiply
 from repro.montgomery.exponent import (
@@ -24,6 +30,9 @@ from repro.montgomery.exponent import (
 
 __all__ = [
     "MontgomeryDomain",
+    "FiosTrace",
+    "FiosBatchStats",
+    "fios_batch_stats",
     "fios_multiply",
     "fios_trace",
     "sos_multiply",

@@ -32,7 +32,13 @@ from repro.pkc.base import (
     kdf,
 )
 from repro.pkc.bench import BatchResult, registry_batch_comparison, run_batch
-from repro.pkc.profile import SchemeProfile, build_profile, canonical_exponent
+from repro.pkc.profile import (
+    MeasuredProjection,
+    SchemeProfile,
+    build_profile,
+    canonical_exponent,
+    measured_headline_projection,
+)
 from repro.pkc.registry import available_schemes, get_scheme, register_scheme
 
 __all__ = [
@@ -46,7 +52,9 @@ __all__ = [
     "SchemeKeyPair",
     "kdf",
     "SchemeProfile",
+    "MeasuredProjection",
     "build_profile",
+    "measured_headline_projection",
     "canonical_exponent",
     "register_scheme",
     "get_scheme",
@@ -65,17 +73,18 @@ def _register_default_schemes() -> None:
     """
 
     def ceilidh(params: str, name: str, paper_ms=None, security_bits: int = 80):
-        def factory():
+        def factory(backend=None):
             from repro.torus.pkc import CeilidhScheme
 
             return CeilidhScheme(
-                params, name=name, security_bits=security_bits, paper_ms=paper_ms
+                params, name=name, security_bits=security_bits, paper_ms=paper_ms,
+                backend=backend,
             )
 
         register_scheme(name, factory)
 
     def ecdh(curve_name: str, name: str, paper_ms=None, security_bits: int = 80):
-        def factory():
+        def factory(backend=None):
             from repro.ecc.curves import get_curve
             from repro.ecc.pkc import EcdhScheme
 
@@ -84,25 +93,28 @@ def _register_default_schemes() -> None:
                 name=name,
                 security_bits=security_bits,
                 paper_ms=paper_ms,
+                backend=backend,
             )
 
         register_scheme(name, factory)
 
     def rsa(bits: int, name: str, paper_ms=None, security_bits: int = 80):
-        def factory():
+        def factory(backend=None):
             from repro.rsa.pkc import RsaScheme
 
             return RsaScheme(
-                bits, name=name, security_bits=security_bits, paper_ms=paper_ms
+                bits, name=name, security_bits=security_bits, paper_ms=paper_ms,
+                backend=backend,
             )
 
         register_scheme(name, factory)
 
     def xtr(params: str, name: str, security_bits: int = 80):
-        def factory():
+        def factory(backend=None):
             from repro.xtr.pkc import XtrScheme
 
-            return XtrScheme(params, name=name, security_bits=security_bits)
+            return XtrScheme(params, name=name, security_bits=security_bits,
+                             backend=backend)
 
         register_scheme(name, factory)
 

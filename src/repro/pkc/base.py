@@ -217,6 +217,10 @@ class PkcScheme:
     headline_operation: str = "exponentiation"
     #: Subset of {KEY_AGREEMENT, ENCRYPTION, SIGNATURE}.
     capabilities: frozenset = frozenset()
+    #: The field-arithmetic backend *spec* the adapter was built with (a
+    #: :mod:`repro.field.backend` object; PlainBackend unless injected).
+    #: Set by the concrete adapters' constructors.
+    field_backend: Any = None
 
     # -- keys -------------------------------------------------------------------
 
@@ -305,6 +309,24 @@ class PkcScheme:
         MicroBlaze interface overhead — the per-unit numbers Table 3 composes.
         """
         raise NotImplementedError
+
+    def headline_modulus(self) -> int:
+        """The modulus whose Table 1 row prices the headline operation.
+
+        Used by the measured profile mode to build the
+        :class:`~repro.soc.cost.ModularOpCosts` the word-operation stream is
+        composed through.
+        """
+        raise NotImplementedError
+
+    def headline_sequence_count(self, trace: OpTrace) -> int:
+        """Level-2 sequence issues of the headline run (interface round trips).
+
+        One per group operation for the torus/ECC/RSA shapes; XTR overrides
+        because each *mixed* ladder step issues one sequence but tallies two
+        of the counted Fp2 multiplications.
+        """
+        return trace.total
 
     def __repr__(self) -> str:
         caps = ",".join(sorted(self.capabilities)) or "none"

@@ -15,10 +15,14 @@ projection of the same workload is the profile layer's job.
 
 from __future__ import annotations
 
-import random
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; every runtime sampling
+    # site goes through resolve_rng (PR 3), and the one seeded construction
+    # left (the parallel worker) imports locally in the child process.
+    import random
 
 from repro.errors import ParameterError, UnsupportedOperationError
 from repro.exp.trace import OpTrace
@@ -75,14 +79,15 @@ class BatchResult:
 
 
 def run_batch(
-    scheme: PkcScheme,
+    scheme: "PkcScheme | str",
     operation: str,
     sessions: int,
-    rng: Optional[random.Random] = None,
+    rng: Optional["random.Random"] = None,
     payload: bytes = b"batched session payload.........",
     server: Optional[SchemeKeyPair] = None,
     collect_ops: bool = True,
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> BatchResult:
     """Run ``sessions`` independent protocol sessions against one server key.
 
@@ -105,7 +110,26 @@ def run_batch(
     seeded generator is injected — and threaded down through every keygen,
     ephemeral and nonce of the batch; no per-session generator is ever
     constructed.
+
+    ``backend`` selects the field-arithmetic substrate: pass a scheme
+    *name* together with a backend string and the adapter is resolved from
+    the registry on that backend (``run_batch("ceilidh-170",
+    "key-agreement", 16, backend="montgomery")``); with a scheme instance
+    the backend it was built with is used, and passing a conflicting
+    ``backend`` raises.
     """
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme, backend=backend)
+    elif backend is not None:
+        # A scheme that predates the backend layer (field_backend unset)
+        # runs plain arithmetic, so backend="plain" is consistent with it.
+        built_on = getattr(getattr(scheme, "field_backend", None), "name", None) or "plain"
+        if built_on != backend:
+            raise ParameterError(
+                f"scheme {scheme.name!r} was built on backend "
+                f"{built_on!r}, not {backend!r}; resolve it "
+                "from the registry by name instead"
+            )
     if operation not in BATCH_OPERATIONS:
         raise ParameterError(
             f"unknown batch operation {operation!r}; available: {sorted(BATCH_OPERATIONS)}"
@@ -121,9 +145,14 @@ def run_batch(
                 "a shared server key cannot cross process boundaries; "
                 "each parallel worker serves with its own long-lived key"
             )
+        # Workers re-resolve the scheme by name; carry the instance's own
+        # backend over so the parallel path measures the same substrate.
+        if backend is None:
+            backend = getattr(getattr(scheme, "field_backend", None), "name", None)
         return run_batch_parallel(
             scheme.name, operation, sessions, workers,
             rng=rng, payload=payload, collect_ops=collect_ops,
+            backend=backend,
         )
     rng = resolve_rng(rng)
 
@@ -173,9 +202,11 @@ def _parallel_worker(args) -> BatchResult:
     key) from the registry; ``seed=None`` means the worker samples from its
     own OS CSPRNG.
     """
-    scheme_name, operation, sessions, seed, payload, collect_ops = args
-    rng = random.Random(seed) if seed is not None else None
-    scheme = get_scheme(scheme_name)
+    from random import Random
+
+    scheme_name, operation, sessions, seed, payload, collect_ops, backend = args
+    rng = Random(seed) if seed is not None else None
+    scheme = get_scheme(scheme_name, backend=backend)
     return run_batch(
         scheme, operation, sessions, rng=rng, payload=payload, collect_ops=collect_ops
     )
@@ -186,9 +217,10 @@ def run_batch_parallel(
     operation: str,
     sessions: int,
     workers: int,
-    rng: Optional[random.Random] = None,
+    rng: Optional["random.Random"] = None,
     payload: bytes = b"batched session payload.........",
     collect_ops: bool = True,
+    backend: Optional[str] = None,
 ) -> BatchResult:
     """Split one batch across ``workers`` OS processes and merge the results.
 
@@ -215,7 +247,7 @@ def run_batch_parallel(
     seeded = rng is not None and rng is not _sampling.DEFAULT_RNG
     seeds = [rng.getrandbits(64) if seeded else None for _ in range(workers)]
     jobs = [
-        (scheme_name, operation, shares[i], seeds[i], payload, collect_ops)
+        (scheme_name, operation, shares[i], seeds[i], payload, collect_ops, backend)
         for i in range(workers)
     ]
     with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
@@ -240,9 +272,10 @@ def registry_batch_comparison(
     names: Sequence[str],
     operation: str = "key-agreement",
     sessions: int = 8,
-    rng: Optional[random.Random] = None,
+    rng: Optional["random.Random"] = None,
     collect_ops: bool = True,
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> "list[BatchResult]":
     """Batch every named scheme that supports ``operation`` — one generic loop."""
     if operation not in BATCH_OPERATIONS:
@@ -255,7 +288,7 @@ def registry_batch_comparison(
     # sample their own CSPRNGs.
     results = []
     for name in names:
-        scheme = get_scheme(name)
+        scheme = get_scheme(name, backend=backend)
         if capability not in scheme.capabilities:
             continue
         results.append(

@@ -30,7 +30,13 @@ from repro.exp.trace import OpTrace
 from repro.nt.sampling import resolve_rng
 from repro.pkc.base import ENCRYPTION, KEY_AGREEMENT, SIGNATURE, PkcScheme
 
-__all__ = ["SchemeProfile", "build_profile", "canonical_exponent"]
+__all__ = [
+    "SchemeProfile",
+    "MeasuredProjection",
+    "build_profile",
+    "measured_headline_projection",
+    "canonical_exponent",
+]
 
 #: Plaintext used for the encryption/signature legs of a profile run.
 PROFILE_MESSAGE = b"repro.pkc profile message (32B)!"
@@ -76,6 +82,18 @@ class SchemeProfile:
     area_slices: int = 0
     frequency_mhz: float = 0.0
     paper_ms: Optional[float] = None
+    #: Populated in the ``projection="measured"`` mode: the same headline
+    #: operation's cycles derived from its executed word-operation stream.
+    measured_cycles: Optional[int] = None
+    measured_ms: Optional[float] = None
+    word_stream: Optional[Dict[str, int]] = None
+
+    @property
+    def measured_vs_analytic_error(self) -> Optional[float]:
+        """|measured - analytic| / analytic, when the measured mode ran."""
+        if self.measured_cycles is None or not self.projected_cycles:
+            return None
+        return abs(self.measured_cycles - self.projected_cycles) / self.projected_cycles
 
     @property
     def ratio_to_paper(self) -> Optional[float]:
@@ -98,6 +116,7 @@ def build_profile(
     rng: Optional[random.Random] = None,
     include_protocols: bool = True,
     message: bytes = PROFILE_MESSAGE,
+    projection: str = "analytic",
 ) -> SchemeProfile:
     """Profile one scheme end to end; the single generic Table 3 call path.
 
@@ -106,7 +125,17 @@ def build_profile(
     encrypt/decrypt round trip, a sign/verify round trip) and their traces
     recorded.  The headline projection runs either way; pass
     ``include_protocols=False`` for a pure Table 3 reproduction.
+
+    ``projection="measured"`` additionally runs the headline operation on a
+    word-counting twin of the scheme (via the registry) and fills
+    ``measured_cycles`` / ``measured_ms`` / ``word_stream`` from the
+    executed word-operation stream — the measurement the analytic
+    composition is asserted against.
     """
+    if projection not in ("analytic", "measured"):
+        raise ParameterError(
+            f"unknown projection mode {projection!r} (use 'analytic' or 'measured')"
+        )
     if platform is None:
         from repro.soc.system import Platform
 
@@ -156,4 +185,111 @@ def build_profile(
     area = platform.area_report()
     profile.area_slices = area.total_slices
     profile.frequency_mhz = area.frequency_mhz
+    if projection == "measured":
+        # A scheme already on the word-counting backend is measured
+        # directly; anything else resolves its registry twin by name.
+        backend_name = getattr(scheme.field_backend, "name", None)
+        target = scheme if backend_name == "word-counting" else scheme.name
+        measured = measured_headline_projection(target, platform=platform)
+        profile.measured_cycles = measured.measured_cycles
+        profile.measured_ms = measured.measured_ms
+        profile.word_stream = measured.stream
     return profile
+
+
+@dataclass
+class MeasuredProjection:
+    """Measured vs analytic Table 3 projection of one scheme's headline op.
+
+    ``measured_cycles`` composes the **executed word-operation stream** (a
+    :class:`repro.field.backend.WordOpStream` collected while the headline
+    operation ran on the word-counting backend) through the platform's
+    Table 1 costs and interface model; ``analytic_cycles`` is the
+    closed-composition number the profile layer always produced.  The two
+    agree when the executed per-group-operation modular-op mix matches the
+    level-2 programs — the closed loop the refactor exists to assert.
+    """
+
+    scheme: str
+    bit_length: int
+    analytic_cycles: int
+    measured_cycles: int
+    measured_ms: float
+    sequences: int
+    headline_trace: OpTrace
+    stream: Dict[str, int]
+
+    @property
+    def relative_error(self) -> float:
+        """|measured - analytic| / analytic."""
+        if not self.analytic_cycles:
+            return 0.0
+        return abs(self.measured_cycles - self.analytic_cycles) / self.analytic_cycles
+
+
+def measured_headline_projection(
+    scheme: "PkcScheme | str", platform=None
+) -> MeasuredProjection:
+    """Run one scheme's headline operation on the word-counting backend and
+    project the executed word-op stream onto the platform.
+
+    ``scheme`` is either a registry name — resolved with
+    ``backend="word-counting"`` (cached, so repeated calls reuse its warmed
+    generator/fixed-base state) — or a scheme instance already built on the
+    word-counting backend.  The headline operation runs twice: once with
+    word-level execution off to warm every deterministic cache (subgroup
+    generator projection, Frobenius matrices, fixed-base tables), then once
+    counted, so the stream contains exactly the operations of one headline
+    exponentiation.  The shared :class:`WordOpStream` is snapshotted and
+    restored around the measurement, so a caller's in-progress tallies on
+    the same (cached) instance survive untouched.
+    """
+    if platform is None:
+        from repro.soc.system import Platform
+
+        platform = Platform()
+    if isinstance(scheme, str):
+        from repro.pkc.registry import get_scheme
+
+        scheme = get_scheme(scheme, backend="word-counting")
+    spec = scheme.field_backend
+    if getattr(spec, "name", None) != "word-counting":
+        raise ParameterError(
+            f"scheme {scheme.name!r} is not on the word-counting backend; "
+            "pass a registry name or a word-counting instance"
+        )
+    from repro.field.backend import WordOpStream
+
+    stream = spec.stream
+    prior_counting = stream.counting
+    snapshot = stream.as_dict()
+    stream.counting = False
+    try:
+        scheme.headline_exponentiation(OpTrace())  # warm caches, uncounted
+        stream.reset()
+        stream.counting = True
+        trace = OpTrace()
+        scheme.headline_exponentiation(trace)
+        measured = WordOpStream(**stream.as_dict())
+    finally:
+        # Hand the shared stream back exactly as the caller left it — flag
+        # and tallies both, so in-progress accumulation survives.
+        stream.counting = prior_counting
+        for key, value in snapshot.items():
+            setattr(stream, key, value)
+    costs = platform.measure_operation_costs(scheme.headline_modulus())
+    model = platform.cost_model(costs)
+    sequences = scheme.headline_sequence_count(trace)
+    measured_cycles = model.measured_exponentiation_cycles(measured, sequences)
+    cost_sq, cost_mul = scheme.platform_cycles_per_operation(platform)
+    analytic_cycles = trace.squarings * cost_sq + trace.multiplications * cost_mul
+    return MeasuredProjection(
+        scheme=scheme.name,
+        bit_length=scheme.bit_length,
+        analytic_cycles=analytic_cycles,
+        measured_cycles=measured_cycles,
+        measured_ms=model.cycles_to_ms(measured_cycles),
+        sequences=sequences,
+        headline_trace=trace,
+        stream=measured.as_dict(),
+    )

@@ -59,7 +59,15 @@ class RsaScheme(PkcScheme):
         security_bits: int = 80,
         paper_ms: Optional[float] = None,
         public_exponent: int = 65537,
+        backend=None,
     ):
+        from repro.field.backend import get_backend
+
+        # RSA's arithmetic *is* the Montgomery domain already (the paper's
+        # point); the plain and montgomery backends therefore share one code
+        # path and produce identical wire bytes, while the word-counting
+        # backend swaps in domains whose products stream FIOS word tallies.
+        self.field_backend = get_backend(backend)
         self.modulus_bits = modulus_bits
         self.bit_length = modulus_bits
         self.name = name or f"rsa-{modulus_bits}"
@@ -68,6 +76,25 @@ class RsaScheme(PkcScheme):
         self.public_exponent = public_exponent
         self._keypair: Optional[RsaKeyPair] = None
         self._modulus_width = (modulus_bits + 7) // 8
+        self._domains: dict = {}
+
+    def _domain_for(self, modulus: int):
+        """A cached per-modulus domain when the backend is word-counting.
+
+        Returns ``None`` for the plain/montgomery backends so the legacy
+        entry points keep constructing their own plain domains.
+        """
+        if self.field_backend.name != "word-counting":
+            return None
+        if modulus not in self._domains:
+            self._domains[modulus] = self.field_backend.bind(modulus).counting_domain
+        return self._domains[modulus]
+
+    def _crt_domains(self, key: RsaKeyPair):
+        """Counting domains for the CRT prime halves (None on other backends)."""
+        if self.field_backend.name != "word-counting":
+            return None
+        return (self._domain_for(key.p), self._domain_for(key.q))
 
     # -- keys -------------------------------------------------------------------
 
@@ -129,7 +156,7 @@ class RsaScheme(PkcScheme):
         rng = resolve_rng(rng)
         public = self.decode_public(recipient_public)
         seed = rng.randrange(2, public.n - 1)
-        wrapped = rsa_encrypt_int(public, seed, trace=trace)
+        wrapped = rsa_encrypt_int(public, seed, trace=trace, domain=self._domain_for(public.n))
         secret = seed.to_bytes(self._modulus_width, "big")
         body, tag = seal_body(secret, b"rsa-kem", plaintext)
         return wrapped.to_bytes(self._modulus_width, "big") + tag + body
@@ -146,7 +173,7 @@ class RsaScheme(PkcScheme):
             raise DecryptionError("wrapped seed out of range")
         tag = ciphertext[self._modulus_width : header]
         body = ciphertext[header:]
-        seed = rsa_decrypt_int_crt(key, wrapped, trace=trace)
+        seed = rsa_decrypt_int_crt(key, wrapped, trace=trace, domains=self._crt_domains(key))
         secret = seed.to_bytes(self._modulus_width, "big")
         return open_body(secret, b"rsa-kem", body, tag)
 
@@ -159,7 +186,7 @@ class RsaScheme(PkcScheme):
         rng: Optional[random.Random] = None,
         trace: Optional[OpTrace] = None,
     ) -> bytes:
-        return rsa_sign(own.native, message, trace=trace)
+        return rsa_sign(own.native, message, trace=trace, domains=self._crt_domains(own.native))
 
     def verify(
         self,
@@ -174,14 +201,16 @@ class RsaScheme(PkcScheme):
             return False
         if len(signature) != self._modulus_width:
             return False
-        return rsa_verify(parsed, message, signature, trace=trace)
+        return rsa_verify(
+            parsed, message, signature, trace=trace, domain=self._domain_for(parsed.n)
+        )
 
     # -- platform projection ---------------------------------------------------------
 
     def headline_exponentiation(self, trace: OpTrace) -> None:
         """One full-length binary Montgomery exponentiation (the 96 ms row)."""
         modulus = default_rsa_modulus(self.modulus_bits)
-        domain = MontgomeryDomain(modulus, word_bits=16)
+        domain = self._domain_for(modulus) or MontgomeryDomain(modulus, word_bits=16)
         montgomery_power(
             domain,
             0xC0FFEE % modulus,
@@ -196,3 +225,6 @@ class RsaScheme(PkcScheme):
         )
         per_op = costs.modular_mult + platform.config.interface.round_trip_cycles
         return per_op, per_op
+
+    def headline_modulus(self) -> int:
+        return default_rsa_modulus(self.modulus_bits)

@@ -28,34 +28,66 @@ def _public(key: PublicLike) -> RsaPublicKey:
 
 
 def rsa_encrypt_int(
-    key: PublicLike, message: int, word_bits: int = 16, trace: Optional[OpTrace] = None
+    key: PublicLike,
+    message: int,
+    word_bits: int = 16,
+    trace: Optional[OpTrace] = None,
+    domain: Optional[MontgomeryDomain] = None,
 ) -> int:
-    """Raw RSA: message^e mod n via Montgomery exponentiation."""
+    """Raw RSA: message^e mod n via Montgomery exponentiation.
+
+    ``domain`` optionally supplies a prebuilt (possibly word-counting)
+    Montgomery domain for ``n`` — the backend-aware scheme adapter passes
+    its own so the word-operation stream of the exponentiation is observable.
+    """
     public = _public(key)
     if not 0 <= message < public.n:
         raise ParameterError("message representative out of range")
-    domain = MontgomeryDomain(public.n, word_bits=word_bits)
+    if domain is None:
+        domain = MontgomeryDomain(public.n, word_bits=word_bits)
+    elif domain.modulus != public.n:
+        raise ParameterError("injected domain modulus does not match the key")
     return montgomery_power(domain, message, public.e, trace=trace)
 
 
 def rsa_decrypt_int(
-    key: RsaKeyPair, ciphertext: int, word_bits: int = 16, trace: Optional[OpTrace] = None
+    key: RsaKeyPair,
+    ciphertext: int,
+    word_bits: int = 16,
+    trace: Optional[OpTrace] = None,
+    domain: Optional[MontgomeryDomain] = None,
 ) -> int:
     """Raw RSA decryption without CRT (the paper's 1024-bit exponentiation)."""
     if not 0 <= ciphertext < key.n:
         raise ParameterError("ciphertext representative out of range")
-    domain = MontgomeryDomain(key.n, word_bits=word_bits)
+    if domain is None:
+        domain = MontgomeryDomain(key.n, word_bits=word_bits)
+    elif domain.modulus != key.n:
+        raise ParameterError("injected domain modulus does not match the key")
     return montgomery_power(domain, ciphertext, key.d, trace=trace)
 
 
 def rsa_decrypt_int_crt(
-    key: RsaKeyPair, ciphertext: int, word_bits: int = 16, trace: Optional[OpTrace] = None
+    key: RsaKeyPair,
+    ciphertext: int,
+    word_bits: int = 16,
+    trace: Optional[OpTrace] = None,
+    domains: Optional[tuple] = None,
 ) -> int:
-    """CRT decryption: two half-size exponentiations plus recombination."""
+    """CRT decryption: two half-size exponentiations plus recombination.
+
+    ``domains`` optionally supplies prebuilt ``(domain_p, domain_q)`` —
+    possibly word-counting — Montgomery domains for the two prime halves.
+    """
     if not 0 <= ciphertext < key.n:
         raise ParameterError("ciphertext representative out of range")
-    domain_p = MontgomeryDomain(key.p, word_bits=word_bits)
-    domain_q = MontgomeryDomain(key.q, word_bits=word_bits)
+    if domains is None:
+        domain_p = MontgomeryDomain(key.p, word_bits=word_bits)
+        domain_q = MontgomeryDomain(key.q, word_bits=word_bits)
+    else:
+        domain_p, domain_q = domains
+        if domain_p.modulus != key.p or domain_q.modulus != key.q:
+            raise ParameterError("injected CRT domains do not match the key's primes")
     m_p = montgomery_power(domain_p, ciphertext % key.p, key.d_p, trace=trace)
     m_q = montgomery_power(domain_q, ciphertext % key.q, key.d_q, trace=trace)
     h = key.q_inv * (m_p - m_q) % key.p
@@ -124,15 +156,24 @@ def rsa_decrypt(
     return _unpad(plain, key.n)
 
 
-def rsa_sign(key: RsaKeyPair, message: bytes, trace: Optional[OpTrace] = None) -> bytes:
+def rsa_sign(
+    key: RsaKeyPair,
+    message: bytes,
+    trace: Optional[OpTrace] = None,
+    domains: Optional[tuple] = None,
+) -> bytes:
     """Hash-then-sign (SHA-256 digest, deterministic padding)."""
     digest = hashlib.sha256(message).digest()
-    value = rsa_decrypt_int_crt(key, _pad(digest, key.n), trace=trace)
+    value = rsa_decrypt_int_crt(key, _pad(digest, key.n), trace=trace, domains=domains)
     return value.to_bytes(_modulus_bytes(key.n), "big")
 
 
 def rsa_verify(
-    key: PublicLike, message: bytes, signature: bytes, trace: Optional[OpTrace] = None
+    key: PublicLike,
+    message: bytes,
+    signature: bytes,
+    trace: Optional[OpTrace] = None,
+    domain=None,
 ) -> bool:
     """Verify a hash-then-sign signature."""
     public = _public(key)
@@ -140,7 +181,9 @@ def rsa_verify(
     if value >= public.n:
         return False
     try:
-        recovered = _unpad(rsa_encrypt_int(public, value, trace=trace), public.n)
+        recovered = _unpad(
+            rsa_encrypt_int(public, value, trace=trace, domain=domain), public.n
+        )
     except DecryptionError:
         return False
     return recovered == hashlib.sha256(message).digest()

@@ -147,6 +147,41 @@ class CostModel:
     def cycles_to_seconds(self, cycles: int) -> float:
         return cycles / (self.clock_mhz * 1e6)
 
+    # -- measured word-operation streams ------------------------------------------
+
+    def stream_compute_cycles(self, stream) -> int:
+        """Coprocessor compute cycles of an executed modular-operation stream.
+
+        ``stream`` is a :class:`repro.field.backend.WordOpStream` (or
+        anything with ``modular_mults`` / ``modular_adds`` /
+        ``modular_subs``): the tally of the modular operations a protocol
+        run *actually executed* at the word level, priced through this
+        model's Table 1 row.  This is the measured counterpart of
+        :meth:`sequence_cost`'s analytic composition.
+        """
+        return (
+            stream.modular_mults * self.op_costs.modular_mult
+            + stream.modular_adds * self.op_costs.modular_add
+            + stream.modular_subs * self.op_costs.modular_sub
+        )
+
+    def measured_exponentiation_cycles(self, stream, sequences: int) -> int:
+        """Type-B cycles of a full operation from its executed word-op stream.
+
+        ``sequences`` is the number of level-2 sequence issues (one
+        MicroBlaze round trip each); every executed modular operation pays
+        the Type-B dispatch on top of its compute cycles.  With a stream
+        whose per-sequence operation counts match the level-2 programs, this
+        reproduces the analytic ``(squarings + multiplications) *
+        type_b_cycles`` composition — the agreement the profile layer
+        asserts.
+        """
+        return (
+            self.stream_compute_cycles(stream)
+            + self.interface.type_b_overhead(sequences)
+            + self.TYPE_B_DISPATCH_CYCLES * stream.total_modular_ops
+        )
+
 
 def operation_costs_from_engine(engine, label: str = "") -> ModularOpCosts:
     """Build a :class:`ModularOpCosts` row from a cycle-accurate engine."""

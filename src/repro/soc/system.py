@@ -31,7 +31,9 @@ from repro.soc.sequences import (
     fp6_multiplication_program,
     fp6_operand_memory,
     fp6_result_from_memory,
+    xtr_double_step_program,
     xtr_fp2_multiplication_program,
+    xtr_mixed_step_program,
 )
 from repro.soc.trace import ExecutionTrace
 from repro.torus.params import TorusParameters
@@ -155,6 +157,24 @@ class Platform:
         """
         costs = self.measure_operation_costs(modulus, label="XTR")
         return self.cost_model(costs).sequence_cost(xtr_fp2_multiplication_program())
+
+    def xtr_step_costs(self, modulus: int) -> Tuple[SequenceCost, SequenceCost]:
+        """Type-A/Type-B cycle counts of (double step, mixed step) of the
+        XTR trace ladder.
+
+        These charge the full ladder steps — the Karatsuba products *plus*
+        the conjugations and doubled-conjugate additions between them — so
+        the analytic projection matches the word-operation stream the
+        executed ladder measures (the bare Fp2 multiplication of
+        :meth:`xtr_fp2_multiplication_cost` underestimates exactly those
+        inter-product operations).
+        """
+        costs = self.measure_operation_costs(modulus, label="XTR")
+        model = self.cost_model(costs)
+        return (
+            model.sequence_cost(xtr_double_step_program()),
+            model.sequence_cost(xtr_mixed_step_program()),
+        )
 
     # -- full public-key operations (Table 3) -----------------------------------------------
 

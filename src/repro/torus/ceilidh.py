@@ -64,11 +64,16 @@ class CeilidhSignature:
 class CeilidhSystem:
     """All CEILIDH protocol operations for one parameter set."""
 
-    def __init__(self, params: TorusParameters | str = "ceilidh-170", validate: bool = False):
+    def __init__(
+        self,
+        params: TorusParameters | str = "ceilidh-170",
+        validate: bool = False,
+        backend=None,
+    ):
         if isinstance(params, str):
             params = get_parameters(params)
         self.params = params
-        self.group = T6Group(params, validate=validate)
+        self.group = T6Group(params, validate=validate, backend=backend)
         self.compressor = self.group.compressor
 
     # -- key management ---------------------------------------------------------

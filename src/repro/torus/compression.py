@@ -95,10 +95,13 @@ class TorusCompressor:
             raise CompressionError(
                 "element lies on the exceptional line c2 = 0 (includes alpha = x)"
             )
-        c2_inv = self.fp.inv(c2)
-        u = self.fp.mul(self.fp.sub(c0, 1), c2_inv)
-        v = self.fp.mul(c1, c2_inv)
-        return CompressedElement(u=u, v=v)
+        f = self.fp
+        c2_inv = f.inv(c2)
+        u = f.mul(f.sub(c0, f.one_value), c2_inv)
+        v = f.mul(c1, c2_inv)
+        # (u, v) is the wire-facing pair: exit the representation so the
+        # compressed element is backend-independent (plain reduced ints).
+        return CompressedElement(u=f.exit(u), v=f.exit(v))
 
     # -- psi: A^2 -> T6 -------------------------------------------------------------
 
@@ -110,26 +113,27 @@ class TorusCompressor:
         (whose torus element alpha = x is itself exceptional for rho).
         """
         f = self.fp
-        u, v = compressed.u % f.p, compressed.v % f.p
+        # Wire values are plain integers; enter the field's representation.
+        u, v = f.enter(compressed.u % f.p), f.enter(compressed.v % f.p)
 
         # q(u, v, 1) = u^2 + 4u + 3 + v - v^2
-        q_val = f.add(f.add(f.add(f.mul(u, u), f.mul(4 % f.p, u)), 3 % f.p), f.sub(v, f.mul(v, v)))
+        q_val = f.add(f.add(f.add(f.mul(u, u), f.mul(f.embed(4), u)), f.embed(3)), f.sub(v, f.mul(v, v)))
         if q_val == 0:
             raise CompressionError("(u, v) lies on the exceptional conic of psi")
-        numerator = f.neg(f.add(u, 2 % f.p))
+        numerator = f.neg(f.add(u, f.embed(2)))
         if numerator == 0:
             raise CompressionError("(u, v) parametrises the exceptional point c = 1")
         t = f.mul(numerator, f.inv(q_val))
 
-        c0 = f.add(1, f.mul(t, u))
+        c0 = f.add(f.one_value, f.mul(t, u))
         c1 = f.mul(t, v)
         c2 = t
-        c = self.fp3([c0, c1, c2])
+        c = self.fp3._from_coeffs([c0, c1, c2])
 
         one3 = self.fp3.one()
         # alpha = (c + x) / (c + x^2) with x^2 = -1 - x.
         numerator_t = TowerElement(self.tower, c, one3)
-        denominator_t = TowerElement(self.tower, c - one3, self.fp3.from_base(f.neg(1)))
+        denominator_t = TowerElement(self.tower, c - one3, self.fp3.from_base(f.p - 1))
         if denominator_t.is_zero():  # pragma: no cover - cannot happen for t != 0
             raise CompressionError("degenerate denominator in psi")
         alpha = self.tower.mul(numerator_t, self.tower.inv(denominator_t))

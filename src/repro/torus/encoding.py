@@ -59,7 +59,8 @@ def decode_compressed(params: TorusParameters, data: bytes) -> CompressedElement
 def encode_fp6(params: TorusParameters, value: ExtElement) -> bytes:
     """Serialise a raw Fp6 element as six fixed-width big-endian Fp values."""
     width = _field_byte_length(params.p)
-    return b"".join(c.to_bytes(width, "big") for c in value.coeffs)
+    base = value.field.base
+    return b"".join(base.exit(c).to_bytes(width, "big") for c in value.coeffs)
 
 
 def decode_fp6(params: TorusParameters, fp6: Fp6Field, data: bytes) -> ExtElement:

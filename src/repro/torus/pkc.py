@@ -47,8 +47,12 @@ class CeilidhScheme(PkcScheme):
         name: Optional[str] = None,
         security_bits: int = 80,
         paper_ms: Optional[float] = None,
+        backend=None,
     ):
-        self.system = CeilidhSystem(params)
+        from repro.field.backend import get_backend
+
+        self.field_backend = get_backend(backend)
+        self.system = CeilidhSystem(params, backend=self.field_backend)
         self.params = self.system.params
         self.name = name or self.params.name
         self.bit_length = self.params.p_bits
@@ -179,3 +183,6 @@ class CeilidhScheme(PkcScheme):
     def platform_cycles_per_operation(self, platform) -> Tuple[int, int]:
         cost = platform.fp6_multiplication_cost(self.params.p)
         return cost.type_b_cycles, cost.type_b_cycles
+
+    def headline_modulus(self) -> int:
+        return self.params.p

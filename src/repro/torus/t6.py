@@ -95,11 +95,11 @@ class TorusElement:
 class T6Group:
     """T6(Fp) with a distinguished prime-order subgroup of order q."""
 
-    def __init__(self, params: TorusParameters, validate: bool = False):
+    def __init__(self, params: TorusParameters, validate: bool = False, backend=None):
         if validate:
             params.validate()
         self.params = params
-        self.fp = PrimeField(params.p, check_prime=False)
+        self.fp = PrimeField(params.p, check_prime=False, backend=backend)
         self.fp6: Fp6Field = make_fp6(self.fp)
         self._generator: Optional[TorusElement] = None
         self._compressor = None

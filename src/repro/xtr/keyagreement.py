@@ -31,11 +31,11 @@ class XtrKeyPair:
 class XtrSystem:
     """XTR Diffie-Hellman over a CEILIDH parameter set (same subgroup)."""
 
-    def __init__(self, params: TorusParameters | str = "ceilidh-170"):
+    def __init__(self, params: TorusParameters | str = "ceilidh-170", backend=None):
         if isinstance(params, str):
             params = get_parameters(params)
         self.params = params
-        self.context = XtrContext(params)
+        self.context = XtrContext(params, backend=backend)
 
     def generate_keypair(
         self, rng: Optional[random.Random] = None, count: Optional[OpTrace] = None

@@ -57,9 +57,10 @@ class XtrContext:
     applications use to derive an XTR representation of a torus element.
     """
 
-    def __init__(self, params: TorusParameters):
+    def __init__(self, params: TorusParameters, backend=None):
         self.params = params
-        self.fp = PrimeField(params.p, check_prime=False)
+        self._backend = backend
+        self.fp = PrimeField(params.p, check_prime=False, backend=backend)
         self.fp2: ExtensionField = make_fp2(self.fp)
         self._fp6: Optional[Fp6Field] = None
         self._tower: Optional[TowerFp6] = None
@@ -72,13 +73,16 @@ class XtrContext:
         """The Frobenius a -> a^p on Fp2: x -> x^2 = -1 - x."""
         a0, a1 = a.coeffs
         f = self.fp
-        return self.fp2([f.sub(a0, a1), f.neg(a1)])
+        return self.fp2._from_coeffs([f.sub(a0, a1), f.neg(a1)])
 
     def element(self, coefficients: Tuple[int, int]) -> ExtElement:
+        """Build an Fp2 element from *plain* trace coefficients."""
         return self.fp2(list(coefficients))
 
     def trace_value(self, element: ExtElement) -> XtrTrace:
-        return XtrTrace(coefficients=tuple(element.coeffs))
+        """Read an Fp2 element out as a (plain-coefficient) trace value."""
+        f = self.fp
+        return XtrTrace(coefficients=tuple(f.exit(c) for c in element.coeffs))
 
     # -- direct traces from Fp6 (reference path) -------------------------------------
 
@@ -99,8 +103,12 @@ class XtrContext:
         tower_value = self._map.to_f2(total)
         if not tower_value.a.in_base_field() or not tower_value.b.in_base_field():
             raise ParameterError("trace did not land in Fp2 (element not in Fp6?)")
+        f = self.fp
         return XtrTrace(
-            coefficients=(tower_value.a.scalar_part(), tower_value.b.scalar_part())
+            coefficients=(
+                f.exit(tower_value.a.scalar_part()),
+                f.exit(tower_value.b.scalar_part()),
+            )
         )
 
     def generator_trace(self) -> XtrTrace:
@@ -108,7 +116,7 @@ class XtrContext:
         if self._generator_trace is None:
             from repro.torus.t6 import T6Group
 
-            group = T6Group(self.params)
+            group = T6Group(self.params, backend=self._backend)
             self._generator_trace = self.trace_of_fp6(group.generator().value)
         return self._generator_trace
 
@@ -162,10 +170,16 @@ class XtrContext:
         return self.trace_value(c_cur)
 
     def _double_trace(self, c_n: ExtElement, trace: Optional[OpTrace] = None) -> ExtElement:
-        """c_(2n) = c_n^2 - 2 c_n^p."""
+        """c_(2n) = c_n^2 - 2 c_n^p.
+
+        The doubling of the conjugate is an addition (the platform's MA
+        microcode), not a scalar multiplication, so the executed operation
+        stream matches :func:`repro.soc.sequences.xtr_double_step_program`.
+        """
         fp2 = self.fp2
         square = fp2.mul(c_n, c_n)
-        twice_conj = fp2.scalar_mul(self._conjugate(c_n), 2)
+        conj = self._conjugate(c_n)
+        twice_conj = fp2.add(conj, conj)
         if trace is not None:
             trace.squarings += 1
         return fp2.sub(square, twice_conj)
