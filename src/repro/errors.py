@@ -57,6 +57,25 @@ class DecryptionError(ReproError):
     """Ciphertext could not be decrypted (wrong key, corrupted data...)."""
 
 
+class ServeError(ReproError):
+    """Base class for errors raised by the online serving layer (``repro.serve``)."""
+
+
+class ProtocolError(ServeError):
+    """A wire frame violated the serving protocol.
+
+    Truncated or oversized frames, unknown opcodes, version mismatches and
+    malformed payloads all land here; the peer that detects the violation
+    reports (or receives) an error frame and closes the connection."""
+
+
+class OverloadedError(ServeError):
+    """The server's bounded request queue is full — explicit backpressure.
+
+    Raised locally when the scheduler rejects a submission and on the client
+    when an ``OP_OVERLOADED`` frame comes back; the caller may retry later."""
+
+
 class SocError(ReproError):
     """Base class for platform-simulator errors."""
 

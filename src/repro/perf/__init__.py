@@ -19,9 +19,15 @@ Typical round trip::
 
 ``python -m repro.perf show|compare`` exposes the same operations from the
 command line.
+
+Online serving runs (:mod:`repro.serve`) additionally collect per-request
+latencies into a :class:`~repro.perf.latency.LatencyHistogram`, whose
+percentile digest rides in ``PerfRecord.latency_ms`` under the ``serve:``
+trajectory keys.
 """
 
 from repro.perf.baseline import Regression, compare, format_regressions
+from repro.perf.latency import LatencyHistogram
 from repro.perf.emitter import (
     DEFAULT_BENCH_FILENAME,
     bench_path,
@@ -44,4 +50,5 @@ __all__ = [
     "Regression",
     "compare",
     "format_regressions",
+    "LatencyHistogram",
 ]

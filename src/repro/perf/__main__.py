@@ -32,12 +32,15 @@ def _show(path: str) -> int:
             round(record.ms_per_op, 3),
             record.squarings + record.multiplications,
             record.projected_cycles if record.projected_cycles is not None else "-",
+            record.latency_ms.get("p50_ms", "-") if record.latency_ms else "-",
+            record.latency_ms.get("p99_ms", "-") if record.latency_ms else "-",
         )
         for record in (entries[key] for key in sorted(entries))
     ]
     print(
         render_table(
-            ["scheme", "operation", "sessions", "ops/s", "ms/op", "group ops", "projected cycles"],
+            ["scheme", "operation", "sessions", "ops/s", "ms/op", "group ops",
+             "projected cycles", "p50 ms", "p99 ms"],
             rows,
             title=f"Perf trajectory: {path}",
         )

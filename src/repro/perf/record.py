@@ -66,6 +66,10 @@ class PerfRecord:
     inversions: int = 0
     wire_bytes: int = 0
     projected_cycles: Optional[int] = None
+    #: Latency percentile digest of an online serving run (the
+    #: :meth:`repro.perf.latency.LatencyHistogram.summary` shape); ``None``
+    #: for offline batch cells, whose latency is uniform by construction.
+    latency_ms: Optional[Dict[str, float]] = None
     meta: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -86,6 +90,7 @@ class PerfRecord:
             "inversions": self.inversions,
             "wire_bytes": self.wire_bytes,
             "projected_cycles": self.projected_cycles,
+            "latency_ms": dict(self.latency_ms) if self.latency_ms else None,
             "meta": dict(self.meta),
         }
 

@@ -31,6 +31,13 @@ from repro.nt.sampling import resolve_rng
 from repro.pkc.base import ENCRYPTION, KEY_AGREEMENT, SIGNATURE, PkcScheme, SchemeKeyPair
 from repro.pkc.registry import get_scheme
 
+# The canonical per-session protocol logic is shared with the online serving
+# layer: repro.serve.session holds the client+server round trips, and the
+# server's scheduler executes the same server halves per request — "one
+# session" means identical work online and offline.  (serve.session imports
+# nothing from repro.pkc, so this direction is cycle-free.)
+from repro.serve.session import OFFLINE_SESSION_RUNNERS
+
 __all__ = [
     "BatchResult",
     "run_batch",
@@ -67,6 +74,8 @@ class BatchResult:
 
     @property
     def sessions_per_second(self) -> float:
+        if self.sessions == 0:
+            return 0.0  # an empty batch has no throughput, not an infinite one
         return self.sessions / self.wall_seconds if self.wall_seconds > 0 else float("inf")
 
     @property
@@ -160,28 +169,12 @@ def run_batch(
     ops = OpTrace()
     trace = ops if collect_ops else None
     wire = 0
+    run_session = OFFLINE_SESSION_RUNNERS[operation]
     started = time.perf_counter()
-    if operation == "key-agreement":
-        for _ in range(sessions):
-            client = scheme.keygen(rng, trace=trace)
-            client_key = scheme.key_agreement(client, server.public_wire, trace=trace)
-            server_key = scheme.key_agreement(server, client.public_wire, trace=trace)
-            if client_key != server_key:
-                raise ParameterError(f"{scheme.name}: key agreement mismatch")  # pragma: no cover
-            wire += len(client.public_wire) + len(server.public_wire)
-    elif operation == "encryption":
-        for _ in range(sessions):
-            ciphertext = scheme.encrypt(server.public_wire, payload, rng, trace=trace)
-            if scheme.decrypt(server, ciphertext, trace=trace) != payload:
-                raise ParameterError(f"{scheme.name}: decryption mismatch")  # pragma: no cover
-            wire += len(ciphertext)
-    else:  # signature
-        for index in range(sessions):
-            message = payload + index.to_bytes(4, "big")
-            signature = scheme.sign(server, message, rng, trace=trace)
-            if not scheme.verify(server.public_wire, message, signature, trace=trace):
-                raise ParameterError(f"{scheme.name}: signature rejected")  # pragma: no cover
-            wire += len(signature)
+    for index in range(sessions):
+        wire += run_session(
+            scheme, server, rng=rng, payload=payload, index=index, trace=trace
+        )
     elapsed = time.perf_counter() - started
 
     return BatchResult(
@@ -237,6 +230,14 @@ def run_batch_parallel(
 
     if workers < 1:
         raise ParameterError("a parallel batch needs at least one worker")
+    if sessions < 0:
+        raise ParameterError("a batch cannot have a negative session count")
+    if sessions == 0:
+        # Nothing to run: an empty result, not a divmod(0, 0) crash from the
+        # worker cap below.
+        return BatchResult(
+            scheme=scheme_name, operation=operation, sessions=0, wall_seconds=0.0
+        )
     workers = min(workers, sessions)
     share, remainder = divmod(sessions, workers)
     shares = [share + (1 if i < remainder else 0) for i in range(workers)]

@@ -8,7 +8,9 @@ every cryptosystem the library implements.  Instances are cached per
 fixed-base generator tables, RSA's lazily generated key material) is shared
 by every caller — the behaviour the batched serving harness in
 :mod:`repro.pkc.bench` relies on; pass ``fresh=True`` for an isolated
-instance.
+instance.  Both caches are guarded by one module lock, so the serving
+layer's worker threads (:mod:`repro.serve.scheduler`) can resolve schemes
+concurrently with the event loop without ever constructing duplicates.
 
 ``backend`` selects the field-arithmetic substrate underneath the scheme
 (see :mod:`repro.field.backend`): ``"plain"`` (the default fast path),
@@ -22,6 +24,7 @@ resident-Montgomery substrate.
 from __future__ import annotations
 
 import inspect
+import threading
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ParameterError
@@ -33,6 +36,15 @@ __all__ = ["register_scheme", "get_scheme", "available_schemes"]
 _FACTORIES: Dict[str, Callable[..., PkcScheme]] = {}
 _INSTANCES: Dict[Tuple[str, str], PkcScheme] = {}
 
+#: One lock guards both caches.  The serving layer's thread pool resolves
+#: schemes from worker threads concurrently with the event loop; without the
+#: lock two threads could construct (and then diverge on) separate "cached"
+#: instances of the same scheme, splitting the amortised fixed-base tables
+#: and long-lived key material the cache exists to share.  Construction
+#: happens inside the lock: factories are cheap (expensive state like RSA
+#: key material is generated lazily on first use, not at construction).
+_REGISTRY_LOCK = threading.RLock()
+
 
 def register_scheme(
     name: str, factory: Callable[..., PkcScheme], replace: bool = False
@@ -43,11 +55,12 @@ def register_scheme(
     do); zero-argument factories remain valid and are simply constructed
     as-is for every backend.
     """
-    if not replace and name in _FACTORIES:
-        raise ParameterError(f"scheme {name!r} is already registered")
-    _FACTORIES[name] = factory
-    for key in [key for key in _INSTANCES if key[0] == name]:
-        _INSTANCES.pop(key, None)
+    with _REGISTRY_LOCK:
+        if not replace and name in _FACTORIES:
+            raise ParameterError(f"scheme {name!r} is already registered")
+        _FACTORIES[name] = factory
+        for key in [key for key in _INSTANCES if key[0] == name]:
+            _INSTANCES.pop(key, None)
 
 
 def _construct(factory: Callable[..., PkcScheme], backend: str) -> PkcScheme:
@@ -74,25 +87,27 @@ def get_scheme(
     plain), so existing call sites keep their behaviour while the whole
     stack can be steered onto another substrate from the environment.
     """
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        raise ParameterError(
-            f"unknown scheme {name!r}; available: {list(available_schemes())}"
-        ) from None
     resolved = default_backend_name(backend)
     if resolved not in BACKENDS:
         raise ParameterError(
             f"unknown field backend {resolved!r}; available: {sorted(BACKENDS)}"
         )
-    if fresh:
-        return _construct(factory, resolved)
-    key = (name, resolved)
-    if key not in _INSTANCES:
-        _INSTANCES[key] = _construct(factory, resolved)
-    return _INSTANCES[key]
+    with _REGISTRY_LOCK:
+        try:
+            factory = _FACTORIES[name]
+        except KeyError:
+            raise ParameterError(
+                f"unknown scheme {name!r}; available: {list(available_schemes())}"
+            ) from None
+        if fresh:
+            return _construct(factory, resolved)
+        key = (name, resolved)
+        if key not in _INSTANCES:
+            _INSTANCES[key] = _construct(factory, resolved)
+        return _INSTANCES[key]
 
 
 def available_schemes() -> Tuple[str, ...]:
     """Registered scheme names, sorted."""
-    return tuple(sorted(_FACTORIES))
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_FACTORIES))

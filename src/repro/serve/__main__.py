@@ -1,0 +1,284 @@
+"""``python -m repro.serve`` — run a PKC server, or load-test one.
+
+Two subcommands:
+
+* ``serve`` — bind a :class:`~repro.serve.server.ServeServer` and run until
+  interrupted.  ``--executor process --workers N`` serves on N cores.
+
+* ``load`` — the measuring harness of the serving acceptance story: boot an
+  in-process server (or aim at an external one via ``--connect``), drive N
+  concurrent clients through a mixed-scheme workload, compare the batched
+  ceilidh-170 key-agreement serving throughput against the *offline*
+  ``run_batch`` baseline measured in the same process, and merge one
+  :class:`~repro.perf.record.PerfRecord` per ``(scheme, operation)`` —
+  throughput plus latency percentiles — into ``BENCH_pkc.json`` under
+  ``serve:`` keys (``serve:<scheme>[+backend]:<operation>``; the offline
+  plain-baseline keys are never touched).
+
+The exit status is the check: non-zero when any session failed a protocol
+round trip, or when the in-process serving throughput fell below
+``--min-ratio`` (default 0.8) of the offline baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import pathlib
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.serve.client import DEFAULT_PAYLOAD, LoadReport, run_load
+from repro.serve.server import ServeServer
+
+#: The paper's four deployed cryptosystems — the default load mix.
+HEADLINE_SCHEMES = ("ceilidh-170", "ecdh-p160", "rsa-1024", "xtr-170")
+
+#: The scheme x operation whose serving throughput is gated against offline.
+BASELINE_SCHEME = "ceilidh-170"
+BASELINE_OPERATION = "key-agreement"
+
+
+def _add_server_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default=None,
+                        help="field backend (default: $REPRO_FIELD_BACKEND or plain)")
+    parser.add_argument("--executor", choices=("thread", "process"), default="thread",
+                        help="worker pool for the group arithmetic")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker pool size (default: min(4, cores))")
+    parser.add_argument("--max-batch", type=int, default=32,
+                        help="largest same-scheme batch one worker executes")
+    parser.add_argument("--queue-size", type=int, default=256,
+                        help="bounded request queue; overflow answers OP_OVERLOADED")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="async multi-scheme PKC serving layer",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="run a server until interrupted")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9876)
+    serve.add_argument("--schemes", default=None,
+                       help="comma-separated allowlist (default: whole registry)")
+    _add_server_options(serve)
+
+    load = commands.add_parser("load", help="drive a server with concurrent clients")
+    load.add_argument("--connect", default=None, metavar="HOST:PORT",
+                      help="load an external server (default: boot one in-process)")
+    load.add_argument("--schemes", default=",".join(HEADLINE_SCHEMES),
+                      help="comma-separated mix (default: the four headline schemes)")
+    load.add_argument("--clients", type=int, default=8,
+                      help="concurrent client connections (default: 8)")
+    load.add_argument("--sessions", type=int, default=None,
+                      help="sessions per client per mix entry (default: 16, quick: 2)")
+    load.add_argument("--quick", action="store_true",
+                      help="smoke mode: minimal sessions, still >= 8 concurrent clients")
+    load.add_argument("--min-ratio", type=float, default=0.8,
+                      help="gate: serve/offline ceilidh-170 throughput floor")
+    load.add_argument("--no-emit", action="store_true",
+                      help="skip the BENCH_pkc.json merge")
+    load.add_argument("--bench-root", default=".",
+                      help="directory whose BENCH_pkc.json receives the serve: keys")
+    _add_server_options(load)
+    return parser
+
+
+def _scheme_mix(names: Sequence[str], backend: Optional[str]) -> List[Tuple[str, str]]:
+    """``(scheme, operation)`` pairs: each scheme's first supported protocol."""
+    from repro.pkc.base import ENCRYPTION, KEY_AGREEMENT, SIGNATURE
+    from repro.pkc.registry import get_scheme
+
+    preference = (
+        ("key-agreement", KEY_AGREEMENT),
+        ("encryption", ENCRYPTION),
+        ("signature", SIGNATURE),
+    )
+    mix = []
+    for name in names:
+        scheme = get_scheme(name, backend=backend)
+        for operation, capability in preference:
+            if capability in scheme.capabilities:
+                mix.append((name, operation))
+                break
+    return mix
+
+
+def _offline_baseline(sessions: int, backend: Optional[str]) -> float:
+    """Offline ``run_batch`` sessions/s for the gated scheme, same process."""
+    from repro.pkc.bench import run_batch
+
+    # One warm-up session builds the fixed-base tables outside the timed
+    # region, mirroring what the server's long-lived key amortises.
+    run_batch(BASELINE_SCHEME, BASELINE_OPERATION, 1,
+              collect_ops=False, backend=backend)
+    result = run_batch(BASELINE_SCHEME, BASELINE_OPERATION, sessions,
+                       collect_ops=False, backend=backend)
+    return result.sessions_per_second
+
+
+def _emit_records(
+    report: LoadReport, args, backend_name: str, quick: bool
+) -> pathlib.Path:
+    from repro import perf
+
+    suffix = "" if backend_name == "plain" else f"+{backend_name}"
+    records = []
+    for entry in report.entries.values():
+        records.append(
+            perf.PerfRecord(
+                scheme=f"serve:{entry.scheme}{suffix}",
+                operation=entry.operation,
+                sessions=entry.sessions,
+                wall_seconds=entry.wall_seconds,
+                ops_per_second=entry.sessions_per_second,
+                ms_per_op=(entry.wall_seconds * 1e3 / entry.sessions
+                           if entry.sessions else 0.0),
+                latency_ms=entry.histogram.summary(),
+                meta={
+                    "clients": report.clients,
+                    "executor": args.executor,
+                    "backend": backend_name,
+                    "quick": quick,
+                    "overload_rejections": entry.overload_rejections,
+                },
+            )
+        )
+    path = perf.bench_path(args.bench_root)
+    perf.update_bench(path, records)
+    return path
+
+
+async def _run_load_command(args) -> int:
+    from repro.field.backend import default_backend_name
+
+    backend_name = default_backend_name(args.backend)
+    names = [name.strip() for name in args.schemes.split(",") if name.strip()]
+    mix = _scheme_mix(names, args.backend)
+    sessions = args.sessions if args.sessions is not None else (2 if args.quick else 16)
+
+    server: Optional[ServeServer] = None
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        address = (host, int(port))
+    else:
+        server = ServeServer(
+            schemes=None,  # serve the whole registry; the mix picks from it
+            backend=args.backend,
+            executor=args.executor,
+            workers=args.workers,
+            max_batch=args.max_batch,
+            queue_size=args.queue_size,
+        )
+        address = await server.start()
+
+    try:
+        print(f"load: {args.clients} clients x {sessions} sessions/entry "
+              f"over {len(mix)} mix entries on {backend_name} "
+              f"({'in-process server' if server else 'external server'})")
+        report = await run_load(
+            address[0], address[1], mix,
+            clients=args.clients,
+            sessions_per_client=sessions,
+            payload=DEFAULT_PAYLOAD,
+            backend=args.backend,
+        )
+
+        header = (f"{'scheme':16} {'operation':14} {'sessions':>8} {'err':>4} "
+                  f"{'sess/s':>8} {'p50 ms':>8} {'p90 ms':>8} {'p99 ms':>8}")
+        print(header)
+        print("-" * len(header))
+        for entry in report.entries.values():
+            digest = entry.histogram.summary()
+            print(f"{entry.scheme:16} {entry.operation:14} {entry.sessions:>8} "
+                  f"{entry.errors:>4} {entry.sessions_per_second:>8.1f} "
+                  f"{digest['p50_ms']:>8.2f} {digest['p90_ms']:>8.2f} "
+                  f"{digest['p99_ms']:>8.2f}")
+
+        failed = report.total_errors > 0
+        if failed:
+            print(f"FAIL: {report.total_errors} session(s) errored")
+        if report.total_overload_rejections:
+            print(f"note: {report.total_overload_rejections} overload rejection(s) "
+                  "were retried (explicit backpressure, not errors)")
+
+        baseline_key = f"{BASELINE_SCHEME}:{BASELINE_OPERATION}"
+        if server is not None and baseline_key in report.entries:
+            offline = _offline_baseline(
+                max(8, min(16, args.clients * sessions)), args.backend
+            )
+            group = server.scheduler.stats.group(BASELINE_SCHEME, BASELINE_OPERATION)
+            served_rate = group.served_per_second
+            roundtrip_rate = report.entries[baseline_key].sessions_per_second
+            # The gated quantity: requests the worker pool completed per
+            # second of executor busy time.  One server-side request is half
+            # an offline session's derivations, so parity with the offline
+            # sessions/s is the conservative floor, not the ceiling.
+            ratio = served_rate / offline if offline > 0 else float("inf")
+            print(f"{BASELINE_SCHEME} {BASELINE_OPERATION}: "
+                  f"server-side batched {served_rate:.1f} req/s "
+                  f"(round-trip {roundtrip_rate:.1f} sess/s, "
+                  f"offline baseline {offline:.1f} sess/s, "
+                  f"ratio {ratio:.2f}, largest batch {group.largest_batch})")
+            if ratio < args.min_ratio:
+                print(f"FAIL: serving ratio {ratio:.2f} below {args.min_ratio}")
+                failed = True
+
+        if server is not None and server.protocol_errors:
+            print(f"FAIL: server counted {server.protocol_errors} protocol error(s)")
+            failed = True
+
+        if not args.no_emit and not failed:
+            path = _emit_records(report, args, backend_name, args.quick)
+            print(f"perf trajectory updated: {path} "
+                  f"({len(report.entries)} serve: records)")
+        elif failed:
+            print("perf trajectory NOT updated (run failed)")
+
+        return 1 if failed else 0
+    finally:
+        if server is not None:
+            await server.stop()
+
+
+async def _run_serve_command(args) -> int:
+    schemes = ([name.strip() for name in args.schemes.split(",") if name.strip()]
+               if args.schemes else None)
+    server = ServeServer(
+        host=args.host,
+        port=args.port,
+        schemes=schemes,
+        backend=args.backend,
+        executor=args.executor,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        queue_size=args.queue_size,
+    )
+    address = await server.start()
+    names = ", ".join(server.scheme_host.scheme_names())
+    print(f"repro.serve listening on {address[0]}:{address[1]} "
+          f"[{server.scheme_host.backend} backend, {server.scheduler.executor_kind} "
+          f"pool x{server.scheduler.workers}] serving: {names}")
+    try:
+        await server.serve_forever()
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    finally:
+        await server.stop()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    runner = _run_serve_command if args.command == "serve" else _run_load_command
+    try:
+        return asyncio.run(runner(args))
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,351 @@
+"""The serving client and the concurrent load generator.
+
+:class:`ServeClient` is one connection speaking the framed protocol: it
+negotiates a scheme by registry name, keeps the server's long-lived public
+key, and runs full protocol sessions whose *client half* (ephemeral keygen,
+client-side derivation, hybrid encryption, signature verification) executes
+locally through the same registry instance the offline harness uses — so
+one online session performs exactly the work of one
+:mod:`repro.serve.session` offline session, split across the socket.
+
+:func:`run_load` is the measuring harness: N concurrent clients (one
+connection each) drive one ``(scheme, operation)`` mix entry at a time —
+all clients hammering the same scheme concurrently is precisely what lets
+the server-side scheduler fill same-scheme batches — and every request's
+round-trip latency lands in a :class:`~repro.perf.latency.LatencyHistogram`
+per entry.  An ``OP_OVERLOADED`` answer (bounded-queue backpressure) is
+retried after a short pause and counted, never silently dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    OverloadedError,
+    ParameterError,
+    ProtocolError,
+    ServeError,
+    UnsupportedOperationError,
+)
+from repro.perf.latency import LatencyHistogram
+from repro.serve import protocol
+from repro.serve.protocol import (
+    OP_CIPHERTEXT,
+    OP_DECRYPT,
+    OP_ENCRYPT,
+    OP_ERROR,
+    OP_HELLO,
+    OP_KA_CONFIRM,
+    OP_KA_INIT,
+    OP_OVERLOADED,
+    OP_PLAINTEXT_DIGEST,
+    OP_SIGN,
+    OP_SIGNATURE,
+    OP_VERDICT,
+    OP_VERIFY,
+    OP_WELCOME,
+    ERR_UNSUPPORTED,
+    Frame,
+    pack_verify,
+    parse_error,
+    parse_welcome,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["ServeClient", "LoadEntry", "LoadReport", "run_load", "DEFAULT_PAYLOAD"]
+
+DEFAULT_PAYLOAD = b"served session payload.........."
+
+#: How many times a load-generator request retries after OP_OVERLOADED.
+OVERLOAD_RETRIES = 200
+#: Pause between overload retries (seconds).
+OVERLOAD_BACKOFF = 0.005
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.ServeServer`."""
+
+    def __init__(self, host: str, port: int, backend: Optional[str] = None):
+        self.host = host
+        self.port = port
+        self.backend = backend
+        self.scheme_name = ""
+        self.server_public = b""
+        self.scheme = None  # local registry instance for the client half
+        self._reader: Optional["asyncio.StreamReader"] = None
+        self._writer: Optional["asyncio.StreamWriter"] = None
+
+    async def connect(self) -> "ServeClient":
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "ServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- the wire ---------------------------------------------------------------
+
+    async def request(self, opcode: int, payload: bytes = b"") -> Frame:
+        """One round trip; raises on error frames.
+
+        ``OP_OVERLOADED`` raises :class:`~repro.errors.OverloadedError`
+        (retryable), ``OP_ERROR`` raises :class:`~repro.errors.ServeError`
+        (or :class:`UnsupportedOperationError` for a capability gap), and a
+        dropped connection raises :class:`~repro.errors.ProtocolError`.
+        """
+        if self._reader is None or self._writer is None:
+            raise ParameterError("client is not connected")
+        await write_frame(self._writer, opcode, payload)
+        frame = await read_frame(self._reader)
+        if frame is None:
+            raise ProtocolError("server closed the connection mid-exchange")
+        if frame.version != protocol.PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"client speaks version {protocol.PROTOCOL_VERSION}, "
+                f"server answered with {frame.version}"
+            )
+        if frame.opcode == OP_OVERLOADED:
+            raise OverloadedError(frame.payload.decode("utf-8", "replace"))
+        if frame.opcode == OP_ERROR:
+            code, detail = parse_error(frame.payload)
+            if code == ERR_UNSUPPORTED:
+                raise UnsupportedOperationError(detail)
+            raise ServeError(
+                f"{protocol.ERROR_NAMES.get(code, code)}: {detail}"
+            )
+        return frame
+
+    async def negotiate(self, scheme_name: str) -> bytes:
+        """HELLO/WELCOME: pin the scheme, learn the server's public key."""
+        from repro.pkc.registry import get_scheme
+
+        frame = await self.request(OP_HELLO, scheme_name.encode("utf-8"))
+        if frame.opcode != OP_WELCOME:
+            raise ProtocolError(f"expected WELCOME, got {frame.opcode_name}")
+        name, public = parse_welcome(frame.payload)
+        if name != scheme_name:
+            raise ProtocolError(f"negotiated {scheme_name!r} but server said {name!r}")
+        self.scheme_name = name
+        self.server_public = public
+        self.scheme = get_scheme(scheme_name, backend=self.backend)
+        return public
+
+    # -- full protocol sessions ---------------------------------------------------
+    #
+    # Each runs one online session (the client half locally, the server half
+    # across the wire), verifies the result, and returns the round-trip
+    # latency of the server-bound request in seconds.
+
+    def _require_session(self) -> None:
+        if self.scheme is None:
+            raise ParameterError("negotiate a scheme before running sessions")
+
+    async def key_agreement_session(self, rng=None) -> float:
+        """Ephemeral keygen + both derivations; server's tag checked against ours."""
+        self._require_session()
+        client_pair = self.scheme.keygen(rng)
+        started = time.perf_counter()
+        frame = await self.request(OP_KA_INIT, client_pair.public_wire)
+        latency = time.perf_counter() - started
+        if frame.opcode != OP_KA_CONFIRM:
+            raise ProtocolError(f"expected KA_CONFIRM, got {frame.opcode_name}")
+        shared = self.scheme.key_agreement(client_pair, self.server_public)
+        if frame.payload != protocol.confirmation_tag(shared):
+            raise ServeError(f"{self.scheme_name}: key agreement tags disagree")
+        return latency
+
+    async def encryption_session(
+        self, payload: bytes = DEFAULT_PAYLOAD, rng=None
+    ) -> float:
+        """Encrypt to the server, server opens, digest checked."""
+        self._require_session()
+        ciphertext = self.scheme.encrypt(self.server_public, payload, rng)
+        started = time.perf_counter()
+        frame = await self.request(OP_DECRYPT, ciphertext)
+        latency = time.perf_counter() - started
+        if frame.opcode != OP_PLAINTEXT_DIGEST:
+            raise ProtocolError(f"expected PLAINTEXT_DIGEST, got {frame.opcode_name}")
+        if frame.payload != protocol.plaintext_digest(payload):
+            raise ServeError(f"{self.scheme_name}: decryption digest disagrees")
+        return latency
+
+    async def signature_session(
+        self, message: bytes = DEFAULT_PAYLOAD, rng=None
+    ) -> float:
+        """Server signs, we verify locally — then the server re-verifies on the wire."""
+        self._require_session()
+        started = time.perf_counter()
+        frame = await self.request(OP_SIGN, message)
+        latency = time.perf_counter() - started
+        if frame.opcode != OP_SIGNATURE:
+            raise ProtocolError(f"expected SIGNATURE, got {frame.opcode_name}")
+        if not self.scheme.verify(self.server_public, message, frame.payload):
+            raise ServeError(f"{self.scheme_name}: signature rejected locally")
+        return latency
+
+    async def verify_session(self, message: bytes, signature: bytes) -> bool:
+        """Ask the server for a verdict on ``(message, signature)``."""
+        self._require_session()
+        frame = await self.request(OP_VERIFY, pack_verify(message, signature))
+        if frame.opcode != OP_VERDICT or len(frame.payload) != 1:
+            raise ProtocolError(f"expected VERDICT, got {frame.opcode_name}")
+        return frame.payload == b"\x01"
+
+    async def encrypt_roundtrip_session(
+        self, payload: bytes = DEFAULT_PAYLOAD
+    ) -> float:
+        """Server-side encrypt, then server-side decrypt of the same bytes."""
+        self._require_session()
+        started = time.perf_counter()
+        frame = await self.request(OP_ENCRYPT, payload)
+        latency = time.perf_counter() - started
+        if frame.opcode != OP_CIPHERTEXT:
+            raise ProtocolError(f"expected CIPHERTEXT, got {frame.opcode_name}")
+        digest_frame = await self.request(OP_DECRYPT, frame.payload)
+        if digest_frame.payload != protocol.plaintext_digest(payload):
+            raise ServeError(f"{self.scheme_name}: encrypt round trip disagrees")
+        return latency
+
+
+#: operation name -> the ServeClient session coroutine that runs it.
+SESSION_METHODS = {
+    "key-agreement": "key_agreement_session",
+    "encryption": "encryption_session",
+    "signature": "signature_session",
+}
+
+
+@dataclass
+class LoadEntry:
+    """Aggregated outcome of one ``(scheme, operation)`` load phase."""
+
+    scheme: str
+    operation: str
+    sessions: int = 0
+    errors: int = 0
+    overload_rejections: int = 0
+    wall_seconds: float = 0.0
+    histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    @property
+    def key(self) -> str:
+        return f"{self.scheme}:{self.operation}"
+
+    @property
+    def sessions_per_second(self) -> float:
+        return self.sessions / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+@dataclass
+class LoadReport:
+    """Everything one :func:`run_load` run measured."""
+
+    clients: int
+    entries: Dict[str, LoadEntry] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def total_sessions(self) -> int:
+        return sum(entry.sessions for entry in self.entries.values())
+
+    @property
+    def total_errors(self) -> int:
+        return sum(entry.errors for entry in self.entries.values())
+
+    @property
+    def total_overload_rejections(self) -> int:
+        return sum(entry.overload_rejections for entry in self.entries.values())
+
+
+async def _client_phase(
+    client: ServeClient,
+    entry: LoadEntry,
+    sessions: int,
+    payload: bytes,
+    rng=None,
+) -> None:
+    """One client's share of one phase: negotiate, then run its sessions."""
+    await client.negotiate(entry.scheme)
+    method = getattr(client, SESSION_METHODS[entry.operation])
+    for _ in range(sessions):
+        for attempt in range(OVERLOAD_RETRIES + 1):
+            try:
+                if entry.operation == "key-agreement":
+                    latency = await method(rng)
+                else:
+                    latency = await method(payload, rng)
+                break
+            except OverloadedError:
+                entry.overload_rejections += 1
+                await asyncio.sleep(OVERLOAD_BACKOFF)
+        else:
+            entry.errors += 1
+            continue
+        entry.sessions += 1
+        entry.histogram.add(latency)
+
+
+async def run_load(
+    host: str,
+    port: int,
+    mix: Sequence[Tuple[str, str]],
+    clients: int = 8,
+    sessions_per_client: int = 4,
+    payload: bytes = DEFAULT_PAYLOAD,
+    backend: Optional[str] = None,
+    rng=None,
+) -> LoadReport:
+    """Drive ``clients`` concurrent connections through every mix entry.
+
+    ``mix`` is a sequence of ``(scheme name, operation)`` pairs; phases run
+    one at a time with *all* clients concurrent inside a phase, so the
+    server sees sustained same-scheme pressure and its scheduler can batch.
+    Connections persist across phases (one HELLO per phase renegotiates).
+    Failed sessions raise out of the harness — a load run with a protocol
+    bug should fail loudly, not average the bug away; only overload
+    rejections are retried in place.
+    """
+    if clients < 1:
+        raise ParameterError("the load harness needs at least one client")
+    pool: List[ServeClient] = [
+        ServeClient(host, port, backend=backend) for _ in range(clients)
+    ]
+    report = LoadReport(clients=clients)
+    run_started = time.perf_counter()
+    try:
+        await asyncio.gather(*(client.connect() for client in pool))
+        for scheme_name, operation in mix:
+            entry = report.entries.setdefault(
+                f"{scheme_name}:{operation}", LoadEntry(scheme_name, operation)
+            )
+            phase_started = time.perf_counter()
+            await asyncio.gather(
+                *(
+                    _client_phase(client, entry, sessions_per_client, payload, rng)
+                    for client in pool
+                )
+            )
+            entry.wall_seconds += time.perf_counter() - phase_started
+    finally:
+        await asyncio.gather(
+            *(client.close() for client in pool), return_exceptions=True
+        )
+    report.wall_seconds = time.perf_counter() - run_started
+    return report

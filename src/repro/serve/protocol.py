@@ -1,0 +1,320 @@
+"""The framed wire protocol of the serving layer.
+
+Every scheme in the registry already speaks *bytes in its canonical wire
+encoding* (compressed torus pairs, SEC1 points, ``n || e``, Fp2 traces); the
+serving protocol frames those bytes for transport without reinterpreting
+them.  A frame is::
+
+    +----------+---------+--------+-----------------+
+    | length:4 | version | opcode | payload ...     |
+    +----------+---------+--------+-----------------+
+
+``length`` is a big-endian ``uint32`` counting everything after itself
+(version byte + opcode byte + payload), so a reader always knows how many
+bytes complete the frame.  ``version`` is :data:`PROTOCOL_VERSION`; a
+mismatch is fatal to the connection.  Lengths above
+``max_payload + 2`` are rejected *before* any buffering of the payload, so
+a hostile or corrupt length prefix cannot make the server allocate.
+
+The opcode vocabulary mirrors the scheme capabilities: a client negotiates
+a scheme by registry name (:data:`OP_HELLO` → :data:`OP_WELCOME`, carrying
+the server's long-lived public key), then drives key agreement
+(:data:`OP_KA_INIT` → :data:`OP_KA_CONFIRM`), hybrid encryption
+(:data:`OP_ENCRYPT`/:data:`OP_DECRYPT`), and signatures
+(:data:`OP_SIGN`/:data:`OP_VERIFY`).  Secrets never travel: the server
+confirms a key agreement with :func:`confirmation_tag` (a hash of the
+shared secret) and a decryption with :func:`plaintext_digest`, which the
+client recomputes locally.
+
+Framing is **sans-IO**: :class:`FrameDecoder` consumes raw bytes and yields
+:class:`Frame` objects, so the edge cases (truncation, oversized lengths)
+are testable without sockets; :func:`read_frame` is the thin asyncio
+binding used by the server and client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_PAYLOAD",
+    "HEADER",
+    "Frame",
+    "FrameDecoder",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+    "OP_HELLO",
+    "OP_KA_INIT",
+    "OP_ENCRYPT",
+    "OP_DECRYPT",
+    "OP_SIGN",
+    "OP_VERIFY",
+    "OP_WELCOME",
+    "OP_KA_CONFIRM",
+    "OP_CIPHERTEXT",
+    "OP_PLAINTEXT_DIGEST",
+    "OP_SIGNATURE",
+    "OP_VERDICT",
+    "OP_ERROR",
+    "OP_OVERLOADED",
+    "REQUEST_OPS",
+    "OPCODE_NAMES",
+    "ERR_VERSION",
+    "ERR_UNKNOWN_OPCODE",
+    "ERR_UNKNOWN_SCHEME",
+    "ERR_NO_SESSION",
+    "ERR_UNSUPPORTED",
+    "ERR_BAD_REQUEST",
+    "ERR_INTERNAL",
+    "ERROR_NAMES",
+    "TAG_LEN",
+    "confirmation_tag",
+    "plaintext_digest",
+    "pack_welcome",
+    "parse_welcome",
+    "pack_verify",
+    "parse_verify",
+    "pack_error",
+    "parse_error",
+]
+
+#: Bumped when the frame layout or opcode semantics change incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Default cap on a frame's payload bytes.  Every scheme message the layer
+#: carries (public keys, hybrid ciphertexts, signatures) is far below this;
+#: a larger advertised length is rejected before any payload is buffered.
+MAX_FRAME_PAYLOAD = 64 * 1024
+
+#: ``length:4 | version:1 | opcode:1`` — length counts version + opcode + payload.
+HEADER = struct.Struct(">IBB")
+
+# -- opcodes: client -> server ------------------------------------------------
+
+OP_HELLO = 0x01  #: payload: registry scheme name, UTF-8
+OP_KA_INIT = 0x02  #: payload: client public key, scheme wire encoding
+OP_ENCRYPT = 0x03  #: payload: plaintext to encrypt under the server's key
+OP_DECRYPT = 0x04  #: payload: hybrid ciphertext for the server to open
+OP_SIGN = 0x05  #: payload: message to sign with the server's key
+OP_VERIFY = 0x06  #: payload: uint32 message length | message | signature
+
+# -- opcodes: server -> client ------------------------------------------------
+
+OP_WELCOME = 0x81  #: payload: uint8 name length | name | server public key
+OP_KA_CONFIRM = 0x82  #: payload: confirmation_tag(shared secret)
+OP_CIPHERTEXT = 0x83  #: payload: the ciphertext produced by OP_ENCRYPT
+OP_PLAINTEXT_DIGEST = 0x84  #: payload: plaintext_digest(recovered plaintext)
+OP_SIGNATURE = 0x85  #: payload: the signature produced by OP_SIGN
+OP_VERDICT = 0x86  #: payload: one byte, 0x01 accepted / 0x00 rejected
+OP_ERROR = 0xEE  #: payload: uint8 error code | UTF-8 detail
+OP_OVERLOADED = 0xBF  #: payload: UTF-8 detail — bounded queue full, retry later
+
+#: The operation-bearing client opcodes (everything except the handshake).
+REQUEST_OPS = (OP_KA_INIT, OP_ENCRYPT, OP_DECRYPT, OP_SIGN, OP_VERIFY)
+
+OPCODE_NAMES = {
+    OP_HELLO: "HELLO",
+    OP_KA_INIT: "KA_INIT",
+    OP_ENCRYPT: "ENCRYPT",
+    OP_DECRYPT: "DECRYPT",
+    OP_SIGN: "SIGN",
+    OP_VERIFY: "VERIFY",
+    OP_WELCOME: "WELCOME",
+    OP_KA_CONFIRM: "KA_CONFIRM",
+    OP_CIPHERTEXT: "CIPHERTEXT",
+    OP_PLAINTEXT_DIGEST: "PLAINTEXT_DIGEST",
+    OP_SIGNATURE: "SIGNATURE",
+    OP_VERDICT: "VERDICT",
+    OP_ERROR: "ERROR",
+    OP_OVERLOADED: "OVERLOADED",
+}
+
+# -- error codes ---------------------------------------------------------------
+
+ERR_VERSION = 1  #: frame carried a protocol version the server does not speak
+ERR_UNKNOWN_OPCODE = 2
+ERR_UNKNOWN_SCHEME = 3  #: HELLO named a scheme outside the server's registry
+ERR_NO_SESSION = 4  #: an operation arrived before a successful HELLO
+ERR_UNSUPPORTED = 5  #: the negotiated scheme lacks the requested capability
+ERR_BAD_REQUEST = 6  #: malformed payload (bad point, bad ciphertext...)
+ERR_INTERNAL = 7
+
+ERROR_NAMES = {
+    ERR_VERSION: "version-mismatch",
+    ERR_UNKNOWN_OPCODE: "unknown-opcode",
+    ERR_UNKNOWN_SCHEME: "unknown-scheme",
+    ERR_NO_SESSION: "no-session",
+    ERR_UNSUPPORTED: "unsupported-operation",
+    ERR_BAD_REQUEST: "bad-request",
+    ERR_INTERNAL: "internal-error",
+}
+
+#: Bytes of the key-agreement confirmation tag and plaintext digest.
+TAG_LEN = 16
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded wire frame."""
+
+    version: int
+    opcode: int
+    payload: bytes
+
+    @property
+    def opcode_name(self) -> str:
+        return OPCODE_NAMES.get(self.opcode, f"0x{self.opcode:02x}")
+
+
+def encode_frame(
+    opcode: int, payload: bytes = b"", version: int = PROTOCOL_VERSION
+) -> bytes:
+    """Serialise one frame.  Raises on payloads above :data:`MAX_FRAME_PAYLOAD`."""
+    if len(payload) > MAX_FRAME_PAYLOAD:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte cap"
+        )
+    return HEADER.pack(len(payload) + 2, version, opcode) + payload
+
+
+class FrameDecoder:
+    """Incremental sans-IO frame decoder.
+
+    Feed it raw bytes in any chunking; it yields every complete frame and
+    buffers the remainder.  An advertised length above the payload cap (or
+    below the 2-byte minimum) raises :class:`~repro.errors.ProtocolError`
+    immediately — the connection is unrecoverable past a framing error, so
+    the decoder refuses further input afterwards.
+    """
+
+    def __init__(self, max_payload: int = MAX_FRAME_PAYLOAD):
+        self.max_payload = max_payload
+        self._buffer = bytearray()
+        self._dead = False
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards an incomplete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Consume ``data``; return every frame it completed."""
+        if self._dead:
+            raise ProtocolError("decoder is dead after a framing error")
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while len(self._buffer) >= HEADER.size:
+            length, version, opcode = HEADER.unpack_from(self._buffer)
+            if length < 2 or length - 2 > self.max_payload:
+                self._dead = True
+                raise ProtocolError(
+                    f"frame length {length} outside [2, {self.max_payload + 2}]"
+                )
+            if len(self._buffer) - 4 < length:
+                break
+            payload = bytes(self._buffer[HEADER.size : 4 + length])
+            del self._buffer[: 4 + length]
+            frames.append(Frame(version, opcode, payload))
+        return frames
+
+
+async def read_frame(
+    reader: "asyncio.StreamReader", max_payload: int = MAX_FRAME_PAYLOAD
+) -> Optional[Frame]:
+    """Read exactly one frame; ``None`` on EOF at a frame boundary.
+
+    EOF in the middle of a frame — a mid-stream connection drop — raises
+    :class:`~repro.errors.ProtocolError`, which the server handler treats as
+    a disconnect for that connection only.
+    """
+    prefix = await reader.read(4)
+    if prefix == b"":
+        return None
+    while len(prefix) < 4:
+        more = await reader.read(4 - len(prefix))
+        if more == b"":
+            raise ProtocolError("connection dropped inside a frame header")
+        prefix += more
+    (length,) = struct.unpack(">I", prefix)
+    if length < 2 or length - 2 > max_payload:
+        raise ProtocolError(f"frame length {length} outside [2, {max_payload + 2}]")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection dropped inside a frame body") from exc
+    return Frame(body[0], body[1], body[2:])
+
+
+async def write_frame(
+    writer: "asyncio.StreamWriter",
+    opcode: int,
+    payload: bytes = b"",
+    version: int = PROTOCOL_VERSION,
+) -> None:
+    """Serialise and flush one frame."""
+    writer.write(encode_frame(opcode, payload, version=version))
+    await writer.drain()
+
+
+# -- payload shapes ------------------------------------------------------------
+
+
+def confirmation_tag(shared_secret: bytes) -> bytes:
+    """What the server returns for a key agreement instead of the secret."""
+    return hashlib.sha256(b"repro-serve-confirm" + shared_secret).digest()[:TAG_LEN]
+
+
+def plaintext_digest(plaintext: bytes) -> bytes:
+    """What the server returns for a decryption instead of the plaintext."""
+    return hashlib.sha256(b"repro-serve-digest" + plaintext).digest()[:TAG_LEN]
+
+
+def pack_welcome(scheme_name: str, server_public: bytes) -> bytes:
+    encoded = scheme_name.encode("utf-8")
+    if len(encoded) > 255:
+        raise ProtocolError("scheme name too long for the wire")
+    return bytes([len(encoded)]) + encoded + server_public
+
+
+def parse_welcome(payload: bytes) -> Tuple[str, bytes]:
+    """``(scheme name, server public key)`` from an OP_WELCOME payload."""
+    if not payload:
+        raise ProtocolError("empty WELCOME payload")
+    name_len = payload[0]
+    if len(payload) < 1 + name_len:
+        raise ProtocolError("WELCOME payload shorter than its name length")
+    name = payload[1 : 1 + name_len].decode("utf-8", errors="replace")
+    return name, payload[1 + name_len :]
+
+
+def pack_verify(message: bytes, signature: bytes) -> bytes:
+    return struct.pack(">I", len(message)) + message + signature
+
+
+def parse_verify(payload: bytes) -> Tuple[bytes, bytes]:
+    """``(message, signature)`` from an OP_VERIFY payload."""
+    if len(payload) < 4:
+        raise ProtocolError("VERIFY payload shorter than its length prefix")
+    (msg_len,) = struct.unpack_from(">I", payload)
+    if len(payload) - 4 < msg_len:
+        raise ProtocolError("VERIFY payload shorter than its message length")
+    return payload[4 : 4 + msg_len], payload[4 + msg_len :]
+
+
+def pack_error(code: int, detail: str = "") -> bytes:
+    return bytes([code]) + detail.encode("utf-8")
+
+
+def parse_error(payload: bytes) -> Tuple[int, str]:
+    """``(code, detail)`` from an OP_ERROR payload."""
+    if not payload:
+        return ERR_INTERNAL, ""
+    return payload[0], payload[1:].decode("utf-8", errors="replace")

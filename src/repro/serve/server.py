@@ -1,0 +1,270 @@
+"""The asyncio TCP server: connections in the loop, arithmetic in the pool.
+
+One :class:`ServeServer` binds a host/port, accepts any number of
+connections, and keeps a :class:`~repro.serve.session.ConnectionSession`
+per connection.  The handler is IO-only: it reads frames, enforces the
+handshake state machine (version check → ``HELLO`` negotiation → operation
+requests), checks the negotiated scheme's capabilities, and submits every
+operation to the shared :class:`~repro.serve.scheduler.BatchScheduler` —
+requests from *different connections* to the same scheme therefore merge
+into the same server-side batches, which is the whole point of terminating
+many small clients on one process.
+
+Error discipline, per connection:
+
+* a **version mismatch** or **framing violation** (truncated frame,
+  oversized length) answers with ``OP_ERROR`` where possible and closes
+  that connection; the server and every other connection keep running;
+* an **application error** (unknown scheme, missing capability, malformed
+  scheme payload) answers with ``OP_ERROR`` and keeps the connection open;
+* a **full queue** answers with ``OP_OVERLOADED`` — the bounded-queue
+  backpressure made visible to the peer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import OverloadedError, ParameterError, ProtocolError
+from repro.serve import protocol
+from repro.serve.protocol import (
+    ERR_NO_SESSION,
+    ERR_UNKNOWN_OPCODE,
+    ERR_UNKNOWN_SCHEME,
+    ERR_UNSUPPORTED,
+    ERR_VERSION,
+    OP_ERROR,
+    OP_HELLO,
+    OP_OVERLOADED,
+    OP_WELCOME,
+    PROTOCOL_VERSION,
+    Frame,
+    pack_error,
+    pack_welcome,
+    read_frame,
+    write_frame,
+)
+from repro.serve.scheduler import BatchScheduler, SchemeHost
+from repro.serve.session import CAPABILITY_BY_KIND, KIND_BY_OPCODE, ConnectionSession
+
+__all__ = ["ServeServer"]
+
+
+class ServeServer:
+    """A multi-scheme PKC server over the framed wire protocol."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        schemes: Optional[Sequence[str]] = None,
+        backend: Optional[str] = None,
+        executor: str = "thread",
+        workers: Optional[int] = None,
+        max_batch: int = 32,
+        queue_size: int = 256,
+        rng=None,
+    ):
+        self.bind_host = host
+        self.bind_port = port
+        self.scheme_host = SchemeHost(schemes=schemes, backend=backend, rng=rng)
+        self.scheduler = BatchScheduler(
+            self.scheme_host,
+            executor=executor,
+            workers=workers,
+            max_batch=max_batch,
+            queue_size=queue_size,
+        )
+        self._server: Optional["asyncio.base_events.Server"] = None
+        self._connection_tasks: set = set()
+        self.connections = 0
+        self.protocol_errors = 0
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually bound ``(host, port)`` (port 0 resolves at start)."""
+        if self._server is None:
+            raise ParameterError("server is not running")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> Tuple[str, int]:
+        """Start the scheduler and bind the listening socket."""
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.bind_host, self.bind_port
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Handler tasks may still be parked on reads whose EOF the loop has
+        # not processed yet; cancel and await them so shutdown is silent.
+        for task in list(self._connection_tasks):
+            task.cancel()
+        if self._connection_tasks:
+            await asyncio.gather(*self._connection_tasks, return_exceptions=True)
+        await self.scheduler.stop()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "ServeServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- per-connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter"
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        session = ConnectionSession(
+            peer=str(peername), backend=self.scheme_host.backend
+        )
+        self.connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except ProtocolError as exc:
+                    # Framing violation (oversized length, drop mid-frame):
+                    # fatal for this connection only.
+                    self.protocol_errors += 1
+                    session.errors += 1
+                    await self._best_effort_error(
+                        writer, protocol.ERR_BAD_REQUEST, str(exc)
+                    )
+                    return
+                if frame is None:  # clean EOF at a frame boundary
+                    return
+                if not await self._handle_frame(session, writer, frame):
+                    return
+        except (ConnectionResetError, BrokenPipeError):  # peer vanished
+            pass
+        except asyncio.CancelledError:  # server shutdown; close below
+            pass
+        finally:
+            if task is not None:
+                self._connection_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_frame(
+        self,
+        session: ConnectionSession,
+        writer: "asyncio.StreamWriter",
+        frame: Frame,
+    ) -> bool:
+        """Process one frame; return False when the connection must close."""
+        session.requests += 1
+        if frame.version != PROTOCOL_VERSION:
+            self.protocol_errors += 1
+            session.errors += 1
+            await self._best_effort_error(
+                writer,
+                ERR_VERSION,
+                f"server speaks version {PROTOCOL_VERSION}, got {frame.version}",
+            )
+            return False  # nothing after a version mismatch can be trusted
+
+        if frame.opcode == OP_HELLO:
+            return await self._handle_hello(session, writer, frame)
+
+        kind = KIND_BY_OPCODE.get(frame.opcode)
+        if kind is None:
+            session.errors += 1
+            await write_frame(
+                writer,
+                OP_ERROR,
+                pack_error(ERR_UNKNOWN_OPCODE, f"opcode 0x{frame.opcode:02x}"),
+            )
+            return True
+        if not session.negotiated:
+            session.errors += 1
+            await write_frame(
+                writer, OP_ERROR, pack_error(ERR_NO_SESSION, "HELLO first")
+            )
+            return True
+
+        scheme = self.scheme_host.scheme(session.scheme_name)
+        if CAPABILITY_BY_KIND[kind] not in scheme.capabilities:
+            session.errors += 1
+            await write_frame(
+                writer,
+                OP_ERROR,
+                pack_error(
+                    ERR_UNSUPPORTED, f"{scheme.name} does not implement {kind}"
+                ),
+            )
+            return True
+
+        try:
+            ok, code, payload = await self.scheduler.submit(
+                session.scheme_name, kind, frame.payload
+            )
+        except OverloadedError as exc:
+            session.errors += 1
+            await write_frame(writer, OP_OVERLOADED, str(exc).encode("utf-8"))
+            return True
+        if ok:
+            session.responses += 1
+            await write_frame(writer, code, payload)
+        else:
+            session.errors += 1
+            await write_frame(
+                writer, OP_ERROR, pack_error(code, payload.decode("utf-8", "replace"))
+            )
+        return True
+
+    async def _handle_hello(
+        self,
+        session: ConnectionSession,
+        writer: "asyncio.StreamWriter",
+        frame: Frame,
+    ) -> bool:
+        name = frame.payload.decode("utf-8", errors="replace")
+        if not self.scheme_host.allowed(name):
+            session.errors += 1
+            await write_frame(
+                writer,
+                OP_ERROR,
+                pack_error(
+                    ERR_UNKNOWN_SCHEME,
+                    f"unknown scheme {name!r}; serving: "
+                    f"{', '.join(self.scheme_host.scheme_names())}",
+                ),
+            )
+            return True  # the peer may retry with a served scheme
+        # The long-lived key may not exist yet; creating it is the one
+        # potentially slow step of the handshake (e.g. lazy RSA keygen), so
+        # it runs in the pool, not on the loop.
+        key = await asyncio.get_running_loop().run_in_executor(
+            None, self.scheme_host.server_key, name
+        )
+        session.scheme_name = name
+        await write_frame(writer, OP_WELCOME, pack_welcome(name, key.public_wire))
+        return True
+
+    async def _best_effort_error(
+        self, writer: "asyncio.StreamWriter", code: int, detail: str
+    ) -> None:
+        try:
+            await write_frame(writer, OP_ERROR, pack_error(code, detail))
+        except (ConnectionResetError, BrokenPipeError, OSError):  # peer gone
+            pass

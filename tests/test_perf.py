@@ -8,6 +8,7 @@ import random
 import pytest
 
 from repro.perf import (
+    LatencyHistogram,
     PerfRecord,
     Timer,
     bench_path,
@@ -44,6 +45,68 @@ class TestTimer:
         with Timer() as timer:
             sum(range(1000))
         assert timer.seconds > 0
+
+
+class TestLatencyHistogram:
+    def test_exact_percentiles_with_interpolation(self):
+        hist = LatencyHistogram([0.010, 0.020, 0.030, 0.040, 0.050])
+        assert hist.percentile(0.0) == pytest.approx(0.010)
+        assert hist.percentile(0.5) == pytest.approx(0.030)
+        assert hist.percentile(1.0) == pytest.approx(0.050)
+        assert hist.percentile(0.25) == pytest.approx(0.020)
+        assert hist.percentile(0.9) == pytest.approx(0.046)
+
+    def test_add_order_does_not_matter(self):
+        shuffled = LatencyHistogram()
+        for sample in (0.05, 0.01, 0.03, 0.02, 0.04):
+            shuffled.add(sample)
+        assert shuffled.percentile(0.5) == pytest.approx(0.03)
+        # Adding after a percentile query re-sorts correctly.
+        shuffled.add(0.001)
+        assert shuffled.percentile(0.0) == pytest.approx(0.001)
+
+    def test_empty_histogram_reports_zeroes(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(0.99) == 0.0
+        digest = hist.summary()
+        assert digest["count"] == 0
+        assert digest["p50_ms"] == 0.0
+        assert digest["max_ms"] == 0.0
+
+    def test_summary_shape_in_milliseconds(self):
+        hist = LatencyHistogram([0.010, 0.020, 0.030])
+        digest = hist.summary()
+        assert digest["count"] == 3
+        assert digest["p50_ms"] == pytest.approx(20.0)
+        assert digest["max_ms"] == pytest.approx(30.0)
+        assert digest["mean_ms"] == pytest.approx(20.0)
+        assert set(digest) == {"p50_ms", "p90_ms", "p99_ms", "max_ms", "mean_ms", "count"}
+
+    def test_merge_and_counters(self):
+        left = LatencyHistogram([0.010, 0.030])
+        right = LatencyHistogram([0.020])
+        left.merge(right)
+        assert left.count == 3
+        assert len(left) == 3
+        assert left.mean_seconds == pytest.approx(0.020)
+        assert left.max_seconds == pytest.approx(0.030)
+        assert left.percentile(0.5) == pytest.approx(0.020)
+
+    def test_quantile_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram([0.01]).percentile(1.5)
+
+    def test_latency_digest_travels_through_a_record(self, tmp_path):
+        digest = LatencyHistogram([0.010, 0.020]).summary()
+        record = make_record()
+        record.latency_ms = digest
+        path = tmp_path / "bench.json"
+        update_bench(path, [record])
+        loaded = load_bench(path)[record.key]
+        assert loaded.latency_ms == digest
+        # Offline records stay latency-free.
+        assert make_record().latency_ms is None
+        assert make_record().as_dict()["latency_ms"] is None
 
 
 class TestPerfRecord:

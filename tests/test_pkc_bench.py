@@ -8,7 +8,7 @@ import pytest
 
 from repro.errors import ParameterError, UnsupportedOperationError
 from repro.pkc import get_scheme
-from repro.pkc.bench import registry_batch_comparison, run_batch
+from repro.pkc.bench import registry_batch_comparison, run_batch, run_batch_parallel
 
 
 @pytest.fixture
@@ -111,3 +111,19 @@ class TestFastPathAndParallel:
             rng=random.Random(78), workers=8,
         )
         assert result.sessions == 1
+
+    def test_parallel_zero_sessions_returns_empty_result(self):
+        # Regression: workers = min(workers, 0) used to reach divmod(0, 0).
+        result = run_batch_parallel("ceilidh-toy32", "key-agreement", 0, 4)
+        assert result.sessions == 0
+        assert result.wall_seconds == 0.0
+        assert result.ops.total == 0
+        assert result.wire_bytes == 0
+        assert result.ms_per_session == 0.0
+        assert result.ops_per_session == 0.0
+        # Not inf: an empty batch must stay JSON-safe through the perf layer.
+        assert result.sessions_per_second == 0.0
+
+    def test_parallel_negative_sessions_rejected(self):
+        with pytest.raises(ParameterError):
+            run_batch_parallel("ceilidh-toy32", "key-agreement", -1, 4)
