@@ -19,7 +19,7 @@ from repro.nt.modular import modinv
 from repro.nt.sampling import resolve_rng, sample_exponent
 from repro.ecc.curves import NamedCurve
 from repro.ecc.point import AffinePoint
-from repro.ecc.scalar import double_scalar_mult, scalar_mult
+from repro.ecc.scalar import double_scalar_mult, scalar_mult, scalar_mult_many
 
 
 @dataclass
@@ -65,6 +65,31 @@ def ecdh_shared_secret(
         raise ParameterError("degenerate ECDH shared point")
     width = (own.curve.p.bit_length() + 7) // 8
     return shared.curve.field.exit(shared.x).to_bytes(width, "big")
+
+
+def ecdh_shared_secret_many(
+    own: EcdhKeyPair,
+    peer_publics,
+    count: Optional[ScalarMultCount] = None,
+) -> "list[bytes]":
+    """:func:`ecdh_shared_secret` against N peers, batching the inversions.
+
+    The N scalar multiplications run as usual; the N Jacobian->affine
+    conversions collapse to one field inversion via
+    :func:`~repro.ecc.scalar.scalar_mult_many`.  Wire bytes are identical
+    to N single calls.
+    """
+    peer_publics = list(peer_publics)
+    shareds = scalar_mult_many(
+        peer_publics, [own.private] * len(peer_publics), count=count
+    )
+    width = (own.curve.p.bit_length() + 7) // 8
+    secrets = []
+    for shared in shareds:
+        if shared.is_infinity():
+            raise ParameterError("degenerate ECDH shared point")
+        secrets.append(shared.curve.field.exit(shared.x).to_bytes(width, "big"))
+    return secrets
 
 
 def _hash_to_int(message: bytes, order: int) -> int:

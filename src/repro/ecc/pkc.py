@@ -34,9 +34,15 @@ from repro.pkc.base import (
 )
 from repro.pkc.profile import canonical_exponent
 from repro.ecc.curves import NamedCurve
-from repro.ecc.ecdh import EcdhKeyPair, ecdh_shared_secret, ecdsa_sign, ecdsa_verify
+from repro.ecc.ecdh import (
+    EcdhKeyPair,
+    ecdh_shared_secret,
+    ecdh_shared_secret_many,
+    ecdsa_sign,
+    ecdsa_verify,
+)
 from repro.ecc.encoding import decode_point, encode_point, point_size_bytes
-from repro.ecc.point import AffinePoint
+from repro.ecc.point import AffinePoint, to_affine_many
 from repro.ecc.scalar import scalar_mult_binary
 
 __all__ = ["EcdhScheme"]
@@ -78,15 +84,27 @@ class EcdhScheme(PkcScheme):
 
     # -- fixed-base generator powers ------------------------------------------------
 
-    def generator_power(self, exponent: int, trace: Optional[OpTrace] = None) -> AffinePoint:
-        """``exponent * G`` from a cached fixed-base table (amortised doublings)."""
+    def _table(self) -> FixedBaseTable:
         if self._generator_table is None:
             self._generator_table = FixedBaseTable(
                 self._exp_group,
                 self._generator.to_jacobian(),
                 self.curve.order.bit_length(),
             )
-        return self._generator_table.power(exponent, trace=trace).to_affine()
+        return self._generator_table
+
+    def generator_power(self, exponent: int, trace: Optional[OpTrace] = None) -> AffinePoint:
+        """``exponent * G`` from a cached fixed-base table (amortised doublings)."""
+        return self._table().power(exponent, trace=trace).to_affine()
+
+    def generator_powers(
+        self, exponents, trace: Optional[OpTrace] = None
+    ) -> "list[AffinePoint]":
+        """N fixed-base powers sharing ONE batch affine conversion."""
+        table = self._table()
+        return to_affine_many(
+            table.power(exponent, trace=trace) for exponent in exponents
+        )
 
     # -- keys -------------------------------------------------------------------
 
@@ -101,6 +119,28 @@ class EcdhScheme(PkcScheme):
             public_wire=encode_point(public, compressed=self.compressed),
             native=keypair,
         )
+
+    def keygen_many(
+        self,
+        count: int,
+        rng: Optional[random.Random] = None,
+        trace: Optional[OpTrace] = None,
+    ) -> "list[SchemeKeyPair]":
+        """N key pairs whose public points share one batch affine conversion.
+
+        RNG draws happen in the same order as N :meth:`keygen` calls, so a
+        seeded batch produces byte-identical wire keys.
+        """
+        privates = [sample_exponent(self.curve.order, rng) for _ in range(count)]
+        publics = self.generator_powers(privates, trace=trace)
+        return [
+            SchemeKeyPair(
+                scheme=self.name,
+                public_wire=encode_point(public, compressed=self.compressed),
+                native=EcdhKeyPair(curve=self.curve, private=private, public=public),
+            )
+            for private, public in zip(privates, publics)
+        ]
 
     def public_key_size(self) -> int:
         return point_size_bytes(self.curve, compressed=self.compressed)
@@ -124,6 +164,22 @@ class EcdhScheme(PkcScheme):
         peer = decode_point(self.curve, peer_public, curve=self._curve_obj)
         shared = ecdh_shared_secret(own.native, peer, count=trace)
         return kdf(shared, info, length)
+
+    def key_agreement_many(
+        self,
+        own: SchemeKeyPair,
+        peer_publics,
+        info: bytes = b"",
+        length: int = 32,
+        trace: Optional[OpTrace] = None,
+    ) -> "list[bytes]":
+        """N key agreements against one private key, batching the inversions."""
+        peers = [
+            decode_point(self.curve, peer, curve=self._curve_obj)
+            for peer in peer_publics
+        ]
+        shareds = ecdh_shared_secret_many(own.native, peers, count=trace)
+        return [kdf(shared, info, length) for shared in shareds]
 
     # -- hybrid encryption (hashed ElGamal over the curve) ----------------------------
 

@@ -229,3 +229,29 @@ class JacobianPoint:
 
     def __repr__(self) -> str:
         return f"JacobianPoint({self.x} : {self.y} : {self.z})"
+
+
+def to_affine_many(points) -> "list[AffinePoint]":
+    """Convert N Jacobian points (one curve) to affine with ONE field inversion.
+
+    :meth:`JacobianPoint.to_affine` pays a modular inversion per point; for a
+    batch of same-curve points Montgomery's trick
+    (:meth:`~repro.field.fp.PrimeField.inv_many`) trades the N inversions for
+    1 inversion + 3(N-1) multiplications over the Z coordinates.  Points at
+    infinity pass through as :data:`INFINITY` and do not join the batch.
+    This is the exit funnel the batched serving and bench paths route every
+    per-session point output through.
+    """
+    points = list(points)
+    results: "list[AffinePoint]" = [INFINITY] * len(points)
+    finite = [(i, pt) for i, pt in enumerate(points) if not pt.is_infinity()]
+    if not finite:
+        return results
+    f = finite[0][1].curve.field
+    z_invs = f.inv_many([pt.z for _, pt in finite])
+    for (i, pt), z_inv in zip(finite, z_invs):
+        z_inv2 = f.mul(z_inv, z_inv)
+        x = f.mul(pt.x, z_inv2)
+        y = f.mul(pt.y, f.mul(z_inv2, z_inv))
+        results[i] = AffinePoint(pt.curve, x, y, check=False)
+    return results

@@ -27,6 +27,7 @@ from repro.ecc.point import INFINITY, AffinePoint
 __all__ = [
     "ScalarMultCount",
     "scalar_mult",
+    "scalar_mult_many",
     "scalar_mult_binary",
     "scalar_mult_naf",
     "scalar_mult_wnaf",
@@ -60,6 +61,54 @@ def _run(
         window_bits=window_bits,
     )
     return result.to_affine()
+
+
+def scalar_mult_many(
+    points,
+    scalars,
+    strategy: str = "auto",
+    count: Optional[ScalarMultCount] = None,
+    window_bits: Optional[int] = None,
+) -> "list[AffinePoint]":
+    """N same-curve scalar multiplications sharing ONE affine conversion.
+
+    Each product runs through the unified engine exactly as
+    :func:`scalar_mult` would (same strategy, same trace tallies), but the
+    Jacobian results are converted together via
+    :func:`repro.ecc.point.to_affine_many` — 1 field inversion + 3(N-1)
+    multiplications instead of N inversions.  Zero scalars and infinite
+    inputs yield :data:`~repro.ecc.point.INFINITY` without joining the batch.
+    """
+    from repro.ecc.point import to_affine_many
+
+    points = list(points)
+    scalars = list(scalars)
+    if len(points) != len(scalars):
+        raise ParameterError("scalar_mult_many needs one scalar per point")
+    if window_bits is not None:
+        check_window_bits(window_bits)
+    results: "list[Optional[AffinePoint]]" = [None] * len(points)
+    jacobians = []
+    positions = []
+    for i, (point, scalar) in enumerate(zip(points, scalars)):
+        if scalar == 0 or point.is_infinity():
+            results[i] = INFINITY
+            continue
+        group = JacobianExpGroup(point.curve)
+        jacobians.append(
+            _exponentiate(
+                group,
+                point.to_jacobian(),
+                scalar,
+                strategy=strategy,
+                trace=count,
+                window_bits=window_bits,
+            )
+        )
+        positions.append(i)
+    for i, affine in zip(positions, to_affine_many(jacobians)):
+        results[i] = affine
+    return results
 
 
 def scalar_mult_binary(

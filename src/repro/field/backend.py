@@ -7,7 +7,7 @@ delegates its multiplicative arithmetic to an injected **backend**, so the
 entire extension tower (Fp2/Fp3/Fp6/the F2 tower), the exponentiation
 engine and every registry scheme inherit the substrate selection for free.
 
-Three backends are provided:
+Four backends are provided:
 
 * :class:`PlainBackend` — today's plain-integer arithmetic (``a * b % p``).
   The default fast path; nothing about the historical behaviour changes.
@@ -26,6 +26,19 @@ Three backends are provided:
   SoC Table 3 projection from an analytic composition into a measurement
   of the word operations the schemes actually execute (see
   :meth:`repro.soc.cost.CostModel.measured_exponentiation_cycles`).
+* :class:`NativeBackend` — plain-representation arithmetic on the fastest
+  native substrate available (see :mod:`repro.field.native`): GMP via the
+  optional ``gmpy2`` package (``mpz`` residents, ``powmod`` behind the
+  exp-engine fast path), else the on-demand-compiled ctypes FIOS
+  Montgomery C kernel for whole exponentiations, else — with a logged
+  warning — the pure-python plain path, so ``REPRO_FIELD_BACKEND=native``
+  is always safe.  Residents coincide with plain reduced integers, so
+  seeded wire output is byte-identical with the plain backend.
+
+Every bound backend also exposes :meth:`FieldOps.inv_many` — batch
+inversion by Montgomery's trick (1 inversion + 3(N-1) multiplications for
+N values), the primitive the serve scheduler's group dispatch and the ECC
+Jacobian->affine funnel use to collapse per-session inversions.
 
 Representation contract
 -----------------------
@@ -45,8 +58,8 @@ import os
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Union
 
-from repro.errors import ParameterError
-from repro.nt.modular import modinv
+from repro.errors import NotInvertibleError, ParameterError
+from repro.nt.modular import modinv, modinv_euclid
 
 __all__ = [
     "WordOpStream",
@@ -54,12 +67,16 @@ __all__ = [
     "PlainFieldOps",
     "MontgomeryFieldOps",
     "WordCountingFieldOps",
+    "GmpFieldOps",
+    "KernelFieldOps",
     "PlainBackend",
     "MontgomeryBackend",
     "WordCountingBackend",
+    "NativeBackend",
     "BACKENDS",
     "get_backend",
     "default_backend_name",
+    "canonical_backend_name",
     "BACKEND_ENV_VAR",
 ]
 
@@ -138,14 +155,18 @@ class FieldOps:
     """A backend bound to one modulus: the operations ``PrimeField`` delegates.
 
     Subclasses fix the representation.  ``plain`` reports whether resident
-    values coincide with ordinary reduced integers (True only for
-    :class:`PlainFieldOps`); ``representation`` names the residency for
-    field-equality purposes — mixing elements of a plain and a
-    Montgomery-resident field is a bug the field layer turns into a
+    values coincide with ordinary reduced integers (True for
+    :class:`PlainFieldOps` and the native substrates); ``rebind`` reports
+    whether ``PrimeField`` must delegate its arithmetic methods to this
+    object (False only for :class:`PlainFieldOps`, which the field's
+    class-level fast path already implements); ``representation`` names the
+    residency for field-equality purposes — mixing elements of a plain and
+    a Montgomery-resident field is a bug the field layer turns into a
     :class:`~repro.errors.FieldMismatchError`.
     """
 
     plain = True
+    rebind = False
     representation = "plain"
 
     def __init__(self, modulus: int):
@@ -194,6 +215,40 @@ class FieldOps:
     def inv(self, a: int) -> int:
         raise NotImplementedError
 
+    def inv_many(self, values) -> list:
+        """Invert N resident values with 1 inversion + 3(N-1) multiplications.
+
+        Montgomery's trick: form the running prefix products, invert the
+        total once, then walk back unwinding one factor at a time.  The
+        algebra is representation-agnostic (products and inverses of
+        residents are residents), so the same code is exact under every
+        backend.  A zero anywhere in the batch raises
+        :class:`~repro.errors.NotInvertibleError` before any work is done —
+        callers with possibly-zero values filter first.
+        """
+        values = list(values)
+        n = len(values)
+        if n == 0:
+            return []
+        if n == 1:
+            return [self.inv(values[0])]
+        for value in values:
+            if value == 0:
+                raise NotInvertibleError(0, self.p)
+        mul = self.mul
+        prefix = values[:]
+        acc = prefix[0]
+        for i in range(1, n):
+            acc = mul(acc, values[i])
+            prefix[i] = acc
+        inv_acc = self.inv(acc)
+        out = [0] * n
+        for i in range(n - 1, 0, -1):
+            out[i] = mul(inv_acc, prefix[i - 1])
+            inv_acc = mul(inv_acc, values[i])
+        out[0] = inv_acc
+        return out
+
     def pow(self, a: int, e: int) -> int:
         raise NotImplementedError
 
@@ -202,6 +257,7 @@ class PlainFieldOps(FieldOps):
     """Ordinary reduced-integer arithmetic — the historical behaviour."""
 
     plain = True
+    rebind = False
     representation = "plain"
 
     def mul(self, a: int, b: int) -> int:
@@ -229,6 +285,7 @@ class MontgomeryFieldOps(FieldOps):
     """
 
     plain = False
+    rebind = True
     representation = "montgomery"
 
     def __init__(self, modulus: int, word_bits: int = 16):
@@ -388,6 +445,10 @@ class WordCountingFieldOps(MontgomeryFieldOps):
     def inv(self, a: int) -> int:
         if self.stream.counting:
             self.stream.inversions += 1
+            # The schedulable extended-Euclid inverse, not the C-speed
+            # ``pow(a, -1, p)`` shortcut: this backend models the
+            # coprocessor, where inversion is an algorithm, not a builtin.
+            return modinv_euclid(a, self.p) * self.domain.r2_mod_p % self.p
         return super().inv(a)
 
     def pow(self, a: int, e: int) -> int:
@@ -399,6 +460,79 @@ class WordCountingFieldOps(MontgomeryFieldOps):
         if e < 0:
             return exponentiate(group, self.inv(a), -e)
         return exponentiate(group, a, e)
+
+
+class GmpFieldOps(FieldOps):
+    """Plain-representation arithmetic on GMP ``mpz`` values (gmpy2).
+
+    Residents are ``mpz`` — plain reduced integers as far as every consumer
+    is concerned (``mpz`` interoperates and compares equal with ``int``),
+    but multiplication, inversion and above all :meth:`pow` (GMP's
+    ``powmod``) run on GMP's native kernels.  :meth:`exit` narrows back to
+    ``int`` so wire encodes (``.to_bytes``) see the builtin type.
+    """
+
+    plain = True
+    rebind = True
+    representation = "plain"
+    substrate = "gmpy2"
+
+    def __init__(self, modulus: int, gmpy2):
+        super().__init__(modulus)
+        self._gmpy2 = gmpy2
+        self._mpz = gmpy2.mpz
+        self.pz = gmpy2.mpz(modulus)
+
+    def enter(self, x: int) -> int:
+        return self._mpz(x)
+
+    def exit(self, x: int) -> int:
+        return int(x)
+
+    def mul(self, a: int, b: int) -> int:
+        return a * b % self.pz
+
+    def sqr(self, a: int) -> int:
+        return a * a % self.pz
+
+    def inv(self, a: int) -> int:
+        try:
+            return self._gmpy2.invert(a, self.pz)
+        except ZeroDivisionError:
+            raise NotInvertibleError(int(a) % self.p, self.p) from None
+
+    def pow(self, a: int, e: int) -> int:
+        try:
+            return self._gmpy2.powmod(a, e, self.pz)
+        except (ValueError, ZeroDivisionError):
+            # Negative exponent of a non-invertible base.
+            raise NotInvertibleError(int(a) % self.p, self.p) from None
+
+
+class KernelFieldOps(PlainFieldOps):
+    """Plain-representation arithmetic over the ctypes FIOS C kernel.
+
+    Residents are ordinary reduced integers and single products keep the
+    CPython fast path (per-call FFI overhead would eat the kernel's win);
+    whole modular **exponentiations** — where the serve workload spends its
+    time — run as one C call through
+    :meth:`repro.field.native.FiosKernel.powmod`.  Even moduli and sizes
+    beyond the kernel's limb budget fall back to the builtin ``pow``.
+    """
+
+    rebind = True
+    substrate = "fios-c"
+
+    def __init__(self, modulus: int, kernel):
+        super().__init__(modulus)
+        self._kernel = kernel if kernel.supports(modulus) else None
+
+    def pow(self, a: int, e: int) -> int:
+        if self._kernel is None:
+            return super().pow(a, e)
+        if e < 0:
+            return self._kernel.powmod(modinv(a, self.p), -e, self.p)
+        return self._kernel.powmod(a, e, self.p)
 
 
 # ---------------------------------------------------------------------------
@@ -454,11 +588,50 @@ class WordCountingBackend(MontgomeryBackend):
         return WordCountingFieldOps(modulus, self.word_bits, self.stream)
 
 
+class NativeBackend(PlainBackend):
+    """Spec for the native-accelerated plain-representation backend.
+
+    Binding picks the best substrate probed by :mod:`repro.field.native`:
+    gmpy2 (:class:`GmpFieldOps`), else the compiled FIOS C kernel
+    (:class:`KernelFieldOps`), else — once per process, with a logged
+    warning — it degrades to :class:`PlainFieldOps`, so selecting
+    ``native`` never fails.  :attr:`substrate` reports what was found
+    (``"gmpy2"`` / ``"fios-c"`` / ``None``).
+    """
+
+    name = "native"
+    representation = "plain"
+
+    _warned = False
+
+    def __init__(self):
+        from repro.field.native import resolve_substrate
+
+        self.substrate, self._handle = resolve_substrate()
+        if self.substrate is None and not NativeBackend._warned:
+            NativeBackend._warned = True
+            import logging
+
+            logging.getLogger("repro.field.native").warning(
+                "native field backend requested but neither gmpy2 nor a "
+                "working C compiler is available; degrading to the "
+                "pure-python plain backend (pip install gmpy2 to accelerate)"
+            )
+
+    def bind(self, modulus: int) -> PlainFieldOps:
+        if self.substrate == "gmpy2":
+            return GmpFieldOps(modulus, self._handle)
+        if self.substrate == "fios-c":
+            return KernelFieldOps(modulus, self._handle)
+        return PlainFieldOps(modulus)
+
+
 #: Name -> backend-spec class.
 BACKENDS = {
     "plain": PlainBackend,
     "montgomery": MontgomeryBackend,
     "word-counting": WordCountingBackend,
+    "native": NativeBackend,
 }
 
 BackendLike = Union[None, str, PlainBackend]
@@ -489,3 +662,21 @@ def default_backend_name(override: Optional[str] = None) -> str:
     if override is not None:
         return override
     return os.environ.get(BACKEND_ENV_VAR, "plain") or "plain"
+
+
+def canonical_backend_name(name: str) -> str:
+    """Collapse backend aliases that bind to identical arithmetic.
+
+    ``native`` without an available substrate degrades to the plain path at
+    bind time, so cache layers (the scheme registry in
+    :mod:`repro.pkc.registry`) key it as ``plain`` — a process that mixes
+    ``backend=None`` under ``REPRO_FIELD_BACKEND=native`` with explicit
+    ``backend="plain"`` calls then shares one warm instance (one set of
+    fixed-base tables) instead of building two.
+    """
+    if name == "native":
+        from repro.field.native import native_substrate_name
+
+        if native_substrate_name() is None:
+            return "plain"
+    return name

@@ -249,6 +249,35 @@ class ExtensionField:
         inverse = P.poly_inverse_mod(self.base, list(a.coeffs), self.modulus)
         return self._from_coeffs(list(inverse))
 
+    def inv_many(self, values) -> "list[ExtElement]":
+        """Batch inversion (Montgomery's trick): 1 inversion + 3(N-1) products.
+
+        The single polynomial-gcd inversion is the expensive step here, so
+        the trick pays off even faster than in Fp.  Any zero in the batch
+        raises :class:`ParameterError`, as :meth:`inv` would.
+        """
+        values = list(values)
+        n = len(values)
+        if n == 0:
+            return []
+        if n == 1:
+            return [self.inv(values[0])]
+        for value in values:
+            if value.is_zero():
+                raise ParameterError("cannot invert zero")
+        prefix = values[:]
+        acc = prefix[0]
+        for i in range(1, n):
+            acc = self.mul(acc, values[i])
+            prefix[i] = acc
+        inv_acc = self.inv(acc)
+        out: "list[ExtElement]" = [inv_acc] * n
+        for i in range(n - 1, 0, -1):
+            out[i] = self.mul(inv_acc, prefix[i - 1])
+            inv_acc = self.mul(inv_acc, values[i])
+        out[0] = inv_acc
+        return out
+
     def exp_group(self):
         """This field's unit group as seen by :mod:`repro.exp`."""
         if self._exp_group is None:

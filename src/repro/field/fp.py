@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.errors import FieldMismatchError, ParameterError
+from repro.errors import FieldMismatchError, NotInvertibleError, ParameterError
 from repro.exp.group import FieldExpGroup
 from repro.exp.strategies import exponentiate
 from repro.exp.trace import OpTrace
@@ -56,7 +56,7 @@ class PrimeField:
         self.backend = spec.bind(p)
         #: The resident representation of 1 (``R mod p`` under Montgomery).
         self.one_value = self.backend.one
-        if not self.backend.plain:
+        if self.backend.rebind:
             if type(self) is not PrimeField:
                 raise ParameterError(
                     f"{type(self).__name__} instruments the plain arithmetic "
@@ -70,6 +70,7 @@ class PrimeField:
             self.mul = self.backend.mul
             self.sqr = self.backend.sqr
             self.inv = self.backend.inv
+            self.inv_many = self.backend.inv_many
         self._exp_group: Optional[FieldExpGroup] = None
 
     # -- representation boundary -------------------------------------------
@@ -114,6 +115,39 @@ class PrimeField:
         """Return ``a^-1 mod p``."""
         return modinv(a, self.p)
 
+    def inv_many(self, values) -> list:
+        """Invert N resident values with 1 inversion + 3(N-1) multiplications.
+
+        Montgomery's batch-inversion trick, phrased over :meth:`mul` and
+        :meth:`inv` so an operation-counting subclass observes exactly the
+        claimed cost; non-plain backends rebind this to the backend's own
+        :meth:`~repro.field.backend.FieldOps.inv_many`.  A zero anywhere in
+        the batch raises :class:`~repro.errors.NotInvertibleError` before
+        any work is done.
+        """
+        values = list(values)
+        n = len(values)
+        if n == 0:
+            return []
+        if n == 1:
+            return [self.inv(values[0])]
+        for value in values:
+            if value == 0:
+                raise NotInvertibleError(0, self.p)
+        mul = self.mul
+        prefix = values[:]
+        acc = prefix[0]
+        for i in range(1, n):
+            acc = mul(acc, values[i])
+            prefix[i] = acc
+        inv_acc = self.inv(acc)
+        out = [0] * n
+        for i in range(n - 1, 0, -1):
+            out[i] = mul(inv_acc, prefix[i - 1])
+            inv_acc = mul(inv_acc, values[i])
+        out[0] = inv_acc
+        return out
+
     def exp_group(self) -> FieldExpGroup:
         """The multiplicative group Fp* as seen by :mod:`repro.exp`."""
         if self._exp_group is None:
@@ -135,7 +169,7 @@ class PrimeField:
         a single Fp power is not a loop worth recoding).
         """
         if trace is None and strategy == "auto":
-            if not self.backend.plain:
+            if self.backend.rebind:
                 return self.backend.pow(a, e)
             if e < 0:
                 return pow(self.inv(a % self.p), -e, self.p)
@@ -210,7 +244,7 @@ class PrimeField:
         return hash(("PrimeField", self.p, self.backend.representation_key))
 
     def __repr__(self) -> str:
-        suffix = "" if self.backend.plain else f", backend={self.backend_name!r}"
+        suffix = "" if self.backend_name == "plain" else f", backend={self.backend_name!r}"
         return f"PrimeField(p={self.p}{suffix})"
 
 

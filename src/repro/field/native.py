@@ -1,0 +1,342 @@
+"""Native arithmetic substrates for the ``native`` field backend.
+
+Two substrates are probed, in order of preference:
+
+* **gmpy2** — when the optional ``gmpy2`` package imports, residents are
+  kept as ``mpz`` values and multiplication/inversion/exponentiation run on
+  GMP's assembly kernels (``powmod`` backs the exp-engine fast path).  This
+  is the order-of-magnitude lever on the headline moduli.
+* **A ctypes FIOS Montgomery kernel** — a small C implementation of the
+  paper's Algorithm 1 (Finely Integrated Operand Scanning, after
+  Koc/Acar/Kaliski) over 64-bit limbs, compiled on demand with the system C
+  compiler and loaded through :mod:`ctypes`.  Per-call FFI overhead makes a
+  single product a loss against CPython's big-int fast path, so the kernel
+  is exposed where the cost amortises: whole modular **exponentiations**
+  run as one C call (the Montgomery square-and-multiply loop never leaves
+  the kernel).  It is also the word-level twin of the pure-python
+  :func:`repro.montgomery.fios._fios` reference and is differentially
+  tested against it.
+
+Neither substrate is required: :func:`resolve_substrate` reports what is
+available, and the backend layer (:class:`repro.field.backend.NativeBackend`)
+degrades to the pure-python plain path with a logged warning when both are
+absent — ``REPRO_FIELD_BACKEND=native`` is therefore always safe to set.
+
+Everything here deals in **plain reduced integers**; Montgomery residency is
+internal to the C kernel (operands enter and leave per call), so the native
+backend's values remain wire-compatible with the plain backend by
+construction.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import logging
+import os
+import subprocess
+import sys
+import tempfile
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "load_gmpy2",
+    "load_fios_kernel",
+    "resolve_substrate",
+    "native_substrate_name",
+    "FiosKernel",
+    "KERNEL_ENV_VAR",
+]
+
+logger = logging.getLogger("repro.field.native")
+
+#: Set to ``0``/``off`` to skip building the C kernel even when a compiler
+#: exists (useful to pin CI legs to one substrate deterministically).
+KERNEL_ENV_VAR = "REPRO_NATIVE_KERNEL"
+
+_WORD_BITS = 64
+_RADIX = 1 << _WORD_BITS
+_MAX_WORDS = 66  # up to 4224-bit moduli; far beyond the headline sizes
+
+#: FIOS Montgomery kernel: Algorithm 1 with 64-bit words.  The inner loop
+#: mirrors the pure-python reference in ``repro.montgomery.fios._fios`` —
+#: interleaved partial product and reduction with immediate carry
+#: propagation (the ADD(t[j+1], C) step of Koc/Acar/Kaliski's FIOS) — so the
+#: two implementations can be differentially tested word-for-word.
+_KERNEL_SOURCE = r"""
+#include <stdint.h>
+
+typedef unsigned __int128 u128;
+
+#define MAX_WORDS %(max_words)d
+
+/* Add c into t[j], propagating the carry upward (FIOS "ADD" helper). */
+static inline void add_at(uint64_t *t, int j, uint64_t c, int len) {
+    while (c && j < len) {
+        u128 acc = (u128)t[j] + c;
+        t[j] = (uint64_t)acc;
+        c = (uint64_t)(acc >> 64);
+        j++;
+    }
+}
+
+/* out = a * b * R^-1 mod m  (R = 2^(64n)); operands reduced mod m. */
+void repro_fios_mont_mul(uint64_t *out, const uint64_t *a, const uint64_t *b,
+                         const uint64_t *m, uint64_t m_prime, int n) {
+    uint64_t t[MAX_WORDS + 2];
+    int i, j;
+    for (i = 0; i < n + 2; i++) t[i] = 0;
+    for (i = 0; i < n; i++) {
+        uint64_t bi = b[i], carry, s, mu;
+        u128 acc = (u128)t[0] + (u128)a[0] * bi;
+        s = (uint64_t)acc;
+        add_at(t, 1, (uint64_t)(acc >> 64), n + 2);
+        mu = s * m_prime;              /* mod 2^64 by truncation */
+        acc = (u128)s + (u128)mu * m[0];
+        carry = (uint64_t)(acc >> 64); /* low word is 0 by construction */
+        for (j = 1; j < n; j++) {
+            acc = (u128)t[j] + (u128)a[j] * bi + carry;
+            s = (uint64_t)acc;
+            add_at(t, j + 1, (uint64_t)(acc >> 64), n + 2);
+            acc = (u128)s + (u128)mu * m[j];
+            t[j - 1] = (uint64_t)acc;
+            carry = (uint64_t)(acc >> 64);
+        }
+        acc = (u128)t[n] + carry;
+        t[n - 1] = (uint64_t)acc;
+        t[n] = t[n + 1] + (uint64_t)(acc >> 64);
+        t[n + 1] = 0;
+    }
+    /* Conditional final subtraction into [0, m). */
+    {
+        uint64_t borrow = 0, diff[MAX_WORDS];
+        int ge = t[n] != 0;
+        for (i = 0; i < n; i++) {
+            u128 acc = (u128)t[i] - m[i] - borrow;
+            diff[i] = (uint64_t)acc;
+            borrow = (uint64_t)((acc >> 64) & 1);
+        }
+        if (!ge) {
+            /* t >= m exactly when the n-word subtraction did not borrow. */
+            ge = !borrow;
+        }
+        for (i = 0; i < n; i++) out[i] = ge ? diff[i] : t[i];
+        if (ge && t[n]) {
+            /* t had the extra top bit: the single subtraction suffices
+               because t < 2m always holds for reduced operands. */
+        }
+    }
+}
+
+/* out = base^exp mod m (plain in, plain out).
+   r2 = R^2 mod m, r_mod_p = R mod m; exp scanned MSB-first. */
+void repro_fios_powmod(uint64_t *out, const uint64_t *base,
+                       const uint64_t *exp, int exp_bits,
+                       const uint64_t *m, const uint64_t *r2,
+                       const uint64_t *r_mod_p, uint64_t m_prime, int n) {
+    uint64_t acc[MAX_WORDS], mb[MAX_WORDS], one[MAX_WORDS];
+    int i;
+    repro_fios_mont_mul(mb, base, r2, m, m_prime, n);   /* to Montgomery */
+    for (i = 0; i < n; i++) acc[i] = r_mod_p[i];        /* 1 in Montgomery */
+    for (i = exp_bits - 1; i >= 0; i--) {
+        repro_fios_mont_mul(acc, acc, acc, m, m_prime, n);
+        if ((exp[i / 64] >> (i %% 64)) & 1)
+            repro_fios_mont_mul(acc, acc, mb, m, m_prime, n);
+    }
+    for (i = 0; i < n; i++) one[i] = 0;
+    one[0] = 1;
+    repro_fios_mont_mul(out, acc, one, m, m_prime, n);  /* from Montgomery */
+}
+""" % {"max_words": _MAX_WORDS}
+
+
+def _kernel_enabled() -> bool:
+    value = os.environ.get(KERNEL_ENV_VAR, "").strip().lower()
+    return value not in ("0", "off", "no", "false")
+
+
+def _int_to_words(value: int, words: int) -> "ctypes.Array":
+    return (ctypes.c_uint64 * words)(
+        *[(value >> (_WORD_BITS * i)) & (_RADIX - 1) for i in range(words)]
+    )
+
+
+def _words_to_int(buffer) -> int:
+    result = 0
+    for i, word in enumerate(buffer):
+        result |= word << (_WORD_BITS * i)
+    return result
+
+
+class FiosKernel:
+    """ctypes wrapper around the compiled FIOS Montgomery kernel.
+
+    Per-modulus constants (word count, ``-m^-1 mod 2^64``, ``R mod m``,
+    ``R^2 mod m``) are derived once and cached, so repeated exponentiations
+    against the same modulus — the serving workload — pay only the operand
+    marshalling.
+    """
+
+    def __init__(self, lib: ctypes.CDLL, path: str):
+        self._lib = lib
+        self.path = path
+        lib.repro_fios_mont_mul.argtypes = [
+            ctypes.POINTER(ctypes.c_uint64)
+        ] * 4 + [ctypes.c_uint64, ctypes.c_int]
+        lib.repro_fios_mont_mul.restype = None
+        lib.repro_fios_powmod.argtypes = [
+            ctypes.POINTER(ctypes.c_uint64),  # out
+            ctypes.POINTER(ctypes.c_uint64),  # base
+            ctypes.POINTER(ctypes.c_uint64),  # exp
+            ctypes.c_int,                     # exp_bits
+            ctypes.POINTER(ctypes.c_uint64),  # m
+            ctypes.POINTER(ctypes.c_uint64),  # r2
+            ctypes.POINTER(ctypes.c_uint64),  # r_mod_p
+            ctypes.c_uint64,                  # m_prime
+            ctypes.c_int,                     # n
+        ]
+        lib.repro_fios_powmod.restype = None
+        self._domains: Dict[int, Tuple[int, int, object, object, object]] = {}
+
+    def supports(self, modulus: int) -> bool:
+        """Odd moduli up to the kernel's fixed limb budget."""
+        return modulus % 2 == 1 and modulus.bit_length() <= _WORD_BITS * _MAX_WORDS
+
+    def _domain(self, modulus: int):
+        cached = self._domains.get(modulus)
+        if cached is None:
+            words = (modulus.bit_length() + _WORD_BITS - 1) // _WORD_BITS
+            radix_n = 1 << (_WORD_BITS * words)
+            m_prime = (-pow(modulus, -1, _RADIX)) % _RADIX
+            cached = (
+                words,
+                m_prime,
+                _int_to_words(modulus, words),
+                _int_to_words((radix_n * radix_n) % modulus, words),
+                _int_to_words(radix_n % modulus, words),
+            )
+            self._domains[modulus] = cached
+        return cached
+
+    def mont_mul(self, a: int, b: int, modulus: int) -> int:
+        """``a * b * R^-1 mod modulus`` for reduced operands (FIOS, in C)."""
+        words, m_prime, m_arr, _r2, _r = self._domain(modulus)
+        out = (ctypes.c_uint64 * words)()
+        self._lib.repro_fios_mont_mul(
+            out, _int_to_words(a, words), _int_to_words(b, words),
+            m_arr, m_prime, words,
+        )
+        return _words_to_int(out)
+
+    def powmod(self, base: int, exponent: int, modulus: int) -> int:
+        """``base^exponent mod modulus`` — the whole ladder in one C call."""
+        if exponent < 0:
+            raise ValueError("kernel powmod needs a non-negative exponent")
+        words, m_prime, m_arr, r2_arr, r_arr = self._domain(modulus)
+        base %= modulus
+        if exponent == 0:
+            return 1 % modulus
+        exp_bits = exponent.bit_length()
+        exp_words = (exp_bits + _WORD_BITS - 1) // _WORD_BITS
+        out = (ctypes.c_uint64 * words)()
+        self._lib.repro_fios_powmod(
+            out, _int_to_words(base, words),
+            _int_to_words(exponent, exp_words), exp_bits,
+            m_arr, r2_arr, r_arr, m_prime, words,
+        )
+        return _words_to_int(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FiosKernel {self.path}>"
+
+
+_GMPY2_CACHE: "Tuple[bool, object] | None" = None
+_KERNEL_CACHE: "Tuple[bool, Optional[FiosKernel]] | None" = None
+
+
+def load_gmpy2():
+    """The ``gmpy2`` module, or ``None`` when it is not installed."""
+    global _GMPY2_CACHE
+    if _GMPY2_CACHE is None:
+        try:
+            import gmpy2  # type: ignore[import-not-found]
+
+            _GMPY2_CACHE = (True, gmpy2)
+        except ImportError:
+            _GMPY2_CACHE = (True, None)
+    return _GMPY2_CACHE[1]
+
+
+def _compile_kernel() -> Optional[FiosKernel]:
+    """Build (or reuse) the shared object and load it; ``None`` on failure."""
+    digest = hashlib.sha256(_KERNEL_SOURCE.encode()).hexdigest()[:16]
+    cache_dir = os.path.join(
+        tempfile.gettempdir(), f"repro-native-{getattr(os, 'geteuid', int)()}"
+    )
+    suffix = "dll" if sys.platform == "win32" else "so"
+    lib_path = os.path.join(cache_dir, f"fios-{digest}.{suffix}")
+    if not os.path.exists(lib_path):
+        os.makedirs(cache_dir, exist_ok=True)
+        source_path = os.path.join(cache_dir, f"fios-{digest}.c")
+        with open(source_path, "w") as handle:
+            handle.write(_KERNEL_SOURCE)
+        compiler = os.environ.get("CC", "cc")
+        build_path = lib_path + f".build-{os.getpid()}"
+        command = [
+            compiler, "-O2", "-shared", "-fPIC", source_path, "-o", build_path,
+        ]
+        result = subprocess.run(
+            command, capture_output=True, text=True, timeout=120
+        )
+        if result.returncode != 0:
+            logger.info("FIOS kernel build failed: %s", result.stderr.strip())
+            return None
+        os.replace(build_path, lib_path)  # atomic against concurrent builders
+    return FiosKernel(ctypes.CDLL(lib_path), lib_path)
+
+
+def load_fios_kernel() -> Optional[FiosKernel]:
+    """The compiled FIOS kernel, built on first use; ``None`` when impossible.
+
+    Failure is always soft (no compiler, sandboxed tempdir, unsupported
+    platform): the caller falls back to the next substrate.  The probe runs
+    once per process; a kernel that loads is self-checked against Python's
+    ``pow`` before being handed out.
+    """
+    global _KERNEL_CACHE
+    if _KERNEL_CACHE is None:
+        kernel: Optional[FiosKernel] = None
+        if _kernel_enabled():
+            try:
+                kernel = _compile_kernel()
+                if kernel is not None:
+                    # One differential sanity check before trusting the build.
+                    p = (1 << 127) - 1
+                    if kernel.powmod(3, p - 2, p) != pow(3, p - 2, p):
+                        logger.warning("FIOS kernel self-check failed; disabled")
+                        kernel = None
+            except Exception as exc:  # noqa: BLE001 - availability probe
+                logger.info("FIOS kernel unavailable: %s", exc)
+                kernel = None
+        _KERNEL_CACHE = (True, kernel)
+    return _KERNEL_CACHE[1]
+
+
+def resolve_substrate() -> Tuple[Optional[str], object]:
+    """The best available native substrate: ``(name, handle)``.
+
+    ``("gmpy2", <module>)`` when gmpy2 imports, else ``("fios-c", <kernel>)``
+    when the C kernel built, else ``(None, None)``.
+    """
+    gmpy2 = load_gmpy2()
+    if gmpy2 is not None:
+        return "gmpy2", gmpy2
+    kernel = load_fios_kernel()
+    if kernel is not None:
+        return "fios-c", kernel
+    return None, None
+
+
+def native_substrate_name() -> Optional[str]:
+    """Name of the active native substrate, or ``None`` (pure-python only)."""
+    return resolve_substrate()[0]

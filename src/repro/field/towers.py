@@ -157,6 +157,36 @@ class TowerFp6:
         conj = u.conjugate()
         return TowerElement(self, conj.a * norm_inv, conj.b * norm_inv)
 
+    def inv_many(self, values) -> "list[TowerElement]":
+        """Batch inversion (Montgomery's trick): 1 inversion + 3(N-1) products.
+
+        The one remaining :meth:`inv` bottoms out in a single Fp3
+        polynomial-gcd inversion, so a batch of N tower inversions costs one
+        gcd instead of N.  Any zero raises :class:`ParameterError`, as
+        :meth:`inv` would.
+        """
+        values = list(values)
+        n = len(values)
+        if n == 0:
+            return []
+        if n == 1:
+            return [self.inv(values[0])]
+        for value in values:
+            if value.is_zero():
+                raise ParameterError("cannot invert zero")
+        prefix = values[:]
+        acc = prefix[0]
+        for i in range(1, n):
+            acc = self.mul(acc, values[i])
+            prefix[i] = acc
+        inv_acc = self.inv(acc)
+        out: "list[TowerElement]" = [inv_acc] * n
+        for i in range(n - 1, 0, -1):
+            out[i] = self.mul(inv_acc, prefix[i - 1])
+            inv_acc = self.mul(inv_acc, values[i])
+        out[0] = inv_acc
+        return out
+
     def exp_group(self):
         """The tower's unit group as seen by :mod:`repro.exp`."""
         if self._exp_group is None:

@@ -35,7 +35,26 @@ def egcd(a: int, b: int) -> Tuple[int, int, int]:
 def modinv(a: int, m: int) -> int:
     """Modular inverse of ``a`` modulo ``m``.
 
-    Raises :class:`NotInvertibleError` when ``gcd(a, m) != 1``.
+    Uses the builtin ``pow(a, -1, m)`` (C speed, Python >= 3.8).  Raises
+    :class:`NotInvertibleError` when ``gcd(a, m) != 1``.  The explicit
+    extended-Euclid path survives as :func:`modinv_euclid` for callers
+    that account for the algorithm's own operations (the word-counting
+    field backend).
+    """
+    if m <= 0:
+        raise ParameterError(f"modulus must be positive, got {m}")
+    try:
+        return pow(a, -1, m)
+    except ValueError:
+        raise NotInvertibleError(a % m, m) from None
+
+
+def modinv_euclid(a: int, m: int) -> int:
+    """Modular inverse via the extended Euclidean algorithm.
+
+    Same contract as :func:`modinv`, but the inverse is computed by
+    :func:`egcd` — the schedulable algorithm a coprocessor would run, which
+    is what the word-counting backend's op accounting models.
     """
     if m <= 0:
         raise ParameterError(f"modulus must be positive, got {m}")

@@ -18,6 +18,21 @@ from repro.perf.baseline import compare, format_regressions
 from repro.perf.emitter import DEFAULT_BENCH_FILENAME, load_bench
 
 
+def _record_backend(record) -> str:
+    """The substrate a record was measured on.
+
+    Suffixed cells carry it in ``meta["backend"]``; older suffixed rows
+    (``scheme+backend:operation``) fall back to parsing the key; unsuffixed
+    cells are the plain baseline by contract.
+    """
+    backend = record.meta.get("backend")
+    if backend:
+        return str(backend)
+    if "+" in record.scheme:
+        return record.scheme.rsplit("+", 1)[1]
+    return "plain"
+
+
 def _show(path: str) -> int:
     entries = load_bench(path)
     if not entries:
@@ -27,6 +42,7 @@ def _show(path: str) -> int:
         (
             record.scheme,
             record.operation,
+            _record_backend(record),
             record.sessions,
             round(record.ops_per_second, 2),
             round(record.ms_per_op, 3),
@@ -39,7 +55,7 @@ def _show(path: str) -> int:
     ]
     print(
         render_table(
-            ["scheme", "operation", "sessions", "ops/s", "ms/op", "group ops",
+            ["scheme", "operation", "backend", "sessions", "ops/s", "ms/op", "group ops",
              "projected cycles", "p50 ms", "p99 ms"],
             rows,
             title=f"Perf trajectory: {path}",

@@ -229,6 +229,20 @@ class PkcScheme:
     ) -> SchemeKeyPair:
         raise NotImplementedError
 
+    def keygen_many(
+        self,
+        count: int,
+        rng: Optional[random.Random] = None,
+        trace: Optional[OpTrace] = None,
+    ) -> "list[SchemeKeyPair]":
+        """N key pairs; overridden where per-key work can be batched.
+
+        The contract every override must keep: RNG draws happen in the same
+        order as N :meth:`keygen` calls and the wire keys are byte-identical
+        to them — batching is an execution strategy, never a semantic.
+        """
+        return [self.keygen(rng, trace=trace) for _ in range(count)]
+
     def public_key_size(self) -> int:
         """Bytes of one wire-encoded public key."""
         raise NotImplementedError
@@ -252,6 +266,24 @@ class PkcScheme:
         trace: Optional[OpTrace] = None,
     ) -> bytes:
         raise UnsupportedOperationError(f"{self.name} does not implement key agreement")
+
+    def key_agreement_many(
+        self,
+        own: SchemeKeyPair,
+        peer_publics,
+        info: bytes = b"",
+        length: int = 32,
+        trace: Optional[OpTrace] = None,
+    ) -> "list[bytes]":
+        """Derive against N peer publics; overridden where the per-peer
+        work can share batch inversions.  Same byte-identity contract as
+        :meth:`keygen_many`; any per-item failure (a malformed peer key)
+        propagates exactly as the single call would raise it.
+        """
+        return [
+            self.key_agreement(own, peer, info=info, length=length, trace=trace)
+            for peer in peer_publics
+        ]
 
     # -- hybrid encryption ---------------------------------------------------------
 

@@ -38,6 +38,39 @@ from repro.pkc.registry import get_scheme
 # nothing from repro.pkc, so this direction is cycle-free.)
 from repro.serve.session import OFFLINE_SESSION_RUNNERS
 
+
+def _coalesced_key_agreement_batch(
+    scheme: "PkcScheme",
+    server: SchemeKeyPair,
+    sessions: int,
+    rng: "Optional[random.Random]",
+    trace,
+) -> int:
+    """All key-agreement sessions of a batch, coalesced; returns wire bytes.
+
+    Same sessions as ``sessions`` runs of ``offline_key_agreement_session``
+    — fresh client key each, both derivations, checked equal — but phased so
+    the server's N derivations go through ``key_agreement_many`` and its
+    batched inversions (one per group round instead of one per session).
+    Byte-identical to the loop: client key generation is the only step that
+    draws from ``rng``, and ``keygen_many`` preserves the draw order, so the
+    wire bytes and derived keys match session for session.
+    """
+    clients = scheme.keygen_many(sessions, rng, trace=trace)
+    client_keys = [
+        scheme.key_agreement(client, server.public_wire, trace=trace)
+        for client in clients
+    ]
+    server_keys = scheme.key_agreement_many(
+        server, [client.public_wire for client in clients], trace=trace
+    )
+    wire = 0
+    for client, client_key, server_key in zip(clients, client_keys, server_keys):
+        if client_key != server_key:
+            raise ParameterError(f"{scheme.name}: key agreement mismatch")  # pragma: no cover
+        wire += len(client.public_wire) + len(server.public_wire)
+    return wire
+
 __all__ = [
     "BatchResult",
     "run_batch",
@@ -97,6 +130,7 @@ def run_batch(
     collect_ops: bool = True,
     workers: int = 1,
     backend: Optional[str] = None,
+    coalesce: bool = True,
 ) -> BatchResult:
     """Run ``sessions`` independent protocol sessions against one server key.
 
@@ -126,6 +160,13 @@ def run_batch(
     "key-agreement", 16, backend="montgomery")``); with a scheme instance
     the backend it was built with is used, and passing a conflicting
     ``backend`` raises.
+
+    ``coalesce`` (default on) routes multi-session key-agreement batches
+    through the scheme's ``keygen_many`` / ``key_agreement_many`` so
+    per-session modular inversions collapse via Montgomery's batch trick —
+    byte-identical sessions, same RNG draw order, same wire bytes; pass
+    ``coalesce=False`` to force the per-session loop (the baseline the
+    batched path is measured against).
     """
     if isinstance(scheme, str):
         scheme = get_scheme(scheme, backend=backend)
@@ -171,10 +212,13 @@ def run_batch(
     wire = 0
     run_session = OFFLINE_SESSION_RUNNERS[operation]
     started = time.perf_counter()
-    for index in range(sessions):
-        wire += run_session(
-            scheme, server, rng=rng, payload=payload, index=index, trace=trace
-        )
+    if coalesce and operation == "key-agreement" and sessions > 1:
+        wire = _coalesced_key_agreement_batch(scheme, server, sessions, rng, trace)
+    else:
+        for index in range(sessions):
+            wire += run_session(
+                scheme, server, rng=rng, payload=payload, index=index, trace=trace
+            )
     elapsed = time.perf_counter() - started
 
     return BatchResult(

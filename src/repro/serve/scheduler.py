@@ -48,7 +48,7 @@ from repro.errors import (
     UnsupportedOperationError,
 )
 from repro.serve.protocol import ERR_BAD_REQUEST, ERR_INTERNAL, ERR_UNSUPPORTED
-from repro.serve.session import serve_request
+from repro.serve.session import serve_request, serve_request_batch
 
 __all__ = [
     "SchemeHost",
@@ -159,15 +159,29 @@ _BatchItemResult = Tuple[bool, int, bytes]
 
 def _execute_batch(
     scheme, server_key, kind: str, payloads: Sequence[bytes]
-) -> Tuple[List[_BatchItemResult], float]:
-    """Run one same-group batch synchronously; returns results + busy seconds.
+) -> Tuple[List[_BatchItemResult], float, bool]:
+    """Run one same-group batch synchronously; returns results, busy seconds,
+    and whether the batch executed coalesced.
 
-    Per-item failures never poison the batch: each request answers
+    Multi-request groups first try the coalesced path
+    (:func:`repro.serve.session.serve_request_batch`), which collects the
+    group's pending modular inversions into one batch inversion per round.
+    Any exception there — a malformed payload, a scheme whose batch method
+    rejects the group — falls back to the historical per-item loop, so
+    per-item failures never poison the batch: each request answers
     individually (success frame or error frame), matching how the offline
     harness treats sessions as independent.
     """
     started = time.perf_counter()
-    results: List[_BatchItemResult] = []
+    if len(payloads) > 1:
+        try:
+            responses = serve_request_batch(scheme, server_key, kind, payloads)
+        except Exception:  # noqa: BLE001 - re-run per item for exact frames
+            pass
+        else:
+            results = [(True, opcode, response) for opcode, response in responses]
+            return results, time.perf_counter() - started, True
+    results = []
     for payload in payloads:
         try:
             opcode, response = serve_request(scheme, server_key, kind, payload)
@@ -175,7 +189,7 @@ def _execute_batch(
         except Exception as exc:  # noqa: BLE001 - classified onto the wire
             code, detail = classify_error(exc)
             results.append((False, code, detail.encode("utf-8")))
-    return results, time.perf_counter() - started
+    return results, time.perf_counter() - started, False
 
 
 #: Per-process cache of unpickled server keys, keyed by pickle digest, so a
@@ -189,7 +203,7 @@ def _process_batch(
     pickled_server_key: bytes,
     kind: str,
     payloads: Sequence[bytes],
-) -> Tuple[List[_BatchItemResult], float]:
+) -> Tuple[List[_BatchItemResult], float, bool]:
     """Process-pool entry point: resolve locally, execute, return results.
 
     Mirrors ``run_batch_parallel``'s worker: the child resolves its own warm
@@ -216,6 +230,9 @@ class GroupStats:
     served: int = 0
     errors: int = 0
     batches: int = 0
+    #: Batches that executed on the coalesced path (shared batch inversion
+    #: per group round) rather than the per-item loop.
+    coalesced: int = 0
     #: Executor-side wall seconds actually spent executing this group's
     #: batches — the denominator of the batched server-side throughput.
     busy_seconds: float = 0.0
@@ -391,7 +408,7 @@ class BatchScheduler:
                 if self.executor_kind == "process":
                     self.host.scheme(scheme_name)  # validates the name
                     pickled_key = self.host.pickled_server_key(scheme_name)
-                    results, busy = await loop.run_in_executor(
+                    results, busy, coalesced = await loop.run_in_executor(
                         self._executor,
                         _process_batch,
                         scheme_name,
@@ -403,7 +420,7 @@ class BatchScheduler:
                 else:
                     scheme = self.host.scheme(scheme_name)
                     server_key = self.host.server_key(scheme_name)
-                    results, busy = await loop.run_in_executor(
+                    results, busy, coalesced = await loop.run_in_executor(
                         self._executor,
                         _execute_batch,
                         scheme,
@@ -422,6 +439,7 @@ class BatchScheduler:
                 return
         stats = self.stats.group(scheme_name, kind)
         stats.batches += 1
+        stats.coalesced += 1 if coalesced else 0
         stats.busy_seconds += busy
         stats.largest_batch = max(stats.largest_batch, len(items))
         self.stats.batches += 1

@@ -57,6 +57,7 @@ __all__ = [
     "CAPABILITY_BY_KIND",
     "ConnectionSession",
     "serve_request",
+    "serve_request_batch",
     "offline_key_agreement_session",
     "offline_encryption_session",
     "offline_signature_session",
@@ -125,6 +126,29 @@ def serve_request(
         accepted = scheme.verify(server_key.public_wire, message, signature)
         return OP_VERDICT, b"\x01" if accepted else b"\x00"
     raise ProtocolError(f"unknown request kind {kind!r}")
+
+
+def serve_request_batch(
+    scheme: "PkcScheme", server_key: "SchemeKeyPair", kind: str, payloads
+) -> "list[Tuple[int, bytes]]":
+    """Execute one same-kind batch coalesced; returns ``(opcode, payload)`` per item.
+
+    Key-agreement batches route through the scheme's
+    ``key_agreement_many`` — same wire bytes as N :func:`serve_request`
+    calls, but the per-session modular inversions collapse to one per group
+    round (Montgomery's trick, see
+    :meth:`repro.field.backend.FieldOps.inv_many`).  Other kinds loop
+    :func:`serve_request`.  All-or-nothing error semantics: the first
+    failing item raises for the whole batch, so callers that must answer
+    items individually (the scheduler) fall back to per-item execution on
+    any exception.
+    """
+    if kind == "key-agreement":
+        return [
+            (OP_KA_CONFIRM, protocol.confirmation_tag(shared))
+            for shared in scheme.key_agreement_many(server_key, payloads)
+        ]
+    return [serve_request(scheme, server_key, kind, payload) for payload in payloads]
 
 
 # -- the canonical offline sessions -------------------------------------------

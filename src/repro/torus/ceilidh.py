@@ -105,6 +105,17 @@ class CeilidhSystem:
 
     # -- Diffie-Hellman -----------------------------------------------------------
 
+    def _encode_shared(self, value) -> bytes:
+        """Canonical shared-secret encoding: rho, or the uncompressed fallback."""
+        try:
+            compressed = self.compressor.compress(value)
+        except CompressionError:
+            # Exceptional shared point: fall back to the uncompressed encoding.
+            from repro.torus.encoding import encode_fp6
+
+            return encode_fp6(self.params, value)
+        return encode_compressed(self.params, compressed)
+
     def shared_secret(
         self,
         own: CeilidhKeyPair,
@@ -114,14 +125,36 @@ class CeilidhSystem:
         """Raw DH shared secret: canonical encoding of rho((g^y)^x)."""
         peer_element = self.compressor.decompress_to_element(peer_public)
         shared = self.group.exponentiate(peer_element, own.private, count=count)
-        try:
-            compressed = self.compressor.compress(shared.value)
-        except CompressionError:
-            # Exceptional shared point: fall back to the uncompressed encoding.
-            from repro.torus.encoding import encode_fp6
+        return self._encode_shared(shared.value)
 
-            return encode_fp6(self.params, shared.value)
-        return encode_compressed(self.params, compressed)
+    def shared_secret_many(
+        self,
+        own: CeilidhKeyPair,
+        peer_publics,
+        count: Optional[OpTrace] = None,
+    ) -> "list[bytes]":
+        """:meth:`shared_secret` against N peers with batched inversions.
+
+        The N psi decompressions and N rho compressions each run through
+        the batch maps (two batch inversions per direction instead of 2N);
+        the exponentiations are unchanged, so byte output and trace tallies
+        match N single calls.  An exceptional *shared* point (O(1/p))
+        re-runs only the cheap compression step per item, keeping the
+        per-item fallback encoding; an exceptional *peer* raises just as
+        :meth:`shared_secret` would.
+        """
+        peers = self.compressor.decompress_many(peer_publics)
+        shared_values = [
+            self.group.exponentiate(
+                TorusElement(self.group, peer), own.private, count=count
+            ).value
+            for peer in peers
+        ]
+        try:
+            compressed = self.compressor.compress_many(shared_values)
+        except CompressionError:
+            return [self._encode_shared(value) for value in shared_values]
+        return [encode_compressed(self.params, c) for c in compressed]
 
     def derive_key(
         self,
@@ -134,6 +167,20 @@ class CeilidhSystem:
         """DH followed by a SHA-256 based KDF (counter mode)."""
         secret = self.shared_secret(own, peer_public, count=count)
         return _kdf(secret, info, length)
+
+    def derive_key_many(
+        self,
+        own: CeilidhKeyPair,
+        peer_publics,
+        info: bytes = b"",
+        length: int = 32,
+        count: Optional[OpTrace] = None,
+    ) -> "list[bytes]":
+        """:meth:`derive_key` against N peers (batched, byte-identical)."""
+        return [
+            _kdf(secret, info, length)
+            for secret in self.shared_secret_many(own, peer_publics, count=count)
+        ]
 
     # -- hashed ElGamal -------------------------------------------------------------
 

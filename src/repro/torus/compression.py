@@ -103,6 +103,59 @@ class TorusCompressor:
         # compressed element is backend-independent (plain reduced ints).
         return CompressedElement(u=f.exit(u), v=f.exit(v))
 
+    def compress_many(self, values) -> "list[CompressedElement]":
+        """Compress N torus elements with TWO batch inversions total.
+
+        Each :meth:`compress` pays one Fp6-tower inversion plus one Fp
+        inversion; over a batch both collapse via Montgomery's trick
+        (:meth:`~repro.field.towers.TowerFp6.inv_many` /
+        :meth:`~repro.field.fp.PrimeField.inv_many`).  Results are
+        byte-identical to N single calls.  Exceptional elements are as rare
+        as for :meth:`compress` (O(p) of ~p^2); any one of them raises the
+        same error the single call would, so callers that must make
+        progress fall back to the per-item path on failure.
+        """
+        values = list(values)
+        one = self.tower.one()
+        x = self.tower.x()
+        x_squared = self.tower.mul(x, x)
+
+        numerators = []
+        denominators = []
+        for value in values:
+            if value.is_one():
+                raise CompressionError("the identity has no compressed representation")
+            alpha = self.map.to_f2(value)
+            denominator = one - alpha
+            if denominator.is_zero():  # pragma: no cover - equivalent to value == 1
+                raise CompressionError("alpha = 1 is exceptional")
+            numerators.append(self.tower.mul(alpha, x_squared) - x)
+            denominators.append(denominator)
+
+        f = self.fp
+        c2_values = []
+        c_pairs = []
+        for numerator, denominator_inv in zip(
+            numerators, self.tower.inv_many(denominators)
+        ):
+            c_element = self.tower.mul(numerator, denominator_inv)
+            if not c_element.is_fp3():
+                raise NotInTorusError("element is not in the norm-1 subgroup over Fp3")
+            c0, c1, c2 = c_element.a.coeffs
+            if c2 == 0:
+                raise CompressionError(
+                    "element lies on the exceptional line c2 = 0 (includes alpha = x)"
+                )
+            c_pairs.append((c0, c1))
+            c2_values.append(c2)
+
+        compressed = []
+        for (c0, c1), c2_inv in zip(c_pairs, f.inv_many(c2_values)):
+            u = f.mul(f.sub(c0, f.one_value), c2_inv)
+            v = f.mul(c1, c2_inv)
+            compressed.append(CompressedElement(u=f.exit(u), v=f.exit(v)))
+        return compressed
+
     # -- psi: A^2 -> T6 -------------------------------------------------------------
 
     def decompress(self, compressed: CompressedElement) -> ExtElement:
@@ -138,6 +191,50 @@ class TorusCompressor:
             raise CompressionError("degenerate denominator in psi")
         alpha = self.tower.mul(numerator_t, self.tower.inv(denominator_t))
         return self.map.to_f1(alpha)
+
+    def decompress_many(self, compresseds) -> "list[ExtElement]":
+        """Decompress N pairs with TWO batch inversions total.
+
+        The batched dual of :meth:`compress_many`: the per-item Fp inversion
+        of the quadric value and the Fp6-tower inversion of the T2
+        denominator each collapse to one.  Same exceptional-set errors as
+        :meth:`decompress`; same fallback guidance as
+        :meth:`compress_many`.
+        """
+        compresseds = list(compresseds)
+        f = self.fp
+        entered = []
+        q_values = []
+        for compressed in compresseds:
+            u, v = f.enter(compressed.u % f.p), f.enter(compressed.v % f.p)
+            q_val = f.add(
+                f.add(f.add(f.mul(u, u), f.mul(f.embed(4), u)), f.embed(3)),
+                f.sub(v, f.mul(v, v)),
+            )
+            if q_val == 0:
+                raise CompressionError("(u, v) lies on the exceptional conic of psi")
+            if f.neg(f.add(u, f.embed(2))) == 0:
+                raise CompressionError("(u, v) parametrises the exceptional point c = 1")
+            entered.append((u, v))
+            q_values.append(q_val)
+
+        one3 = self.fp3.one()
+        minus_one = self.fp3.from_base(f.p - 1)
+        numerators_t = []
+        denominators_t = []
+        for (u, v), q_inv in zip(entered, f.inv_many(q_values)):
+            t = f.mul(f.neg(f.add(u, f.embed(2))), q_inv)
+            c0 = f.add(f.one_value, f.mul(t, u))
+            c = self.fp3._from_coeffs([c0, f.mul(t, v), t])
+            numerators_t.append(TowerElement(self.tower, c, one3))
+            denominators_t.append(TowerElement(self.tower, c - one3, minus_one))
+
+        return [
+            self.map.to_f1(self.tower.mul(numerator, denominator_inv))
+            for numerator, denominator_inv in zip(
+                numerators_t, self.tower.inv_many(denominators_t)
+            )
+        ]
 
     def decompress_to_element(self, compressed: CompressedElement):
         """Decompress and wrap as a :class:`~repro.torus.t6.TorusElement`."""

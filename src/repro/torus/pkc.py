@@ -97,6 +97,20 @@ class CeilidhScheme(PkcScheme):
         peer = decode_compressed(self.params, peer_public)
         return self.system.derive_key(own.native, peer, info=info, length=length, count=trace)
 
+    def key_agreement_many(
+        self,
+        own: SchemeKeyPair,
+        peer_publics,
+        info: bytes = b"",
+        length: int = 32,
+        trace: Optional[OpTrace] = None,
+    ) -> "list[bytes]":
+        """N derivations sharing batched psi/rho inversions (byte-identical)."""
+        peers = [decode_compressed(self.params, peer) for peer in peer_publics]
+        return self.system.derive_key_many(
+            own.native, peers, info=info, length=length, count=trace
+        )
+
     # -- hybrid encryption ---------------------------------------------------------
 
     def encrypt(

@@ -462,3 +462,342 @@ class TestRegistryBackends:
         )
         assert result.sessions == 2
         assert result.ops.total > 0
+
+
+# ---------------------------------------------------------------------------
+# Batch inversion (Montgomery's trick) across backends.
+# ---------------------------------------------------------------------------
+
+
+class TestInvMany:
+    P = 2**89 - 1  # a Mersenne prime comfortably above the toy sizes
+
+    @pytest.mark.parametrize("backend", ["plain", "montgomery", "native"])
+    def test_matches_singles(self, backend):
+        from repro.field.fp import PrimeField
+
+        field = PrimeField(self.P, backend=backend)
+        rng = random.Random(7)
+        values = [field.enter(rng.randrange(1, self.P)) for _ in range(17)]
+        batch = [field.exit(x) for x in field.inv_many(values)]
+        singles = [field.exit(field.inv(v)) for v in values]
+        assert batch == singles
+        assert batch == [pow(field.exit(v), -1, self.P) for v in values]
+
+    @pytest.mark.parametrize("backend", ["plain", "montgomery", "native"])
+    def test_empty_and_single(self, backend):
+        from repro.field.fp import PrimeField
+
+        field = PrimeField(self.P, backend=backend)
+        assert field.inv_many([]) == []
+        value = field.enter(424242)
+        assert [field.exit(x) for x in field.inv_many([value])] == [
+            field.exit(field.inv(value))
+        ]
+
+    @pytest.mark.parametrize("backend", ["plain", "montgomery", "native"])
+    def test_zero_anywhere_raises(self, backend):
+        from repro.errors import NotInvertibleError
+        from repro.field.fp import PrimeField
+
+        field = PrimeField(self.P, backend=backend)
+        values = [field.enter(3), field.enter(0), field.enter(5)]
+        with pytest.raises(NotInvertibleError):
+            field.inv_many(values)
+
+    def test_montgomery_residents_round_trip(self):
+        # The trick runs entirely on residents: entering, batch-inverting
+        # and exiting under the Montgomery backend must agree with plain
+        # integer inversion value for value.
+        from repro.field.fp import PrimeField
+
+        field = PrimeField(self.P, backend="montgomery")
+        plain = [1, 2, 3, self.P - 1, 12345, 2**64 + 7]
+        residents = [field.enter(v) for v in plain]
+        out = [field.exit(x) for x in field.inv_many(residents)]
+        assert out == [pow(v, -1, self.P) for v in plain]
+        # ...and the residents themselves were Montgomery-form all along.
+        assert residents != plain
+
+    def test_counting_field_observes_claimed_cost(self):
+        # 1 inversion + 3(N-1) multiplications, by construction.
+        from repro.field.opcount import CountingPrimeField
+
+        field = CountingPrimeField(self.P, check_prime=False)
+        rng = random.Random(11)
+        values = [rng.randrange(1, self.P) for _ in range(9)]
+        field.reset_counts()
+        field.inv_many(values)
+        assert field.counts.inv == 1
+        assert field.counts.mul == 3 * (len(values) - 1)
+
+    def test_tower_inv_many_matches_singles(self):
+        # One poly-gcd inversion for N Fp6-tower inversions.
+        from repro.field.fp import PrimeField
+        from repro.field.towers import TowerElement, TowerFp6
+
+        field = PrimeField(1013, check_prime=False)  # p = 2 (mod 3)
+        tower = TowerFp6(field)
+        rng = random.Random(13)
+
+        def random_element():
+            while True:
+                coeffs = [[field.enter(rng.randrange(1013)) for _ in range(3)]
+                          for _ in range(2)]
+                element = TowerElement(
+                    tower,
+                    tower.fp3._from_coeffs(coeffs[0]),
+                    tower.fp3._from_coeffs(coeffs[1]),
+                )
+                if not element.is_zero():
+                    return element
+
+        values = [random_element() for _ in range(8)]
+        batch = tower.inv_many(values)
+        for value, inverse in zip(values, batch):
+            assert tower.mul(value, inverse) == tower.one()
+
+
+# ---------------------------------------------------------------------------
+# Native backend: substrate resolution, degradation, differentials.
+# ---------------------------------------------------------------------------
+
+
+class TestNativeBackend:
+    def test_substrate_report_is_consistent(self):
+        from repro.field.backend import NativeBackend
+        from repro.field.native import native_substrate_name
+
+        backend = NativeBackend()
+        assert backend.substrate in (None, "gmpy2", "fios-c")
+        assert backend.substrate == native_substrate_name()
+
+    def test_resident_arithmetic_matches_plain(self):
+        from repro.field.fp import PrimeField
+
+        p = 2**127 - 1
+        plain, native = PrimeField(p), PrimeField(p, backend="native")
+        rng = random.Random(17)
+        for _ in range(25):
+            a, b = rng.randrange(1, p), rng.randrange(1, p)
+            e = rng.randrange(1, p)
+            assert native.exit(native.mul(native.enter(a), native.enter(b))) == plain.mul(a, b)
+            assert native.exit(native.inv(native.enter(a))) == plain.inv(a)
+            assert native.exit(native.pow(native.enter(a), e)) == pow(a, e, p)
+            assert native.exit(native.pow(native.enter(a), -e)) == pow(a, -e, p)
+
+    def test_degrades_to_plain_with_one_warning(self, monkeypatch, caplog):
+        import logging
+
+        from repro.field import backend as backend_mod
+        from repro.field.backend import NativeBackend, PlainFieldOps
+        from repro.field import native as native_mod
+
+        monkeypatch.setattr(native_mod, "resolve_substrate", lambda: (None, None))
+        monkeypatch.setattr(NativeBackend, "_warned", False)
+        with caplog.at_level(logging.WARNING, logger="repro.field.native"):
+            degraded = NativeBackend()
+            NativeBackend()  # second construction must not warn again
+        assert degraded.substrate is None
+        assert type(degraded.bind(97)) is PlainFieldOps
+        warnings = [r for r in caplog.records if "degrading" in r.message]
+        assert len(warnings) == 1
+
+    def test_degraded_native_shares_registry_cache_with_plain(self, monkeypatch):
+        from repro.field import native as native_mod
+        from repro.field.backend import canonical_backend_name
+
+        monkeypatch.setattr(native_mod, "native_substrate_name", lambda: None)
+        assert canonical_backend_name("native") == "plain"
+        monkeypatch.setenv("REPRO_FIELD_BACKEND", "native")
+        via_env = get_scheme("ceilidh-toy32")
+        explicit_plain = get_scheme("ceilidh-toy32", backend="plain")
+        assert via_env is explicit_plain
+
+    def test_live_native_gets_its_own_cache_slot(self):
+        from repro.field.backend import canonical_backend_name
+        from repro.field.native import native_substrate_name
+
+        if native_substrate_name() is None:
+            pytest.skip("no native substrate available")
+        assert canonical_backend_name("native") == "native"
+        native = get_scheme("ceilidh-toy32", backend="native")
+        plain = get_scheme("ceilidh-toy32", backend="plain")
+        assert native is not plain
+        assert native is get_scheme("ceilidh-toy32", backend="native")
+
+    @pytest.mark.parametrize("name", available_schemes())
+    def test_wire_output_identical_plain_vs_native(self, name):
+        plain = get_scheme(name, fresh=True, backend="plain")
+        native = get_scheme(name, fresh=True, backend="native")
+        rng_p, rng_n = random.Random(9393), random.Random(9393)
+        key_p, key_n = plain.keygen(rng_p), native.keygen(rng_n)
+        assert key_p.public_wire == key_n.public_wire
+        if KEY_AGREEMENT in plain.capabilities:
+            peer_p, peer_n = plain.keygen(rng_p), native.keygen(rng_n)
+            assert peer_p.public_wire == peer_n.public_wire
+            secret_p = plain.key_agreement(key_p, peer_p.public_wire)
+            secret_n = native.key_agreement(key_n, peer_n.public_wire)
+            assert secret_p == secret_n
+            assert native.key_agreement(peer_n, key_n.public_wire) == secret_n
+        if ENCRYPTION in plain.capabilities:
+            message = b"native backend differential message"
+            ct_p = plain.encrypt(key_p.public_wire, message, rng_p)
+            ct_n = native.encrypt(key_n.public_wire, message, rng_n)
+            assert ct_p == ct_n
+            assert native.decrypt(key_n, ct_n) == message
+        if SIGNATURE in plain.capabilities:
+            message = b"native backend differential signature"
+            sig_p = plain.sign(key_p, message, rng_p)
+            sig_n = native.sign(key_n, message, rng_n)
+            assert sig_p == sig_n
+            assert native.verify(key_n.public_wire, message, sig_n)
+            assert plain.verify(key_p.public_wire, message, sig_n)
+
+
+class TestFiosKernel:
+    @pytest.fixture(scope="class")
+    def kernel(self):
+        from repro.field.native import load_fios_kernel
+
+        kernel = load_fios_kernel()
+        if kernel is None:
+            pytest.skip("no C compiler available for the FIOS kernel")
+        return kernel
+
+    def test_powmod_differential(self, kernel):
+        rng = random.Random(23)
+        for bits in (89, 170, 521, 1024):
+            p = _random_odd_modulus(rng, bits)
+            for _ in range(5):
+                base = rng.randrange(0, p)
+                exponent = rng.randrange(0, 1 << bits)
+                assert kernel.powmod(base, exponent, p) == pow(base, exponent, p)
+
+    def test_edge_exponents(self, kernel):
+        p = 2**127 - 1
+        assert kernel.powmod(5, 0, p) == 1
+        assert kernel.powmod(0, 5, p) == 0
+        assert kernel.powmod(5, 1, p) == 5
+        assert kernel.powmod(5, p - 1, p) == 1  # Fermat
+
+    def test_support_limits(self, kernel):
+        assert not kernel.supports(2**64)  # even modulus
+        assert not kernel.supports((2**8000) + 1)  # beyond the limb budget
+        assert kernel.supports(2**127 - 1)
+
+    def test_mont_mul_round_trip(self, kernel):
+        p = 2**89 - 1
+        rng = random.Random(29)
+        r = 1 << (64 * ((p.bit_length() + 63) // 64))
+        for _ in range(10):
+            a, b = rng.randrange(p), rng.randrange(p)
+            # mont_mul computes a*b*R^-1; multiply back by R to check.
+            assert kernel.mont_mul(a, b, p) == a * b * pow(r, -1, p) % p
+
+
+def _random_odd_modulus(rng, bits):
+    modulus = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+    return modulus
+
+
+# ---------------------------------------------------------------------------
+# Batch APIs: byte identity with singles, and the inversion collapse.
+# ---------------------------------------------------------------------------
+
+
+class TestBatchProtocolIdentity:
+    @pytest.mark.parametrize("backend", ["plain", "native"])
+    @pytest.mark.parametrize("name", ["ecdh-p160", "ceilidh-toy32", "xtr-toy32"])
+    def test_keygen_many_matches_singles(self, name, backend):
+        singles_scheme = get_scheme(name, fresh=True, backend=backend)
+        batch_scheme = get_scheme(name, fresh=True, backend=backend)
+        # Same seed, same draw order: N batched keygens == N single keygens.
+        rng_s, rng_b = random.Random(777), random.Random(777)
+        singles = [singles_scheme.keygen(rng_s) for _ in range(5)]
+        batch = batch_scheme.keygen_many(5, rng_b)
+        assert [k.public_wire for k in batch] == [k.public_wire for k in singles]
+
+    @pytest.mark.parametrize("backend", ["plain", "native"])
+    @pytest.mark.parametrize("name", ["ecdh-p160", "ceilidh-toy32"])
+    def test_key_agreement_many_matches_singles(self, name, backend):
+        scheme = get_scheme(name, fresh=True, backend=backend)
+        rng = random.Random(888)
+        server = scheme.keygen(rng)
+        peers = [scheme.keygen(rng).public_wire for _ in range(6)]
+        batch = scheme.key_agreement_many(server, peers)
+        assert batch == [scheme.key_agreement(server, peer) for peer in peers]
+
+
+class TestBatchInversionCollapse:
+    def _count_field_inversions(self, field, action):
+        counter = {"inv": 0}
+        original = field.inv
+
+        def counting_inv(a):
+            counter["inv"] += 1
+            return original(a)
+
+        field.inv = counting_inv
+        try:
+            result = action()
+        finally:
+            del field.inv
+        return counter["inv"], result
+
+    def test_serve_batch_does_one_inversion_per_group_round(self):
+        # The acceptance check of the batching tentpole: an N-session ECDH
+        # key-agreement batch performs exactly ONE modular inversion for its
+        # single group round (the shared Jacobian->affine normalisation),
+        # where the per-item path pays one per session.
+        from repro.serve.session import serve_request, serve_request_batch
+
+        scheme = get_scheme("ecdh-p160", fresh=True, backend="plain")
+        field = scheme._curve_obj.field
+        rng = random.Random(1001)
+        server = scheme.keygen(rng)
+        payloads = [scheme.keygen(rng).public_wire for _ in range(6)]
+
+        batch_invs, batched = self._count_field_inversions(
+            field,
+            lambda: serve_request_batch(scheme, server, "key-agreement", payloads),
+        )
+        assert batch_invs == 1
+
+        single_invs, singles = self._count_field_inversions(
+            field,
+            lambda: [
+                serve_request(scheme, server, "key-agreement", payload)
+                for payload in payloads
+            ],
+        )
+        assert single_invs == len(payloads)
+        # Identical responses: batching is an execution strategy, not a
+        # semantic change.
+        assert batched == singles
+
+    def test_serve_batch_all_or_nothing_on_bad_payload(self):
+        from repro.errors import ReproError
+        from repro.serve.session import serve_request_batch
+
+        scheme = get_scheme("ecdh-p160", fresh=True, backend="plain")
+        rng = random.Random(1002)
+        server = scheme.keygen(rng)
+        payloads = [scheme.keygen(rng).public_wire, b"\x00garbage"]
+        with pytest.raises(ReproError):
+            serve_request_batch(scheme, server, "key-agreement", payloads)
+
+    def test_run_batch_coalesced_matches_loop(self):
+        from repro.pkc.bench import run_batch
+
+        loop = run_batch(
+            get_scheme("ecdh-p160", fresh=True), "key-agreement", 5,
+            rng=random.Random(1003), coalesce=False,
+        )
+        coalesced = run_batch(
+            get_scheme("ecdh-p160", fresh=True), "key-agreement", 5,
+            rng=random.Random(1003), coalesce=True,
+        )
+        assert coalesced.wire_bytes == loop.wire_bytes
+        assert coalesced.sessions == loop.sessions
+        assert coalesced.ops.total == loop.ops.total

@@ -62,6 +62,30 @@ class TestModinv:
         with pytest.raises(ParameterError):
             modinv(3, 0)
 
+    def test_euclid_path_agrees_with_builtin(self):
+        # modinv rides the C-level pow(a, -1, m); the schedulable
+        # extended-Euclid variant survives for the word-counting backend
+        # and must stay value-identical on every input class.
+        import random
+
+        from repro.nt.modular import modinv_euclid
+
+        rng = random.Random(71)
+        for modulus in (11, 97, 2**89 - 1, 15):  # odd composite included
+            for _ in range(20):
+                a = rng.randrange(1, modulus)
+                try:
+                    expected = modinv(a, modulus)
+                except NotInvertibleError:
+                    with pytest.raises(NotInvertibleError):
+                        modinv_euclid(a, modulus)
+                    continue
+                assert modinv_euclid(a, modulus) == expected
+        with pytest.raises(NotInvertibleError):
+            modinv_euclid(0, 17)
+        with pytest.raises(ParameterError):
+            modinv_euclid(3, 0)
+
 
 class TestCrt:
     def test_pair(self):

@@ -183,8 +183,11 @@ class TestScheduler:
         assert group.served == 24
         assert group.busy_seconds > 0
         assert group.served_per_second > 0
-        # Concurrent clients force at least one multi-request batch.
+        # Concurrent clients force at least one multi-request batch, and
+        # every multi-request key-agreement batch runs coalesced (one
+        # key_agreement_many call, batched inversions).
         assert group.largest_batch > 1
+        assert group.coalesced >= 1
         assert stats.batches < stats.served
 
     def test_bounded_queue_rejects_with_overloaded(self):
