@@ -274,6 +274,59 @@ def bench_backend_throughput(record_table, record_perf, platform, quick):
     assert len(emitted) == len(BATCH_SCHEMES) * len(EXTRA_BACKENDS)
 
 
+def bench_batch_vectorized_throughput(record_table, record_perf, platform, quick):
+    """Coalesced (vectorised) key-agreement throughput per scheme and backend.
+
+    Each row is one ``scheme+backend:batch-ka`` BENCH key: ``sessions``
+    sessions served through the batch entry points — ``keygen_many``, the
+    clients' ``key_agreement_with_many`` against the one server public
+    (shared fixed-base table) and the server's ``key_agreement_many``
+    (batched inversions) — in one coalesced call.  The plain rows measure
+    the vectorised path on the default substrate; RSA advertises no key
+    agreement and is skipped.  New keys are invisible to the regression
+    gate until a baseline holds them (the comparator skips keys absent from
+    either side).
+    """
+    sessions = 2 if quick else 8
+    rng = random.Random(36)
+    rows = []
+    emitted = []
+    for name in BATCH_SCHEMES:
+        for backend in ("plain",) + EXTRA_BACKENDS:
+            scheme = get_scheme(name, backend=backend)
+            if BATCH_OPERATIONS["key-agreement"] not in scheme.capabilities:
+                continue
+            result = run_batch(scheme, "key-agreement", sessions, rng=rng, coalesce=True)
+            assert result.coalesced and result.batch_size == sessions
+            extra = {"substrate": native_substrate_name()} if backend == "native" else {}
+            record = record_from_batch(
+                result, scheme=scheme, platform=platform, quick=quick,
+                sessions=sessions, backend=backend, **extra,
+            )
+            record.scheme = f"{record.scheme}+{backend}"
+            record.operation = "batch-ka"
+            record_perf(record)
+            emitted.append(record.key)
+            rows.append(
+                (
+                    record.scheme,
+                    record.sessions,
+                    record.batch_size,
+                    round(record.ops_per_second, 1),
+                    round(record.ms_per_op, 2),
+                )
+            )
+    record_table(
+        "batch_vectorized_throughput",
+        ["scheme+backend", "sessions", "batch", "ops/s", "ms/op"],
+        rows,
+        title="Vectorised key agreement (coalesced batch entry points, batch-ka keys)",
+    )
+    ka_schemes = [name for name in BATCH_SCHEMES if name != "rsa-1024"]
+    assert all(key.endswith(":batch-ka") for key in emitted)
+    assert len(emitted) == len(ka_schemes) * (1 + len(EXTRA_BACKENDS))
+
+
 def bench_measured_vs_analytic_projection(record_table, platform, quick):
     """Table 3 projections from *measured* word-op streams vs the analytic
     composition — asserted to agree within 5% for every headline scheme.

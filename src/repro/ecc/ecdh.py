@@ -19,7 +19,12 @@ from repro.nt.modular import modinv
 from repro.nt.sampling import resolve_rng, sample_exponent
 from repro.ecc.curves import NamedCurve
 from repro.ecc.point import AffinePoint
-from repro.ecc.scalar import double_scalar_mult, scalar_mult, scalar_mult_many
+from repro.ecc.scalar import (
+    double_scalar_mult,
+    scalar_mult,
+    scalar_mult_many,
+    scalar_mult_shared_point,
+)
 
 
 @dataclass
@@ -84,6 +89,34 @@ def ecdh_shared_secret_many(
         peer_publics, [own.private] * len(peer_publics), count=count
     )
     width = (own.curve.p.bit_length() + 7) // 8
+    secrets = []
+    for shared in shareds:
+        if shared.is_infinity():
+            raise ParameterError("degenerate ECDH shared point")
+        secrets.append(shared.curve.field.exit(shared.x).to_bytes(width, "big"))
+    return secrets
+
+
+def ecdh_shared_secret_with_many(
+    owns,
+    peer_public: AffinePoint,
+    count: Optional[ScalarMultCount] = None,
+) -> "list[bytes]":
+    """Shared secrets of N own keys against **one** peer point.
+
+    The coalesced client phase: every session multiplies the same peer
+    point, so one fixed-base doubling chain
+    (:func:`~repro.ecc.scalar.scalar_mult_shared_point`) and one batched
+    affine conversion serve the whole batch.  Wire bytes are identical to N
+    :func:`ecdh_shared_secret` calls.
+    """
+    owns = list(owns)
+    if not owns:
+        return []
+    shareds = scalar_mult_shared_point(
+        peer_public, [own.private for own in owns], count=count
+    )
+    width = (owns[0].curve.p.bit_length() + 7) // 8
     secrets = []
     for shared in shareds:
         if shared.is_infinity():

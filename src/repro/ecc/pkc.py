@@ -38,6 +38,7 @@ from repro.ecc.ecdh import (
     EcdhKeyPair,
     ecdh_shared_secret,
     ecdh_shared_secret_many,
+    ecdh_shared_secret_with_many,
     ecdsa_sign,
     ecdsa_verify,
 )
@@ -179,6 +180,23 @@ class EcdhScheme(PkcScheme):
             for peer in peer_publics
         ]
         shareds = ecdh_shared_secret_many(own.native, peers, count=trace)
+        return [kdf(shared, info, length) for shared in shareds]
+
+    def key_agreement_with_many(
+        self,
+        owns,
+        peer_public: bytes,
+        info: bytes = b"",
+        length: int = 32,
+        trace: Optional[OpTrace] = None,
+    ) -> "list[bytes]":
+        """N own keys against one peer point: the point is decoded once and
+        a shared fixed-base doubling chain serves the batch (byte-identical
+        to looping :meth:`key_agreement`)."""
+        peer = decode_point(self.curve, peer_public, curve=self._curve_obj)
+        shareds = ecdh_shared_secret_with_many(
+            [own.native for own in owns], peer, count=trace
+        )
         return [kdf(shared, info, length) for shared in shareds]
 
     # -- hybrid encryption (hashed ElGamal over the curve) ----------------------------

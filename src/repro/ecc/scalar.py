@@ -20,6 +20,8 @@ from repro.exp.strategies import (
     check_window_bits,
     double_exponentiate as _double_exponentiate,
     exponentiate as _exponentiate,
+    exponentiate_many as _exponentiate_many,
+    exponentiate_shared_base as _exponentiate_shared_base,
 )
 from repro.exp.trace import ScalarMultCount
 from repro.ecc.point import INFINITY, AffinePoint
@@ -28,6 +30,7 @@ __all__ = [
     "ScalarMultCount",
     "scalar_mult",
     "scalar_mult_many",
+    "scalar_mult_shared_point",
     "scalar_mult_binary",
     "scalar_mult_naf",
     "scalar_mult_wnaf",
@@ -88,26 +91,69 @@ def scalar_mult_many(
     if window_bits is not None:
         check_window_bits(window_bits)
     results: "list[Optional[AffinePoint]]" = [None] * len(points)
-    jacobians = []
+    pending = []
     positions = []
     for i, (point, scalar) in enumerate(zip(points, scalars)):
         if scalar == 0 or point.is_infinity():
             results[i] = INFINITY
             continue
-        group = JacobianExpGroup(point.curve)
-        jacobians.append(
-            _exponentiate(
-                group,
-                point.to_jacobian(),
-                scalar,
-                strategy=strategy,
-                trace=count,
-                window_bits=window_bits,
-            )
-        )
+        pending.append((point, scalar))
         positions.append(i)
-    for i, affine in zip(positions, to_affine_many(jacobians)):
-        results[i] = affine
+    if pending:
+        # One group object serves the whole (same-curve) batch; its ops
+        # delegate to the points, so this matches per-item construction.
+        group = JacobianExpGroup(pending[0][0].curve)
+        jacobians = _exponentiate_many(
+            group,
+            [point.to_jacobian() for point, _ in pending],
+            [scalar for _, scalar in pending],
+            strategy=strategy,
+            trace=count,
+            window_bits=window_bits,
+        )
+        for i, affine in zip(positions, to_affine_many(jacobians)):
+            results[i] = affine
+    return results
+
+
+def scalar_mult_shared_point(
+    point: AffinePoint,
+    scalars,
+    strategy: str = "auto",
+    count: Optional[ScalarMultCount] = None,
+    window_bits: Optional[int] = None,
+) -> "list[AffinePoint]":
+    """One point, many scalars — the coalesced client phase on a curve.
+
+    A single fixed-base doubling chain over the point (built once, sized by
+    the widest scalar) serves every product, and the Jacobian results share
+    one affine conversion.  Point values are identical to N
+    :func:`scalar_mult` calls; only the operation schedule changes.
+    """
+    from repro.ecc.point import to_affine_many
+
+    scalars = list(scalars)
+    if window_bits is not None:
+        check_window_bits(window_bits)
+    results: "list[Optional[AffinePoint]]" = [None] * len(scalars)
+    positions = [i for i, s in enumerate(scalars) if s != 0]
+    if point.is_infinity():
+        return [INFINITY] * len(scalars)
+    for i, scalar in enumerate(scalars):
+        if scalar == 0:
+            results[i] = INFINITY
+    if positions:
+        group = JacobianExpGroup(point.curve)
+        jacobians = _exponentiate_shared_base(
+            group,
+            point.to_jacobian(),
+            [scalars[i] for i in positions],
+            strategy=strategy,
+            trace=count,
+            window_bits=window_bits,
+        )
+        for i, affine in zip(positions, to_affine_many(jacobians)):
+            results[i] = affine
     return results
 
 

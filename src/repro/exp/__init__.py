@@ -35,6 +35,8 @@ from repro.exp.strategies import (
     double_exponentiate,
     expected_counts,
     exponentiate,
+    exponentiate_many,
+    exponentiate_shared_base,
     get_strategy,
     naf_digits,
     register_strategy,
@@ -60,6 +62,8 @@ __all__ = [
     "select_strategy",
     "default_window_bits",
     "exponentiate",
+    "exponentiate_many",
+    "exponentiate_shared_base",
     "double_exponentiate",
     "expected_counts",
     "FixedBaseTable",

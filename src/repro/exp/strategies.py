@@ -504,6 +504,113 @@ def exponentiate(
     return fn(group, base, exponent, trace=trace, window_bits=window_bits)
 
 
+def _batch_api_enabled() -> bool:
+    # Lazy import: repro.field imports this module at package init, so a
+    # top-level import of repro.field.backend here would be circular.
+    from repro.field.backend import batch_api_enabled
+
+    return batch_api_enabled()
+
+
+#: Below this exponent width a shared table cannot beat plain binary.
+_SHARED_TABLE_MIN_BITS = 17
+
+
+def exponentiate_shared_base(
+    group: Group,
+    base: Any,
+    exponents,
+    strategy: str = "auto",
+    trace: Optional[OpTrace] = None,
+    window_bits: Optional[int] = None,
+) -> List[Any]:
+    """``base^e`` for one base and many exponents, sharing the precomputation.
+
+    With two or more wide exponents (and the batch API enabled) one
+    :class:`FixedBaseTable` — ``max_bits`` squarings, paid once — serves the
+    whole batch, so each element costs only ~popcount multiplications: the
+    multiplicative analogue of ``inv_many``'s one-inversion trick.  Exact
+    group arithmetic makes the results value-identical to looping
+    :func:`exponentiate`, which remains the fallback for short batches,
+    tiny exponents and ``REPRO_BATCH_API=off``.
+    """
+    exponents = [int(e) for e in exponents]
+    if len(exponents) >= 2 and _batch_api_enabled():
+        max_bits = max(abs(e).bit_length() for e in exponents)
+        if max_bits >= _SHARED_TABLE_MIN_BITS:
+            table = FixedBaseTable(group, base, max_bits, trace=trace)
+            return [table.power(e, trace=trace) for e in exponents]
+    return [
+        exponentiate(
+            group, base, e, strategy=strategy, trace=trace, window_bits=window_bits
+        )
+        for e in exponents
+    ]
+
+
+def exponentiate_many(
+    group: Group,
+    bases,
+    exponents,
+    strategy: str = "auto",
+    trace: Optional[OpTrace] = None,
+    window_bits: Optional[int] = None,
+) -> List[Any]:
+    """Index-aligned batch ``bases[i]^exponents[i]`` in one engine call.
+
+    The batch front door: runs of items sharing a base (the serve
+    scheduler's per-(scheme, kind) groups all exponentiate one server key or
+    one generator) are detected and funnelled through
+    :func:`exponentiate_shared_base`; everything else — distinct bases,
+    short batches, ``REPRO_BATCH_API=off`` — takes the per-item
+    :func:`exponentiate` path with its strategy tables built per call.
+    Byte-identical to N single calls by contract.
+    """
+    bases = list(bases)
+    exponents = [int(e) for e in exponents]
+    if len(bases) != len(exponents):
+        raise ParameterError(
+            f"exponentiate_many: length mismatch ({len(bases)} vs {len(exponents)})"
+        )
+    if len(bases) < 2 or not _batch_api_enabled():
+        return [
+            exponentiate(
+                group, b, e, strategy=strategy, trace=trace, window_bits=window_bits
+            )
+            for b, e in zip(bases, exponents)
+        ]
+
+    def _same(a: Any, b: Any) -> bool:
+        if a is b:
+            return True
+        try:
+            return bool(a == b)
+        except Exception:  # pragma: no cover - exotic element types
+            return False
+
+    groups: List[List[Any]] = []  # [base, [indices]]
+    for index, base in enumerate(bases):
+        for entry in groups:
+            if _same(entry[0], base):
+                entry[1].append(index)
+                break
+        else:
+            groups.append([base, [index]])
+    results: List[Any] = [None] * len(bases)
+    for base, indices in groups:
+        batch = exponentiate_shared_base(
+            group,
+            base,
+            [exponents[i] for i in indices],
+            strategy=strategy,
+            trace=trace,
+            window_bits=window_bits,
+        )
+        for i, value in zip(indices, batch):
+            results[i] = value
+    return results
+
+
 def double_exponentiate(
     group: Group,
     base_a: Any,

@@ -78,6 +78,8 @@ __all__ = [
     "default_backend_name",
     "canonical_backend_name",
     "BACKEND_ENV_VAR",
+    "BATCH_API_ENV_VAR",
+    "batch_api_enabled",
 ]
 
 #: Environment variable consulted by the scheme layer (``repro.pkc``) when no
@@ -85,6 +87,25 @@ __all__ = [
 #: to plain arithmetic — the env var steers protocol-level construction, not
 #: every bare field a unit test builds.
 BACKEND_ENV_VAR = "REPRO_FIELD_BACKEND"
+
+#: Escape hatch for the vectorized batch API: ``REPRO_BATCH_API=off`` makes
+#: every batch entry point (``pow_many``, ``exponentiate_many``, the native
+#: ``powmod_batch`` funnel) degrade to a loop of single calls.  The batch
+#: paths are value-identical by contract, so this only trades speed — it
+#: exists to prove the scalar paths stay green (a CI matrix leg runs tier-1
+#: under it) and to bisect a miscompiled batch kernel in the field.
+BATCH_API_ENV_VAR = "REPRO_BATCH_API"
+
+
+def batch_api_enabled() -> bool:
+    """Whether batch implementations may amortize work across a batch.
+
+    Read at call time (not import time) so tests and CI legs can flip
+    ``REPRO_BATCH_API`` per process.  Off never changes values — only which
+    code path produces them.
+    """
+    value = os.environ.get(BATCH_API_ENV_VAR, "").strip().lower()
+    return value not in ("0", "off", "no", "false")
 
 
 @dataclass
@@ -252,6 +273,71 @@ class FieldOps:
     def pow(self, a: int, e: int) -> int:
         raise NotImplementedError
 
+    # -- array-resident batch API ----------------------------------------------
+    #
+    # Arrays of residents in, arrays of residents out, index-aligned.  Every
+    # method is value-identical to the equivalent loop of single calls — the
+    # ``inv_many`` contract — so backends are free to amortize work across
+    # the batch (shared tables, one FFI call) without changing any byte a
+    # protocol emits.  The defaults below are the correct plain-Python
+    # fallback every backend inherits.
+
+    @staticmethod
+    def _paired(a, b, what: str):
+        a = list(a)
+        b = list(b)
+        if len(a) != len(b):
+            raise ParameterError(
+                f"{what}: length mismatch ({len(a)} vs {len(b)})"
+            )
+        return a, b
+
+    def add_many(self, a, b) -> list:
+        """Element-wise ``a[i] + b[i]`` over resident arrays."""
+        a, b = self._paired(a, b, "add_many")
+        add = self.add
+        return [add(x, y) for x, y in zip(a, b)]
+
+    def sub_many(self, a, b) -> list:
+        """Element-wise ``a[i] - b[i]`` over resident arrays."""
+        a, b = self._paired(a, b, "sub_many")
+        sub = self.sub
+        return [sub(x, y) for x, y in zip(a, b)]
+
+    def mul_many(self, a, b) -> list:
+        """Element-wise ``a[i] * b[i]`` over resident arrays."""
+        a, b = self._paired(a, b, "mul_many")
+        mul = self.mul
+        return [mul(x, y) for x, y in zip(a, b)]
+
+    def sqr_many(self, values) -> list:
+        """Element-wise squaring over a resident array."""
+        sqr = self.sqr
+        return [sqr(v) for v in values]
+
+    def pow_many(self, bases, exponents) -> list:
+        """``bases[i] ** exponents[i]`` over resident arrays.
+
+        The centerpiece of the batch seam: native backends override this to
+        keep the whole batch below the Python object layer (one ctypes call
+        for the FIOS kernel, mpz-resident looping for gmpy2).  The default
+        loops :meth:`pow`, so the result is byte-identical everywhere.
+        """
+        bases, exponents = self._paired(bases, exponents, "pow_many")
+        pw = self.pow
+        return [pw(b, e) for b, e in zip(bases, exponents)]
+
+    def pow_many_shared_base(self, base, exponents) -> list:
+        """``base ** exponents[i]`` for one resident base, many exponents.
+
+        Backends whose single :meth:`pow` is Python-priced override this to
+        build one fixed-base table (``bit_length`` squarings) and amortize
+        it across the batch — the multiplicative twin of ``inv_many``'s
+        Montgomery trick.  The default loops :meth:`pow`.
+        """
+        pw = self.pow
+        return [pw(base, e) for e in exponents]
+
 
 class PlainFieldOps(FieldOps):
     """Ordinary reduced-integer arithmetic — the historical behaviour."""
@@ -319,6 +405,37 @@ class MontgomeryFieldOps(FieldOps):
         # A single field power is not a loop worth recoding: drop to the
         # plain representation, use the platform-native pow, re-enter.
         return self.enter(pow(self.exit(a), e, self.p))
+
+    def pow_many(self, bases, exponents) -> list:
+        bases, exponents = self._paired(bases, exponents, "pow_many")
+        p = self.p
+        enter = self.enter
+        exit_ = self.exit
+        return [enter(pow(exit_(b), e, p)) for b, e in zip(bases, exponents)]
+
+    def pow_many_shared_base(self, base, exponents) -> list:
+        """Shared-base powers without ever leaving residency.
+
+        Residents under ``mont_mul`` form a group isomorphic to ``Z_p^*``
+        (identity ``R mod p``), so one
+        :class:`~repro.exp.strategies.FixedBaseTable` built over the bound
+        ops — ``max_bits`` squarings, paid once — serves the whole batch
+        with only multiplications per element.  Exact arithmetic makes the
+        values identical to looping :meth:`pow`; negative or tiny batches
+        fall back to the loop.
+        """
+        exponents = list(exponents)
+        if (
+            len(exponents) < 2
+            or not batch_api_enabled()
+            or any(e < 0 for e in exponents)
+        ):
+            return [self.pow(base, e) for e in exponents]
+        from repro.exp.strategies import FixedBaseTable
+
+        max_bits = max(e.bit_length() for e in exponents)
+        table = FixedBaseTable(_BoundOpsExpGroup(self), base, max_bits or 1)
+        return [table.power(e) for e in exponents]
 
 
 class _BoundOpsExpGroup:
@@ -461,6 +578,15 @@ class WordCountingFieldOps(MontgomeryFieldOps):
             return exponentiate(group, self.inv(a), -e)
         return exponentiate(group, a, e)
 
+    def pow_many(self, bases, exponents) -> list:
+        # The Montgomery override drops to the builtin ``pow``, which would
+        # bypass word-level tallying; loop the counting pow instead.  (The
+        # inherited shared-base table path already runs every product
+        # through the bound ops, so it tallies correctly as-is.)
+        bases, exponents = self._paired(bases, exponents, "pow_many")
+        pw = self.pow
+        return [pw(b, e) for b, e in zip(bases, exponents)]
+
 
 class GmpFieldOps(FieldOps):
     """Plain-representation arithmetic on GMP ``mpz`` values (gmpy2).
@@ -508,6 +634,44 @@ class GmpFieldOps(FieldOps):
             # Negative exponent of a non-invertible base.
             raise NotInvertibleError(int(a) % self.p, self.p) from None
 
+    def pow_many(self, bases, exponents) -> list:
+        """Loop GMP's ``powmod`` with every value staying ``mpz``-resident.
+
+        No int round-trips between elements: bases arrive resident, results
+        stay resident, and the modulus is the cached ``mpz``.
+        """
+        bases, exponents = self._paired(bases, exponents, "pow_many")
+        powmod = self._gmpy2.powmod
+        pz = self.pz
+        out = []
+        for b, e in zip(bases, exponents):
+            try:
+                out.append(powmod(b, e, pz))
+            except (ValueError, ZeroDivisionError):
+                raise NotInvertibleError(int(b) % self.p, self.p) from None
+        return out
+
+    def pow_many_shared_base(self, base, exponents) -> list:
+        """Shared-base batch through GMP, using its list-powmod when present.
+
+        gmpy2 >= 2.2 ships ``powmod_exp_list`` (one GMP call for the whole
+        batch); older builds fall back to the resident ``powmod`` loop —
+        same values either way.
+        """
+        exponents = list(exponents)
+        batch_fn = getattr(self._gmpy2, "powmod_exp_list", None)
+        if (
+            batch_fn is not None
+            and batch_api_enabled()
+            and len(exponents) >= 2
+            and all(e >= 0 for e in exponents)
+        ):
+            try:
+                return list(batch_fn(base, exponents, self.pz))
+            except (TypeError, ValueError, ZeroDivisionError):
+                pass  # fall through to the loop on any interface mismatch
+        return [self.pow(base, e) for e in exponents]
+
 
 class KernelFieldOps(PlainFieldOps):
     """Plain-representation arithmetic over the ctypes FIOS C kernel.
@@ -533,6 +697,34 @@ class KernelFieldOps(PlainFieldOps):
         if e < 0:
             return self._kernel.powmod(modinv(a, self.p), -e, self.p)
         return self._kernel.powmod(a, e, self.p)
+
+    def pow_many(self, bases, exponents) -> list:
+        """The whole batch of ladders in **one** ctypes call.
+
+        :meth:`repro.field.native.FiosKernel.powmod_batch` marshals every
+        operand once and runs N MSB-first Montgomery ladders back-to-back in
+        C — the FFI setup PR 6 amortized within one ladder is now amortized
+        across the batch.  Negative exponents are pre-inverted in Python
+        (exactly like :meth:`pow`); the scalar loop remains as the fallback
+        when the kernel is absent or the batch API is switched off.
+        """
+        bases, exponents = self._paired(bases, exponents, "pow_many")
+        if self._kernel is None or len(bases) < 2 or not batch_api_enabled():
+            pw = self.pow
+            return [pw(b, e) for b, e in zip(bases, exponents)]
+        p = self.p
+        flat_bases = []
+        flat_exps = []
+        for b, e in zip(bases, exponents):
+            if e < 0:
+                b, e = modinv(b, p), -e
+            flat_bases.append(b)
+            flat_exps.append(e)
+        return self._kernel.powmod_batch(flat_bases, flat_exps, p)
+
+    def pow_many_shared_base(self, base, exponents) -> list:
+        exponents = list(exponents)
+        return self.pow_many([base] * len(exponents), exponents)
 
 
 # ---------------------------------------------------------------------------

@@ -147,6 +147,25 @@ void repro_fios_powmod(uint64_t *out, const uint64_t *base,
     one[0] = 1;
     repro_fios_mont_mul(out, acc, one, m, m_prime, n);  /* from Montgomery */
 }
+
+/* count independent ladders against one modulus, back to back.
+   bases/out are count x n words; exps is count x exp_stride words with the
+   per-item significant bit count in exp_bits[k] (0 bits -> base^0 = 1).
+   One call amortises the FFI setup across the whole batch the same way
+   repro_fios_powmod amortises it across one ladder. */
+void repro_fios_powmod_batch(uint64_t *out, const uint64_t *bases,
+                             const uint64_t *exps, const int *exp_bits,
+                             int count, int exp_stride,
+                             const uint64_t *m, const uint64_t *r2,
+                             const uint64_t *r_mod_p, uint64_t m_prime,
+                             int n) {
+    int k;
+    for (k = 0; k < count; k++) {
+        repro_fios_powmod(out + (uint64_t)k * n, bases + (uint64_t)k * n,
+                          exps + (uint64_t)k * exp_stride, exp_bits[k],
+                          m, r2, r_mod_p, m_prime, n);
+    }
+}
 """ % {"max_words": _MAX_WORDS}
 
 
@@ -196,6 +215,20 @@ class FiosKernel:
             ctypes.c_int,                     # n
         ]
         lib.repro_fios_powmod.restype = None
+        lib.repro_fios_powmod_batch.argtypes = [
+            ctypes.POINTER(ctypes.c_uint64),  # out (count x n)
+            ctypes.POINTER(ctypes.c_uint64),  # bases (count x n)
+            ctypes.POINTER(ctypes.c_uint64),  # exps (count x exp_stride)
+            ctypes.POINTER(ctypes.c_int),     # exp_bits (count)
+            ctypes.c_int,                     # count
+            ctypes.c_int,                     # exp_stride
+            ctypes.POINTER(ctypes.c_uint64),  # m
+            ctypes.POINTER(ctypes.c_uint64),  # r2
+            ctypes.POINTER(ctypes.c_uint64),  # r_mod_p
+            ctypes.c_uint64,                  # m_prime
+            ctypes.c_int,                     # n
+        ]
+        lib.repro_fios_powmod_batch.restype = None
         self._domains: Dict[int, Tuple[int, int, object, object, object]] = {}
 
     def supports(self, modulus: int) -> bool:
@@ -246,6 +279,53 @@ class FiosKernel:
         )
         return _words_to_int(out)
 
+    def powmod_batch(self, bases, exponents, modulus: int) -> list:
+        """N independent ``base^exp mod modulus`` ladders in **one** C call.
+
+        Operands are flattened into contiguous word arrays (bases at ``n``
+        words each, exponents at the batch-wide stride) and the kernel's
+        ``repro_fios_powmod_batch`` runs every MSB-first ladder back to
+        back — the per-call FFI setup is paid once for the whole batch.
+        Index-aligned results, value-identical to looping :meth:`powmod`.
+        """
+        bases = list(bases)
+        exponents = list(exponents)
+        if len(bases) != len(exponents):
+            raise ValueError("powmod_batch needs equal-length bases/exponents")
+        for exponent in exponents:
+            if exponent < 0:
+                raise ValueError("kernel powmod needs a non-negative exponent")
+        count = len(bases)
+        if count == 0:
+            return []
+        words, m_prime, m_arr, r2_arr, r_arr = self._domain(modulus)
+        exp_bits = [e.bit_length() for e in exponents]
+        stride = max(1, (max(exp_bits) + _WORD_BITS - 1) // _WORD_BITS)
+        mask = _RADIX - 1
+        base_buf = (ctypes.c_uint64 * (count * words))()
+        exp_buf = (ctypes.c_uint64 * (count * stride))()
+        for k, (base, exponent) in enumerate(zip(bases, exponents)):
+            base %= modulus
+            offset = k * words
+            for i in range(words):
+                base_buf[offset + i] = (base >> (_WORD_BITS * i)) & mask
+            offset = k * stride
+            for i in range(stride):
+                exp_buf[offset + i] = (exponent >> (_WORD_BITS * i)) & mask
+        out = (ctypes.c_uint64 * (count * words))()
+        self._lib.repro_fios_powmod_batch(
+            out, base_buf, exp_buf, (ctypes.c_int * count)(*exp_bits),
+            count, stride, m_arr, r2_arr, r_arr, m_prime, words,
+        )
+        results = []
+        for k in range(count):
+            value = 0
+            offset = k * words
+            for i in range(words):
+                value |= out[offset + i] << (_WORD_BITS * i)
+            results.append(value)
+        return results
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<FiosKernel {self.path}>"
 
@@ -278,8 +358,10 @@ def _compile_kernel() -> Optional[FiosKernel]:
     if not os.path.exists(lib_path):
         os.makedirs(cache_dir, exist_ok=True)
         source_path = os.path.join(cache_dir, f"fios-{digest}.c")
-        with open(source_path, "w") as handle:
+        scratch_path = f"{source_path}.tmp-{os.getpid()}"
+        with open(scratch_path, "w") as handle:
             handle.write(_KERNEL_SOURCE)
+        os.replace(scratch_path, source_path)  # racing writers stay whole
         compiler = os.environ.get("CC", "cc")
         build_path = lib_path + f".build-{os.getpid()}"
         command = [
@@ -310,9 +392,18 @@ def load_fios_kernel() -> Optional[FiosKernel]:
             try:
                 kernel = _compile_kernel()
                 if kernel is not None:
-                    # One differential sanity check before trusting the build.
+                    # Differential sanity checks before trusting the build:
+                    # one single ladder and one batch call (mixed exponent
+                    # widths, including 0 and 1) against Python's pow.
                     p = (1 << 127) - 1
-                    if kernel.powmod(3, p - 2, p) != pow(3, p - 2, p):
+                    cases = [(3, p - 2), (2, 0), (5, 1), (p - 1, 1 << 70)]
+                    expected = [pow(b, e, p) for b, e in cases]
+                    if kernel.powmod(3, p - 2, p) != expected[0] or (
+                        kernel.powmod_batch(
+                            [b for b, _ in cases], [e for _, e in cases], p
+                        )
+                        != expected
+                    ):
                         logger.warning("FIOS kernel self-check failed; disabled")
                         kernel = None
             except Exception as exc:  # noqa: BLE001 - availability probe

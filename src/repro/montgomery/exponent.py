@@ -16,13 +16,14 @@ from typing import Optional
 
 from repro.errors import ParameterError
 from repro.exp.group import MontgomeryExpGroup
-from repro.exp.strategies import check_window_bits, exponentiate
+from repro.exp.strategies import check_window_bits, exponentiate, exponentiate_many
 from repro.exp.trace import ExponentiationTrace, OpTrace
 from repro.montgomery.domain import MontgomeryDomain
 
 __all__ = [
     "ExponentiationTrace",
     "montgomery_power",
+    "montgomery_power_many",
     "montgomery_exponent",
     "montgomery_ladder_exponent",
     "montgomery_window_exponent",
@@ -63,6 +64,59 @@ def montgomery_power(
         window_bits=window_bits,
     )
     return domain.from_montgomery(result)
+
+
+def montgomery_power_many(
+    domain: MontgomeryDomain,
+    bases,
+    exponents,
+    strategy: str = "auto",
+    trace: Optional[OpTrace] = None,
+    window_bits: Optional[int] = None,
+) -> "list[int]":
+    """Batch :func:`montgomery_power` through the engine's batch entry.
+
+    One :class:`MontgomeryExpGroup` and one conversion pass serve the whole
+    batch, and shared-base runs amortize a fixed-base table inside
+    :func:`~repro.exp.strategies.exponentiate_many`.  RSA's CRT paths are
+    the expected caller (N half-size exponentiations per prime under one
+    key); results are value-identical to N single calls.
+    """
+    bases = list(bases)
+    exponents = list(exponents)
+    if len(bases) != len(exponents):
+        raise ParameterError(
+            f"montgomery_power_many: length mismatch ({len(bases)} vs {len(exponents)})"
+        )
+    for exponent in exponents:
+        if exponent < 0:
+            raise ParameterError("negative exponents are not supported")
+    if window_bits is not None:
+        check_window_bits(window_bits)
+    p = domain.modulus
+    results: "list[Optional[int]]" = [None] * len(bases)
+    pending = []
+    positions = []
+    for i, (base, exponent) in enumerate(zip(bases, exponents)):
+        base %= p
+        if exponent == 0:
+            results[i] = 1 % p
+            continue
+        pending.append((base, exponent))
+        positions.append(i)
+    if pending:
+        group = MontgomeryExpGroup(domain)
+        residents = exponentiate_many(
+            group,
+            [domain.to_montgomery(base) for base, _ in pending],
+            [exponent for _, exponent in pending],
+            strategy=strategy,
+            trace=trace,
+            window_bits=window_bits,
+        )
+        for i, resident in zip(positions, residents):
+            results[i] = domain.from_montgomery(resident)
+    return results
 
 
 def montgomery_exponent(

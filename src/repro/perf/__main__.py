@@ -47,6 +47,7 @@ def _show(path: str) -> int:
             round(record.ops_per_second, 2),
             round(record.ms_per_op, 3),
             record.squarings + record.multiplications,
+            record.batch_size if record.batch_size is not None else "-",
             record.projected_cycles if record.projected_cycles is not None else "-",
             record.latency_ms.get("p50_ms", "-") if record.latency_ms else "-",
             record.latency_ms.get("p99_ms", "-") if record.latency_ms else "-",
@@ -56,7 +57,7 @@ def _show(path: str) -> int:
     print(
         render_table(
             ["scheme", "operation", "backend", "sessions", "ops/s", "ms/op", "group ops",
-             "projected cycles", "p50 ms", "p99 ms"],
+             "batch", "projected cycles", "p50 ms", "p99 ms"],
             rows,
             title=f"Perf trajectory: {path}",
         )

@@ -66,6 +66,10 @@ class PerfRecord:
     inversions: int = 0
     wire_bytes: int = 0
     projected_cycles: Optional[int] = None
+    #: Sessions per vectorised batch call when the run executed coalesced
+    #: (the batch entry points served all sessions in one call); ``None``
+    #: for per-session loop runs and for records predating the field.
+    batch_size: Optional[int] = None
     #: Latency percentile digest of an online serving run (the
     #: :meth:`repro.perf.latency.LatencyHistogram.summary` shape); ``None``
     #: for offline batch cells, whose latency is uniform by construction.
@@ -90,6 +94,7 @@ class PerfRecord:
             "inversions": self.inversions,
             "wire_bytes": self.wire_bytes,
             "projected_cycles": self.projected_cycles,
+            "batch_size": self.batch_size,
             "latency_ms": dict(self.latency_ms) if self.latency_ms else None,
             "meta": dict(self.meta),
         }
@@ -126,5 +131,6 @@ def record_from_batch(result, scheme=None, platform=None, **meta: Any) -> PerfRe
         inversions=result.ops.inversions,
         wire_bytes=result.wire_bytes,
         projected_cycles=projected,
+        batch_size=getattr(result, "batch_size", None),
         meta=dict(meta),
     )

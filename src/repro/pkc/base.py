@@ -285,6 +285,25 @@ class PkcScheme:
             for peer in peer_publics
         ]
 
+    def key_agreement_with_many(
+        self,
+        owns,
+        peer_public: bytes,
+        info: bytes = b"",
+        length: int = 32,
+        trace: Optional[OpTrace] = None,
+    ) -> "list[bytes]":
+        """Derive N own keys against **one** peer public — the client phase
+        of a coalesced batch, where every session targets the same server
+        key.  Overridden where the shared base lets one precomputation
+        (a fixed-base table over the peer element) serve the whole batch.
+        Same byte-identity contract as :meth:`keygen_many`.
+        """
+        return [
+            self.key_agreement(own, peer_public, info=info, length=length, trace=trace)
+            for own in owns
+        ]
+
     # -- hybrid encryption ---------------------------------------------------------
 
     def encrypt(
@@ -311,6 +330,20 @@ class PkcScheme:
         trace: Optional[OpTrace] = None,
     ) -> bytes:
         raise UnsupportedOperationError(f"{self.name} does not implement signatures")
+
+    def sign_many(
+        self,
+        own: SchemeKeyPair,
+        messages,
+        rng: Optional[random.Random] = None,
+        trace: Optional[OpTrace] = None,
+    ) -> "list[bytes]":
+        """Sign N messages under one key; overridden where batching helps
+        (deterministic RSA signatures share one exponentiation batch).  The
+        default loop preserves the per-message RNG draw order of randomized
+        schemes, so wire output stays byte-identical either way.
+        """
+        return [self.sign(own, message, rng=rng, trace=trace) for message in messages]
 
     def verify(
         self,

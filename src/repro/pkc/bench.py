@@ -51,16 +51,19 @@ def _coalesced_key_agreement_batch(
     Same sessions as ``sessions`` runs of ``offline_key_agreement_session``
     — fresh client key each, both derivations, checked equal — but phased so
     the server's N derivations go through ``key_agreement_many`` and its
-    batched inversions (one per group round instead of one per session).
-    Byte-identical to the loop: client key generation is the only step that
-    draws from ``rng``, and ``keygen_many`` preserves the draw order, so the
-    wire bytes and derived keys match session for session.
+    batched inversions (one per group round instead of one per session),
+    while the clients' N derivations against the *same* server public go
+    through ``key_agreement_with_many`` and its shared fixed-base table
+    (the server point is decompressed once and its doubling chain is paid
+    once for the whole batch).  Byte-identical to the loop: client key
+    generation is the only step that draws from ``rng``, and
+    ``keygen_many`` preserves the draw order, so the wire bytes and derived
+    keys match session for session.
     """
     clients = scheme.keygen_many(sessions, rng, trace=trace)
-    client_keys = [
-        scheme.key_agreement(client, server.public_wire, trace=trace)
-        for client in clients
-    ]
+    client_keys = scheme.key_agreement_with_many(
+        clients, server.public_wire, trace=trace
+    )
     server_keys = scheme.key_agreement_many(
         server, [client.public_wire for client in clients], trace=trace
     )
@@ -100,6 +103,14 @@ class BatchResult:
     ops: OpTrace = field(default_factory=OpTrace)
     #: Total protocol bytes that crossed the wire for the whole batch.
     wire_bytes: int = 0
+    #: Whether the sessions actually ran through the coalesced (vectorised)
+    #: path rather than the per-session loop.
+    coalesced: bool = False
+
+    @property
+    def batch_size(self) -> Optional[int]:
+        """Sessions per vectorised batch call — ``None`` for the loop path."""
+        return self.sessions if self.coalesced else None
 
     @property
     def ms_per_session(self) -> float:
@@ -211,8 +222,9 @@ def run_batch(
     trace = ops if collect_ops else None
     wire = 0
     run_session = OFFLINE_SESSION_RUNNERS[operation]
+    coalesced = coalesce and operation == "key-agreement" and sessions > 1
     started = time.perf_counter()
-    if coalesce and operation == "key-agreement" and sessions > 1:
+    if coalesced:
         wire = _coalesced_key_agreement_batch(scheme, server, sessions, rng, trace)
     else:
         for index in range(sessions):
@@ -228,6 +240,7 @@ def run_batch(
         wall_seconds=elapsed,
         ops=ops,
         wire_bytes=wire,
+        coalesced=coalesced,
     )
 
 

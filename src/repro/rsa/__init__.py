@@ -15,6 +15,7 @@ from repro.rsa.rsa import (
     rsa_encrypt,
     rsa_decrypt,
     rsa_sign,
+    rsa_sign_many,
     rsa_verify,
 )
 
@@ -27,5 +28,6 @@ __all__ = [
     "rsa_encrypt",
     "rsa_decrypt",
     "rsa_sign",
+    "rsa_sign_many",
     "rsa_verify",
 ]

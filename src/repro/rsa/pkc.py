@@ -37,7 +37,13 @@ from repro.pkc.base import (
 )
 from repro.pkc.profile import canonical_exponent
 from repro.rsa.keygen import RsaKeyPair, RsaPublicKey, generate_rsa_keypair
-from repro.rsa.rsa import rsa_decrypt_int_crt, rsa_encrypt_int, rsa_sign, rsa_verify
+from repro.rsa.rsa import (
+    rsa_decrypt_int_crt,
+    rsa_encrypt_int,
+    rsa_sign,
+    rsa_sign_many,
+    rsa_verify,
+)
 from repro.soc.system import default_rsa_modulus
 
 __all__ = ["RsaScheme"]
@@ -187,6 +193,23 @@ class RsaScheme(PkcScheme):
         trace: Optional[OpTrace] = None,
     ) -> bytes:
         return rsa_sign(own.native, message, trace=trace, domains=self._crt_domains(own.native))
+
+    def sign_many(
+        self,
+        own: SchemeKeyPair,
+        messages,
+        rng: Optional[random.Random] = None,
+        trace: Optional[OpTrace] = None,
+    ) -> "list[bytes]":
+        """N deterministic signatures as two CRT exponentiation batches.
+
+        No RNG draws are involved (hash-then-sign with fixed padding), so
+        batching through :func:`repro.rsa.rsa.rsa_sign_many` is
+        byte-identical to looping :meth:`sign`.
+        """
+        return rsa_sign_many(
+            own.native, messages, trace=trace, domains=self._crt_domains(own.native)
+        )
 
     def verify(
         self,

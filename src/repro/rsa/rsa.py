@@ -17,7 +17,7 @@ from typing import Optional, Union
 from repro.errors import DecryptionError, ParameterError
 from repro.exp.trace import OpTrace
 from repro.montgomery.domain import MontgomeryDomain
-from repro.montgomery.exponent import montgomery_power
+from repro.montgomery.exponent import montgomery_power, montgomery_power_many
 from repro.rsa.keygen import RsaKeyPair, RsaPublicKey
 
 PublicLike = Union[RsaKeyPair, RsaPublicKey]
@@ -166,6 +166,46 @@ def rsa_sign(
     digest = hashlib.sha256(message).digest()
     value = rsa_decrypt_int_crt(key, _pad(digest, key.n), trace=trace, domains=domains)
     return value.to_bytes(_modulus_bytes(key.n), "big")
+
+
+def rsa_sign_many(
+    key: RsaKeyPair,
+    messages,
+    trace: Optional[OpTrace] = None,
+    domains: Optional[tuple] = None,
+    word_bits: int = 16,
+) -> "list[bytes]":
+    """N hash-then-sign signatures batching the CRT exponentiations.
+
+    The padding is deterministic and no RNG is involved, so the two
+    half-size exponentiation streams (mod p with ``d_p``, mod q with
+    ``d_q``) can run as two :func:`montgomery_power_many` batches — one
+    Montgomery domain pair, one engine batch per prime — and the signatures
+    stay byte-identical to N :func:`rsa_sign` calls.
+    """
+    messages = list(messages)
+    padded = [
+        _pad(hashlib.sha256(message).digest(), key.n) for message in messages
+    ]
+    if domains is None:
+        domain_p = MontgomeryDomain(key.p, word_bits=word_bits)
+        domain_q = MontgomeryDomain(key.q, word_bits=word_bits)
+    else:
+        domain_p, domain_q = domains
+        if domain_p.modulus != key.p or domain_q.modulus != key.q:
+            raise ParameterError("injected CRT domains do not match the key's primes")
+    m_ps = montgomery_power_many(
+        domain_p, [c % key.p for c in padded], [key.d_p] * len(padded), trace=trace
+    )
+    m_qs = montgomery_power_many(
+        domain_q, [c % key.q for c in padded], [key.d_q] * len(padded), trace=trace
+    )
+    width = _modulus_bytes(key.n)
+    signatures = []
+    for m_p, m_q in zip(m_ps, m_qs):
+        h = key.q_inv * (m_p - m_q) % key.p
+        signatures.append((m_q + h * key.q).to_bytes(width, "big"))
+    return signatures
 
 
 def rsa_verify(

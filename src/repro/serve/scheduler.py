@@ -48,7 +48,7 @@ from repro.errors import (
     UnsupportedOperationError,
 )
 from repro.serve.protocol import ERR_BAD_REQUEST, ERR_INTERNAL, ERR_UNSUPPORTED
-from repro.serve.session import serve_request, serve_request_batch
+from repro.serve.session import BatchItemFailure, serve_request, serve_request_batch
 
 __all__ = [
     "SchemeHost",
@@ -159,37 +159,50 @@ _BatchItemResult = Tuple[bool, int, bytes]
 
 def _execute_batch(
     scheme, server_key, kind: str, payloads: Sequence[bytes]
-) -> Tuple[List[_BatchItemResult], float, bool]:
+) -> Tuple[List[_BatchItemResult], float, bool, int]:
     """Run one same-group batch synchronously; returns results, busy seconds,
-    and whether the batch executed coalesced.
+    whether the batch executed coalesced, and how many per-item results were
+    salvaged from a partially-failed coalesced attempt.
 
     Multi-request groups first try the coalesced path
     (:func:`repro.serve.session.serve_request_batch`), which collects the
-    group's pending modular inversions into one batch inversion per round.
-    Any exception there — a malformed payload, a scheme whose batch method
-    rejects the group — falls back to the historical per-item loop, so
+    group's pending modular inversions into one batch inversion per round
+    and routes key agreements and signatures through the schemes' vectorised
+    entry points.  On failure the batch falls back to the per-item loop, so
     per-item failures never poison the batch: each request answers
     individually (success frame or error frame), matching how the offline
-    harness treats sessions as independent.
+    harness treats sessions as independent.  When the coalesced attempt
+    failed partway through a per-item kind, the responses it already
+    computed travel back in :class:`~repro.serve.session.BatchItemFailure`
+    and are reused as-is — only the unresolved items re-execute.
     """
     started = time.perf_counter()
+    partial: "Optional[list]" = None
     if len(payloads) > 1:
         try:
             responses = serve_request_batch(scheme, server_key, kind, payloads)
+        except BatchItemFailure as exc:
+            partial = exc.partial
         except Exception:  # noqa: BLE001 - re-run per item for exact frames
             pass
         else:
             results = [(True, opcode, response) for opcode, response in responses]
-            return results, time.perf_counter() - started, True
+            return results, time.perf_counter() - started, True, 0
     results = []
-    for payload in payloads:
+    salvaged = 0
+    for index, payload in enumerate(payloads):
+        done = partial[index] if partial is not None and index < len(partial) else None
+        if done is not None:
+            results.append((True, done[0], done[1]))
+            salvaged += 1
+            continue
         try:
             opcode, response = serve_request(scheme, server_key, kind, payload)
             results.append((True, opcode, response))
         except Exception as exc:  # noqa: BLE001 - classified onto the wire
             code, detail = classify_error(exc)
             results.append((False, code, detail.encode("utf-8")))
-    return results, time.perf_counter() - started, False
+    return results, time.perf_counter() - started, False, salvaged
 
 
 #: Per-process cache of unpickled server keys, keyed by pickle digest, so a
@@ -203,7 +216,7 @@ def _process_batch(
     pickled_server_key: bytes,
     kind: str,
     payloads: Sequence[bytes],
-) -> Tuple[List[_BatchItemResult], float, bool]:
+) -> Tuple[List[_BatchItemResult], float, bool, int]:
     """Process-pool entry point: resolve locally, execute, return results.
 
     Mirrors ``run_batch_parallel``'s worker: the child resolves its own warm
@@ -233,6 +246,9 @@ class GroupStats:
     #: Batches that executed on the coalesced path (shared batch inversion
     #: per group round) rather than the per-item loop.
     coalesced: int = 0
+    #: Per-item responses reused from a partially-failed coalesced attempt
+    #: instead of being executed a second time in the fallback loop.
+    salvaged: int = 0
     #: Executor-side wall seconds actually spent executing this group's
     #: batches — the denominator of the batched server-side throughput.
     busy_seconds: float = 0.0
@@ -408,7 +424,7 @@ class BatchScheduler:
                 if self.executor_kind == "process":
                     self.host.scheme(scheme_name)  # validates the name
                     pickled_key = self.host.pickled_server_key(scheme_name)
-                    results, busy, coalesced = await loop.run_in_executor(
+                    results, busy, coalesced, salvaged = await loop.run_in_executor(
                         self._executor,
                         _process_batch,
                         scheme_name,
@@ -420,7 +436,7 @@ class BatchScheduler:
                 else:
                     scheme = self.host.scheme(scheme_name)
                     server_key = self.host.server_key(scheme_name)
-                    results, busy, coalesced = await loop.run_in_executor(
+                    results, busy, coalesced, salvaged = await loop.run_in_executor(
                         self._executor,
                         _execute_batch,
                         scheme,
@@ -440,6 +456,7 @@ class BatchScheduler:
         stats = self.stats.group(scheme_name, kind)
         stats.batches += 1
         stats.coalesced += 1 if coalesced else 0
+        stats.salvaged += salvaged
         stats.busy_seconds += busy
         stats.largest_batch = max(stats.largest_batch, len(items))
         self.stats.batches += 1

@@ -55,6 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "KIND_BY_OPCODE",
     "CAPABILITY_BY_KIND",
+    "BatchItemFailure",
     "ConnectionSession",
     "serve_request",
     "serve_request_batch",
@@ -81,6 +82,22 @@ CAPABILITY_BY_KIND = {
     "sign": "signature",
     "verify": "signature",
 }
+
+
+class BatchItemFailure(Exception):
+    """A per-item batch loop failed partway; carries the per-index partials.
+
+    ``partial[i]`` is the completed ``(opcode, payload)`` response for every
+    item that executed before the failure and ``None`` for the failing item
+    and everything after it.  The scheduler reuses the completed slots and
+    re-runs only the ``None`` slots individually, so one malformed request
+    never costs the batch's already-finished work a second execution.
+    """
+
+    def __init__(self, partial):
+        unresolved = sum(1 for entry in partial if entry is None)
+        super().__init__(f"{unresolved} of {len(partial)} batch items unresolved")
+        self.partial = partial
 
 
 @dataclass
@@ -137,18 +154,37 @@ def serve_request_batch(
     ``key_agreement_many`` — same wire bytes as N :func:`serve_request`
     calls, but the per-session modular inversions collapse to one per group
     round (Montgomery's trick, see
-    :meth:`repro.field.backend.FieldOps.inv_many`).  Other kinds loop
-    :func:`serve_request`.  All-or-nothing error semantics: the first
-    failing item raises for the whole batch, so callers that must answer
-    items individually (the scheduler) fall back to per-item execution on
-    any exception.
+    :meth:`repro.field.backend.FieldOps.inv_many`).  Signature batches
+    route through ``sign_many`` (RSA's CRT streams batch; randomized
+    schemes keep the per-item loop and draw order inside the default).
+    Other kinds loop :func:`serve_request`.
+
+    Error semantics differ by path: the vectorised kinds are all-or-nothing
+    (the first failing item raises the scheme's own exception for the whole
+    batch), while the per-item loop raises :class:`BatchItemFailure`
+    carrying the responses completed before the failure so the caller can
+    reuse them and re-run only the unresolved items.
     """
+    payloads = list(payloads)
     if kind == "key-agreement":
         return [
             (OP_KA_CONFIRM, protocol.confirmation_tag(shared))
             for shared in scheme.key_agreement_many(server_key, payloads)
         ]
-    return [serve_request(scheme, server_key, kind, payload) for payload in payloads]
+    if kind == "sign":
+        return [
+            (OP_SIGNATURE, signature)
+            for signature in scheme.sign_many(server_key, payloads)
+        ]
+    results = []
+    for index, payload in enumerate(payloads):
+        try:
+            results.append(serve_request(scheme, server_key, kind, payload))
+        except Exception as exc:  # noqa: BLE001 - partials travel with it
+            raise BatchItemFailure(
+                results + [None] * (len(payloads) - index)
+            ) from exc
+    return results
 
 
 # -- the canonical offline sessions -------------------------------------------

@@ -145,10 +145,44 @@ class CeilidhSystem:
         """
         peers = self.compressor.decompress_many(peer_publics)
         shared_values = [
-            self.group.exponentiate(
-                TorusElement(self.group, peer), own.private, count=count
-            ).value
-            for peer in peers
+            element.value
+            for element in self.group.exponentiate_many(
+                [TorusElement(self.group, peer) for peer in peers],
+                [own.private] * len(peers),
+                count=count,
+            )
+        ]
+        try:
+            compressed = self.compressor.compress_many(shared_values)
+        except CompressionError:
+            return [self._encode_shared(value) for value in shared_values]
+        return [encode_compressed(self.params, c) for c in compressed]
+
+    def shared_secret_with_many(
+        self,
+        owns,
+        peer_public: CompressedElement,
+        count: Optional[OpTrace] = None,
+    ) -> "list[bytes]":
+        """Shared secrets of N *own* keys against one peer — the client phase
+        of a coalesced batch, where every session exponentiates the same
+        server public key.
+
+        The peer is decompressed **once** and the N exponentiations share a
+        single fixed-base squaring chain
+        (:meth:`~repro.torus.t6.T6Group.exponentiate_shared_base`), so the
+        per-session cost drops to the multiplications.  Byte-identical to
+        looping :meth:`shared_secret`; trace tallies reflect the shared
+        table (fewer squarings), like ``inv_many`` reflects its one
+        inversion.
+        """
+        owns = list(owns)
+        peer_element = self.compressor.decompress_to_element(peer_public)
+        shared_values = [
+            element.value
+            for element in self.group.exponentiate_shared_base(
+                peer_element, [own.private for own in owns], count=count
+            )
         ]
         try:
             compressed = self.compressor.compress_many(shared_values)
@@ -180,6 +214,20 @@ class CeilidhSystem:
         return [
             _kdf(secret, info, length)
             for secret in self.shared_secret_many(own, peer_publics, count=count)
+        ]
+
+    def derive_key_with_many(
+        self,
+        owns,
+        peer_public: CompressedElement,
+        info: bytes = b"",
+        length: int = 32,
+        count: Optional[OpTrace] = None,
+    ) -> "list[bytes]":
+        """:meth:`derive_key` of N own keys against one peer (shared-base)."""
+        return [
+            _kdf(secret, info, length)
+            for secret in self.shared_secret_with_many(owns, peer_public, count=count)
         ]
 
     # -- hashed ElGamal -------------------------------------------------------------

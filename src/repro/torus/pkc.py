@@ -111,6 +111,21 @@ class CeilidhScheme(PkcScheme):
             own.native, peers, info=info, length=length, count=trace
         )
 
+    def key_agreement_with_many(
+        self,
+        owns,
+        peer_public: bytes,
+        info: bytes = b"",
+        length: int = 32,
+        trace: Optional[OpTrace] = None,
+    ) -> "list[bytes]":
+        """N own keys against one peer: one decompression, one shared
+        fixed-base squaring chain across the batch (byte-identical)."""
+        peer = decode_compressed(self.params, peer_public)
+        return self.system.derive_key_with_many(
+            [own.native for own in owns], peer, info=info, length=length, count=trace
+        )
+
     # -- hybrid encryption ---------------------------------------------------------
 
     def encrypt(

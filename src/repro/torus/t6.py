@@ -16,7 +16,13 @@ from typing import Optional
 
 from repro.errors import NotInTorusError, ParameterError
 from repro.exp.group import TorusExpGroup
-from repro.exp.strategies import FixedBaseTable, double_exponentiate, exponentiate
+from repro.exp.strategies import (
+    FixedBaseTable,
+    double_exponentiate,
+    exponentiate,
+    exponentiate_many,
+    exponentiate_shared_base,
+)
 from repro.exp.trace import OpTrace
 from repro.field.extension import ExtElement
 from repro.nt.sampling import resolve_rng
@@ -207,6 +213,35 @@ class T6Group:
             self.exp_group(), element, exponent, strategy=strategy, trace=count
         )
 
+    def exponentiate_many(
+        self,
+        elements,
+        exponents,
+        strategy: str = "auto",
+        count: Optional[OpTrace] = None,
+    ) -> list:
+        """Index-aligned batch exponentiation through the engine's batch entry.
+
+        Runs sharing a base (the server's public value across a coalesced
+        group, say) amortize one fixed-base table; value-identical to a loop
+        of :meth:`exponentiate` calls.
+        """
+        return exponentiate_many(
+            self.exp_group(), elements, exponents, strategy=strategy, trace=count
+        )
+
+    def exponentiate_shared_base(
+        self,
+        element: TorusElement,
+        exponents,
+        strategy: str = "auto",
+        count: Optional[OpTrace] = None,
+    ) -> list:
+        """``element^e`` for many exponents with one shared squaring chain."""
+        return exponentiate_shared_base(
+            self.exp_group(), element, exponents, strategy=strategy, trace=count
+        )
+
     def generator_power(
         self, exponent: int, count: Optional[OpTrace] = None
     ) -> TorusElement:
@@ -222,6 +257,17 @@ class T6Group:
                 self.exp_group(), self.generator(), self.params.q.bit_length()
             )
         return self._generator_table.power(exponent, trace=count)
+
+    def generator_powers(
+        self, exponents, count: Optional[OpTrace] = None
+    ) -> list:
+        """``generator^e`` for many exponents off the one cached table.
+
+        The squaring chain is already shared group-wide, so the batch form
+        is simply the loop — it exists so batch callers (``keygen_many``)
+        read the same way at every layer.
+        """
+        return [self.generator_power(e, count=count) for e in exponents]
 
     def double_exponentiate(
         self,

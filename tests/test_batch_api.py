@@ -1,0 +1,481 @@
+"""Tests for the vectorised batch field API and its consumers.
+
+Covers the :class:`~repro.field.backend.FieldOps` array methods on every
+backend (per-item loop equivalence, empty and singleton batches, mixed
+exponent widths, exponents 0/1 and negatives), the native kernel's
+one-call batched powmod, the ``REPRO_BATCH_API`` escape hatch, the
+``exponentiate_many`` seam, scheme-level batch-vs-loop byte identity for
+every registry scheme on every backend, the serve scheduler's partial-
+failure salvage, and the hash-cached kernel artifact reuse across fresh
+processes.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.field import PrimeField
+from repro.field.backend import BATCH_API_ENV_VAR, batch_api_enabled, get_backend
+from repro.field.native import native_substrate_name
+from repro.pkc import get_scheme
+from repro.pkc.base import KEY_AGREEMENT, SIGNATURE
+from repro.pkc.registry import available_schemes
+
+P32 = 2494740737  # toy-32 CEILIDH prime (p = 2 mod 9)
+P127 = (1 << 127) - 1  # multi-word: exercises the kernel's limb paths
+
+BACKENDS = ("plain", "montgomery", "native", "word-counting")
+WIRE_BACKENDS = ("plain", "montgomery", "native")
+
+
+def _fields(p):
+    plain = PrimeField(p, check_prime=False)
+    return plain, {name: PrimeField(p, check_prime=False, backend=name) for name in BACKENDS}
+
+
+# ---------------------------------------------------------------------------
+# FieldOps array methods: batch == loop on every backend.
+# ---------------------------------------------------------------------------
+
+
+class TestFieldOpsBatch:
+    @pytest.mark.parametrize("p", [P32, P127])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_pairwise_many_match_loops(self, backend, p):
+        field = PrimeField(p, check_prime=False, backend=backend)
+        rng = random.Random(41)
+        a = [field.enter(rng.randrange(p)) for _ in range(9)]
+        b = [field.enter(rng.randrange(p)) for _ in range(9)]
+        assert field.backend.add_many(a, b) == [field.add(x, y) for x, y in zip(a, b)]
+        assert field.backend.sub_many(a, b) == [field.sub(x, y) for x, y in zip(a, b)]
+        assert field.backend.mul_many(a, b) == [field.mul(x, y) for x, y in zip(a, b)]
+        assert field.backend.sqr_many(a) == [field.sqr(x) for x in a]
+
+    @pytest.mark.parametrize("p", [P32, P127])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_pow_many_matches_loop(self, backend, p):
+        field = PrimeField(p, check_prime=False, backend=backend)
+        rng = random.Random(42)
+        # Mixed widths on purpose: tiny, huge, and the 0/1 edge exponents.
+        exponents = [0, 1, 2, rng.randrange(p), rng.getrandbits(8), rng.getrandbits(200)]
+        bases = [field.enter(rng.randrange(1, p)) for _ in exponents]
+        assert field.pow_many(bases, exponents) == [
+            field.pow(base, e) for base, e in zip(bases, exponents)
+        ]
+
+    @pytest.mark.parametrize("p", [P32, P127])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_pow_many_shared_base_matches_loop(self, backend, p):
+        field = PrimeField(p, check_prime=False, backend=backend)
+        rng = random.Random(43)
+        base = field.enter(rng.randrange(2, p))
+        exponents = [0, 1, rng.getrandbits(30), rng.randrange(p), rng.getrandbits(190)]
+        assert field.pow_many_shared_base(base, exponents) == [
+            field.pow(base, e) for e in exponents
+        ]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_negative_exponents(self, backend):
+        field = PrimeField(P127, check_prime=False, backend=backend)
+        rng = random.Random(44)
+        bases = [field.enter(rng.randrange(1, P127)) for _ in range(4)]
+        exponents = [-1, -rng.getrandbits(60), 5, -3]
+        assert field.pow_many(bases, exponents) == [
+            field.pow(base, e) for base, e in zip(bases, exponents)
+        ]
+        assert field.pow_many_shared_base(bases[0], exponents) == [
+            field.pow(bases[0], e) for e in exponents
+        ]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_and_singleton(self, backend):
+        field = PrimeField(P32, check_prime=False, backend=backend)
+        assert field.pow_many([], []) == []
+        assert field.pow_many_shared_base(field.enter(7), []) == []
+        one = field.pow_many([field.enter(5)], [123])
+        assert one == [field.pow(field.enter(5), 123)]
+
+    def test_length_mismatch_raises(self):
+        field = PrimeField(P32, check_prime=False)
+        with pytest.raises(ParameterError):
+            field.pow_many([1, 2], [3])
+        with pytest.raises(ParameterError):
+            field.backend.mul_many([1], [2, 3])
+
+    def test_word_counting_pow_many_still_tallies(self):
+        from repro.field import WordCountingBackend
+
+        spec = WordCountingBackend()
+        field = PrimeField(P32, check_prime=False, backend=spec)
+        bases = [field.enter(123456), field.enter(654321)]
+        spec.stream.reset()
+        field.pow_many(bases, [1 << 20, (1 << 20) + 7])
+        assert spec.stream.word_mults > 0
+
+    def test_montgomery_cross_check_against_plain(self):
+        plain = PrimeField(P127, check_prime=False)
+        mont = PrimeField(P127, check_prime=False, backend="montgomery")
+        rng = random.Random(45)
+        base = rng.randrange(2, P127)
+        exponents = [rng.getrandbits(100) for _ in range(6)]
+        resident = mont.pow_many_shared_base(mont.enter(base), exponents)
+        assert [mont.exit(value) for value in resident] == plain.pow_many_shared_base(
+            base, exponents
+        )
+
+
+# ---------------------------------------------------------------------------
+# The native kernel's one-call batched powmod.
+# ---------------------------------------------------------------------------
+
+
+kernel_only = pytest.mark.skipif(
+    native_substrate_name() != "fios-c", reason="compiled FIOS kernel not active"
+)
+
+
+@kernel_only
+class TestKernelPowmodBatch:
+    def _kernel(self):
+        from repro.field.native import load_fios_kernel
+
+        return load_fios_kernel()
+
+    def test_batch_matches_python_pow(self):
+        kernel = self._kernel()
+        rng = random.Random(46)
+        for p in (P32, P127, (1 << 255) - 19):
+            bases = [rng.randrange(p) for _ in range(5)] + [0, 1, p - 1]
+            exps = [rng.getrandbits(bits) for bits in (3, 64, 130, 200, 17)] + [0, 1, 2]
+            assert kernel.powmod_batch(bases, exps, p) == [
+                pow(base, e, p) for base, e in zip(bases, exps)
+            ]
+
+    def test_batch_is_one_native_call(self, monkeypatch):
+        kernel = self._kernel()
+        calls = {"batch": 0}
+        real = kernel._lib.repro_fios_powmod_batch
+
+        def counting(*args):
+            calls["batch"] += 1
+            return real(*args)
+
+        monkeypatch.setattr(kernel._lib, "repro_fios_powmod_batch", counting)
+        rng = random.Random(47)
+        bases = [rng.randrange(P127) for _ in range(16)]
+        exps = [rng.getrandbits(120) for _ in range(16)]
+        expected = [pow(base, e, P127) for base, e in zip(bases, exps)]
+        assert kernel.powmod_batch(bases, exps, P127) == expected
+        assert calls["batch"] == 1  # N ladders, ONE ctypes crossing
+
+    def test_batch_validation(self):
+        kernel = self._kernel()
+        assert kernel.powmod_batch([], [], P32) == []
+        with pytest.raises(ValueError):
+            kernel.powmod_batch([1, 2], [3], P32)
+        with pytest.raises(ValueError):
+            kernel.powmod_batch([2], [-1], P32)
+
+
+@kernel_only
+def test_kernel_artifact_reused_across_fresh_processes(tmp_path):
+    """Two fresh interpreters resolve the substrate onto ONE cached artifact.
+
+    The artifact file name is the hash of the kernel source, so a second
+    process must find (not rebuild) the first one's shared object: same
+    path, unchanged mtime.
+    """
+    script = (
+        "from repro.field.native import resolve_substrate\n"
+        "name, handle = resolve_substrate()\n"
+        "assert name == 'fios-c', name\n"
+        "print(handle.path)\n"
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_NATIVE_KERNEL", None)
+
+    def run_once():
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=180, env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        return result.stdout.strip()
+
+    first = run_once()
+    assert os.path.exists(first)
+    mtime = os.path.getmtime(first)
+    second = run_once()
+    assert second == first
+    assert os.path.getmtime(first) == mtime  # reused, not rebuilt
+
+
+# ---------------------------------------------------------------------------
+# The REPRO_BATCH_API escape hatch.
+# ---------------------------------------------------------------------------
+
+
+class TestBatchApiToggle:
+    def test_parsing(self, monkeypatch):
+        monkeypatch.delenv(BATCH_API_ENV_VAR, raising=False)
+        assert batch_api_enabled()
+        for value in ("0", "off", "no", "false", "OFF", "No"):
+            monkeypatch.setenv(BATCH_API_ENV_VAR, value)
+            assert not batch_api_enabled()
+        for value in ("1", "on", "yes", "anything"):
+            monkeypatch.setenv(BATCH_API_ENV_VAR, value)
+            assert batch_api_enabled()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_off_never_changes_values(self, backend, monkeypatch):
+        field = PrimeField(P127, check_prime=False, backend=backend)
+        rng = random.Random(48)
+        base = field.enter(rng.randrange(2, P127))
+        bases = [field.enter(rng.randrange(1, P127)) for _ in range(5)]
+        exponents = [rng.getrandbits(90) for _ in range(5)]
+        on_shared = field.pow_many_shared_base(base, exponents)
+        on_many = field.pow_many(bases, exponents)
+        monkeypatch.setenv(BATCH_API_ENV_VAR, "off")
+        assert field.pow_many_shared_base(base, exponents) == on_shared
+        assert field.pow_many(bases, exponents) == on_many
+
+    def test_off_disables_shared_table(self, monkeypatch):
+        from repro.exp import strategies
+
+        calls = {"tables": 0}
+        real = strategies.FixedBaseTable
+
+        class Counting(real):
+            def __init__(self, *args, **kwargs):
+                calls["tables"] += 1
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(strategies, "FixedBaseTable", Counting)
+        # The resident-Montgomery backend is the one whose shared-base path
+        # builds a fixed-base table; off must keep it on the per-item loop.
+        field = PrimeField(P127, check_prime=False, backend="montgomery")
+        base = field.enter(3)
+        exponents = [random.Random(49).getrandbits(80) for _ in range(4)]
+        monkeypatch.setenv(BATCH_API_ENV_VAR, "off")
+        field.pow_many_shared_base(base, exponents)
+        assert calls["tables"] == 0
+        monkeypatch.setenv(BATCH_API_ENV_VAR, "on")
+        field.pow_many_shared_base(base, exponents)
+        assert calls["tables"] == 1
+
+
+# ---------------------------------------------------------------------------
+# The exponentiation-engine seam.
+# ---------------------------------------------------------------------------
+
+
+class TestExponentiateMany:
+    def test_matches_per_item_and_groups_shared_bases(self, monkeypatch):
+        from repro.exp.group import FieldExpGroup
+        from repro.exp.strategies import exponentiate, exponentiate_many
+        from repro.exp.trace import OpTrace
+
+        # The squaring-reduction claim needs the batch API on (a
+        # REPRO_BATCH_API=off environment degrades to the per-item loop).
+        monkeypatch.setenv(BATCH_API_ENV_VAR, "on")
+        group = FieldExpGroup(PrimeField(P127, check_prime=False))
+        rng = random.Random(50)
+        shared = rng.randrange(2, P127)
+        bases = [shared, rng.randrange(2, P127), shared, shared, rng.randrange(2, P127)]
+        exponents = [rng.getrandbits(120) for _ in bases]
+        results = exponentiate_many(group, bases, exponents)
+        assert results == [
+            exponentiate(group, base, e) for base, e in zip(bases, exponents)
+        ]
+        # The three shared-base items ride one table: fewer squarings than
+        # the per-item loop.
+        batched, looped = OpTrace(), OpTrace()
+        exponentiate_many(group, bases, exponents, trace=batched)
+        for base, e in zip(bases, exponents):
+            exponentiate(group, base, e, trace=looped)
+        assert batched.squarings < looped.squarings
+
+    def test_length_mismatch_and_empty(self):
+        from repro.exp.group import FieldExpGroup
+        from repro.exp.strategies import exponentiate_many
+
+        group = FieldExpGroup(PrimeField(P32, check_prime=False))
+        assert exponentiate_many(group, [], []) == []
+        with pytest.raises(ParameterError):
+            exponentiate_many(group, [2], [3, 4])
+
+    def test_montgomery_power_many(self):
+        from repro.montgomery.domain import MontgomeryDomain
+        from repro.montgomery.exponent import montgomery_power, montgomery_power_many
+
+        domain = MontgomeryDomain(P127)
+        rng = random.Random(51)
+        bases = [rng.randrange(P127) for _ in range(5)]
+        exps = [0, 1, rng.getrandbits(60), rng.getrandbits(126), 2]
+        assert montgomery_power_many(domain, bases, exps) == [
+            montgomery_power(domain, base, e) for base, e in zip(bases, exps)
+        ]
+        with pytest.raises(ParameterError):
+            montgomery_power_many(domain, [2], [-1])
+
+
+# ---------------------------------------------------------------------------
+# Scheme-level batch == loop, byte for byte, on every backend.
+# ---------------------------------------------------------------------------
+
+
+class TestSchemeBatchDifferential:
+    @pytest.mark.parametrize("backend", WIRE_BACKENDS)
+    @pytest.mark.parametrize("name", available_schemes())
+    def test_key_agreement_with_many_matches_loop(self, name, backend):
+        scheme = get_scheme(name, fresh=True, backend=backend)
+        if KEY_AGREEMENT not in scheme.capabilities:
+            pytest.skip(f"{name} has no key agreement")
+        rng = random.Random(52)
+        server = scheme.keygen(rng)
+        clients = scheme.keygen_many(5, rng)
+        batched = scheme.key_agreement_with_many(clients, server.public_wire)
+        assert batched == [
+            scheme.key_agreement(client, server.public_wire) for client in clients
+        ]
+        assert scheme.key_agreement_with_many([], server.public_wire) == []
+        assert scheme.key_agreement_with_many(clients[:1], server.public_wire) == batched[:1]
+
+    @pytest.mark.parametrize("backend", WIRE_BACKENDS)
+    @pytest.mark.parametrize("name", available_schemes())
+    def test_sign_many_matches_loop(self, name, backend):
+        scheme = get_scheme(name, fresh=True, backend=backend)
+        if SIGNATURE not in scheme.capabilities:
+            pytest.skip(f"{name} has no signatures")
+        rng = random.Random(53)
+        server = scheme.keygen(rng)
+        messages = [b"msg-%d" % i for i in range(4)]
+        # Identical RNG draw order: same seed for the batch and the loop.
+        batched = scheme.sign_many(server, messages, rng=random.Random(54))
+        loop_rng = random.Random(54)
+        looped = [scheme.sign(server, message, rng=loop_rng) for message in messages]
+        assert batched == looped
+        for message, signature in zip(messages, batched):
+            assert scheme.verify(server.public_wire, message, signature)
+
+    @pytest.mark.parametrize("name", available_schemes())
+    def test_run_batch_coalesced_wire_identity(self, name):
+        from repro.pkc.bench import run_batch
+
+        scheme = get_scheme(name, fresh=True)
+        if KEY_AGREEMENT not in scheme.capabilities:
+            pytest.skip(f"{name} has no key agreement")
+        loop = run_batch(
+            get_scheme(name, fresh=True), "key-agreement", 4,
+            rng=random.Random(55), coalesce=False,
+        )
+        coalesced = run_batch(
+            get_scheme(name, fresh=True), "key-agreement", 4,
+            rng=random.Random(55), coalesce=True,
+        )
+        assert coalesced.wire_bytes == loop.wire_bytes
+        assert coalesced.coalesced and coalesced.batch_size == 4
+        assert loop.batch_size is None
+
+    def test_batch_api_off_keeps_wire_identical(self, monkeypatch):
+        from repro.pkc.bench import run_batch
+
+        on = run_batch(
+            get_scheme("ceilidh-170", fresh=True), "key-agreement", 4,
+            rng=random.Random(56), coalesce=True,
+        )
+        monkeypatch.setenv(BATCH_API_ENV_VAR, "off")
+        off = run_batch(
+            get_scheme("ceilidh-170", fresh=True), "key-agreement", 4,
+            rng=random.Random(56), coalesce=True,
+        )
+        assert on.wire_bytes == off.wire_bytes
+        assert on.sessions == off.sessions
+
+
+# ---------------------------------------------------------------------------
+# Serve: batch routing and partial-failure salvage.
+# ---------------------------------------------------------------------------
+
+
+class TestServeBatchSalvage:
+    def _scheme_and_key(self, name="ecdh-p160"):
+        scheme = get_scheme(name, fresh=True)
+        return scheme, scheme.keygen(random.Random(57))
+
+    def test_sign_kind_routes_through_sign_many(self):
+        from repro.serve.session import serve_request, serve_request_batch
+
+        scheme, server = self._scheme_and_key("rsa-1024")
+        payloads = [b"sign-me-%d" % i for i in range(3)]
+        batched = serve_request_batch(scheme, server, "sign", payloads)
+        assert batched == [
+            serve_request(scheme, server, "sign", payload) for payload in payloads
+        ]
+
+    def test_partial_failure_carries_completed_items(self):
+        from repro.serve.session import BatchItemFailure, serve_request, serve_request_batch
+
+        scheme, server = self._scheme_and_key()
+        good = scheme.encrypt(server.public_wire, b"ok", random.Random(58))
+        payloads = [good, b"\x00garbage", good]
+        with pytest.raises(BatchItemFailure) as excinfo:
+            serve_request_batch(scheme, server, "decrypt", payloads)
+        partial = excinfo.value.partial
+        assert len(partial) == 3
+        assert partial[0] == serve_request(scheme, server, "decrypt", good)
+        assert partial[1] is None and partial[2] is None
+
+    def test_execute_batch_salvages_and_skips_reexecution(self, monkeypatch):
+        from repro.serve import scheduler as sched
+
+        scheme, server = self._scheme_and_key()
+        good = scheme.encrypt(server.public_wire, b"ok", random.Random(59))
+        payloads = [good, b"\x00garbage", good]
+        expected_ok = sched.serve_request(scheme, server, "decrypt", good)
+
+        calls = {"per_item": 0}
+        real = sched.serve_request
+
+        def counting(*args, **kwargs):
+            calls["per_item"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(sched, "serve_request", counting)
+        results, busy, coalesced, salvaged = sched._execute_batch(
+            scheme, server, "decrypt", payloads
+        )
+        assert not coalesced
+        assert salvaged == 1  # item 0 reused from the failed coalesced pass
+        # Only the unresolved slots (indices 1 and 2) re-executed.
+        assert calls["per_item"] == 2
+        assert results[0] == (True,) + expected_ok
+        assert results[0] == results[2]
+        ok, code, detail = results[1]
+        assert not ok and detail
+
+    def test_fully_successful_batch_reports_coalesced(self):
+        from repro.serve.scheduler import _execute_batch
+
+        scheme, server = self._scheme_and_key()
+        rng = random.Random(60)
+        payloads = [scheme.keygen(rng).public_wire for _ in range(4)]
+        results, busy, coalesced, salvaged = _execute_batch(
+            scheme, server, "key-agreement", payloads
+        )
+        assert coalesced and salvaged == 0
+        assert all(ok for ok, _, _ in results)
+
+    def test_group_stats_salvaged_counter_exists(self):
+        from repro.serve.scheduler import GroupStats
+
+        stats = GroupStats()
+        assert stats.salvaged == 0
