@@ -1,0 +1,21 @@
+"""repro.audit — secret-flow / constant-time static analysis for this repo.
+
+Run it as ``python -m repro.audit`` (add ``--strict`` for the CI gate, or
+``--list-rules`` for the rule table).  Code under audit talks back through
+:data:`Secret` annotations and ``# audit:`` markers — see
+:mod:`repro.audit.annotations`.
+"""
+
+from repro.audit.annotations import SECRET_TAG, Secret
+from repro.audit.engine import AuditResult, run_audit
+from repro.audit.rules import ALL_RULES, RULE_IDS, Finding
+
+__all__ = [
+    "Secret",
+    "SECRET_TAG",
+    "Finding",
+    "ALL_RULES",
+    "RULE_IDS",
+    "AuditResult",
+    "run_audit",
+]

@@ -1,0 +1,126 @@
+"""``python -m repro.audit`` — the CLI gate.
+
+Exit codes: ``0`` clean (no new findings), ``1`` new findings (or marker
+problems), ``2`` usage error.  CI runs ``python -m repro.audit --strict``
+so an allow marker that stops matching anything also fails the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.audit.baseline import apply_baseline, load_baseline, save_baseline
+from repro.audit.engine import default_root, run_audit
+from repro.audit.report import render_json, render_text
+from repro.audit.rules import rule_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.audit",
+        description="Secret-flow / constant-time static analyzer for repro.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="directory to scan (default: the installed src/repro tree)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: AUDIT_baseline.json beside src/)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept the current findings: rewrite the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on allow markers that suppress nothing (AUD004)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        metavar="PATH",
+        help="write the JSON report (with summary block) to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--show-accepted",
+        action="store_true",
+        help="include baselined and suppressed findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    try:
+        options = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+
+    if options.list_rules:
+        for rule_id, title in rule_table():
+            print(f"{rule_id}  {title}")
+        return 0
+
+    root = (options.root or default_root()).resolve()
+    if not root.is_dir():
+        print(f"audit: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    baseline_path = options.baseline
+    if baseline_path is None:
+        # src/repro -> repo root; fall back beside the scanned tree.
+        candidate = root.parent.parent / "AUDIT_baseline.json"
+        baseline_path = (
+            candidate if root.parent.name == "src" else root / "AUDIT_baseline.json"
+        )
+
+    result = run_audit(root, strict=options.strict)
+
+    if options.update_baseline:
+        count = save_baseline(baseline_path, result.findings)
+        apply_baseline(result.findings, load_baseline(baseline_path))
+        print(f"audit: baseline rewritten with {count} accepted findings "
+              f"-> {baseline_path}")
+        print(render_text(result, show_accepted=options.show_accepted))
+        return 0
+
+    if not options.no_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"audit: {exc}", file=sys.stderr)
+            return 2
+        apply_baseline(result.findings, baseline)
+
+    if options.json is not None:
+        document = render_json(result)
+        if str(options.json) == "-":
+            sys.stdout.write(document)
+        else:
+            options.json.write_text(document, encoding="utf-8")
+
+    print(render_text(result, show_accepted=options.show_accepted))
+    return 1 if result.new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

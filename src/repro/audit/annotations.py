@@ -1,0 +1,166 @@
+"""The annotation vocabulary the analyzer understands.
+
+Three ways to talk to :mod:`repro.audit` from inside the code it checks:
+
+* ``Secret[T]`` — a typing alias marking a value as key material.  It is
+  ``Annotated[T, SECRET_TAG]``, so it costs nothing at runtime and type
+  checkers see straight through it, but the taint engine treats every
+  parameter, variable or dataclass field annotated with it as a secret
+  source::
+
+      @dataclass
+      class CeilidhKeyPair:
+          private: Secret[int]      # taints kp.private at every use site
+          public: CompressedElement
+
+* ``# audit: secret`` — an inline marker for places an annotation cannot
+  reach.  On an assignment it taints the assigned names; on a ``def`` line
+  it declares that the function *returns* key material, so every call site
+  is tainted.
+
+* ``# audit: allow[RULE] reason`` — a reviewed suppression.  The finding on
+  the same line (or the line directly below the marker when it stands
+  alone) is accepted with the stated reason.  Several rules may share one
+  marker (``allow[CT101,CT104]``).  A reason is mandatory: a suppression
+  without one is itself a finding (``AUD003``), and an unknown rule id in
+  the bracket is a configuration error (``AUD002``).
+
+Markers are read from the token stream, not from the AST, so they survive
+anywhere a comment can live.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+try:  # pragma: no cover - plain alias on every supported interpreter
+    from typing import Annotated, TypeVar
+
+    _T = TypeVar("_T")
+    #: The metadata string carried inside ``Secret[...]`` annotations.
+    SECRET_TAG = "repro.audit:secret"
+    Secret = Annotated[_T, SECRET_TAG]
+except ImportError:  # pragma: no cover - typing.Annotated exists on >=3.9
+    Secret = None  # type: ignore[assignment]
+    SECRET_TAG = "repro.audit:secret"
+
+__all__ = [
+    "Secret",
+    "SECRET_TAG",
+    "Marker",
+    "MarkerSet",
+    "parse_markers",
+]
+
+#: ``# audit: secret`` / ``# audit: allow[CT103] reason...``
+_MARKER_RE = re.compile(
+    r"#\s*audit:\s*(?P<kind>secret|allow)"
+    r"(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+    r"\s*(?P<reason>.*)$"
+)
+
+
+@dataclass
+class Marker:
+    """One parsed ``# audit:`` comment."""
+
+    kind: str  # "secret" | "allow"
+    line: int  # 1-based line the comment sits on
+    rules: Tuple[str, ...] = ()
+    reason: str = ""
+    #: Whether the comment shares its line with code (trailing comment) or
+    #: stands alone — a standalone ``allow`` applies to the next line.
+    standalone: bool = False
+    used: bool = field(default=False, compare=False)
+
+
+@dataclass
+class MarkerSet:
+    """Every marker in one source file, indexed for the engine."""
+
+    markers: List[Marker] = field(default_factory=list)
+    #: line -> markers that *apply* to findings on that line.
+    by_line: Dict[int, List[Marker]] = field(default_factory=dict)
+
+    def secret_lines(self) -> Dict[int, Marker]:
+        """Lines carrying a ``secret`` marker (statement start lines)."""
+        return {
+            marker.line: marker
+            for marker in self.markers
+            if marker.kind == "secret"
+        }
+
+    def allows_for(self, line: int, rule: str) -> List[Marker]:
+        """The allow markers that suppress ``rule`` findings on ``line``."""
+        return [
+            marker
+            for marker in self.by_line.get(line, [])
+            if marker.kind == "allow" and rule in marker.rules
+        ]
+
+    def unused_allows(self) -> List[Marker]:
+        return [
+            marker
+            for marker in self.markers
+            if marker.kind == "allow" and not marker.used
+        ]
+
+
+def parse_markers(source: str) -> MarkerSet:
+    """Extract every ``# audit:`` marker from ``source``.
+
+    Tokenizing (rather than regexing raw lines) keeps markers inside string
+    literals from counting as annotations.  Unreadable sources yield an
+    empty set — the engine reports the parse failure separately.
+    """
+    result = MarkerSet()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return result
+    code_lines = set()
+    comment_tokens = []
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            comment_tokens.append(token)
+        elif token.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENCODING,
+            tokenize.ENDMARKER,
+        ):
+            code_lines.add(token.start[0])
+    for token in comment_tokens:
+        match = _MARKER_RE.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        rules = tuple(
+            part.strip()
+            for part in (match.group("rules") or "").split(",")
+            if part.strip()
+        )
+        marker = Marker(
+            kind=match.group("kind"),
+            line=line,
+            rules=rules,
+            reason=(match.group("reason") or "").strip(),
+            standalone=line not in code_lines,
+        )
+        result.markers.append(marker)
+        # A trailing allow covers its own line; a standalone allow covers
+        # the next line (the statement it introduces).
+        target = line + 1 if marker.standalone and marker.kind == "allow" else line
+        result.by_line.setdefault(target, []).append(marker)
+        if marker.kind == "allow" and not marker.standalone:
+            # Multi-line statements report at their first line; a trailing
+            # allow deep inside one still applies to its own line only —
+            # the engine matches findings by exact reported line.
+            pass
+    return result

@@ -1,0 +1,101 @@
+"""Accepted-findings baseline: fingerprints, load/save, matching.
+
+The committed ``AUDIT_baseline.json`` records findings that were reviewed
+and accepted wholesale (legacy debt, deliberate design).  A finding's
+fingerprint deliberately excludes line and column numbers::
+
+    sha256("rule|path|context|message")[:16] + ":" + occurrence_index
+
+so unrelated edits above a finding don't churn the baseline; only moving a
+finding to a different function (context) or changing its message rotates
+the fingerprint.  Duplicate findings in the same (rule, path, context,
+message) bucket are disambiguated by their index in source order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.audit.rules import Finding
+
+__all__ = [
+    "fingerprint_base",
+    "assign_fingerprints",
+    "load_baseline",
+    "save_baseline",
+    "apply_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def fingerprint_base(finding: Finding) -> str:
+    """The line-independent hash bucket a finding falls into."""
+    material = "|".join(
+        (finding.rule, finding.path, finding.context, finding.message)
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+def assign_fingerprints(findings: Iterable[Finding]) -> List[Tuple[Finding, str]]:
+    """Pair each finding with its full ``base:index`` fingerprint.
+
+    Findings sharing a bucket are indexed in (line, col) order so the
+    fingerprints are stable across runs on the same tree.
+    """
+    buckets: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        buckets.setdefault(fingerprint_base(finding), []).append(finding)
+    pairs: List[Tuple[Finding, str]] = []
+    for base, members in buckets.items():
+        members.sort(key=lambda f: (f.line, f.col))
+        for index, finding in enumerate(members):
+            pairs.append((finding, f"{base}:{index}"))
+    pairs.sort(key=lambda pair: (pair[0].path, pair[0].line, pair[0].col))
+    return pairs
+
+
+def load_baseline(path: Path) -> Dict[str, dict]:
+    """The accepted fingerprints, or ``{}`` when no baseline exists."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "fingerprints" not in data:
+        raise ValueError(f"{path}: not an audit baseline file")
+    return dict(data["fingerprints"])
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write every *non-suppressed* finding as accepted; return the count."""
+    entries: Dict[str, dict] = {}
+    for finding, fingerprint in assign_fingerprints(
+        [f for f in findings if f.status != "suppressed"]
+    ):
+        entries[fingerprint] = {
+            "rule": finding.rule,
+            "path": finding.path,
+            "context": finding.context,
+            "message": finding.message,
+        }
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": dict(sorted(entries.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(findings: List[Finding], baseline: Dict[str, dict]) -> None:
+    """Flip matched findings to ``baselined`` in place.
+
+    Suppressed findings never consume a baseline slot — an inline allow is
+    the closer-to-the-code mechanism and wins.
+    """
+    for finding, fingerprint in assign_fingerprints(
+        [f for f in findings if f.status != "suppressed"]
+    ):
+        if fingerprint in baseline:
+            finding.status = "baselined"

@@ -1,0 +1,179 @@
+"""The audit driver: collect files, run the passes, apply suppressions.
+
+Pipeline for one invocation:
+
+1. **Collect** every ``*.py`` under the scanned root (default
+   ``src/repro``), parse each to an AST, tokenize for ``# audit:``
+   markers.  Unparseable files become ``AUD001`` findings rather than
+   crashing the run.
+2. **Pass A** — harvest the cross-file vocabulary (``Secret[...]``
+   annotations, ``# audit: secret`` markers) with
+   :func:`repro.audit.taint.collect_vocabulary`.
+3. **Pass B** — per module: run the taint rounds, then every rule in
+   :data:`repro.audit.rules.ALL_RULES`.
+4. **Suppress** — findings on a line covered by a matching
+   ``# audit: allow[RULE] reason`` flip to ``suppressed``.  Marker
+   problems surface as findings themselves: unknown rule ids (``AUD002``),
+   missing reasons (``AUD003``), and — in strict mode — allows that
+   suppressed nothing (``AUD004``).
+
+Baseline matching is the caller's concern (:mod:`repro.audit.baseline`):
+the engine reports what is true of the tree, the baseline records what has
+been accepted.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.audit.annotations import MarkerSet, parse_markers
+from repro.audit.rules import ALL_RULES, RULE_IDS, Finding
+from repro.audit.taint import analyze_module, collect_vocabulary
+
+__all__ = ["AuditResult", "run_audit", "default_root"]
+
+
+@dataclass
+class AuditResult:
+    """Everything one run concluded."""
+
+    root: str
+    findings: List[Finding] = field(default_factory=list)
+    modules_scanned: int = 0
+    rules_run: int = 0
+
+    def by_status(self, status: str) -> List[Finding]:
+        return [f for f in self.findings if f.status == status]
+
+    @property
+    def new(self) -> List[Finding]:
+        return self.by_status("new")
+
+
+def default_root(start: Path | None = None) -> Path:
+    """Locate ``src/repro`` from the package location or a start dir."""
+    here = Path(__file__).resolve()
+    candidate = here.parents[1]  # .../src/repro
+    if candidate.name == "repro":
+        return candidate
+    base = (start or Path.cwd()).resolve()
+    for parent in [base, *base.parents]:
+        probe = parent / "src" / "repro"
+        if probe.is_dir():
+            return probe
+    return base
+
+
+def collect_files(root: Path) -> List[Path]:
+    return sorted(
+        path for path in root.rglob("*.py") if "__pycache__" not in path.parts
+    )
+
+
+def run_audit(root: Path, strict: bool = False) -> AuditResult:
+    """Audit every Python file under ``root``."""
+    root = root.resolve()
+    result = AuditResult(root=str(root), rules_run=len(ALL_RULES))
+    parsed: List[Tuple[str, ast.AST, MarkerSet]] = []
+
+    for path in collect_files(root):
+        rel = path.relative_to(root).as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=rel)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            result.findings.append(
+                Finding(
+                    rule="AUD001",
+                    path=rel,
+                    line=getattr(exc, "lineno", 0) or 0,
+                    col=0,
+                    message=f"source failed to parse: {exc}",
+                    context="<module>",
+                )
+            )
+            continue
+        parsed.append((rel, tree, parse_markers(source)))
+
+    result.modules_scanned = len(parsed)
+    vocab = collect_vocabulary(parsed)
+
+    for rel, tree, markers in parsed:
+        module = analyze_module(rel, tree, markers, vocab)
+        for rule in ALL_RULES:
+            for finding in rule.run(module):
+                for marker in markers.allows_for(finding.line, finding.rule):
+                    marker.used = True
+                    finding.status = "suppressed"
+                result.findings.append(finding)
+        result.findings.extend(_marker_findings(rel, markers, strict))
+
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result
+
+
+def _marker_findings(rel: str, markers: MarkerSet, strict: bool) -> List[Finding]:
+    """AUD002/AUD003/AUD004: the markers themselves under review."""
+    findings: List[Finding] = []
+    for marker in markers.markers:
+        if marker.kind != "allow":
+            continue
+        unknown = [rule for rule in marker.rules if rule not in RULE_IDS]
+        if unknown:
+            findings.append(
+                Finding(
+                    rule="AUD002",
+                    path=rel,
+                    line=marker.line,
+                    col=0,
+                    message=(
+                        "allow marker names unknown rule id(s): "
+                        + ", ".join(unknown)
+                    ),
+                    context="<marker>",
+                )
+            )
+        if not marker.rules:
+            findings.append(
+                Finding(
+                    rule="AUD002",
+                    path=rel,
+                    line=marker.line,
+                    col=0,
+                    message="allow marker must name the rule(s) it suppresses: "
+                    "# audit: allow[CT103] reason",
+                    context="<marker>",
+                )
+            )
+        if not marker.reason:
+            findings.append(
+                Finding(
+                    rule="AUD003",
+                    path=rel,
+                    line=marker.line,
+                    col=0,
+                    message="allow marker without a reason; a suppression is a "
+                    "reviewed decision — say why",
+                    context="<marker>",
+                )
+            )
+    if strict:
+        for marker in markers.unused_allows():
+            findings.append(
+                Finding(
+                    rule="AUD004",
+                    path=rel,
+                    line=marker.line,
+                    col=0,
+                    message=(
+                        "allow marker suppressed nothing "
+                        f"(rules: {', '.join(marker.rules) or '<none>'}); "
+                        "remove it or fix the rule id/line placement"
+                    ),
+                    context="<marker>",
+                )
+            )
+    return findings

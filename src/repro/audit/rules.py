@@ -1,0 +1,705 @@
+"""The rule pack: constant-time taint sinks and repo-contract checks.
+
+Two families, one interface.  Every rule walks one module (with the taint
+engine's verdicts available for the ``CT`` family) and yields
+:class:`Finding` objects carrying a stable rule id:
+
+**Constant-time / secret-flow (taint sinks)**
+
+========  ====================================================================
+``CT101``  secret-dependent ``if``/``while``/``for``-bound/ternary/``assert``
+           outside the vetted strategy kernel
+``CT102``  secret used as a container or cache key (subscript, dict display,
+           ``.get``/``.setdefault``/``.pop``, ``lru_cache`` argument)
+``CT103``  ``==``/``!=`` on secret-derived values — use
+           ``hmac.compare_digest`` (or ``protocol.constant_time_equal``)
+``CT104``  secret reaches logging, string formatting, or serialization
+           (``print``/loggers, f-strings, ``%``/``.format``, ``pickle``)
+========  ====================================================================
+
+**Repo contracts**
+
+========  ====================================================================
+``RC201``  ``random.Random()`` / bare ``random``-module draws — secrets must
+           come from the ``resolve_rng`` seam (``SystemRandom`` default)
+``RC202``  wire-serialization functions touching raw resident ``.value``
+           representations instead of the ``field.enter``/``exit`` funnels
+``RC203``  RNG resolved more than once per entry point (``resolve_rng``
+           inside a loop, or repeatedly in one batch entry point)
+``RC204``  synchronous heavy crypto call on the asyncio event loop in
+           ``repro.serve`` outside the executor seam
+========  ====================================================================
+
+Rules are deliberately small, separately testable, and registered in
+:data:`ALL_RULES`; the engine applies suppressions and the baseline on top.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.audit.taint import ModuleTaint, _call_name
+from repro.audit.vocabulary import (
+    EXECUTOR_SEAM_NAMES,
+    FUNNEL_CALL_NAMES,
+    HEAVY_ASYNC_CALLS,
+    LOG_SINK_NAMES,
+    PICKLE_SINK_NAMES,
+    RNG_DRAW_METHODS,
+    SERVE_MODULE_RE,
+    VETTED_TAINT_MODULES,
+    WIRE_FUNCTION_RE,
+    BATCH_FUNCTION_RE,
+)
+
+__all__ = ["Finding", "Rule", "ALL_RULES", "RULE_IDS", "rule_table"]
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    context: str = ""  # enclosing qualname, e.g. "ServeClient.key_agreement_session"
+    #: set by the engine after suppression/baseline matching
+    status: str = field(default="new", compare=False)  # new | suppressed | baselined
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "context": self.context,
+            "status": self.status,
+        }
+
+
+class Rule:
+    """Base: subclasses set ``id``/``title`` and implement ``run``."""
+
+    id: str = ""
+    title: str = ""
+    needs_taint = False
+
+    def run(self, module: ModuleTaint) -> List[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleTaint, node: ast.AST, message: str, context: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=module.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            context=context,
+        )
+
+
+def _walk_functions(
+    tree: ast.AST,
+) -> Iterator[Tuple[str, ast.AST, Optional[str]]]:
+    """Yield ``(qualname, function node, enclosing class)`` for every def.
+
+    The module body itself is yielded first as ``("<module>", tree, None)``
+    so module-level statements are scanned too.
+    """
+    yield "<module>", tree, None
+
+    def recurse(node: ast.AST, prefix: str, cls: Optional[str]):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                yield qualname, child, cls
+                yield from recurse(child, f"{qualname}.", cls)
+            elif isinstance(child, ast.ClassDef):
+                yield from recurse(child, f"{prefix}{child.name}.", child.name)
+            else:
+                yield from recurse(child, prefix, cls)
+
+    yield from recurse(tree, "", None)
+
+
+def _own_statements(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's nodes without descending into nested defs."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _module_statements(tree: ast.AST) -> Iterator[ast.AST]:
+    """Top-level statements only (no function/class bodies)."""
+    for stmt in getattr(tree, "body", []):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield stmt
+        yield from (
+            node
+            for node in ast.walk(stmt)
+            if node is not stmt
+        )
+
+
+# -- CT1xx: taint sinks ---------------------------------------------------------
+
+
+class SecretBranchRule(Rule):
+    id = "CT101"
+    title = "secret-dependent control flow"
+    needs_taint = True
+
+    def run(self, module: ModuleTaint) -> List[Finding]:
+        if module.path in VETTED_TAINT_MODULES:
+            return []
+        findings: List[Finding] = []
+        flagged_compares = _flagged_equality_compares(module)
+        for qualname, func, _cls in _walk_functions(module.tree):
+            nodes = (
+                _module_statements(module.tree)
+                if qualname == "<module>"
+                else _own_statements(func)
+            )
+            for node in nodes:
+                condition: Optional[ast.AST] = None
+                what = ""
+                if isinstance(node, (ast.If, ast.While)):
+                    condition, what = node.test, "branch condition"
+                elif isinstance(node, ast.IfExp):
+                    condition, what = node.test, "conditional expression"
+                elif isinstance(node, ast.Assert):
+                    condition, what = node.test, "assertion"
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    if module.is_tainted(node.iter):
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                "loop iterates over a secret-derived sequence "
+                                "(data-dependent trip count/order)",
+                                qualname,
+                            )
+                        )
+                    continue
+                if condition is None or not module.is_tainted(condition):
+                    continue
+                # An equality compare already reported as CT103 has the same
+                # remediation (compare_digest); don't double-report.
+                if any(
+                    id(sub) in flagged_compares
+                    for sub in ast.walk(condition)
+                ):
+                    continue
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"secret-dependent {what}: control flow outside the "
+                        "vetted ladder strategies must not depend on key material",
+                        qualname,
+                    )
+                )
+        return findings
+
+
+def _flagged_equality_compares(module: ModuleTaint) -> Set[int]:
+    """ids of Compare nodes the CT103 rule reports for this module."""
+    flagged: Set[int] = set()
+    for node in ast.walk(module.tree):
+        if _is_ct103_compare(module, node):
+            flagged.add(id(node))
+    return flagged
+
+
+def _is_ct103_compare(module: ModuleTaint, node: ast.AST) -> bool:
+    if not isinstance(node, ast.Compare):
+        return False
+    if not all(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+        return False
+    operands = [node.left] + list(node.comparators)
+    if not any(module.is_tainted(operand) for operand in operands):
+        return False
+    # ``secret == 0``-style guards against small integer constants are a
+    # control-flow question (CT101 reports them), not a byte-comparison
+    # oracle; CT103 is about comparing secret-derived strings of bytes.
+    untainted = [op for op in operands if not module.is_tainted(op)]
+    if untainted and all(
+        isinstance(op, ast.Constant) and (op.value is None or isinstance(op.value, (int, bool)))
+        for op in untainted
+    ):
+        return False
+    return True
+
+
+class SecretKeyLookupRule(Rule):
+    id = "CT102"
+    title = "secret used as container or cache key"
+    needs_taint = True
+
+    _KEYED_METHODS = frozenset({"get", "setdefault", "pop"})
+
+    def run(self, module: ModuleTaint) -> List[Finding]:
+        if module.path in VETTED_TAINT_MODULES:
+            return []
+        findings: List[Finding] = []
+        for qualname, func, _cls in _walk_functions(module.tree):
+            nodes = (
+                _module_statements(module.tree)
+                if qualname == "<module>"
+                else _own_statements(func)
+            )
+            for node in nodes:
+                if isinstance(node, ast.Subscript) and module.is_tainted(node.slice):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "secret-derived value used as a subscript key "
+                            "(table index/cache key leaks through access pattern)",
+                            qualname,
+                        )
+                    )
+                elif isinstance(node, ast.Dict):
+                    for key in node.keys:
+                        if key is not None and module.is_tainted(key):
+                            findings.append(
+                                self.finding(
+                                    module,
+                                    key,
+                                    "secret-derived value used as a dict key",
+                                    qualname,
+                                )
+                            )
+                elif isinstance(node, ast.Call):
+                    name = _call_name(node.func)
+                    if (
+                        name in self._KEYED_METHODS
+                        and isinstance(node.func, ast.Attribute)
+                        and node.args
+                        and module.is_tainted(node.args[0])
+                    ):
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                f"secret-derived value passed as the key of .{name}()",
+                                qualname,
+                            )
+                        )
+                    elif (
+                        name in module.cached_functions
+                        and any(module.is_tainted(arg) for arg in node.args)
+                    ):
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                f"secret-derived argument reaches memoized function "
+                                f"{name!r} (process-wide cache keyed by a secret)",
+                                qualname,
+                            )
+                        )
+        return findings
+
+
+class SecretEqualityRule(Rule):
+    id = "CT103"
+    title = "non-constant-time comparison of secret-derived values"
+    needs_taint = True
+
+    def run(self, module: ModuleTaint) -> List[Finding]:
+        if module.path in VETTED_TAINT_MODULES:
+            return []
+        findings: List[Finding] = []
+        for qualname, func, _cls in _walk_functions(module.tree):
+            nodes = (
+                _module_statements(module.tree)
+                if qualname == "<module>"
+                else _own_statements(func)
+            )
+            for node in nodes:
+                if _is_ct103_compare(module, node):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "==/!= on secret-derived bytes is a timing oracle; "
+                            "use hmac.compare_digest "
+                            "(repro.serve.protocol.constant_time_equal)",
+                            qualname,
+                        )
+                    )
+        return findings
+
+
+class SecretExposureRule(Rule):
+    id = "CT104"
+    title = "secret reaches logging/formatting/serialization"
+    needs_taint = True
+
+    def run(self, module: ModuleTaint) -> List[Finding]:
+        if module.path in VETTED_TAINT_MODULES:
+            return []
+        findings: List[Finding] = []
+        for qualname, func, _cls in _walk_functions(module.tree):
+            nodes = (
+                _module_statements(module.tree)
+                if qualname == "<module>"
+                else _own_statements(func)
+            )
+            for node in nodes:
+                if isinstance(node, ast.Call):
+                    self._check_call(module, node, qualname, findings)
+                elif isinstance(node, ast.JoinedStr) and module.is_tainted(node):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "secret-derived value interpolated into an f-string",
+                            qualname,
+                        )
+                    )
+                elif (
+                    isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.Mod)
+                    and isinstance(node.left, ast.Constant)
+                    and isinstance(node.left.value, str)
+                    and module.is_tainted(node.right)
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "secret-derived value interpolated by %-formatting",
+                            qualname,
+                        )
+                    )
+        return findings
+
+    def _check_call(
+        self,
+        module: ModuleTaint,
+        node: ast.Call,
+        qualname: str,
+        findings: List[Finding],
+    ) -> None:
+        name = _call_name(node.func)
+        args_tainted = any(module.is_tainted(arg) for arg in node.args) or any(
+            module.is_tainted(keyword.value) for keyword in node.keywords
+        )
+        if not args_tainted:
+            # ``secret_bytes.format(...)``-style receivers don't occur; the
+            # formatting sinks below all take the secret as an argument.
+            return
+        if name in LOG_SINK_NAMES:
+            findings.append(
+                self.finding(
+                    module,
+                    node,
+                    f"secret-derived value passed to logging sink {name}()",
+                    qualname,
+                )
+            )
+        elif name in PICKLE_SINK_NAMES and _receiver_module(node) in (
+            "pickle",
+            "marshal",
+            "json",
+            None,
+        ):
+            # bare dumps()/dump() or pickle.dumps(...): serialized secrets
+            # escape the process boundary.
+            if _receiver_module(node) is None and not isinstance(node.func, ast.Name):
+                return
+            findings.append(
+                self.finding(
+                    module,
+                    node,
+                    "secret-derived value serialized "
+                    f"({_receiver_module(node) or 'bare'} {name}()) — "
+                    "key material escaping the process must be deliberate",
+                    qualname,
+                )
+            )
+        elif name in ("format", "format_map") and isinstance(node.func, ast.Attribute):
+            findings.append(
+                self.finding(
+                    module,
+                    node,
+                    "secret-derived value interpolated by str.format()",
+                    qualname,
+                )
+            )
+        elif name in ("repr", "str", "ascii") and isinstance(node.func, ast.Name):
+            findings.append(
+                self.finding(
+                    module,
+                    node,
+                    f"secret-derived value stringified by {name}()",
+                    qualname,
+                )
+            )
+
+
+def _receiver_module(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Attribute) and isinstance(node.func.value, ast.Name):
+        return node.func.value.id
+    return None
+
+
+# -- RC2xx: repo contracts ------------------------------------------------------
+
+
+class RngHygieneRule(Rule):
+    id = "RC201"
+    title = "bare random-module RNG use"
+
+    _BANNED_MODULE_CALLS = RNG_DRAW_METHODS | {
+        "seed",
+        "shuffle",
+        "sample",
+        "uniform",
+        "choices",
+    }
+
+    def run(self, module: ModuleTaint) -> List[Finding]:
+        findings: List[Finding] = []
+        for qualname, func, _cls in _walk_functions(module.tree):
+            nodes = (
+                _module_statements(module.tree)
+                if qualname == "<module>"
+                else _own_statements(func)
+            )
+            for node in nodes:
+                if not isinstance(node, ast.Call):
+                    continue
+                func_node = node.func
+                if (
+                    isinstance(func_node, ast.Attribute)
+                    and isinstance(func_node.value, ast.Name)
+                    and func_node.value.id == "random"
+                ):
+                    if func_node.attr == "Random":
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                "random.Random() constructs the Mersenne Twister; "
+                                "secrets must come from resolve_rng (SystemRandom "
+                                "default) — inject a seeded generator explicitly "
+                                "only for reproducibility",
+                                qualname,
+                            )
+                        )
+                    elif func_node.attr in self._BANNED_MODULE_CALLS:
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                f"bare random.{func_node.attr}() draws from the "
+                                "process-global Mersenne Twister; route through "
+                                "resolve_rng",
+                                qualname,
+                            )
+                        )
+                elif (
+                    isinstance(func_node, ast.Name)
+                    and func_node.id == "Random"
+                    and _imports_name_from(module.tree, "random", "Random")
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "Random() (imported from random) constructs the "
+                            "Mersenne Twister; secrets must come from resolve_rng",
+                            qualname,
+                        )
+                    )
+        return findings
+
+
+def _imports_name_from(tree: ast.AST, module_name: str, name: str) -> bool:
+    for node in getattr(tree, "body", []):
+        if isinstance(node, ast.ImportFrom) and node.module == module_name:
+            if any(alias.name == name for alias in node.names):
+                return True
+    return False
+
+
+class WireFunnelRule(Rule):
+    id = "RC202"
+    title = "wire function bypasses the enter/exit funnels"
+
+    def run(self, module: ModuleTaint) -> List[Finding]:
+        findings: List[Finding] = []
+        for qualname, func, _cls in _walk_functions(module.tree):
+            if qualname == "<module>":
+                continue
+            name = func.name if hasattr(func, "name") else ""
+            if not WIRE_FUNCTION_RE.search(name):
+                continue
+            blessed: Set[int] = set()
+            for node in _own_statements(func):
+                if isinstance(node, ast.Call):
+                    call_name = _call_name(node.func)
+                    if call_name in FUNNEL_CALL_NAMES or (
+                        call_name and WIRE_FUNCTION_RE.search(call_name)
+                    ):
+                        for arg in node.args:
+                            if (
+                                isinstance(arg, ast.Attribute)
+                                and arg.attr == "value"
+                            ):
+                                blessed.add(id(arg))
+            for node in _own_statements(func):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and node.attr == "value"
+                    and isinstance(node.ctx, ast.Load)
+                    and id(node) not in blessed
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "raw resident `.value` representation used inside a "
+                            "wire-serialization function; route through the "
+                            "field.enter/field.exit funnels so Montgomery "
+                            "residents encode correctly",
+                            qualname,
+                        )
+                    )
+        return findings
+
+
+class RngResolveOnceRule(Rule):
+    id = "RC203"
+    title = "RNG resolved more than once per entry point"
+
+    def run(self, module: ModuleTaint) -> List[Finding]:
+        findings: List[Finding] = []
+        for qualname, func, _cls in _walk_functions(module.tree):
+            if qualname == "<module>":
+                continue
+            resolve_sites: List[ast.Call] = []
+            for node in _own_statements(func):
+                if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                    for inner in ast.walk(node):
+                        if inner is node:
+                            continue
+                        if (
+                            isinstance(inner, ast.Call)
+                            and _call_name(inner.func) == "resolve_rng"
+                        ):
+                            findings.append(
+                                self.finding(
+                                    module,
+                                    inner,
+                                    "resolve_rng called inside a loop; batch "
+                                    "entry points resolve the RNG exactly once "
+                                    "and thread it down",
+                                    qualname,
+                                )
+                            )
+                elif (
+                    isinstance(node, ast.Call)
+                    and _call_name(node.func) == "resolve_rng"
+                ):
+                    resolve_sites.append(node)
+            name = getattr(func, "name", "")
+            if BATCH_FUNCTION_RE.search(name) and len(resolve_sites) > 1:
+                findings.append(
+                    self.finding(
+                        module,
+                        resolve_sites[1],
+                        f"batch entry point {name!r} resolves the RNG "
+                        f"{len(resolve_sites)} times; resolve once at the top",
+                        qualname,
+                    )
+                )
+        return findings
+
+
+class EventLoopHeavyCallRule(Rule):
+    id = "RC204"
+    title = "heavy synchronous call on the serve event loop"
+
+    def run(self, module: ModuleTaint) -> List[Finding]:
+        if not SERVE_MODULE_RE.search(module.path):
+            return []
+        findings: List[Finding] = []
+        for qualname, func, _cls in _walk_functions(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            seam_args: Set[int] = set()
+            for node in _own_statements(func):
+                if isinstance(node, ast.Call) and _call_name(node.func) in (
+                    EXECUTOR_SEAM_NAMES
+                ):
+                    for arg in node.args:
+                        for sub in ast.walk(arg):
+                            seam_args.add(id(sub))
+            for node in _own_statements(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _call_name(node.func)
+                if name in HEAVY_ASYNC_CALLS and id(node) not in seam_args:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"synchronous {name}() on the event loop: group "
+                            "arithmetic stalls every connection — ship it "
+                            "through run_in_executor (the scheduler seam)",
+                            qualname,
+                        )
+                    )
+        return findings
+
+
+ALL_RULES: "List[Rule]" = [
+    SecretBranchRule(),
+    SecretKeyLookupRule(),
+    SecretEqualityRule(),
+    SecretExposureRule(),
+    RngHygieneRule(),
+    WireFunnelRule(),
+    RngResolveOnceRule(),
+    EventLoopHeavyCallRule(),
+]
+
+RULE_IDS = frozenset(rule.id for rule in ALL_RULES) | {
+    # meta findings emitted by the engine itself
+    "AUD001",  # unparseable source file
+    "AUD002",  # unknown rule id inside an allow[...] marker
+    "AUD003",  # allow marker without a reason
+    "AUD004",  # allow marker that suppressed nothing (strict mode)
+}
+
+
+def rule_table() -> List[Tuple[str, str]]:
+    """``(id, title)`` rows for ``--list-rules`` and the README."""
+    rows = [(rule.id, rule.title) for rule in ALL_RULES]
+    rows += [
+        ("AUD001", "source file failed to parse"),
+        ("AUD002", "unknown rule id in an allow[...] marker"),
+        ("AUD003", "allow marker without a reason"),
+        ("AUD004", "allow marker that suppressed nothing (strict)"),
+    ]
+    return rows

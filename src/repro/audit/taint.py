@@ -1,0 +1,587 @@
+"""The secret-taint engine: where key material flows, statically.
+
+One :class:`ModuleTaint` per source file.  The engine is a pragmatic
+abstract interpreter over the AST — no SSA, no whole-program call graph —
+built around one asymmetry that fits cryptographic code unusually well:
+
+* **Sources** are explicit: ``sample_exponent``/``resolve_rng`` draws,
+  ``Secret[...]`` annotations, ``# audit: secret`` markers, and the
+  name-based :data:`~repro.audit.vocabulary.SECRET_RETURNING` set
+  (``key_agreement``, ``kdf``, ``keygen``...).
+
+* **Propagation** follows assignments, tuple unpacking, arithmetic,
+  container packing, attribute access on tainted objects (minus the
+  declassifying ``public*`` attributes), hashing and conversions.
+
+* **Generic calls are optimistic boundaries**: ``exponentiate(g, k)``
+  returns a *public* element even though ``k`` is secret — that is the
+  definition of public-key cryptography — so an unknown call does not
+  propagate taint.  Functions that do return key material must be named,
+  annotated or marked; within a module the engine also infers this
+  (a function whose return value is tainted without any tainted parameter
+  becomes secret-returning for the whole module, to a fixpoint).
+
+Method bodies run under their class: ``self.x = <tainted>`` taints ``x``
+reads in every method of the class (fixpoint across rounds), and a
+``Secret[...]``-annotated dataclass field taints attribute reads both on
+objects constructed from the class by name and on parameters annotated
+with the class.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.audit.annotations import MarkerSet
+from repro.audit.vocabulary import (
+    PROPAGATORS,
+    PUBLIC_ATTRS,
+    RNG_DRAW_METHODS,
+    RNG_RECEIVER_NAMES,
+    SANITIZERS,
+    SECRET_ATTRS,
+    SECRET_RETURNING,
+)
+
+__all__ = ["GlobalVocabulary", "ModuleTaint", "collect_vocabulary", "analyze_module"]
+
+#: Parameters with these names are key material by convention.
+_SECRET_PARAM_NAMES = frozenset(
+    {"secret", "shared_secret", "private", "private_key", "secret_exponent", "nonce"}
+)
+
+_MAX_ROUNDS = 4
+_MAX_PASSES = 4
+
+
+def _annotation_is_secret(node: Optional[ast.AST]) -> bool:
+    """Whether an annotation AST is ``Secret[...]`` (or a string thereof)."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.strip().startswith("Secret[")
+    if isinstance(node, ast.Subscript):
+        target = node.value
+        if isinstance(target, ast.Name) and target.id == "Secret":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "Secret":
+            return True
+    return False
+
+
+def _annotation_class_name(node: Optional[ast.AST]) -> Optional[str]:
+    """The plain class name an annotation refers to, if any."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip().strip("'\"")
+        if text.isidentifier():
+            return text
+    if isinstance(node, ast.Subscript):  # Optional[X] / "Optional[X]"
+        target = node.value
+        name = target.id if isinstance(target, ast.Name) else (
+            target.attr if isinstance(target, ast.Attribute) else None
+        )
+        if name in ("Optional",):
+            return _annotation_class_name(node.slice)
+    return None
+
+
+def _call_name(func: ast.AST) -> Optional[str]:
+    """The terminal name of a call target: ``f`` or ``obj.meth`` -> name."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@dataclass
+class GlobalVocabulary:
+    """Run-wide, collected over every file before any module is analyzed."""
+
+    secret_functions: Set[str] = field(default_factory=set)
+    #: class name -> attribute names annotated ``Secret[...]``.
+    secret_class_attrs: Dict[str, Set[str]] = field(default_factory=dict)
+    #: attribute names from annotations that are unambiguous enough to
+    #: taint globally (len >= 3; short names like RSA's ``d`` stay
+    #: class-bound so ``field.p`` never taints).
+    secret_attrs: Set[str] = field(default_factory=set)
+
+    def merged_secret_functions(self) -> Set[str]:
+        return set(SECRET_RETURNING) | self.secret_functions
+
+    def merged_secret_attrs(self) -> Set[str]:
+        return set(SECRET_ATTRS) | self.secret_attrs
+
+
+def collect_vocabulary(
+    modules: "List[Tuple[str, ast.AST, MarkerSet]]",
+) -> GlobalVocabulary:
+    """Pass A: harvest annotations and markers from every file at once."""
+    vocab = GlobalVocabulary()
+    for _path, tree, markers in modules:
+        secret_lines = markers.secret_lines()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.lineno in secret_lines:
+                    secret_lines[node.lineno].used = True
+                    vocab.secret_functions.add(node.name)
+                if _annotation_is_secret(node.returns):
+                    vocab.secret_functions.add(node.name)
+            elif isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        if _annotation_is_secret(stmt.annotation):
+                            vocab.secret_class_attrs.setdefault(
+                                node.name, set()
+                            ).add(stmt.target.id)
+                            if len(stmt.target.id) >= 3:
+                                vocab.secret_attrs.add(stmt.target.id)
+    return vocab
+
+
+@dataclass
+class ModuleTaint:
+    """What the engine concluded about one module."""
+
+    path: str
+    tree: ast.AST
+    #: ids of every AST expression node that evaluates to a tainted value.
+    tainted_nodes: Set[int] = field(default_factory=set)
+    #: function names (local defs) inferred to return key material.
+    inferred_secret_functions: Set[str] = field(default_factory=set)
+    #: names bound by ``functools.lru_cache``/``functools.cache`` decorators.
+    cached_functions: Set[str] = field(default_factory=set)
+
+    def is_tainted(self, node: ast.AST) -> bool:
+        return id(node) in self.tainted_nodes
+
+
+class _Scope:
+    """Mutable per-function analysis state."""
+
+    def __init__(
+        self,
+        tainted: Set[str],
+        classes: Dict[str, str],
+        rngs: Set[str],
+        class_name: Optional[str],
+        public_rngs: Optional[Set[str]] = None,
+    ):
+        self.tainted = tainted  # local names holding secrets
+        self.classes = classes  # local name -> constructed/annotated class
+        self.rngs = rngs  # local names holding an RNG from resolve_rng
+        self.class_name = class_name  # enclosing class for self.* resolution
+        # Names bound to an explicit ``random.Random(seed)``: the declared
+        # *reproducibility* generator.  RC201 polices whether constructing
+        # one is legitimate; its draws are not key material, so they beat
+        # the rng-receiver-name heuristic.
+        self.public_rngs: Set[str] = public_rngs if public_rngs is not None else set()
+
+    def clone(self) -> "_Scope":
+        return _Scope(
+            set(self.tainted),
+            dict(self.classes),
+            set(self.rngs),
+            self.class_name,
+            set(self.public_rngs),
+        )
+
+
+class _ModuleAnalyzer:
+    """Runs the rounds for one module."""
+
+    def __init__(self, path: str, tree: ast.AST, markers: MarkerSet, vocab: GlobalVocabulary):
+        self.path = path
+        self.tree = tree
+        self.markers = markers
+        self.vocab = vocab
+        self.secret_lines = markers.secret_lines()
+        self.secret_functions = vocab.merged_secret_functions()
+        self.secret_attrs = vocab.merged_secret_attrs()
+        self.secret_class_attrs: Dict[str, Set[str]] = {
+            name: set(attrs) for name, attrs in vocab.secret_class_attrs.items()
+        }
+        self.inferred: Set[str] = set()
+        self.cached_functions: Set[str] = set()
+        self.marks: Set[int] = set()
+        self._changed = False
+
+    # -- driving ---------------------------------------------------------------
+
+    def analyze(self) -> ModuleTaint:
+        self._collect_cached_functions()
+        for _round in range(_MAX_ROUNDS):
+            self._changed = False
+            self.marks = set()
+            module_scope = _Scope(set(), {}, set(), None)
+            self._exec_body(getattr(self.tree, "body", []), module_scope)
+            if not self._changed:
+                break
+        return ModuleTaint(
+            path=self.path,
+            tree=self.tree,
+            tainted_nodes=self.marks,
+            inferred_secret_functions=set(self.inferred),
+            cached_functions=set(self.cached_functions),
+        )
+
+    def _collect_cached_functions(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for decorator in node.decorator_list:
+                    target = decorator.func if isinstance(decorator, ast.Call) else decorator
+                    name = _call_name(target)
+                    if name in ("lru_cache", "cache"):
+                        self.cached_functions.add(node.name)
+
+    # -- statement execution ---------------------------------------------------
+
+    def _exec_body(self, body, scope: _Scope) -> None:
+        # Two passes over a body reach the loop-carried flows that a single
+        # forward sweep misses; taint only grows, so this converges.
+        for _pass in range(_MAX_PASSES):
+            before = (set(scope.tainted), set(scope.rngs))
+            for stmt in body:
+                self._exec(stmt, scope)
+            if (set(scope.tainted), set(scope.rngs)) == before:
+                break
+
+    def _exec(self, stmt: ast.AST, scope: _Scope) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._analyze_function(stmt, scope)
+        elif isinstance(stmt, ast.ClassDef):
+            inner = _Scope(
+                set(scope.tainted),
+                dict(scope.classes),
+                set(scope.rngs),
+                stmt.name,
+                set(scope.public_rngs),
+            )
+            self._exec_body(stmt.body, inner)
+        elif isinstance(stmt, ast.Assign):
+            tainted = self._marked_secret(stmt) or self._taint(stmt.value, scope)
+            self._track_special_assign(stmt.targets, stmt.value, scope)
+            for target in stmt.targets:
+                self._assign(target, tainted, scope)
+        elif isinstance(stmt, ast.AnnAssign):
+            tainted = (
+                self._marked_secret(stmt)
+                or _annotation_is_secret(stmt.annotation)
+                or (stmt.value is not None and self._taint(stmt.value, scope))
+            )
+            bound = _annotation_class_name(stmt.annotation)
+            if bound and isinstance(stmt.target, ast.Name) and bound in self.secret_class_attrs:
+                scope.classes[stmt.target.id] = bound
+            if stmt.value is not None:
+                self._track_special_assign([stmt.target], stmt.value, scope)
+            self._assign(stmt.target, tainted, scope)
+        elif isinstance(stmt, ast.AugAssign):
+            tainted = self._taint(stmt.value, scope) or self._taint(stmt.target, scope)
+            self._assign(stmt.target, tainted, scope)
+        elif isinstance(stmt, ast.For) or isinstance(stmt, ast.AsyncFor):
+            self._assign(stmt.target, self._taint(stmt.iter, scope), scope)
+            self._exec_body(stmt.body, scope)
+            self._exec_body(stmt.orelse, scope)
+        elif isinstance(stmt, ast.While):
+            self._taint(stmt.test, scope)
+            self._exec_body(stmt.body, scope)
+            self._exec_body(stmt.orelse, scope)
+        elif isinstance(stmt, ast.If):
+            self._taint(stmt.test, scope)
+            self._exec_body(stmt.body, scope)
+            self._exec_body(stmt.orelse, scope)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                tainted = self._taint(item.context_expr, scope)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, tainted, scope)
+            self._exec_body(stmt.body, scope)
+        elif isinstance(stmt, ast.Try):
+            self._exec_body(stmt.body, scope)
+            for handler in stmt.handlers:
+                self._exec_body(handler.body, scope)
+            self._exec_body(stmt.orelse, scope)
+            self._exec_body(stmt.finalbody, scope)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                tainted = self._taint(stmt.value, scope)
+                if tainted:
+                    self._return_tainted = True
+        elif isinstance(stmt, (ast.Expr, ast.Assert, ast.Raise, ast.Delete)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._taint(child, scope)
+        elif isinstance(stmt, ast.Match):
+            self._taint(stmt.subject, scope)
+            for case in stmt.cases:
+                self._exec_body(case.body, scope)
+        # imports, global/nonlocal, pass: nothing flows
+
+    def _marked_secret(self, stmt: ast.AST) -> bool:
+        marker = self.secret_lines.get(getattr(stmt, "lineno", -1))
+        if marker is not None:
+            marker.used = True
+            return True
+        return False
+
+    def _track_special_assign(self, targets, value: ast.AST, scope: _Scope) -> None:
+        """Class construction and RNG resolution bindings."""
+        cls: Optional[str] = None
+        is_rng = False
+        is_public_rng = False
+        if isinstance(value, ast.Call):
+            name = _call_name(value.func)
+            if name in self.secret_class_attrs:
+                cls = name
+            if name == "resolve_rng":
+                is_rng = True
+            if name == "Random":
+                is_public_rng = True
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if cls:
+                    scope.classes[target.id] = cls
+                if is_rng:
+                    scope.rngs.add(target.id)
+                    scope.public_rngs.discard(target.id)
+                if is_public_rng:
+                    scope.public_rngs.add(target.id)
+                    scope.rngs.discard(target.id)
+
+    def _assign(self, target: ast.AST, tainted: bool, scope: _Scope) -> None:
+        if isinstance(target, ast.Name):
+            if tainted and target.id not in scope.tainted:
+                scope.tainted.add(target.id)
+                self._changed = True
+            if tainted:
+                self.marks.add(id(target))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                inner = element.value if isinstance(element, ast.Starred) else element
+                self._assign(inner, tainted, scope)
+        elif isinstance(target, ast.Attribute):
+            # self.x = <tainted> taints x across the whole class.
+            if (
+                tainted
+                and scope.class_name
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attrs = self.secret_class_attrs.setdefault(scope.class_name, set())
+                if target.attr not in attrs:
+                    attrs.add(target.attr)
+                    self._changed = True
+        elif isinstance(target, ast.Subscript):
+            # container[key] = <tainted>: the container now holds secrets.
+            self._taint(target.slice, scope)
+            base = target.value
+            if tainted:
+                if isinstance(base, ast.Name):
+                    self._assign(base, True, scope)
+                elif (
+                    isinstance(base, ast.Attribute)
+                    and scope.class_name
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id == "self"
+                ):
+                    attrs = self.secret_class_attrs.setdefault(scope.class_name, set())
+                    if base.attr not in attrs:
+                        attrs.add(base.attr)
+                        self._changed = True
+
+    # -- functions -------------------------------------------------------------
+
+    def _analyze_function(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef", outer: _Scope
+    ) -> None:
+        scope = _Scope(
+            set(outer.tainted),
+            dict(outer.classes),
+            set(outer.rngs),
+            outer.class_name,
+            set(outer.public_rngs),
+        )
+        args = node.args
+        all_args = (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+        for arg in all_args:
+            if _annotation_is_secret(arg.annotation) or arg.arg in _SECRET_PARAM_NAMES:
+                scope.tainted.add(arg.arg)
+            bound = _annotation_class_name(arg.annotation)
+            if bound and bound in self.secret_class_attrs:
+                scope.classes[arg.arg] = bound
+            if RNG_RECEIVER_NAMES.search(arg.arg):
+                scope.rngs.add(arg.arg)
+        previous_flag = getattr(self, "_return_tainted", False)
+        self._return_tainted = False
+        self._exec_body(node.body, scope)
+        # A function whose return taint can only have come from a secret
+        # *parameter* is a transformer, not a source — callers already know
+        # whether what they pass in is secret.  Only parameter-free taint
+        # (an internal sample_exponent, a key_agreement call...) promotes
+        # the function to secret-returning for the whole module.
+        had_secret_params = any(
+            arg.arg in _SECRET_PARAM_NAMES or _annotation_is_secret(arg.annotation)
+            for arg in all_args
+        )
+        if self._return_tainted and not had_secret_params:
+            if node.name not in self.secret_functions:
+                self.secret_functions.add(node.name)
+                self.inferred.add(node.name)
+                self._changed = True
+        self._return_tainted = previous_flag
+
+    # -- expression taint ------------------------------------------------------
+
+    def _taint(self, node: ast.AST, scope: _Scope) -> bool:
+        result = self._taint_inner(node, scope)
+        if result:
+            self.marks.add(id(node))
+        return result
+
+    def _taint_inner(self, node: ast.AST, scope: _Scope) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in scope.tainted
+        if isinstance(node, ast.Constant):
+            return False
+        if isinstance(node, ast.Attribute):
+            return self._attribute_taint(node, scope)
+        if isinstance(node, ast.Call):
+            return self._call_taint(node, scope)
+        if isinstance(node, ast.BinOp):
+            left = self._taint(node.left, scope)
+            right = self._taint(node.right, scope)
+            return left or right
+        if isinstance(node, ast.UnaryOp):
+            return self._taint(node.operand, scope)
+        if isinstance(node, ast.BoolOp):
+            return any([self._taint(value, scope) for value in node.values])
+        if isinstance(node, ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            tainted = any([self._taint(operand, scope) for operand in operands])
+            # ``x is None`` on a secret reveals presence, not value.
+            if all(isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops) and any(
+                isinstance(operand, ast.Constant) and operand.value is None
+                for operand in operands
+            ):
+                return False
+            return tainted
+        if isinstance(node, ast.Subscript):
+            container = self._taint(node.value, scope)
+            index = self._taint(node.slice, scope)
+            return container or index
+        if isinstance(node, ast.Slice):
+            return any(
+                self._taint(part, scope)
+                for part in (node.lower, node.upper, node.step)
+                if part is not None
+            )
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any([self._taint(element, scope) for element in node.elts])
+        if isinstance(node, ast.Dict):
+            keys = [self._taint(key, scope) for key in node.keys if key is not None]
+            values = [self._taint(value, scope) for value in node.values]
+            return any(keys) or any(values)
+        if isinstance(node, ast.IfExp):
+            self._taint(node.test, scope)
+            return self._taint(node.body, scope) or self._taint(node.orelse, scope)
+        if isinstance(node, ast.JoinedStr):
+            return any(
+                self._taint(value.value, scope)
+                for value in node.values
+                if isinstance(value, ast.FormattedValue)
+            )
+        if isinstance(node, ast.FormattedValue):
+            return self._taint(node.value, scope)
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            return self._comprehension_taint(node, [node.elt], scope)
+        if isinstance(node, ast.DictComp):
+            return self._comprehension_taint(node, [node.key, node.value], scope)
+        if isinstance(node, ast.NamedExpr):
+            tainted = self._taint(node.value, scope)
+            self._assign(node.target, tainted, scope)
+            return tainted
+        if isinstance(node, ast.Starred):
+            return self._taint(node.value, scope)
+        if isinstance(node, ast.Await):
+            return self._taint(node.value, scope)
+        if isinstance(node, ast.Lambda):
+            return False
+        return False
+
+    def _comprehension_taint(self, node, result_exprs, scope: _Scope) -> bool:
+        inner = scope.clone()
+        for generator in node.generators:
+            iter_tainted = self._taint(generator.iter, inner)
+            self._assign(generator.target, iter_tainted, inner)
+            for condition in generator.ifs:
+                self._taint(condition, inner)
+        return any([self._taint(expr, inner) for expr in result_exprs])
+
+    def _attribute_taint(self, node: ast.Attribute, scope: _Scope) -> bool:
+        if node.attr in self.secret_attrs:
+            return True
+        # Class-bound secret attributes: constructed or annotated locals,
+        # and ``self`` within a class whose attributes were tainted.
+        base = node.value
+        if isinstance(base, ast.Name):
+            cls = scope.classes.get(base.id)
+            if cls and node.attr in self.secret_class_attrs.get(cls, ()):  # noqa: SIM118
+                self._taint(base, scope)
+                return True
+            if base.id == "self" and scope.class_name:
+                if node.attr in self.secret_class_attrs.get(scope.class_name, ()):
+                    return True
+        obj_tainted = self._taint(base, scope)
+        if obj_tainted and node.attr in PUBLIC_ATTRS:
+            return False
+        return obj_tainted
+
+    def _call_taint(self, node: ast.Call, scope: _Scope) -> bool:
+        name = _call_name(node.func)
+        arg_taints = [self._taint(arg, scope) for arg in node.args] + [
+            self._taint(keyword.value, scope) for keyword in node.keywords
+        ]
+        any_arg_tainted = any(arg_taints)
+        receiver_tainted = False
+        if isinstance(node.func, ast.Attribute):
+            receiver_tainted = self._taint(node.func.value, scope)
+        if name in SANITIZERS:
+            return False
+        if name in self.secret_functions:
+            return True
+        # RNG draws through the library seam are sources.
+        if (
+            name in RNG_DRAW_METHODS
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id not in scope.public_rngs
+            and (
+                RNG_RECEIVER_NAMES.search(node.func.value.id)
+                or node.func.value.id in scope.rngs
+            )
+        ):
+            return True
+        if name in PROPAGATORS:
+            return any_arg_tainted or receiver_tainted
+        # A method invoked on a secret keeps the secret.
+        if receiver_tainted:
+            return True
+        # Optimistic boundary: unknown calls return public data.
+        return False
+
+
+def analyze_module(
+    path: str, tree: ast.AST, markers: MarkerSet, vocab: GlobalVocabulary
+) -> ModuleTaint:
+    """Run the taint rounds for one parsed module."""
+    return _ModuleAnalyzer(path, tree, markers, vocab).analyze()

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.audit.annotations import Secret
 from repro.errors import ParameterError, SignatureError
 from repro.exp.trace import ScalarMultCount
 from repro.nt.modular import modinv
@@ -32,7 +33,7 @@ class EcdhKeyPair:
     """An EC key pair: private scalar and public point."""
 
     curve: NamedCurve
-    private: int
+    private: Secret[int]
     public: AffinePoint
 
     def public_bytes(self, compressed: bool = False) -> bytes:
@@ -154,7 +155,7 @@ def ecdsa_sign(
         if r == 0:
             continue
         s = modinv(k, named.order) * (e + r * own.private) % named.order
-        if s == 0:
+        if s == 0:  # audit: allow[CT101] DSA-mandated rejection of zero s; the retry is protocol-visible
             continue
         return r, s
     raise SignatureError("could not produce an ECDSA signature")  # pragma: no cover

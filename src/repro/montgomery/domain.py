@@ -9,7 +9,7 @@ validate the word-level algorithms and the coprocessor microcode.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.errors import ParameterError
 from repro.nt.modular import modinv
@@ -31,7 +31,9 @@ class MontgomeryDomain:
         The paper uses ``s = ceil(n / w)`` for an ``n``-bit modulus.
     """
 
-    def __init__(self, modulus: int, word_bits: int = 16, num_words: int = None):
+    def __init__(
+        self, modulus: int, word_bits: int = 16, num_words: Optional[int] = None
+    ):
         if modulus < 3 or modulus % 2 == 0:
             raise ParameterError(f"Montgomery arithmetic needs an odd modulus >= 3, got {modulus}")
         if word_bits < 2:

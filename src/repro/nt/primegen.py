@@ -59,7 +59,7 @@ def random_prime_mod(
         candidate = _candidate(bits, rng)
         target = rng.choice(residues)
         candidate += (target - candidate) % modulus
-        if candidate.bit_length() != bits or candidate % 2 == 0:
+        if candidate.bit_length() != bits or candidate % 2 == 0:  # audit: allow[CT101] rejection sampling; prime search time is inherently candidate-dependent
             continue
         if is_probable_prime(candidate):
             return candidate

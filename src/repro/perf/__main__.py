@@ -11,6 +11,8 @@
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.analysis.report import render_table
@@ -62,7 +64,33 @@ def _show(path: str) -> int:
             title=f"Perf trajectory: {path}",
         )
     )
+    _show_audit_summary(path)
     return 0
+
+
+def _show_audit_summary(bench_path: str) -> None:
+    """Append the static-analysis digest when a report sits next to the bench.
+
+    The audit JSON report (``python -m repro.audit --json AUDIT_report.json``)
+    leads with a ``summary`` block exactly so pipelines like this one can
+    surface it without parsing findings.
+    """
+    report_path = os.path.join(
+        os.path.dirname(os.path.abspath(bench_path)), "AUDIT_report.json"
+    )
+    if not os.path.exists(report_path):
+        return
+    try:
+        with open(report_path, "r", encoding="utf-8") as handle:
+            summary = json.load(handle).get("summary", {})
+    except (OSError, ValueError):
+        return
+    print(
+        f"audit: {summary.get('rules_run', '?')} rules over "
+        f"{summary.get('modules_scanned', '?')} modules — "
+        f"{summary.get('new', '?')} new, {summary.get('baselined', '?')} baselined, "
+        f"{summary.get('suppressed', '?')} suppressed"
+    )
 
 
 def _compare(current: str, baseline: str, tolerance: float, calibrate: bool) -> int:

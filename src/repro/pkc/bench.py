@@ -15,6 +15,7 @@ projection of the same workload is the profile layer's job.
 
 from __future__ import annotations
 
+import hmac
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Sequence
@@ -68,8 +69,8 @@ def _coalesced_key_agreement_batch(
         server, [client.public_wire for client in clients], trace=trace
     )
     wire = 0
-    for client, client_key, server_key in zip(clients, client_keys, server_keys):
-        if client_key != server_key:
+    for client, client_key, server_key in zip(clients, client_keys, server_keys):  # audit: allow[CT101] iterates paired session keys; the trip count is the public session count
+        if not hmac.compare_digest(client_key, server_key):
             raise ParameterError(f"{scheme.name}: key agreement mismatch")  # pragma: no cover
         wire += len(client.public_wire) + len(server.public_wire)
     return wire

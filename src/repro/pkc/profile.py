@@ -21,6 +21,7 @@ exactly, while still being derived from a real executed exponentiation.
 
 from __future__ import annotations
 
+import hmac
 import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -160,12 +161,12 @@ def build_profile(
         if KEY_AGREEMENT in scheme.capabilities:
             peer = scheme.keygen(rng)
             shared = scheme.key_agreement(own, peer.public_wire, trace=traced("key_agreement"))
-            if shared != scheme.key_agreement(peer, own.public_wire):
+            if not hmac.compare_digest(shared, scheme.key_agreement(peer, own.public_wire)):
                 raise ParameterError(f"{scheme.name}: key agreement mismatch")  # pragma: no cover
             profile.wire_bytes["key_agreement_message"] = len(peer.public_wire)
         if ENCRYPTION in scheme.capabilities:
             ciphertext = scheme.encrypt(own.public_wire, message, rng, trace=traced("encrypt"))
-            if scheme.decrypt(own, ciphertext, trace=traced("decrypt")) != message:
+            if not hmac.compare_digest(scheme.decrypt(own, ciphertext, trace=traced("decrypt")), message):
                 raise ParameterError(f"{scheme.name}: decryption mismatch")  # pragma: no cover
             profile.wire_bytes["ciphertext_overhead"] = len(ciphertext) - len(message)
         if SIGNATURE in scheme.capabilities:

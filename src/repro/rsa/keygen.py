@@ -7,6 +7,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.audit.annotations import Secret
 from repro.errors import ParameterError
 from repro.nt.modular import modinv
 from repro.nt.primegen import random_prime
@@ -19,12 +20,12 @@ class RsaKeyPair:
 
     n: int
     e: int
-    d: int
-    p: int
-    q: int
-    d_p: int
-    d_q: int
-    q_inv: int
+    d: Secret[int]
+    p: Secret[int]
+    q: Secret[int]
+    d_p: Secret[int]
+    d_q: Secret[int]
+    q_inv: Secret[int]
 
     @property
     def modulus_bits(self) -> int:

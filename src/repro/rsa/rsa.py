@@ -86,7 +86,7 @@ def rsa_decrypt_int_crt(
         domain_q = MontgomeryDomain(key.q, word_bits=word_bits)
     else:
         domain_p, domain_q = domains
-        if domain_p.modulus != key.p or domain_q.modulus != key.q:
+        if domain_p.modulus != key.p or domain_q.modulus != key.q:  # audit: allow[CT103] config validation; injected domain and key prime share one trust domain
             raise ParameterError("injected CRT domains do not match the key's primes")
     m_p = montgomery_power(domain_p, ciphertext % key.p, key.d_p, trace=trace)
     m_q = montgomery_power(domain_q, ciphertext % key.q, key.d_q, trace=trace)
@@ -192,7 +192,7 @@ def rsa_sign_many(
         domain_q = MontgomeryDomain(key.q, word_bits=word_bits)
     else:
         domain_p, domain_q = domains
-        if domain_p.modulus != key.p or domain_q.modulus != key.q:
+        if domain_p.modulus != key.p or domain_q.modulus != key.q:  # audit: allow[CT103] config validation; injected domain and key prime share one trust domain
             raise ParameterError("injected CRT domains do not match the key's primes")
     m_ps = montgomery_power_many(
         domain_p, [c % key.p for c in padded], [key.d_p] * len(padded), trace=trace

@@ -160,14 +160,14 @@ class ServeClient:
     async def key_agreement_session(self, rng=None) -> float:
         """Ephemeral keygen + both derivations; server's tag checked against ours."""
         self._require_session()
-        client_pair = self.scheme.keygen(rng)
+        client_pair = self.scheme.keygen(rng)  # audit: allow[RC204] load-generator client half runs its arithmetic locally by design
         started = time.perf_counter()
         frame = await self.request(OP_KA_INIT, client_pair.public_wire)
         latency = time.perf_counter() - started
         if frame.opcode != OP_KA_CONFIRM:
             raise ProtocolError(f"expected KA_CONFIRM, got {frame.opcode_name}")
-        shared = self.scheme.key_agreement(client_pair, self.server_public)
-        if frame.payload != protocol.confirmation_tag(shared):
+        shared = self.scheme.key_agreement(client_pair, self.server_public)  # audit: allow[RC204] load-generator client half runs its arithmetic locally by design
+        if not protocol.constant_time_equal(frame.payload, protocol.confirmation_tag(shared)):
             raise ServeError(f"{self.scheme_name}: key agreement tags disagree")
         return latency
 
@@ -176,7 +176,7 @@ class ServeClient:
     ) -> float:
         """Encrypt to the server, server opens, digest checked."""
         self._require_session()
-        ciphertext = self.scheme.encrypt(self.server_public, payload, rng)
+        ciphertext = self.scheme.encrypt(self.server_public, payload, rng)  # audit: allow[RC204] load-generator client half runs its arithmetic locally by design
         started = time.perf_counter()
         frame = await self.request(OP_DECRYPT, ciphertext)
         latency = time.perf_counter() - started
@@ -196,7 +196,7 @@ class ServeClient:
         latency = time.perf_counter() - started
         if frame.opcode != OP_SIGNATURE:
             raise ProtocolError(f"expected SIGNATURE, got {frame.opcode_name}")
-        if not self.scheme.verify(self.server_public, message, frame.payload):
+        if not self.scheme.verify(self.server_public, message, frame.payload):  # audit: allow[RC204] load-generator client half runs its arithmetic locally by design
             raise ServeError(f"{self.scheme_name}: signature rejected locally")
         return latency
 

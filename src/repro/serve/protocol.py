@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import hmac
 import struct
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
@@ -77,6 +78,7 @@ __all__ = [
     "ERROR_NAMES",
     "TAG_LEN",
     "confirmation_tag",
+    "constant_time_equal",
     "plaintext_digest",
     "pack_welcome",
     "parse_welcome",
@@ -270,6 +272,16 @@ async def write_frame(
 def confirmation_tag(shared_secret: bytes) -> bytes:
     """What the server returns for a key agreement instead of the secret."""
     return hashlib.sha256(b"repro-serve-confirm" + shared_secret).digest()[:TAG_LEN]
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Compare secret-derived byte strings without a timing oracle.
+
+    A short-circuiting ``==`` on a confirmation tag leaks how many leading
+    bytes of the attacker's guess matched (audit rule CT103); this is the
+    one vetted comparator for anything derived from key material.
+    """
+    return hmac.compare_digest(a, b)
 
 
 def plaintext_digest(plaintext: bytes) -> bytes:

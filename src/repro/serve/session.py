@@ -206,7 +206,7 @@ def offline_key_agreement_session(
     client = scheme.keygen(rng, trace=trace)
     client_key = scheme.key_agreement(client, server.public_wire, trace=trace)
     server_key = scheme.key_agreement(server, client.public_wire, trace=trace)
-    if client_key != server_key:
+    if not protocol.constant_time_equal(client_key, server_key):
         raise ParameterError(f"{scheme.name}: key agreement mismatch")  # pragma: no cover
     return len(client.public_wire) + len(server.public_wire)
 
@@ -221,7 +221,7 @@ def offline_encryption_session(
 ) -> int:
     """Encrypt ``payload`` to the server, server opens (checked).  Wire: the ciphertext."""
     ciphertext = scheme.encrypt(server.public_wire, payload, rng, trace=trace)
-    if scheme.decrypt(server, ciphertext, trace=trace) != payload:
+    if not protocol.constant_time_equal(scheme.decrypt(server, ciphertext, trace=trace), payload):
         raise ParameterError(f"{scheme.name}: decryption mismatch")  # pragma: no cover
     return len(ciphertext)
 

@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.audit.annotations import Secret
 from repro.errors import CompressionError, DecryptionError, ParameterError, SignatureError
 from repro.exp.trace import OpTrace
 from repro.nt.sampling import resolve_rng, sample_exponent
@@ -37,7 +38,7 @@ from repro.torus.t6 import T6Group, TorusElement
 class CeilidhKeyPair:
     """A CEILIDH key pair: private exponent and compressed public key."""
 
-    private: int
+    private: Secret[int]
     public: CompressedElement
 
     def public_bytes(self, params: TorusParameters) -> bytes:

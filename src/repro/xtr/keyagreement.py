@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.audit.annotations import Secret
 from repro.errors import ParameterError
 from repro.exp.trace import OpTrace
 from repro.nt.sampling import sample_exponent
@@ -24,7 +25,7 @@ from repro.xtr.trace import XtrContext, XtrTrace
 class XtrKeyPair:
     """An XTR key pair: secret exponent and public trace."""
 
-    private: int
+    private: Secret[int]
     public: XtrTrace
 
 

@@ -1,0 +1,248 @@
+"""Suppressions, baseline round-trips, reporters and CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.audit.__main__ import main
+from repro.audit.baseline import apply_baseline, load_baseline, save_baseline
+from repro.audit.engine import run_audit
+from repro.audit.report import render_json, render_text, summarize, summary_line
+from repro.audit.rules import ALL_RULES, RULE_IDS
+
+
+VIOLATION = """
+def f(q, guess):
+    k = sample_exponent(q)
+    tag = bytes(k)
+    return tag == guess
+"""
+
+CLEAN = """
+def f(q):
+    return q + 1
+"""
+
+
+def write_tree(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def new_rules(result):
+    return sorted({f.rule for f in result.findings if f.status == "new"})
+
+
+# -- suppression markers --------------------------------------------------------
+
+
+def test_trailing_allow_suppresses_the_finding(tmp_path):
+    write_tree(
+        tmp_path,
+        """
+        def f(q, guess):
+            k = sample_exponent(q)
+            return bytes(k) == guess  # audit: allow[CT103] fixture accepts the oracle
+        """,
+    )
+    result = run_audit(tmp_path)
+    assert new_rules(result) == []
+    assert [f.rule for f in result.by_status("suppressed")] == ["CT103"]
+
+
+def test_standalone_allow_covers_the_next_line(tmp_path):
+    write_tree(
+        tmp_path,
+        """
+        def f(q, guess):
+            k = sample_exponent(q)
+            # audit: allow[CT103] fixture accepts the oracle
+            return bytes(k) == guess
+        """,
+    )
+    result = run_audit(tmp_path)
+    assert new_rules(result) == []
+
+
+def test_allow_for_wrong_rule_does_not_suppress(tmp_path):
+    write_tree(
+        tmp_path,
+        """
+        def f(q, guess):
+            k = sample_exponent(q)
+            return bytes(k) == guess  # audit: allow[CT101] wrong rule id on purpose
+        """,
+    )
+    result = run_audit(tmp_path)
+    assert "CT103" in new_rules(result)
+
+
+def test_unknown_rule_id_is_aud002(tmp_path):
+    write_tree(
+        tmp_path,
+        """
+        def f(q):
+            return q  # audit: allow[XX999] no such rule
+        """,
+    )
+    result = run_audit(tmp_path)
+    assert "AUD002" in new_rules(result)
+
+
+def test_allow_without_reason_is_aud003(tmp_path):
+    write_tree(
+        tmp_path,
+        """
+        def f(q, guess):
+            k = sample_exponent(q)
+            return bytes(k) == guess  # audit: allow[CT103]
+        """,
+    )
+    result = run_audit(tmp_path)
+    assert "AUD003" in new_rules(result)
+
+
+def test_unused_allow_is_aud004_only_in_strict(tmp_path):
+    write_tree(
+        tmp_path,
+        """
+        def f(q):
+            return q + 1  # audit: allow[CT103] nothing here to suppress
+        """,
+    )
+    relaxed = run_audit(tmp_path, strict=False)
+    strict = run_audit(tmp_path, strict=True)
+    assert "AUD004" not in new_rules(relaxed)
+    assert "AUD004" in new_rules(strict)
+
+
+def test_syntax_error_is_aud001_not_a_crash(tmp_path):
+    write_tree(tmp_path, "def broken(:\n    pass\n")
+    result = run_audit(tmp_path)
+    assert "AUD001" in new_rules(result)
+
+
+# -- baseline round trip --------------------------------------------------------
+
+
+def test_baseline_round_trip_accepts_then_detects_new(tmp_path):
+    tree = tmp_path / "tree"
+    write_tree(tree, VIOLATION)
+    baseline_path = tmp_path / "AUDIT_baseline.json"
+
+    first = run_audit(tree)
+    assert new_rules(first) == ["CT103"]
+    save_baseline(baseline_path, first.findings)
+
+    second = run_audit(tree)
+    apply_baseline(second.findings, load_baseline(baseline_path))
+    assert new_rules(second) == []
+    assert [f.rule for f in second.by_status("baselined")] == ["CT103"]
+
+    # A new violation in a different function is NOT covered by the baseline.
+    write_tree(
+        tree,
+        VIOLATION
+        + """
+def g(q):
+    k = sample_exponent(q)
+    print(k)
+""",
+    )
+    third = run_audit(tree)
+    apply_baseline(third.findings, load_baseline(baseline_path))
+    assert new_rules(third) == ["CT104"]
+
+
+def test_baseline_fingerprints_survive_line_drift(tmp_path):
+    tree = tmp_path / "tree"
+    write_tree(tree, VIOLATION)
+    baseline_path = tmp_path / "AUDIT_baseline.json"
+    save_baseline(baseline_path, run_audit(tree).findings)
+
+    # Push the finding 40 lines down; the fingerprint must still match.
+    write_tree(tree, "# padding\n" * 40 + textwrap.dedent(VIOLATION))
+    drifted = run_audit(tree)
+    apply_baseline(drifted.findings, load_baseline(baseline_path))
+    assert new_rules(drifted) == []
+
+
+def test_corrupt_baseline_raises(tmp_path):
+    bad = tmp_path / "AUDIT_baseline.json"
+    bad.write_text(json.dumps({"not": "a baseline"}), encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_baseline(bad)
+
+
+# -- reporters ------------------------------------------------------------------
+
+
+def test_json_report_carries_summary_block(tmp_path):
+    write_tree(tmp_path, VIOLATION)
+    result = run_audit(tmp_path)
+    document = json.loads(render_json(result))
+    summary = document["summary"]
+    assert summary["rules_run"] == len(ALL_RULES)
+    assert summary["modules_scanned"] == 1
+    assert summary["new"] == 1
+    assert summary["findings"] == len(document["findings"])
+    assert {"rule", "path", "line", "col", "message", "context", "status"} <= set(
+        document["findings"][0]
+    )
+
+
+def test_text_report_names_rule_and_context(tmp_path):
+    write_tree(tmp_path, VIOLATION)
+    result = run_audit(tmp_path)
+    text = render_text(result)
+    assert "CT103" in text
+    assert "[f]" in text
+    assert summary_line(summarize(result)) in text
+
+
+# -- CLI ------------------------------------------------------------------------
+
+
+def test_cli_exit_one_on_new_findings(tmp_path, capsys):
+    write_tree(tmp_path, VIOLATION)
+    code = main(["--root", str(tmp_path), "--no-baseline"])
+    assert code == 1
+    assert "CT103" in capsys.readouterr().out
+
+
+def test_cli_exit_zero_on_clean_tree(tmp_path, capsys):
+    write_tree(tmp_path, CLEAN)
+    code = main(["--root", str(tmp_path), "--no-baseline"])
+    assert code == 0
+
+
+def test_cli_update_baseline_then_strict_gate_passes(tmp_path, capsys):
+    write_tree(tmp_path, VIOLATION)
+    baseline = tmp_path / "baseline.json"
+    assert main(["--root", str(tmp_path), "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert baseline.exists()
+    assert main(["--root", str(tmp_path), "--baseline", str(baseline), "--strict"]) == 0
+
+
+def test_cli_json_report_written(tmp_path, capsys):
+    write_tree(tmp_path, VIOLATION)
+    report = tmp_path / "report.json"
+    main(["--root", str(tmp_path), "--no-baseline", "--json", str(report)])
+    document = json.loads(report.read_text(encoding="utf-8"))
+    assert document["summary"]["new"] == 1
+
+
+def test_cli_list_rules_covers_every_rule_id(tmp_path, capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULE_IDS:
+        assert rule_id in out
+
+
+def test_cli_missing_root_is_usage_error(tmp_path, capsys):
+    assert main(["--root", str(tmp_path / "nope")]) == 2

@@ -1,0 +1,232 @@
+"""Per-rule fixtures for the repo-contract rules (RC201-RC204).
+
+Same discipline as the taint fixtures: every rule has a planted violation
+and a clean twin so the suite fails if a rule goes dead or starts firing
+on the blessed pattern.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.audit.engine import run_audit
+
+
+def audit_snippet(tmp_path, source: str, name: str = "mod.py", strict: bool = False):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return run_audit(tmp_path, strict=strict)
+
+
+def new_rules(result):
+    return sorted({finding.rule for finding in result.findings if finding.status == "new"})
+
+
+# -- RC201: RNG hygiene ---------------------------------------------------------
+
+
+def test_rc201_random_random_constructor(tmp_path):
+    result = audit_snippet(
+        tmp_path,
+        """
+        import random
+
+        def f():
+            rng = random.Random()
+            return rng.random()
+        """,
+    )
+    assert "RC201" in new_rules(result)
+
+
+def test_rc201_bare_module_level_draw(tmp_path):
+    result = audit_snippet(
+        tmp_path,
+        """
+        import random
+
+        def f(n):
+            return random.randrange(n)
+        """,
+    )
+    assert "RC201" in new_rules(result)
+
+
+def test_rc201_clean_twin_system_random_and_resolve_rng(tmp_path):
+    result = audit_snippet(
+        tmp_path,
+        """
+        import random
+
+        DEFAULT_RNG = random.SystemRandom()
+
+        def f(n, rng=None):
+            rng = resolve_rng(rng)
+            return rng.randrange(n)
+        """,
+    )
+    assert "RC201" not in new_rules(result)
+
+
+def test_rc201_annotation_mentioning_random_is_fine(tmp_path):
+    # Only Call nodes are flagged; ``Optional[random.Random]`` annotations
+    # are how the seam is typed everywhere in the tree.
+    result = audit_snippet(
+        tmp_path,
+        """
+        import random
+        from typing import Optional
+
+        def f(n, rng: Optional[random.Random] = None):
+            rng = resolve_rng(rng)
+            return rng.randrange(n)
+        """,
+    )
+    assert "RC201" not in new_rules(result)
+
+
+# -- RC202: wire functions route through the funnels ----------------------------
+
+
+def test_rc202_raw_value_in_encode_function(tmp_path):
+    result = audit_snippet(
+        tmp_path,
+        """
+        def encode_element(field, x):
+            return x.value.to_bytes(32, "big")
+        """,
+    )
+    assert "RC202" in new_rules(result)
+
+
+def test_rc202_clean_twin_routes_through_exit(tmp_path):
+    result = audit_snippet(
+        tmp_path,
+        """
+        def encode_element(field, x):
+            return field.exit(x).to_bytes(32, "big")
+        """,
+    )
+    assert "RC202" not in new_rules(result)
+
+
+def test_rc202_value_as_direct_funnel_argument_is_blessed(tmp_path):
+    result = audit_snippet(
+        tmp_path,
+        """
+        def decode_element(field, raw):
+            element = field.one_value(raw.value)
+            return element
+        """,
+    )
+    assert "RC202" not in new_rules(result)
+
+
+def test_rc202_non_wire_function_unconstrained(tmp_path):
+    result = audit_snippet(
+        tmp_path,
+        """
+        def reduce_element(field, x):
+            return x.value % field.p
+        """,
+    )
+    assert "RC202" not in new_rules(result)
+
+
+# -- RC203: resolve the RNG exactly once ----------------------------------------
+
+
+def test_rc203_resolve_rng_inside_loop(tmp_path):
+    result = audit_snippet(
+        tmp_path,
+        """
+        def keygen_each(count, rng=None):
+            out = []
+            for _ in range(count):
+                r = resolve_rng(rng)
+                out.append(r.random())
+            return out
+        """,
+    )
+    assert "RC203" in new_rules(result)
+
+
+def test_rc203_double_resolve_in_batch_entry_point(tmp_path):
+    result = audit_snippet(
+        tmp_path,
+        """
+        def keygen_many(count, rng=None):
+            first = resolve_rng(rng)
+            second = resolve_rng(rng)
+            return first.random() + second.random()
+        """,
+    )
+    assert "RC203" in new_rules(result)
+
+
+def test_rc203_clean_twin_resolves_once_and_threads(tmp_path):
+    result = audit_snippet(
+        tmp_path,
+        """
+        def keygen_many(count, rng=None):
+            rng = resolve_rng(rng)
+            return [rng.random() for _ in range(count)]
+        """,
+    )
+    assert "RC203" not in new_rules(result)
+
+
+# -- RC204: no heavy sync work on the serve event loop --------------------------
+
+
+def test_rc204_heavy_call_in_serve_async_def(tmp_path):
+    result = audit_snippet(
+        tmp_path,
+        """
+        async def handle(self, scheme, name):
+            pair = keygen(scheme)
+            return pair
+        """,
+        name="serve/handlers.py",
+    )
+    assert "RC204" in new_rules(result)
+
+
+def test_rc204_clean_twin_ships_through_executor(tmp_path):
+    result = audit_snippet(
+        tmp_path,
+        """
+        async def handle(self, loop, scheme, name):
+            pair = await loop.run_in_executor(None, keygen, scheme)
+            return pair
+        """,
+        name="serve/handlers.py",
+    )
+    assert "RC204" not in new_rules(result)
+
+
+def test_rc204_only_applies_to_serve_modules(tmp_path):
+    result = audit_snippet(
+        tmp_path,
+        """
+        async def handle(self, scheme, name):
+            pair = keygen(scheme)
+            return pair
+        """,
+        name="pkc/helpers.py",
+    )
+    assert "RC204" not in new_rules(result)
+
+
+def test_rc204_sync_function_in_serve_is_fine(tmp_path):
+    result = audit_snippet(
+        tmp_path,
+        """
+        def handle(self, scheme, name):
+            pair = keygen(scheme)
+            return pair
+        """,
+        name="serve/handlers.py",
+    )
+    assert "RC204" not in new_rules(result)

@@ -1,0 +1,106 @@
+"""The audit gate over the real tree, and proof no rule is dead.
+
+Two guarantees the CI gate depends on:
+
+* the shipped ``src/repro`` tree, with its inline allows and the committed
+  ``AUDIT_baseline.json``, has **zero un-baselined findings** in strict
+  mode — the same check ``python -m repro.audit --strict`` enforces;
+* a seeded fixture tree planting one violation per shipped rule is fully
+  detected — if a rule stops firing, this fails before the gate quietly
+  stops guarding anything.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.audit.baseline import apply_baseline, load_baseline
+from repro.audit.engine import run_audit
+from repro.audit.rules import ALL_RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TREE_ROOT = Path(repro.__file__).resolve().parent
+BASELINE = REPO_ROOT / "AUDIT_baseline.json"
+
+
+def test_real_tree_is_clean_under_strict_gate():
+    result = run_audit(TREE_ROOT, strict=True)
+    apply_baseline(result.findings, load_baseline(BASELINE))
+    new = result.by_status("new")
+    assert not new, "un-baselined audit findings:\n" + "\n".join(
+        f"{f.location} {f.rule} {f.message}" for f in new
+    )
+
+
+def test_committed_baseline_matches_the_tree():
+    # Every accepted fingerprint still corresponds to a live finding —
+    # stale entries mean someone fixed a finding without shrinking the
+    # baseline, which hides regressions at the same site.
+    result = run_audit(TREE_ROOT, strict=True)
+    before = len(result.by_status("new")) + len(result.by_status("baselined"))
+    apply_baseline(result.findings, load_baseline(BASELINE))
+    assert len(result.by_status("baselined")) == len(load_baseline(BASELINE))
+    assert before == len(result.by_status("new")) + len(result.by_status("baselined"))
+
+
+PLANTED = {
+    "ct.py": """
+        import functools
+        import pickle
+
+        @functools.lru_cache(maxsize=None)
+        def memoized(x):
+            return x
+
+        def branchy(q):
+            k = sample_exponent(q)
+            if k > 5:                      # CT101
+                return 1
+            return 0
+
+        def keyed(q, table):
+            k = sample_exponent(q)
+            return table[k]                # CT102
+
+        def compared(q, guess):
+            k = sample_exponent(q)
+            return bytes(k) == guess       # CT103
+
+        def leaked(q):
+            k = sample_exponent(q)
+            print(k)                       # CT104
+    """,
+    "rc.py": """
+        import random
+
+        def seeded():
+            return random.Random()         # RC201
+
+        def encode_raw(field, x):
+            return x.value + 1             # RC202
+
+        def keygen_many(count, rng=None):
+            out = []
+            for _ in range(count):
+                r = resolve_rng(rng)       # RC203
+                out.append(r.random())
+            return out
+    """,
+    "serve/loop.py": """
+        async def handle(self, scheme):
+            return keygen(scheme)          # RC204
+    """,
+}
+
+
+def test_every_shipped_rule_detects_its_planted_violation(tmp_path):
+    for name, source in PLANTED.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    result = run_audit(tmp_path)
+    fired = {finding.rule for finding in result.by_status("new")}
+    missing = {rule.id for rule in ALL_RULES} - fired
+    assert not missing, f"dead rules (no finding on planted violation): {sorted(missing)}"
