@@ -1,0 +1,123 @@
+"""Cluster scaling sweep: the same serving load at 1, 2 (and 4) workers.
+
+The single-server benchmark (``bench_serve``) measures the batching
+scheduler inside one process; this one measures the orthogonal axis —
+N independent worker processes sharing the listen port through
+``repro.serve.cluster``.  The same plan runs against a fresh cluster at
+each worker count and every cell lands under ``serve-cluster:`` keys with
+the measured ``scaling_efficiency`` (sessions/s at N workers over N times
+the single-worker rate) in its meta.
+
+The sweep asserts *correctness* (zero session errors at every worker
+count), never a scaling floor: efficiency is a property of the machine the
+sweep ran on — on a single-core container N workers time-slice one core
+and efficiency sits near 1/N by construction — so the honest output is the
+measured number next to ``cpu_count``, not a gate that only passes on big
+hardware.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from repro.perf import PerfRecord
+from repro.serve.client import LoadPlan, run_load
+from repro.serve.cluster import ClusterSupervisor
+
+#: The focus cell of the scaling story: the paper's headline scheme under
+#: its headline protocol, same as the serving acceptance gate.
+CLUSTER_SCHEME = "ceilidh-170"
+CLUSTER_OPERATION = "key-agreement"
+
+CLIENTS = 8
+
+
+async def _run_sweep(counts, sessions_per_client: int):
+    plan = LoadPlan.from_mix([(CLUSTER_SCHEME, CLUSTER_OPERATION)])
+    results = {}
+    modes = {}
+    for count in counts:
+        cluster = ClusterSupervisor(
+            workers=count, schemes=(CLUSTER_SCHEME,), max_batch=16
+        )
+        host, port = await cluster.start()
+        try:
+            results[count] = await run_load(
+                host, port, plan=plan, clients=CLIENTS,
+                sessions_per_client=sessions_per_client,
+            )
+            modes[count] = cluster.mode
+        finally:
+            await cluster.stop()
+    return results, modes
+
+
+def bench_serve_cluster_scaling(record_table, record_perf, quick):
+    """The same load against 1, 2 (and, full mode, 4) shared-port workers."""
+    counts = (1, 2) if quick else (1, 2, 4)
+    sessions_per_client = 2 if quick else 8
+    results, modes = asyncio.run(_run_sweep(counts, sessions_per_client))
+
+    key = f"{CLUSTER_SCHEME}:{CLUSTER_OPERATION}"
+    single_rate = results[1].entries[key].sessions_per_second
+    cores = os.cpu_count() or 1
+
+    rows = []
+    for count in counts:
+        report = results[count]
+        entry = report.entries[key]
+        assert report.total_errors == 0
+        digest = entry.histogram.summary()
+        efficiency = (entry.sessions_per_second / (count * single_rate)
+                      if count > 1 and single_rate > 0 else None)
+        rows.append(
+            (
+                count,
+                modes[count],
+                entry.sessions,
+                entry.reconnects,
+                round(entry.sessions_per_second, 1),
+                f"{efficiency:.2f}" if efficiency is not None else "-",
+                digest["p50_ms"],
+                digest["p99_ms"],
+            )
+        )
+        record_perf(
+            PerfRecord(
+                scheme=f"serve-cluster:{CLUSTER_SCHEME}",
+                operation=f"{CLUSTER_OPERATION}@w{count}",
+                sessions=entry.sessions,
+                wall_seconds=entry.wall_seconds,
+                ops_per_second=entry.sessions_per_second,
+                ms_per_op=(entry.wall_seconds * 1e3 / entry.sessions
+                           if entry.sessions else 0.0),
+                latency_ms=digest,
+                meta={
+                    "workers": count,
+                    "mode": modes[count],
+                    "cpu_count": cores,
+                    "clients": report.clients,
+                    "backend": "plain",
+                    "quick": quick,
+                    "scaling_efficiency": efficiency,
+                    "single_worker_sessions_per_second": single_rate,
+                    "overload_rejections": entry.overload_rejections,
+                    "reconnects": entry.reconnects,
+                },
+            )
+        )
+
+    record_table(
+        "serve_cluster_scaling",
+        ["workers", "mode", "sessions", "reconnects", "sess/s",
+         "efficiency", "p50 ms", "p99 ms"],
+        rows,
+        title=(f"Cluster scaling: {CLUSTER_SCHEME} {CLUSTER_OPERATION}, "
+               f"{CLIENTS} clients, measured on {cores} core(s)"),
+    )
+    # Every sweep point completed every session.
+    assert all(
+        results[count].entries[key].sessions == CLIENTS * sessions_per_client
+        for count in counts
+    )

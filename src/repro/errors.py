@@ -76,6 +76,16 @@ class OverloadedError(ServeError):
     when an ``OP_OVERLOADED`` frame comes back; the caller may retry later."""
 
 
+class UnavailableError(ServeError):
+    """The server (or cluster worker) is draining or has no live backend.
+
+    Raised locally when a scheduler in graceful drain refuses new work and
+    on the client when an ``ERR_UNAVAILABLE`` error frame comes back.  The
+    correct reaction differs from :class:`OverloadedError`: reconnect (a
+    cluster routes the new connection to a live worker) rather than retry
+    on the same connection."""
+
+
 class SocError(ReproError):
     """Base class for platform-simulator errors."""
 

@@ -45,6 +45,7 @@ def _show(path: str) -> int:
             record.scheme,
             record.operation,
             _record_backend(record),
+            record.meta.get("workers", "-"),
             record.sessions,
             round(record.ops_per_second, 2),
             round(record.ms_per_op, 3),
@@ -58,14 +59,58 @@ def _show(path: str) -> int:
     ]
     print(
         render_table(
-            ["scheme", "operation", "backend", "sessions", "ops/s", "ms/op", "group ops",
-             "batch", "projected cycles", "p50 ms", "p99 ms"],
+            ["scheme", "operation", "backend", "workers", "sessions", "ops/s", "ms/op",
+             "group ops", "batch", "projected cycles", "p50 ms", "p99 ms"],
             rows,
             title=f"Perf trajectory: {path}",
         )
     )
+    _show_scaling_table(entries)
     _show_audit_summary(path)
     return 0
+
+
+def _show_scaling_table(entries) -> None:
+    """Render the cluster scaling-efficiency table when cluster rows exist.
+
+    Groups ``serve-cluster:`` rows by their base cell (scheme + operation
+    with the ``@w<N>`` suffix stripped) and shows throughput against worker
+    count with the measured efficiency — alongside the core count the sweep
+    ran on, without which the efficiency number is uninterpretable.
+    """
+    cluster = {
+        key: record
+        for key, record in entries.items()
+        if record.scheme.startswith("serve-cluster:")
+    }
+    if not cluster:
+        return
+    rows = []
+    cores = set()
+    for key in sorted(cluster):
+        record = cluster[key]
+        operation, _, workers_tag = record.operation.rpartition("@w")
+        efficiency = record.meta.get("scaling_efficiency")
+        cores.add(record.meta.get("cpu_count"))
+        rows.append(
+            (
+                record.scheme[len("serve-cluster:"):],
+                operation or record.operation,
+                record.meta.get("mode", "-"),
+                record.meta.get("workers", workers_tag or "-"),
+                round(record.ops_per_second, 2),
+                f"{efficiency:.2f}" if isinstance(efficiency, (int, float)) else "-",
+            )
+        )
+    cores_note = ", ".join(str(core) for core in sorted(cores, key=str))
+    print(
+        render_table(
+            ["scheme", "operation", "mode", "workers", "sess/s", "efficiency"],
+            rows,
+            title=f"Cluster scaling (measured on {cores_note} core(s); "
+                  f"efficiency = sess/s at N workers / N x single-worker)",
+        )
+    )
 
 
 def _show_audit_summary(bench_path: str) -> None:
@@ -93,9 +138,11 @@ def _show_audit_summary(bench_path: str) -> None:
     )
 
 
-def _compare(current: str, baseline: str, tolerance: float, calibrate: bool) -> int:
+def _compare(current: str, baseline: str, tolerance: float, calibrate: bool,
+             skip_prefixes=None) -> int:
     regressions = compare(
-        load_bench(current), load_bench(baseline), tolerance=tolerance, calibrate=calibrate
+        load_bench(current), load_bench(baseline), tolerance=tolerance,
+        calibrate=calibrate, skip_prefixes=skip_prefixes,
     )
     if regressions:
         print(format_regressions(regressions, tolerance=tolerance))
@@ -120,11 +167,20 @@ def main(argv=None) -> int:
         action="store_true",
         help="scale the baseline by the median speed ratio (cross-machine runs)",
     )
+    comparison.add_argument(
+        "--skip-prefix",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help="exclude keys starting with PREFIX (repeatable); e.g. serve: and "
+             "serve-cluster: rows, which are gated on correctness, not throughput",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "show":
         return _show(args.path)
-    return _compare(args.current, args.baseline, args.tolerance, args.calibrate)
+    return _compare(args.current, args.baseline, args.tolerance, args.calibrate,
+                    skip_prefixes=args.skip_prefix)
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI shim

@@ -52,6 +52,7 @@ def compare(
     tolerance: float = 0.2,
     keys: Optional[Sequence[str]] = None,
     calibrate: bool = False,
+    skip_prefixes: Optional[Sequence[str]] = None,
 ) -> List[Regression]:
     """Regressions of ``current`` against ``baseline``.
 
@@ -60,14 +61,20 @@ def compare(
     specific ``scheme:operation`` cells; by default every cell present in
     both runs is compared.  Cells missing from either side are skipped — a
     new scheme has no baseline yet, and a baseline-only cell just was not
-    re-measured.
+    re-measured.  ``skip_prefixes`` drops whole key families from the
+    check: serving rows (``serve:``, ``serve-cluster:``) measure wall-clock
+    through a concurrent harness whose numbers move with machine load and
+    worker topology, so CI gates them separately (on correctness) rather
+    than on throughput.
     """
     if not 0 <= tolerance < 1:
         raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    skip = tuple(skip_prefixes or ())
     shared = [
         key
         for key in (keys if keys is not None else sorted(current))
         if key in current and key in baseline and baseline[key].ops_per_second > 0
+        and not any(key.startswith(prefix) for prefix in skip)
     ]
     if not shared:
         return []

@@ -57,8 +57,13 @@ __all__ = [
     "run_load",
     "LoadReport",
     "LoadEntry",
+    "LoadPlan",
+    "LoadPhase",
     "BatchScheduler",
     "SchemeHost",
+    "ClusterSupervisor",
+    "FrontRouter",
+    "HashRing",
 ]
 
 _LAZY = {
@@ -67,8 +72,13 @@ _LAZY = {
     "run_load": ("repro.serve.client", "run_load"),
     "LoadReport": ("repro.serve.client", "LoadReport"),
     "LoadEntry": ("repro.serve.client", "LoadEntry"),
+    "LoadPlan": ("repro.serve.client", "LoadPlan"),
+    "LoadPhase": ("repro.serve.client", "LoadPhase"),
     "BatchScheduler": ("repro.serve.scheduler", "BatchScheduler"),
     "SchemeHost": ("repro.serve.scheduler", "SchemeHost"),
+    "ClusterSupervisor": ("repro.serve.cluster", "ClusterSupervisor"),
+    "FrontRouter": ("repro.serve.router", "FrontRouter"),
+    "HashRing": ("repro.serve.router", "HashRing"),
 }
 
 

@@ -1,9 +1,15 @@
-"""``python -m repro.serve`` — run a PKC server, or load-test one.
+"""``python -m repro.serve`` — run a PKC server or cluster, or load-test one.
 
-Two subcommands:
+Three subcommands:
 
 * ``serve`` — bind a :class:`~repro.serve.server.ServeServer` and run until
   interrupted.  ``--executor process --workers N`` serves on N cores.
+
+* ``cluster`` — run a :class:`~repro.serve.cluster.ClusterSupervisor`:
+  ``--workers N`` independent server processes sharing one port
+  (``SO_REUSEPORT`` where available, else the scheme-affinity front
+  router), with crash restart, graceful drain on ``SIGTERM`` and a rolling
+  restart on ``SIGHUP``.
 
 * ``load`` — the measuring harness of the serving acceptance story: boot an
   in-process server (or aim at an external one via ``--connect``), drive N
@@ -13,22 +19,29 @@ Two subcommands:
   :class:`~repro.perf.record.PerfRecord` per ``(scheme, operation)`` —
   throughput plus latency percentiles — into ``BENCH_pkc.json`` under
   ``serve:`` keys (``serve:<scheme>[+backend]:<operation>``; the offline
-  plain-baseline keys are never touched).
+  plain-baseline keys are never touched).  With ``--cluster N[,N...]`` the
+  same plan instead runs against a fresh cluster at each worker count and
+  lands ``serve-cluster:<scheme>[+backend]:<op>@w<N>`` rows whose meta
+  carries the measured ``scaling_efficiency`` (sessions/s at N workers over
+  N x the single-worker rate) — and, honestly, the machine's ``cpu_count``,
+  since efficiency on a one-core box is flat by construction.
 
 The exit status is the check: non-zero when any session failed a protocol
-round trip, or when the in-process serving throughput fell below
-``--min-ratio`` (default 0.8) of the offline baseline.
+round trip, or (single-server mode) when the in-process serving throughput
+fell below ``--min-ratio`` (default 0.8) of the offline baseline.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import pathlib
+import signal
 import sys
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.serve.client import DEFAULT_PAYLOAD, LoadReport, run_load
+from repro.serve.client import DEFAULT_PAYLOAD, LoadPlan, LoadReport, run_load
 from repro.serve.server import ServeServer
 
 #: The paper's four deployed cryptosystems — the default load mix.
@@ -66,6 +79,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated allowlist (default: whole registry)")
     _add_server_options(serve)
 
+    cluster = commands.add_parser(
+        "cluster", help="run N worker processes behind one port until interrupted"
+    )
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=9876)
+    cluster.add_argument("--workers", type=int, default=2,
+                         help="worker processes sharing the port (default: 2)")
+    cluster.add_argument("--mode", choices=("auto", "reuseport", "router"),
+                         default="auto",
+                         help="port sharing: kernel SO_REUSEPORT balancing or the "
+                              "scheme-affinity front router (auto: reuseport "
+                              "where available)")
+    cluster.add_argument("--schemes", default=None,
+                         help="comma-separated allowlist (default: whole registry)")
+    cluster.add_argument("--backend", default=None,
+                         help="field backend (default: $REPRO_FIELD_BACKEND or plain)")
+    cluster.add_argument("--pool-workers", type=int, default=None,
+                         help="per-worker thread pool size (default: min(4, cores))")
+    cluster.add_argument("--max-batch", type=int, default=32,
+                         help="largest same-scheme batch one worker executes")
+    cluster.add_argument("--queue-size", type=int, default=256,
+                         help="bounded request queue; overflow answers OP_OVERLOADED")
+
     load = commands.add_parser("load", help="drive a server with concurrent clients")
     load.add_argument("--connect", default=None, metavar="HOST:PORT",
                       help="load an external server (default: boot one in-process)")
@@ -83,6 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the BENCH_pkc.json merge")
     load.add_argument("--bench-root", default=".",
                       help="directory whose BENCH_pkc.json receives the serve: keys")
+    load.add_argument("--cluster", default=None, metavar="N[,N...]",
+                      help="scaling sweep: run the plan against a fresh cluster at "
+                           "each worker count (1 is prepended as the efficiency "
+                           "reference) and emit serve-cluster: rows")
+    load.add_argument("--cluster-mode", choices=("auto", "reuseport", "router"),
+                      default="auto", help="port sharing for --cluster sweeps")
     _add_server_options(load)
     return parser
 
@@ -152,6 +194,141 @@ def _emit_records(
     return path
 
 
+def _emit_cluster_records(
+    results: "Dict[int, LoadReport]",
+    mode: str,
+    args,
+    backend_name: str,
+    quick: bool,
+) -> pathlib.Path:
+    """Merge one ``serve-cluster:`` row per (entry, worker count).
+
+    Key shape: ``serve-cluster:<scheme>[+backend]:<operation>@w<N>`` — the
+    worker count lives in the operation so every sweep point keeps its own
+    trajectory.  Meta records the measured ``scaling_efficiency`` against
+    the single-worker reference *and* the machine's ``cpu_count``: the
+    number is only meaningful relative to the cores that were available.
+    """
+    from repro import perf
+
+    suffix = "" if backend_name == "plain" else f"+{backend_name}"
+    single = results.get(1)
+    records = []
+    for workers, report in sorted(results.items()):
+        for key, entry in report.entries.items():
+            base_rate = None
+            if single is not None and key in single.entries:
+                base_rate = single.entries[key].sessions_per_second
+            efficiency = None
+            if workers > 1 and base_rate:
+                efficiency = entry.sessions_per_second / (workers * base_rate)
+            records.append(
+                perf.PerfRecord(
+                    scheme=f"serve-cluster:{entry.scheme}{suffix}",
+                    operation=f"{entry.operation}@w{workers}",
+                    sessions=entry.sessions,
+                    wall_seconds=entry.wall_seconds,
+                    ops_per_second=entry.sessions_per_second,
+                    ms_per_op=(entry.wall_seconds * 1e3 / entry.sessions
+                               if entry.sessions else 0.0),
+                    latency_ms=entry.histogram.summary(),
+                    meta={
+                        "workers": workers,
+                        "mode": mode,
+                        "cpu_count": os.cpu_count(),
+                        "clients": report.clients,
+                        "backend": backend_name,
+                        "quick": quick,
+                        "scaling_efficiency": efficiency,
+                        "single_worker_sessions_per_second": base_rate,
+                        "overload_rejections": entry.overload_rejections,
+                        "reconnects": entry.reconnects,
+                    },
+                )
+            )
+    path = perf.bench_path(args.bench_root)
+    perf.update_bench(path, records)
+    return path
+
+
+def _parse_cluster_counts(raw: str) -> List[int]:
+    counts = sorted({int(part) for part in raw.split(",") if part.strip()})
+    if not counts or counts[0] < 1:
+        raise SystemExit(f"--cluster needs positive worker counts, got {raw!r}")
+    if counts[0] != 1:
+        # Efficiency is defined against the single-worker rate; measure it.
+        counts.insert(0, 1)
+    return counts
+
+
+async def _run_cluster_load(args, backend_name: str,
+                            mix: List[Tuple[str, str]], sessions: int) -> int:
+    """The scaling sweep: the same plan against a fresh cluster per count."""
+    from repro.serve.cluster import ClusterSupervisor
+
+    if args.connect:
+        raise SystemExit("--cluster boots its own workers; drop --connect")
+    counts = _parse_cluster_counts(args.cluster)
+    plan = LoadPlan.from_mix(mix)
+    schemes = plan.schemes()
+    results: Dict[int, LoadReport] = {}
+    mode = args.cluster_mode
+    for count in counts:
+        cluster = ClusterSupervisor(
+            workers=count,
+            mode=args.cluster_mode,
+            schemes=schemes,
+            backend=args.backend,
+            pool_workers=args.workers,
+            max_batch=args.max_batch,
+            queue_size=args.queue_size,
+        )
+        host, port = await cluster.start()
+        mode = cluster.mode  # auto resolved to a concrete mode
+        try:
+            print(f"cluster load: {count} worker(s) [{cluster.mode}] at "
+                  f"{host}:{port}, {args.clients} clients x {sessions} "
+                  f"sessions/entry on {backend_name}")
+            results[count] = await run_load(
+                host, port, plan=plan,
+                clients=args.clients,
+                sessions_per_client=sessions,
+                payload=DEFAULT_PAYLOAD,
+                backend=args.backend,
+            )
+        finally:
+            await cluster.stop()
+
+    header = (f"{'scheme':16} {'operation':14} {'w':>3} {'sessions':>8} "
+              f"{'err':>4} {'reconn':>6} {'sess/s':>8} {'eff':>6}")
+    print(header)
+    print("-" * len(header))
+    failed = False
+    for count in counts:
+        report = results[count]
+        for key, entry in report.entries.items():
+            base = results[1].entries.get(key)
+            efficiency = ""
+            if count > 1 and base is not None and base.sessions_per_second > 0:
+                efficiency = (f"{entry.sessions_per_second / (count * base.sessions_per_second):.2f}")
+            print(f"{entry.scheme:16} {entry.operation:14} {count:>3} "
+                  f"{entry.sessions:>8} {entry.errors:>4} {entry.reconnects:>6} "
+                  f"{entry.sessions_per_second:>8.1f} {efficiency:>6}")
+        failed = failed or report.total_errors > 0
+    cores = os.cpu_count() or 1
+    print(f"(scaling measured on {cores} core(s); efficiency = sess/s at N "
+          f"workers / N x single-worker rate)")
+    if failed:
+        print("FAIL: cluster load saw session errors")
+        print("perf trajectory NOT updated (run failed)")
+        return 1
+    if not args.no_emit:
+        path = _emit_cluster_records(results, mode, args, backend_name, args.quick)
+        total = sum(len(report.entries) for report in results.values())
+        print(f"perf trajectory updated: {path} ({total} serve-cluster: records)")
+    return 0
+
+
 async def _run_load_command(args) -> int:
     from repro.field.backend import default_backend_name
 
@@ -159,6 +336,8 @@ async def _run_load_command(args) -> int:
     names = [name.strip() for name in args.schemes.split(",") if name.strip()]
     mix = _scheme_mix(names, args.backend)
     sessions = args.sessions if args.sessions is not None else (2 if args.quick else 16)
+    if args.cluster:
+        return await _run_cluster_load(args, backend_name, mix, sessions)
 
     server: Optional[ServeServer] = None
     if args.connect:
@@ -244,6 +423,51 @@ async def _run_load_command(args) -> int:
             await server.stop()
 
 
+async def _run_cluster_command(args) -> int:
+    from repro.serve.cluster import ClusterSupervisor
+
+    schemes = ([name.strip() for name in args.schemes.split(",") if name.strip()]
+               if args.schemes else None)
+    supervisor = ClusterSupervisor(
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        mode=args.mode,
+        schemes=schemes,
+        backend=args.backend,
+        pool_workers=args.pool_workers,
+        max_batch=args.max_batch,
+        queue_size=args.queue_size,
+    )
+    address = await supervisor.start()
+    names = ", ".join(sorted(supervisor.preset_keys))
+    print(f"repro.serve cluster listening on {address[0]}:{address[1]} "
+          f"[{supervisor.mode}, {supervisor.workers} workers, pids "
+          f"{supervisor.worker_pids()}] serving: {names}")
+    print("SIGHUP: rolling restart; SIGTERM/SIGINT: graceful drain and exit")
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    restart_tasks: set = set()
+
+    def _request_rolling_restart() -> None:
+        task = loop.create_task(supervisor.rolling_restart())
+        restart_tasks.add(task)
+        task.add_done_callback(restart_tasks.discard)
+
+    loop.add_signal_handler(signal.SIGHUP, _request_rolling_restart)
+    loop.add_signal_handler(signal.SIGTERM, stop.set)
+    loop.add_signal_handler(signal.SIGINT, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        if restart_tasks:
+            await asyncio.gather(*restart_tasks, return_exceptions=True)
+        await supervisor.stop(drain=True)
+    print("cluster drained and stopped")
+    return 0
+
+
 async def _run_serve_command(args) -> int:
     schemes = ([name.strip() for name in args.schemes.split(",") if name.strip()]
                if args.schemes else None)
@@ -273,7 +497,11 @@ async def _run_serve_command(args) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    runner = _run_serve_command if args.command == "serve" else _run_load_command
+    runner = {
+        "serve": _run_serve_command,
+        "cluster": _run_cluster_command,
+        "load": _run_load_command,
+    }[args.command]
     try:
         return asyncio.run(runner(args))
     except KeyboardInterrupt:

@@ -29,6 +29,7 @@ from repro.errors import (
     ParameterError,
     ProtocolError,
     ServeError,
+    UnavailableError,
     UnsupportedOperationError,
 )
 from repro.perf.latency import LatencyHistogram
@@ -48,6 +49,7 @@ from repro.serve.protocol import (
     OP_VERDICT,
     OP_VERIFY,
     OP_WELCOME,
+    ERR_UNAVAILABLE,
     ERR_UNSUPPORTED,
     Frame,
     pack_verify,
@@ -57,7 +59,15 @@ from repro.serve.protocol import (
     write_frame,
 )
 
-__all__ = ["ServeClient", "LoadEntry", "LoadReport", "run_load", "DEFAULT_PAYLOAD"]
+__all__ = [
+    "ServeClient",
+    "LoadEntry",
+    "LoadReport",
+    "LoadPhase",
+    "LoadPlan",
+    "run_load",
+    "DEFAULT_PAYLOAD",
+]
 
 DEFAULT_PAYLOAD = b"served session payload.........."
 
@@ -65,6 +75,13 @@ DEFAULT_PAYLOAD = b"served session payload.........."
 OVERLOAD_RETRIES = 200
 #: Pause between overload retries (seconds).
 OVERLOAD_BACKOFF = 0.005
+#: How many times a load-generator session survives a dropped or draining
+#: connection by reconnecting (a cluster routes the new connection to a
+#: live worker).  Sized to ride out a worker crash-restart: backoff plus
+#: the replacement's spawn-and-import time is a couple of seconds.
+RECONNECT_RETRIES = 20
+#: Initial pause before a reconnect attempt (seconds; doubles to 0.5).
+RECONNECT_BACKOFF = 0.05
 
 
 class ServeClient:
@@ -80,8 +97,26 @@ class ServeClient:
         self._reader: Optional["asyncio.StreamReader"] = None
         self._writer: Optional["asyncio.StreamWriter"] = None
 
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
     async def connect(self) -> "ServeClient":
         self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        return self
+
+    async def reconnect(self) -> "ServeClient":
+        """Drop the connection and re-establish it, renegotiating the scheme.
+
+        The recovery move after a worker crash, drain or restart: cluster
+        workers share one server identity (preset keys), so the fresh
+        ``WELCOME`` matches the cached ``server_public`` and in-progress
+        protocol state on the *client* side stays valid."""
+        scheme_name = self.scheme_name
+        await self.close()
+        await self.connect()
+        if scheme_name:
+            await self.negotiate(scheme_name)
         return self
 
     async def close(self) -> None:
@@ -127,6 +162,11 @@ class ServeClient:
             code, detail = parse_error(frame.payload)
             if code == ERR_UNSUPPORTED:
                 raise UnsupportedOperationError(detail)
+            if code == ERR_UNAVAILABLE:
+                # Draining worker (or routerless cluster): reconnect — a
+                # fresh connection lands on a live worker — rather than
+                # retrying on this one.
+                raise UnavailableError(detail)
             raise ServeError(
                 f"{protocol.ERROR_NAMES.get(code, code)}: {detail}"
             )
@@ -232,6 +272,57 @@ SESSION_METHODS = {
 }
 
 
+@dataclass(frozen=True)
+class LoadPhase:
+    """One phase of a traffic plan: a ``(scheme, operation)`` pair with a
+    relative ``weight`` scaling how many sessions each client runs."""
+
+    scheme: str
+    operation: str
+    weight: float = 1.0
+
+    def sessions(self, sessions_per_client: int) -> int:
+        """Per-client session count at the given base rate (at least one)."""
+        return max(1, round(sessions_per_client * self.weight))
+
+
+@dataclass
+class LoadPlan:
+    """A traffic plan: the ordered phases one load run drives.
+
+    The single shared description of load shape — :func:`run_load`, the
+    cluster scaling bench and future traffic models all consume it, so a
+    new mix is one constructor call, not a parallel re-implementation.
+    """
+
+    phases: List[LoadPhase] = field(default_factory=list)
+
+    @classmethod
+    def from_mix(cls, mix: Sequence[Tuple[str, str]]) -> "LoadPlan":
+        """Equal-weight phases from ``(scheme, operation)`` pairs."""
+        return cls([LoadPhase(scheme, operation) for scheme, operation in mix])
+
+    @classmethod
+    def uniform(
+        cls, schemes: Sequence[str], operations: Sequence[str]
+    ) -> "LoadPlan":
+        """The cross product: every operation for every scheme, weight 1."""
+        return cls(
+            [
+                LoadPhase(scheme, operation)
+                for scheme in schemes
+                for operation in operations
+            ]
+        )
+
+    def mix(self) -> List[Tuple[str, str]]:
+        return [(phase.scheme, phase.operation) for phase in self.phases]
+
+    def schemes(self) -> Tuple[str, ...]:
+        """The distinct schemes the plan touches, in first-seen order."""
+        return tuple(dict.fromkeys(phase.scheme for phase in self.phases))
+
+
 @dataclass
 class LoadEntry:
     """Aggregated outcome of one ``(scheme, operation)`` load phase."""
@@ -241,6 +332,9 @@ class LoadEntry:
     sessions: int = 0
     errors: int = 0
     overload_rejections: int = 0
+    #: Times a client re-established its connection (worker crash, drain,
+    #: rolling restart) and carried on without a client-visible failure.
+    reconnects: int = 0
     wall_seconds: float = 0.0
     histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
 
@@ -273,6 +367,36 @@ class LoadReport:
     def total_overload_rejections(self) -> int:
         return sum(entry.overload_rejections for entry in self.entries.values())
 
+    @property
+    def total_reconnects(self) -> int:
+        return sum(entry.reconnects for entry in self.entries.values())
+
+
+async def _reestablish(client: ServeClient, entry: LoadEntry, attempts: int) -> None:
+    """(Re)connect and (re)negotiate the phase's scheme, with backoff.
+
+    Rides out the dark window of a worker crash-restart or rolling restart:
+    the replacement worker takes backoff plus spawn time to come up, so
+    connection attempts are retried with doubling pauses until one lands on
+    a live worker."""
+    delay = RECONNECT_BACKOFF
+    last: Optional[BaseException] = None
+    for _ in range(max(1, attempts)):
+        try:
+            if not client.connected:
+                await client.connect()
+            await client.negotiate(entry.scheme)
+            return
+        except (UnavailableError, ProtocolError, OSError) as exc:
+            last = exc
+            await client.close()
+            await asyncio.sleep(delay)
+            delay = min(delay * 2, 0.5)
+    raise ProtocolError(
+        f"could not re-establish a {entry.scheme} session after "
+        f"{attempts} attempts: {last}"
+    )
+
 
 async def _client_phase(
     client: ServeClient,
@@ -280,50 +404,84 @@ async def _client_phase(
     sessions: int,
     payload: bytes,
     rng=None,
+    reconnect_retries: int = RECONNECT_RETRIES,
 ) -> None:
-    """One client's share of one phase: negotiate, then run its sessions."""
-    await client.negotiate(entry.scheme)
-    method = getattr(client, SESSION_METHODS[entry.operation])
+    """One client's share of one phase: negotiate, then run its sessions.
+
+    Two failure modes are absorbed rather than surfaced: ``OP_OVERLOADED``
+    (bounded-queue backpressure — pause and retry on the same connection)
+    and a dropped or draining connection (cluster worker lifecycle —
+    reconnect, renegotiate, and retry the session on whichever live worker
+    accepts the new connection).  Anything else still raises: a load run
+    with a protocol bug must fail loudly."""
+    try:
+        await client.negotiate(entry.scheme)
+    except (UnavailableError, ProtocolError, OSError):
+        entry.reconnects += 1
+        await client.close()
+        await _reestablish(client, entry, reconnect_retries)
     for _ in range(sessions):
-        for attempt in range(OVERLOAD_RETRIES + 1):
+        overloads_left = OVERLOAD_RETRIES
+        reconnects_left = reconnect_retries
+        while True:
+            method = getattr(client, SESSION_METHODS[entry.operation])
             try:
                 if entry.operation == "key-agreement":
                     latency = await method(rng)
                 else:
                     latency = await method(payload, rng)
-                break
             except OverloadedError:
                 entry.overload_rejections += 1
+                if overloads_left == 0:
+                    entry.errors += 1
+                    break
+                overloads_left -= 1
                 await asyncio.sleep(OVERLOAD_BACKOFF)
-        else:
-            entry.errors += 1
-            continue
-        entry.sessions += 1
-        entry.histogram.add(latency)
+                continue
+            except (UnavailableError, ProtocolError, OSError):
+                if reconnects_left == 0:
+                    raise
+                reconnects_left -= 1
+                entry.reconnects += 1
+                await client.close()
+                await _reestablish(client, entry, reconnect_retries)
+                continue
+            entry.sessions += 1
+            entry.histogram.add(latency)
+            break
 
 
 async def run_load(
     host: str,
     port: int,
-    mix: Sequence[Tuple[str, str]],
+    mix: Optional[Sequence[Tuple[str, str]]] = None,
     clients: int = 8,
     sessions_per_client: int = 4,
     payload: bytes = DEFAULT_PAYLOAD,
     backend: Optional[str] = None,
     rng=None,
+    plan: Optional[LoadPlan] = None,
+    reconnect_retries: int = RECONNECT_RETRIES,
 ) -> LoadReport:
-    """Drive ``clients`` concurrent connections through every mix entry.
+    """Drive ``clients`` concurrent connections through every plan phase.
 
-    ``mix`` is a sequence of ``(scheme name, operation)`` pairs; phases run
-    one at a time with *all* clients concurrent inside a phase, so the
-    server sees sustained same-scheme pressure and its scheduler can batch.
-    Connections persist across phases (one HELLO per phase renegotiates).
-    Failed sessions raise out of the harness — a load run with a protocol
-    bug should fail loudly, not average the bug away; only overload
-    rejections are retried in place.
+    The traffic shape comes from ``plan`` (a :class:`LoadPlan`) or, for the
+    common equal-weight case, from ``mix`` — a sequence of ``(scheme name,
+    operation)`` pairs.  Phases run one at a time with *all* clients
+    concurrent inside a phase, so the server sees sustained same-scheme
+    pressure and its scheduler can batch.  Connections persist across
+    phases (one HELLO per phase renegotiates).  Failed sessions raise out
+    of the harness — a load run with a protocol bug should fail loudly, not
+    average the bug away; only overload rejections (retried in place) and
+    dropped/draining connections (reconnected, bounded by
+    ``reconnect_retries``) are absorbed, and both are counted on the entry.
     """
     if clients < 1:
         raise ParameterError("the load harness needs at least one client")
+    if plan is None:
+        if mix is None:
+            raise ParameterError("run_load needs a mix or a plan")
+        plan = LoadPlan.from_mix(mix)
     pool: List[ServeClient] = [
         ServeClient(host, port, backend=backend) for _ in range(clients)
     ]
@@ -331,14 +489,23 @@ async def run_load(
     run_started = time.perf_counter()
     try:
         await asyncio.gather(*(client.connect() for client in pool))
-        for scheme_name, operation in mix:
+        for phase in plan.phases:
             entry = report.entries.setdefault(
-                f"{scheme_name}:{operation}", LoadEntry(scheme_name, operation)
+                f"{phase.scheme}:{phase.operation}",
+                LoadEntry(phase.scheme, phase.operation),
             )
+            sessions = phase.sessions(sessions_per_client)
             phase_started = time.perf_counter()
             await asyncio.gather(
                 *(
-                    _client_phase(client, entry, sessions_per_client, payload, rng)
+                    _client_phase(
+                        client,
+                        entry,
+                        sessions,
+                        payload,
+                        rng,
+                        reconnect_retries=reconnect_retries,
+                    )
                     for client in pool
                 )
             )

@@ -75,6 +75,7 @@ __all__ = [
     "ERR_UNSUPPORTED",
     "ERR_BAD_REQUEST",
     "ERR_INTERNAL",
+    "ERR_UNAVAILABLE",
     "ERROR_NAMES",
     "TAG_LEN",
     "confirmation_tag",
@@ -148,6 +149,7 @@ ERR_NO_SESSION = 4  #: an operation arrived before a successful HELLO
 ERR_UNSUPPORTED = 5  #: the negotiated scheme lacks the requested capability
 ERR_BAD_REQUEST = 6  #: malformed payload (bad point, bad ciphertext...)
 ERR_INTERNAL = 7
+ERR_UNAVAILABLE = 8  #: draining worker or routerless cluster — reconnect, retry
 
 ERROR_NAMES = {
     ERR_VERSION: "version-mismatch",
@@ -157,6 +159,7 @@ ERROR_NAMES = {
     ERR_UNSUPPORTED: "unsupported-operation",
     ERR_BAD_REQUEST: "bad-request",
     ERR_INTERNAL: "internal-error",
+    ERR_UNAVAILABLE: "unavailable",
 }
 
 #: Bytes of the key-agreement confirmation tag and plaintext digest.

@@ -1,0 +1,318 @@
+"""Scheme-affinity routing: the consistent-hash ring and the front proxy.
+
+Two deployment shapes share one cluster (see :mod:`repro.serve.cluster`):
+
+* **SO_REUSEPORT** — every worker binds the same listen port and the kernel
+  balances *connections* across them.  Nothing runs in between, so this is
+  the zero-overhead scale-out path; but the kernel hashes on the 4-tuple
+  and knows nothing about schemes.
+
+* **Front router** (this module) — the portable fallback and the
+  scheme-aware path: a lightweight asyncio front terminates the public
+  port and proxies *frames* to per-worker backend ports.  The
+  :class:`HashRing` consistent-hashes the ``HELLO`` scheme name onto a
+  worker index, so same-scheme traffic always lands on the same warm
+  worker — its registry instance and fixed-base generator tables amortise
+  per worker exactly as they do per process today.  Because the hash ring
+  is built over the *stable worker indices* (not ports or pids), a worker
+  restart keeps the scheme→worker map intact, and removing one worker
+  moves only that worker's schemes (the consistent-hashing property).
+
+The front speaks the framed protocol one request/response pair at a time
+(the protocol is strictly ping-pong per connection), relaying frames
+verbatim — version byte included.  When a backend dies mid-request the
+front fails over: it walks the ring's preference order, replays the hidden
+``HELLO`` for the connection's negotiated scheme on a fresh backend
+connection, then replays the pending request.  Server-side operations are
+stateless computations over the shared long-lived keys (cluster workers
+hold the *same* preset key pairs), so a replay is safe and the client
+never sees the failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ParameterError, ProtocolError
+from repro.serve.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_UNAVAILABLE,
+    ERR_VERSION,
+    OP_ERROR,
+    OP_HELLO,
+    OP_WELCOME,
+    Frame,
+    pack_error,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["HashRing", "FrontRouter", "RouterStats"]
+
+
+def _ring_hash(value: str) -> int:
+    """A stable 64-bit ring coordinate (not secret-derived; placement only)."""
+    return int.from_bytes(hashlib.sha256(value.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing of string keys onto a fixed set of integer slots.
+
+    ``vnodes`` virtual points per slot smooth the arc lengths; 64 keeps the
+    spread within a few percent for small clusters.  The ring is immutable:
+    liveness is handled at lookup time (``exclude`` / ``alive``), so a
+    restarted worker reclaims exactly the schemes it owned before.
+    """
+
+    def __init__(self, slots: Iterable[int], vnodes: int = 64):
+        self.slots: Tuple[int, ...] = tuple(slots)
+        if not self.slots:
+            raise ParameterError("a hash ring needs at least one slot")
+        if vnodes < 1:
+            raise ParameterError("vnodes must be at least 1")
+        self.vnodes = vnodes
+        points = []
+        for slot in self.slots:
+            for replica in range(vnodes):
+                points.append((_ring_hash(f"slot-{slot}-vnode-{replica}"), slot))
+        points.sort()
+        self._points = points
+
+    def preference(self, key: str) -> List[int]:
+        """Every slot, ordered by ring distance from ``key`` — the failover
+        order: ``preference(key)[0]`` is the owner, the rest take over (in
+        order) when earlier entries are down."""
+        start = bisect.bisect_right(self._points, (_ring_hash(key), -1))
+        seen: Set[int] = set()
+        ordered: List[int] = []
+        for offset in range(len(self._points)):
+            _, slot = self._points[(start + offset) % len(self._points)]
+            if slot not in seen:
+                seen.add(slot)
+                ordered.append(slot)
+                if len(ordered) == len(self.slots):
+                    break
+        return ordered
+
+    def lookup(self, key: str, alive: Optional[Iterable[int]] = None) -> Optional[int]:
+        """The owning live slot for ``key`` (``None`` when nothing is alive)."""
+        living = set(self.slots if alive is None else alive)
+        for slot in self.preference(key):
+            if slot in living:
+                return slot
+        return None
+
+
+@dataclass
+class RouterStats:
+    """Counters the front router keeps for observability and tests."""
+
+    connections: int = 0
+    #: Request frames relayed per worker index — how tests observe affinity.
+    routed: Dict[int, int] = field(default_factory=dict)
+    #: Requests replayed onto another worker after a backend failure.
+    failovers: int = 0
+    #: Requests answered ``ERR_UNAVAILABLE`` because no live worker remained.
+    unrouted: int = 0
+
+    def record(self, worker: int) -> None:
+        self.routed[worker] = self.routed.get(worker, 0) + 1
+
+
+class _BackendLink:
+    """One open connection from the front to a worker's backend port."""
+
+    __slots__ = ("worker", "reader", "writer")
+
+    def __init__(self, worker: int, reader, writer):
+        self.worker = worker
+        self.reader = reader
+        self.writer = writer
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+class FrontRouter:
+    """The asyncio front: one public port, frames proxied with scheme affinity.
+
+    ``backends`` maps live worker indices to their ``(host, port)`` backend
+    addresses; the cluster supervisor adds an entry when a worker reports
+    ready and removes it when the worker dies or drains, so routing reacts
+    to lifecycle events without restarting the front.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, workers: int = 1,
+                 vnodes: int = 64):
+        if workers < 1:
+            raise ParameterError("the router fronts at least one worker")
+        self.bind_host = host
+        self.bind_port = port
+        self.ring = HashRing(range(workers), vnodes=vnodes)
+        self.backends: Dict[int, Tuple[str, int]] = {}
+        self.stats = RouterStats()
+        self._server: Optional["asyncio.base_events.Server"] = None
+        self._connection_tasks: set = set()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None:
+            raise ParameterError("router is not running")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.bind_host, self.bind_port
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connection_tasks):
+            task.cancel()
+        if self._connection_tasks:
+            await asyncio.gather(*self._connection_tasks, return_exceptions=True)
+
+    def set_backend(self, worker: int, address: Tuple[str, int]) -> None:
+        self.backends[worker] = address
+
+    def remove_backend(self, worker: int) -> None:
+        self.backends.pop(worker, None)
+
+    # -- per-connection proxying ---------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self.stats.connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        link: Optional[_BackendLink] = None
+        scheme = ""  # the connection's negotiated scheme (affinity key)
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except ProtocolError as exc:
+                    # Hostile or corrupt framing: answer like a server would
+                    # and drop the connection without involving a worker.
+                    await self._best_effort_error(writer, ERR_BAD_REQUEST, str(exc))
+                    return
+                if frame is None:
+                    return
+                if frame.opcode == OP_HELLO:
+                    affinity = frame.payload.decode("utf-8", errors="replace")
+                else:
+                    affinity = scheme
+                response, link = await self._roundtrip(frame, affinity, scheme, link)
+                if response is None:
+                    self.stats.unrouted += 1
+                    await self._best_effort_error(
+                        writer, ERR_UNAVAILABLE, "no live cluster worker"
+                    )
+                    return
+                await write_frame(
+                    writer, response.opcode, response.payload, version=response.version
+                )
+                if frame.opcode == OP_HELLO and response.opcode == OP_WELCOME:
+                    scheme = affinity
+                if response.opcode == OP_ERROR and response.payload[:1] == bytes(
+                    [ERR_VERSION]
+                ):
+                    return  # mirror the server: nothing after a version mismatch
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if task is not None:
+                self._connection_tasks.discard(task)
+            if link is not None:
+                await link.close()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _roundtrip(
+        self,
+        frame: Frame,
+        affinity: str,
+        negotiated: str,
+        link: Optional[_BackendLink],
+    ) -> Tuple[Optional[Frame], Optional[_BackendLink]]:
+        """Relay one request to the affine worker; fail over along the ring.
+
+        Returns ``(response, live link)``; ``(None, None)`` when every live
+        worker failed.  The request is replayed at most once per worker, and
+        a replay is always preceded by re-negotiating the connection's
+        scheme on the fresh backend link, so the worker-side session state
+        matches what the client established."""
+        tried: Set[int] = set()
+        while True:
+            target = self.ring.lookup(affinity, alive=set(self.backends) - tried)
+            if target is None:
+                if link is not None:
+                    await link.close()
+                return None, None
+            try:
+                if link is None or link.worker != target:
+                    if link is not None:
+                        await link.close()
+                    link = await self._connect(target, negotiated, frame)
+                await write_frame(
+                    link.writer, frame.opcode, frame.payload, version=frame.version
+                )
+                response = await read_frame(link.reader)
+                if response is None:
+                    raise ProtocolError("backend closed mid-exchange")
+            except (ConnectionError, ProtocolError, OSError):
+                tried.add(target)
+                self.stats.failovers += 1
+                if link is not None:
+                    await link.close()
+                    link = None
+                continue
+            self.stats.record(target)
+            return response, link
+
+    async def _connect(
+        self, worker: int, negotiated: str, frame: Frame
+    ) -> _BackendLink:
+        host, port = self.backends[worker]
+        breader, bwriter = await asyncio.open_connection(host, port)
+        link = _BackendLink(worker, breader, bwriter)
+        if negotiated and frame.opcode != OP_HELLO:
+            # The client negotiated on a previous link; replay the HELLO so
+            # the new worker's session matches, and swallow the WELCOME
+            # (shared preset keys make it byte-identical to the one the
+            # client already holds).
+            try:
+                await write_frame(link.writer, OP_HELLO, negotiated.encode("utf-8"))
+                welcome = await read_frame(link.reader)
+            except (ConnectionError, OSError) as exc:
+                await link.close()
+                raise ProtocolError(f"backend HELLO replay failed: {exc}") from exc
+            if welcome is None or welcome.opcode != OP_WELCOME:
+                await link.close()
+                raise ProtocolError("backend refused the HELLO replay")
+        return link
+
+    async def _best_effort_error(self, writer, code: int, detail: str) -> None:
+        try:
+            await write_frame(writer, OP_ERROR, pack_error(code, detail))
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass

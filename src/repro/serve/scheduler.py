@@ -45,6 +45,7 @@ from repro.errors import (
     ParameterError,
     ProtocolError,
     ReproError,
+    UnavailableError,
     UnsupportedOperationError,
 )
 from repro.serve.protocol import ERR_BAD_REQUEST, ERR_INTERNAL, ERR_UNSUPPORTED
@@ -74,13 +75,19 @@ class SchemeHost:
         schemes: Optional[Sequence[str]] = None,
         backend: Optional[str] = None,
         rng=None,
+        preset_keys: "Optional[Dict[str, Any]]" = None,
     ):
         from repro.field.backend import default_backend_name
 
         self.backend = default_backend_name(backend)
         self._allow = frozenset(schemes) if schemes is not None else None
         self._rng = rng
-        self._keys: Dict[str, Any] = {}
+        # ``preset_keys`` installs externally created long-lived key pairs
+        # (scheme name -> SchemeKeyPair).  Cluster workers receive the
+        # supervisor's keys this way so every worker advertises the *same*
+        # server identity — a client failing over to another worker keeps a
+        # valid cached public key.
+        self._keys: Dict[str, Any] = dict(preset_keys) if preset_keys else {}
         self._pickled_keys: Dict[str, bytes] = {}
         # Key creation is locked *per scheme*: a slow first keygen (RSA's
         # lazy key material) must never block another scheme's cached-key
@@ -309,6 +316,7 @@ class BatchScheduler:
         self.max_batch = max_batch
         self.queue_size = queue_size
         self.stats = SchedulerStats()
+        self._draining = False
         self._queue: "Optional[asyncio.Queue[_WorkItem]]" = None
         self._executor: Optional[concurrent.futures.Executor] = None
         self._dispatcher: Optional["asyncio.Task"] = None
@@ -322,6 +330,7 @@ class BatchScheduler:
     async def start(self) -> None:
         if self._dispatcher is not None:
             raise ParameterError("scheduler already started")
+        self._draining = False
         self._queue = asyncio.Queue(maxsize=self.queue_size)
         if self.executor_kind == "process":
             self._executor = concurrent.futures.ProcessPoolExecutor(
@@ -333,7 +342,24 @@ class BatchScheduler:
             )
         self._dispatcher = asyncio.get_running_loop().create_task(self._dispatch_loop())
 
-    async def stop(self) -> None:
+    async def stop(self, drain: bool = False) -> None:
+        """Stop the scheduler; with ``drain=True``, answer everything first.
+
+        A plain stop cancels whatever is still queued — acceptable only
+        when the connection handlers awaiting those futures are being torn
+        down in the same breath.  A *graceful drain* instead refuses new
+        submissions (:class:`~repro.errors.UnavailableError`) and waits for
+        every already-enqueued request to execute and resolve its future,
+        so no accepted request ever dies with a silently closed connection.
+        """
+        if drain and self._queue is not None:
+            self._draining = True
+            # Every accepted item ends in ``served`` or ``errors`` (rejected
+            # submissions never increment ``submitted``), so the pending
+            # count is exact and race-free — the dispatcher never parks
+            # drained items anywhere the counters cannot see.
+            while self.stats.submitted > self.stats.served + self.stats.errors:
+                await asyncio.sleep(0.005)
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
@@ -363,8 +389,13 @@ class BatchScheduler:
         Raises :class:`~repro.errors.OverloadedError` *immediately* when the
         bounded queue is full — the connection handler turns that into an
         ``OP_OVERLOADED`` frame so the client sees explicit backpressure
-        rather than unbounded latency.
+        rather than unbounded latency — and
+        :class:`~repro.errors.UnavailableError` once a graceful drain has
+        begun (answered as an explicit ``ERR_UNAVAILABLE`` error frame, so
+        the peer reconnects to a live worker instead of waiting).
         """
+        if self._draining:
+            raise UnavailableError("scheduler is draining; reconnect elsewhere")
         if self._queue is None:
             raise ParameterError("scheduler is not running")
         item = _WorkItem(

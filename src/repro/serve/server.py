@@ -26,10 +26,16 @@ from __future__ import annotations
 import asyncio
 from typing import Optional, Sequence, Tuple
 
-from repro.errors import OverloadedError, ParameterError, ProtocolError
+from repro.errors import (
+    OverloadedError,
+    ParameterError,
+    ProtocolError,
+    UnavailableError,
+)
 from repro.serve import protocol
 from repro.serve.protocol import (
     ERR_NO_SESSION,
+    ERR_UNAVAILABLE,
     ERR_UNKNOWN_OPCODE,
     ERR_UNKNOWN_SCHEME,
     ERR_UNSUPPORTED,
@@ -65,10 +71,15 @@ class ServeServer:
         max_batch: int = 32,
         queue_size: int = 256,
         rng=None,
+        reuse_port: bool = False,
+        preset_keys=None,
     ):
         self.bind_host = host
         self.bind_port = port
-        self.scheme_host = SchemeHost(schemes=schemes, backend=backend, rng=rng)
+        self.reuse_port = reuse_port
+        self.scheme_host = SchemeHost(
+            schemes=schemes, backend=backend, rng=rng, preset_keys=preset_keys
+        )
         self.scheduler = BatchScheduler(
             self.scheme_host,
             executor=executor,
@@ -78,6 +89,10 @@ class ServeServer:
         )
         self._server: Optional["asyncio.base_events.Server"] = None
         self._connection_tasks: set = set()
+        self._draining = False
+        #: Requests currently between scheduler submission and the response
+        #: write — what a graceful drain must wait out before closing.
+        self._inflight = 0
         self.connections = 0
         self.protocol_errors = 0
 
@@ -91,23 +106,43 @@ class ServeServer:
     async def start(self) -> Tuple[str, int]:
         """Start the scheduler and bind the listening socket."""
         await self.scheduler.start()
+        self._draining = False
+        kwargs = {}
+        if self.reuse_port:
+            # SO_REUSEPORT lets N worker processes share one listen port
+            # with kernel connection balancing — the cluster's shared-
+            # nothing scale-out path.  Only passed when requested so
+            # platforms without the option keep working.
+            kwargs["reuse_port"] = True
         self._server = await asyncio.start_server(
-            self._handle_connection, self.bind_host, self.bind_port
+            self._handle_connection, self.bind_host, self.bind_port, **kwargs
         )
         return self.address
 
-    async def stop(self) -> None:
+    async def stop(self, drain: bool = False) -> None:
+        """Stop serving.  ``drain=True`` is the graceful path: stop
+        accepting, answer every request already submitted (explicit
+        ``ERR_UNAVAILABLE`` frames for anything arriving afterwards), flush
+        the responses, then close."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if drain:
+            self._draining = True
+            await self.scheduler.stop(drain=True)
+            # The scheduler resolved every accepted future; wait until the
+            # connection handlers have written those responses out.
+            while self._inflight:
+                await asyncio.sleep(0.005)
         # Handler tasks may still be parked on reads whose EOF the loop has
         # not processed yet; cancel and await them so shutdown is silent.
         for task in list(self._connection_tasks):
             task.cancel()
         if self._connection_tasks:
             await asyncio.gather(*self._connection_tasks, return_exceptions=True)
-        await self.scheduler.stop()
+        if not drain:
+            await self.scheduler.stop()
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -183,6 +218,16 @@ class ServeServer:
             )
             return False  # nothing after a version mismatch can be trusted
 
+        if self._draining:
+            # Stopped accepting: everything already submitted still gets its
+            # response, but new work — handshakes included — is refused with
+            # an explicit frame, never a silently closed connection.
+            session.errors += 1
+            await self._best_effort_error(
+                writer, ERR_UNAVAILABLE, "server is draining; reconnect"
+            )
+            return False
+
         if frame.opcode == OP_HELLO:
             return await self._handle_hello(session, writer, frame)
 
@@ -214,23 +259,34 @@ class ServeServer:
             )
             return True
 
+        self._inflight += 1
         try:
-            ok, code, payload = await self.scheduler.submit(
-                session.scheme_name, kind, frame.payload
-            )
-        except OverloadedError as exc:
-            session.errors += 1
-            await write_frame(writer, OP_OVERLOADED, str(exc).encode("utf-8"))
+            try:
+                ok, code, payload = await self.scheduler.submit(
+                    session.scheme_name, kind, frame.payload
+                )
+            except OverloadedError as exc:
+                session.errors += 1
+                await write_frame(writer, OP_OVERLOADED, str(exc).encode("utf-8"))
+                return True
+            except UnavailableError as exc:
+                # Graceful drain: the request was *not* accepted; tell the
+                # peer explicitly so it reconnects to a live worker, then
+                # close this connection.
+                session.errors += 1
+                await self._best_effort_error(writer, ERR_UNAVAILABLE, str(exc))
+                return False
+            if ok:
+                session.responses += 1
+                await write_frame(writer, code, payload)
+            else:
+                session.errors += 1
+                await write_frame(
+                    writer, OP_ERROR, pack_error(code, payload.decode("utf-8", "replace"))
+                )
             return True
-        if ok:
-            session.responses += 1
-            await write_frame(writer, code, payload)
-        else:
-            session.errors += 1
-            await write_frame(
-                writer, OP_ERROR, pack_error(code, payload.decode("utf-8", "replace"))
-            )
-        return True
+        finally:
+            self._inflight -= 1
 
     async def _handle_hello(
         self,
@@ -254,9 +310,19 @@ class ServeServer:
         # The long-lived key may not exist yet; creating it is the one
         # potentially slow step of the handshake (e.g. lazy RSA keygen), so
         # it runs in the pool, not on the loop.
-        key = await asyncio.get_running_loop().run_in_executor(
-            None, self.scheme_host.server_key, name
-        )
+        try:
+            key = await asyncio.get_running_loop().run_in_executor(
+                None, self.scheme_host.server_key, name
+            )
+        except ParameterError as exc:
+            # Allowlisted but unknown to the registry (a configuration
+            # typo): still an explicit error frame, never a dropped
+            # connection.
+            session.errors += 1
+            await write_frame(
+                writer, OP_ERROR, pack_error(ERR_UNKNOWN_SCHEME, str(exc))
+            )
+            return True
         session.scheme_name = name
         await write_frame(writer, OP_WELCOME, pack_welcome(name, key.public_wire))
         return True

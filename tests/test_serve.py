@@ -18,6 +18,8 @@ import pytest
 from repro.errors import (
     OverloadedError,
     ParameterError,
+    ProtocolError,
+    UnavailableError,
     UnsupportedOperationError,
 )
 from repro.pkc.registry import _INSTANCES, get_scheme
@@ -252,6 +254,95 @@ class TestScheduler:
         assert classify_error(UnsupportedOperationError("x"))[0] == ERR_UNSUPPORTED
         assert classify_error(ParameterError("x"))[0] == ERR_BAD_REQUEST
         assert classify_error(RuntimeError("x"))[0] == ERR_INTERNAL
+
+
+class TestGracefulDrain:
+    """Shutdown must answer every accepted request — never drop it silently."""
+
+    def test_scheduler_drain_resolves_every_accepted_future(self):
+        async def scenario():
+            host = SchemeHost(schemes=("ceilidh-toy32",), rng=random.Random(7))
+            scheduler = BatchScheduler(host, workers=2, max_batch=8)
+            await scheduler.start()
+            scheme = host.scheme("ceilidh-toy32")
+            host.server_key("ceilidh-toy32")  # what HELLO would have done
+            client_pair = scheme.keygen(random.Random(8))
+            tasks = [
+                asyncio.ensure_future(
+                    scheduler.submit(
+                        "ceilidh-toy32", "key-agreement", client_pair.public_wire
+                    )
+                )
+                for _ in range(12)
+            ]
+            await asyncio.sleep(0)  # every submit enqueues before the drain
+            stop_task = asyncio.ensure_future(scheduler.stop(drain=True))
+            await asyncio.sleep(0)  # the drain flag is up; queue still full
+            with pytest.raises(UnavailableError):
+                await scheduler.submit(
+                    "ceilidh-toy32", "key-agreement", client_pair.public_wire
+                )
+            results = await asyncio.gather(*tasks)
+            await stop_task
+            return results, scheduler.stats
+
+        results, stats = run(scenario())
+        # Every accepted request resolved with a real result — none were
+        # cancelled, none raised, and the counters agree.
+        assert len(results) == 12
+        assert all(ok for ok, _, _ in results)
+        assert stats.submitted == 12
+        assert stats.served == 12
+        assert stats.errors == 0
+
+    def test_server_drain_flushes_responses_and_never_drops_silently(self):
+        async def scenario():
+            server = _server(max_batch=4)
+            await server.start()
+            host, port = server.address
+            clients = []
+            try:
+                for _ in range(6):
+                    client = ServeClient(host, port)
+                    await client.connect()
+                    await client.negotiate("ceilidh-toy32")
+                    clients.append(client)
+                rng = random.Random(21)
+                tasks = [
+                    asyncio.ensure_future(client.key_agreement_session(rng))
+                    for client in clients
+                ]
+                await asyncio.sleep(0.002)  # requests are in flight
+                await server.stop(drain=True)
+                outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+                return outcomes, server.scheduler.stats
+            finally:
+                for client in clients:
+                    await client.close()
+
+        outcomes, stats = run(scenario())
+        completed = [o for o in outcomes if isinstance(o, float)]
+        refused = [o for o in outcomes if isinstance(o, UnavailableError)]
+        # Every session either finished (response flushed before close) or
+        # was refused with an *explicit* ERR_UNAVAILABLE frame; a silently
+        # closed connection would surface as ProtocolError here.
+        assert len(completed) + len(refused) == 6
+        assert not any(isinstance(o, ProtocolError) for o in outcomes)
+        # The scheduler answered exactly what it accepted.
+        assert stats.submitted == stats.served + stats.errors
+        assert len(completed) == stats.served
+
+    def test_draining_server_refuses_new_work_with_explicit_frame(self):
+        async def scenario():
+            async with _server() as server:
+                host, port = server.address
+                async with ServeClient(host, port) as client:
+                    await client.negotiate("ceilidh-toy32")
+                    server._draining = True  # mid-drain, listener still up
+                    with pytest.raises(UnavailableError):
+                        await client.key_agreement_session(random.Random(3))
+
+        run(scenario())
 
 
 class TestSchemeHost:
