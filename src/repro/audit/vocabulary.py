@@ -74,6 +74,11 @@ SECRET_RETURNING = frozenset(
         "decrypt",
         "open_body",
         "kdf",
+        # Channel-layer derivations: both halves of a channel handshake end
+        # in key material (directional keystream/tag keys, the bootstrap
+        # secret the client encrypts to the server).
+        "derive_channel_keys",
+        "channel_bootstrap",
     }
 )
 

@@ -86,6 +86,37 @@ class UnavailableError(ServeError):
     on the same connection."""
 
 
+class QuotaError(ServeError):
+    """A per-client quota refused the request — explicit admission control.
+
+    Raised on the server when a token bucket is empty or a channel cap is
+    reached, and on the client when an ``ERR_OVER_QUOTA`` frame comes back.
+    Retryable after the bucket refills; never a silently closed
+    connection."""
+
+
+class ChannelError(ServeError):
+    """Base class for stateful secure-channel failures (``repro.serve.channel``)."""
+
+
+class UnknownChannelError(ChannelError):
+    """The named channel does not exist — never opened, closed, or evicted idle."""
+
+
+class ReplayError(ChannelError):
+    """A channel record arrived with a sequence number already consumed (or
+    skipped ahead) — replay or reordering; the channel is torn down."""
+
+
+class TamperedRecordError(ChannelError):
+    """A channel record's integrity tag did not verify; the channel is torn down."""
+
+
+class RekeyRequiredError(ChannelError):
+    """The channel's key epoch exhausted its message/byte budget; the peer
+    must run ``CHAN_REKEY`` before any further record is accepted."""
+
+
 class SocError(ReproError):
     """Base class for platform-simulator errors."""
 

@@ -66,6 +66,7 @@ def _show(path: str) -> int:
         )
     )
     _show_scaling_table(entries)
+    _show_traffic_table(entries)
     _show_audit_summary(path)
     return 0
 
@@ -109,6 +110,59 @@ def _show_scaling_table(entries) -> None:
             rows,
             title=f"Cluster scaling (measured on {cores_note} core(s); "
                   f"efficiency = sess/s at N workers / N x single-worker)",
+        )
+    )
+
+
+def _show_traffic_table(entries) -> None:
+    """Render the traffic-mix digest when ``traffic:`` rows exist.
+
+    One line per ``traffic:<mix>`` *summary* row (operation ``all``, or
+    ``all@w<N>`` for cluster sweeps): steady-state tail latencies next to
+    the behaviour counters — transparent rekeys, explicit quota/overload
+    rejections — and the strict accounting identity the engine enforces
+    (``submitted == responses + explicit errors``).
+    """
+    summaries = {
+        key: record
+        for key, record in entries.items()
+        if record.scheme.startswith("traffic:")
+        and record.operation.split("@w")[0] == "all"
+    }
+    if not summaries:
+        return
+    rows = []
+    for key in sorted(summaries):
+        record = summaries[key]
+        latency = record.latency_ms or {}
+        meta = record.meta
+        rejected = (meta.get("rejected_quota", 0) or 0) + (
+            meta.get("overload_rejections", 0) or 0
+        )
+        accounted = meta.get("submitted") == (
+            (meta.get("responses") or 0) + (meta.get("explicit_errors") or 0)
+        )
+        rows.append(
+            (
+                record.scheme[len("traffic:"):],
+                meta.get("workers", "-"),
+                meta.get("clients", "-"),
+                round(record.ops_per_second, 2),
+                latency.get("p50_ms", "-"),
+                latency.get("p99_ms", "-"),
+                latency.get("p999_ms", "-"),
+                meta.get("rekeys", "-"),
+                rejected,
+                "ok" if accounted else "MISMATCH",
+            )
+        )
+    print(
+        render_table(
+            ["mix", "workers", "clients", "resp/s", "p50 ms", "p99 ms",
+             "p999 ms", "rekeys", "rejected", "accounting"],
+            rows,
+            title="Traffic mixes (latencies are steady-state channel records; "
+                  "rejected = explicit quota + overload answers)",
         )
     )
 

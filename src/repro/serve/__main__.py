@@ -125,6 +125,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "reference) and emit serve-cluster: rows")
     load.add_argument("--cluster-mode", choices=("auto", "reuseport", "router"),
                       default="auto", help="port sharing for --cluster sweeps")
+    load.add_argument("--mix", default=None, metavar="NAME",
+                      help="drive a seeded traffic-model mix (zipf popularity, "
+                           "bursty arrivals, secure channels) instead of the "
+                           "phase plan; presets: see repro.traffic.model.MIXES")
+    load.add_argument("--seed", type=int, default=0,
+                      help="traffic-model seed (--mix only; default: 0)")
     _add_server_options(load)
     return parser
 
@@ -251,6 +257,268 @@ def _emit_cluster_records(
     return path
 
 
+def _emit_traffic_records(
+    reports, mix, args, backend_name: str, quick: bool
+) -> pathlib.Path:
+    """Merge the BENCH rows of one traffic run (or cluster sweep).
+
+    Two families land:
+
+    * ``traffic:<mix>[+backend]`` rows — one per ``(scheme, kind)`` cell
+      plus an ``all`` summary carrying the strict accounting counters.
+      Rates share the run's wall clock (the cells ran interleaved, which
+      is the point of a traffic model), noted in meta as
+      ``shared_wall=True``.
+    * ``serve-channel:<scheme>[+backend]`` rows — the channel subsystem's
+      own trajectory: ``open`` (handshake) and ``message`` (steady-state)
+      cells, the latter with the measured ``amortisation_vs_oneshot_ka``
+      when the same run also drove one-shot key agreements on the scheme.
+
+    Cluster sweeps append ``@w<N>`` to every operation, mirroring the
+    ``serve-cluster:`` convention.
+    """
+    from repro import perf
+    from repro.traffic.engine import CHANNEL_MESSAGE, CHANNEL_OPEN
+
+    suffix = "" if backend_name == "plain" else f"+{backend_name}"
+    records = []
+    for workers, report in sorted(reports.items()):
+        at_workers = f"@w{workers}" if workers else ""
+        wall = report.wall_seconds
+        base_meta = {
+            "mix": mix.name,
+            "seed": report.seed,
+            "clients": report.clients,
+            "backend": backend_name,
+            "quick": quick,
+            "shared_wall": True,
+        }
+        if workers:
+            base_meta["workers"] = workers
+        for key in sorted(report.entries):
+            entry = report.entries[key]
+            rate = entry.rate(wall)
+            records.append(
+                perf.PerfRecord(
+                    scheme=f"traffic:{mix.name}{suffix}",
+                    operation=f"{entry.scheme}:{entry.kind}{at_workers}",
+                    sessions=entry.count,
+                    wall_seconds=wall,
+                    ops_per_second=rate,
+                    ms_per_op=(1e3 / rate if rate else 0.0),
+                    latency_ms=entry.histogram.summary(),
+                    meta={**base_meta, "refusals": entry.refusals},
+                )
+            )
+        handshake = report.handshake_histogram()
+        steady = report.steady_state_histogram()
+        records.append(
+            perf.PerfRecord(
+                scheme=f"traffic:{mix.name}{suffix}",
+                operation=f"all{at_workers}",
+                sessions=report.submitted,
+                wall_seconds=wall,
+                ops_per_second=(report.responses / wall if wall else 0.0),
+                ms_per_op=(wall * 1e3 / report.responses
+                           if report.responses else 0.0),
+                latency_ms=steady.summary() if len(steady) else None,
+                meta={
+                    **base_meta,
+                    "submitted": report.submitted,
+                    "responses": report.responses,
+                    "explicit_errors": report.explicit_errors,
+                    "rejected_quota": report.rejected_quota,
+                    "overload_rejections": report.overload_rejections,
+                    "channels_opened": report.channels_opened,
+                    "channel_messages": report.channel_messages,
+                    "rekeys": report.rekeys,
+                    "reopens": report.reopens,
+                    "oneshots": report.oneshots,
+                    "handshake_p50_ms": round(
+                        handshake.percentile(0.5) * 1e3, 4
+                    ),
+                    "steady_state_p50_ms": round(
+                        steady.percentile(0.5) * 1e3, 4
+                    ),
+                },
+            )
+        )
+        for scheme in mix.schemes:
+            message = report.entries.get(f"{scheme}:{CHANNEL_MESSAGE}")
+            opened = report.entries.get(f"{scheme}:{CHANNEL_OPEN}")
+            if message is None or opened is None:
+                continue
+            ka_rate = report.rate_of(scheme, "key-agreement")
+            message_rate = message.rate(wall)
+            records.append(
+                perf.PerfRecord(
+                    scheme=f"serve-channel:{scheme}{suffix}",
+                    operation=f"open{at_workers}",
+                    sessions=opened.count,
+                    wall_seconds=wall,
+                    ops_per_second=opened.rate(wall),
+                    ms_per_op=(1e3 / opened.rate(wall)
+                               if opened.count else 0.0),
+                    latency_ms=opened.histogram.summary(),
+                    meta={**base_meta, "refusals": opened.refusals},
+                )
+            )
+            records.append(
+                perf.PerfRecord(
+                    scheme=f"serve-channel:{scheme}{suffix}",
+                    operation=f"message{at_workers}",
+                    sessions=message.count,
+                    wall_seconds=wall,
+                    ops_per_second=message_rate,
+                    ms_per_op=(1e3 / message_rate if message.count else 0.0),
+                    latency_ms=message.histogram.summary(),
+                    meta={
+                        **base_meta,
+                        "refusals": message.refusals,
+                        "oneshot_ka_per_second": ka_rate or None,
+                        "amortisation_vs_oneshot_ka": (
+                            message_rate / ka_rate if ka_rate else None
+                        ),
+                    },
+                )
+            )
+    path = perf.bench_path(args.bench_root)
+    perf.update_bench(path, records)
+    return path
+
+
+def _print_traffic_report(report, workers: Optional[int] = None) -> None:
+    tag = f" [{workers} workers]" if workers else ""
+    header = (f"{'scheme':16} {'kind':16} {'count':>6} {'refus':>5} "
+              f"{'rate/s':>8} {'p50 ms':>8} {'p99 ms':>8} {'p999 ms':>8}")
+    print(f"traffic {report.mix}{tag}: {report.clients} clients, "
+          f"seed {report.seed}, {report.wall_seconds:.2f}s wall")
+    print(header)
+    print("-" * len(header))
+    for key in sorted(report.entries):
+        entry = report.entries[key]
+        digest = entry.histogram.summary()
+        print(f"{entry.scheme:16} {entry.kind:16} {entry.count:>6} "
+              f"{entry.refusals:>5} {entry.rate(report.wall_seconds):>8.1f} "
+              f"{digest['p50_ms']:>8.2f} {digest['p99_ms']:>8.2f} "
+              f"{digest['p999_ms']:>8.2f}")
+    handshake = report.handshake_histogram()
+    steady = report.steady_state_histogram()
+    print(f"channels: {report.channels_opened} opened, "
+          f"{report.channel_messages} messages, {report.rekeys} rekeys, "
+          f"{report.reopens} reopens; handshake p50 "
+          f"{handshake.percentile(0.5) * 1e3:.2f} ms vs steady-state p50 "
+          f"{steady.percentile(0.5) * 1e3:.2f} ms")
+    print(f"accounting: {report.submitted} submitted = {report.responses} "
+          f"responses + {report.explicit_errors} explicit errors "
+          f"({report.rejected_quota} quota, {report.overload_rejections} "
+          f"overloaded)")
+
+
+async def _run_traffic_command(args, backend_name: str, sessions: int) -> int:
+    """``load --mix``: the traffic-model engine against a server or cluster."""
+    from repro.traffic.engine import run_traffic
+    from repro.traffic.model import get_mix
+
+    mix = get_mix(args.mix)
+    reports: Dict[int, object] = {}
+    failed = False
+
+    if args.cluster:
+        from repro.serve.cluster import ClusterSupervisor
+
+        if args.connect:
+            raise SystemExit("--cluster boots its own workers; drop --connect")
+        counts = sorted({int(part) for part in args.cluster.split(",")
+                         if part.strip()})
+        if not counts or counts[0] < 1:
+            raise SystemExit(f"--cluster needs positive worker counts, "
+                             f"got {args.cluster!r}")
+        for count in counts:
+            cluster = ClusterSupervisor(
+                workers=count,
+                mode=args.cluster_mode,
+                schemes=mix.schemes,
+                backend=args.backend,
+                pool_workers=args.workers,
+                max_batch=args.max_batch,
+                queue_size=args.queue_size,
+            )
+            host, port = await cluster.start()
+            try:
+                print(f"traffic {mix.name}: {count} worker(s) "
+                      f"[{cluster.mode}] at {host}:{port} on {backend_name}")
+                report = await run_traffic(
+                    host, port, mix,
+                    clients=args.clients,
+                    sessions_per_client=sessions,
+                    seed=args.seed,
+                    backend=args.backend,
+                )
+            finally:
+                await cluster.stop()
+            reports[count] = report
+            _print_traffic_report(report, workers=count)
+            failed = failed or not report.accounted
+    else:
+        server: Optional[ServeServer] = None
+        if args.connect:
+            host, _, port = args.connect.rpartition(":")
+            address = (host, int(port))
+        else:
+            server = ServeServer(
+                backend=args.backend,
+                executor=args.executor,
+                workers=args.workers,
+                max_batch=args.max_batch,
+                queue_size=args.queue_size,
+            )
+            address = await server.start()
+        try:
+            report = await run_traffic(
+                address[0], address[1], mix,
+                clients=args.clients,
+                sessions_per_client=sessions,
+                seed=args.seed,
+                backend=args.backend,
+            )
+        finally:
+            if server is not None:
+                await server.stop()
+        reports[0] = report
+        _print_traffic_report(report)
+        failed = not report.accounted
+        if server is not None and server.protocol_errors:
+            print(f"FAIL: server counted {server.protocol_errors} "
+                  f"protocol error(s)")
+            failed = True
+
+    for report in reports.values():
+        if not report.accounted:
+            print(f"FAIL: accounting broken — {report.submitted} submitted "
+                  f"!= {report.responses} responses + "
+                  f"{report.explicit_errors} explicit errors")
+        # The amortisation headline: channel records per second against the
+        # same run's one-shot key-agreement rate.
+        for scheme in mix.schemes:
+            message_rate = report.rate_of(scheme, "channel-message")
+            ka_rate = report.rate_of(scheme, "key-agreement")
+            if message_rate and ka_rate:
+                print(f"{scheme}: channel messages {message_rate:.1f}/s vs "
+                      f"one-shot key agreement {ka_rate:.1f}/s "
+                      f"(amortisation x{message_rate / ka_rate:.1f})")
+
+    if failed:
+        print("perf trajectory NOT updated (run failed)")
+        return 1
+    if not args.no_emit:
+        path = _emit_traffic_records(reports, mix, args, backend_name,
+                                     args.quick)
+        print(f"perf trajectory updated: {path} (traffic:{mix.name} and "
+              f"serve-channel: records)")
+    return 0
+
+
 def _parse_cluster_counts(raw: str) -> List[int]:
     counts = sorted({int(part) for part in raw.split(",") if part.strip()})
     if not counts or counts[0] < 1:
@@ -333,6 +601,9 @@ async def _run_load_command(args) -> int:
     from repro.field.backend import default_backend_name
 
     backend_name = default_backend_name(args.backend)
+    if args.mix:
+        sessions = args.sessions if args.sessions is not None else (4 if args.quick else 12)
+        return await _run_traffic_command(args, backend_name, sessions)
     names = [name.strip() for name in args.schemes.split(",") if name.strip()]
     mix = _scheme_mix(names, args.backend)
     sessions = args.sessions if args.sessions is not None else (2 if args.quick else 16)

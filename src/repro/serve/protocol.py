@@ -58,15 +58,24 @@ __all__ = [
     "OP_DECRYPT",
     "OP_SIGN",
     "OP_VERIFY",
+    "OP_CHAN_OPEN",
+    "OP_CHAN_MSG",
+    "OP_CHAN_REKEY",
+    "OP_CHAN_CLOSE",
     "OP_WELCOME",
     "OP_KA_CONFIRM",
     "OP_CIPHERTEXT",
     "OP_PLAINTEXT_DIGEST",
     "OP_SIGNATURE",
     "OP_VERDICT",
+    "OP_CHAN_ACCEPT",
+    "OP_CHAN_REPLY",
+    "OP_CHAN_REKEYED",
+    "OP_CHAN_CLOSED",
     "OP_ERROR",
     "OP_OVERLOADED",
     "REQUEST_OPS",
+    "CHANNEL_OPS",
     "OPCODE_NAMES",
     "ERR_VERSION",
     "ERR_UNKNOWN_OPCODE",
@@ -76,8 +85,15 @@ __all__ = [
     "ERR_BAD_REQUEST",
     "ERR_INTERNAL",
     "ERR_UNAVAILABLE",
+    "ERR_OVER_QUOTA",
+    "ERR_NO_CHANNEL",
+    "ERR_REPLAY",
+    "ERR_TAMPERED",
+    "ERR_REKEY_REQUIRED",
+    "ERR_IDLE_TIMEOUT",
     "ERROR_NAMES",
     "TAG_LEN",
+    "CHANNEL_ID_LEN",
     "confirmation_tag",
     "constant_time_equal",
     "plaintext_digest",
@@ -87,6 +103,8 @@ __all__ = [
     "parse_verify",
     "pack_error",
     "parse_error",
+    "pack_channel",
+    "parse_channel",
 ]
 
 #: Bumped when the frame layout or opcode semantics change incompatibly.
@@ -108,6 +126,10 @@ OP_ENCRYPT = 0x03  #: payload: plaintext to encrypt under the server's key
 OP_DECRYPT = 0x04  #: payload: hybrid ciphertext for the server to open
 OP_SIGN = 0x05  #: payload: message to sign with the server's key
 OP_VERIFY = 0x06  #: payload: uint32 message length | message | signature
+OP_CHAN_OPEN = 0x07  #: payload: channel id | key-exchange material (public key or KEM ciphertext)
+OP_CHAN_MSG = 0x08  #: payload: channel id | sealed record (seq | body | tag)
+OP_CHAN_REKEY = 0x09  #: payload: channel id | sealed record whose body is fresh key-exchange material
+OP_CHAN_CLOSE = 0x0A  #: payload: channel id | sealed empty record (authenticated close)
 
 # -- opcodes: server -> client ------------------------------------------------
 
@@ -117,11 +139,18 @@ OP_CIPHERTEXT = 0x83  #: payload: the ciphertext produced by OP_ENCRYPT
 OP_PLAINTEXT_DIGEST = 0x84  #: payload: plaintext_digest(recovered plaintext)
 OP_SIGNATURE = 0x85  #: payload: the signature produced by OP_SIGN
 OP_VERDICT = 0x86  #: payload: one byte, 0x01 accepted / 0x00 rejected
+OP_CHAN_ACCEPT = 0x87  #: payload: channel id | confirmation_tag(channel secret)
+OP_CHAN_REPLY = 0x88  #: payload: channel id | sealed record (body = plaintext_digest)
+OP_CHAN_REKEYED = 0x89  #: payload: channel id | old-epoch sealed record (body = confirmation tag)
+OP_CHAN_CLOSED = 0x8A  #: payload: channel id
 OP_ERROR = 0xEE  #: payload: uint8 error code | UTF-8 detail
 OP_OVERLOADED = 0xBF  #: payload: UTF-8 detail — bounded queue full, retry later
 
 #: The operation-bearing client opcodes (everything except the handshake).
 REQUEST_OPS = (OP_KA_INIT, OP_ENCRYPT, OP_DECRYPT, OP_SIGN, OP_VERIFY)
+
+#: The stateful-channel client opcodes, handled by the channel layer.
+CHANNEL_OPS = (OP_CHAN_OPEN, OP_CHAN_MSG, OP_CHAN_REKEY, OP_CHAN_CLOSE)
 
 OPCODE_NAMES = {
     OP_HELLO: "HELLO",
@@ -130,12 +159,20 @@ OPCODE_NAMES = {
     OP_DECRYPT: "DECRYPT",
     OP_SIGN: "SIGN",
     OP_VERIFY: "VERIFY",
+    OP_CHAN_OPEN: "CHAN_OPEN",
+    OP_CHAN_MSG: "CHAN_MSG",
+    OP_CHAN_REKEY: "CHAN_REKEY",
+    OP_CHAN_CLOSE: "CHAN_CLOSE",
     OP_WELCOME: "WELCOME",
     OP_KA_CONFIRM: "KA_CONFIRM",
     OP_CIPHERTEXT: "CIPHERTEXT",
     OP_PLAINTEXT_DIGEST: "PLAINTEXT_DIGEST",
     OP_SIGNATURE: "SIGNATURE",
     OP_VERDICT: "VERDICT",
+    OP_CHAN_ACCEPT: "CHAN_ACCEPT",
+    OP_CHAN_REPLY: "CHAN_REPLY",
+    OP_CHAN_REKEYED: "CHAN_REKEYED",
+    OP_CHAN_CLOSED: "CHAN_CLOSED",
     OP_ERROR: "ERROR",
     OP_OVERLOADED: "OVERLOADED",
 }
@@ -150,6 +187,12 @@ ERR_UNSUPPORTED = 5  #: the negotiated scheme lacks the requested capability
 ERR_BAD_REQUEST = 6  #: malformed payload (bad point, bad ciphertext...)
 ERR_INTERNAL = 7
 ERR_UNAVAILABLE = 8  #: draining worker or routerless cluster — reconnect, retry
+ERR_OVER_QUOTA = 9  #: per-client token bucket empty or channel cap reached
+ERR_NO_CHANNEL = 10  #: channel id unknown — never opened, closed, or idle-evicted
+ERR_REPLAY = 11  #: record sequence number replayed or reordered; channel torn down
+ERR_TAMPERED = 12  #: record integrity tag failed to verify; channel torn down
+ERR_REKEY_REQUIRED = 13  #: key epoch budget exhausted; CHAN_REKEY before more records
+ERR_IDLE_TIMEOUT = 14  #: connection idle past the server's limit; closing
 
 ERROR_NAMES = {
     ERR_VERSION: "version-mismatch",
@@ -160,10 +203,19 @@ ERROR_NAMES = {
     ERR_BAD_REQUEST: "bad-request",
     ERR_INTERNAL: "internal-error",
     ERR_UNAVAILABLE: "unavailable",
+    ERR_OVER_QUOTA: "over-quota",
+    ERR_NO_CHANNEL: "no-such-channel",
+    ERR_REPLAY: "record-replayed",
+    ERR_TAMPERED: "record-tampered",
+    ERR_REKEY_REQUIRED: "rekey-required",
+    ERR_IDLE_TIMEOUT: "idle-timeout",
 }
 
 #: Bytes of the key-agreement confirmation tag and plaintext digest.
 TAG_LEN = 16
+
+#: Bytes of a channel identifier on the wire (client-chosen, random).
+CHANNEL_ID_LEN = 8
 
 
 @dataclass(frozen=True)
@@ -322,6 +374,25 @@ def parse_verify(payload: bytes) -> Tuple[bytes, bytes]:
     if len(payload) - 4 < msg_len:
         raise ProtocolError("VERIFY payload shorter than its message length")
     return payload[4 : 4 + msg_len], payload[4 + msg_len :]
+
+
+def pack_channel(channel_id: bytes, blob: bytes = b"") -> bytes:
+    """``channel id | blob`` — the shape of every channel opcode payload."""
+    if len(channel_id) != CHANNEL_ID_LEN:
+        raise ProtocolError(
+            f"channel id must be {CHANNEL_ID_LEN} bytes, got {len(channel_id)}"
+        )
+    return channel_id + blob
+
+
+def parse_channel(payload: bytes) -> Tuple[bytes, bytes]:
+    """``(channel id, blob)`` from a channel opcode payload."""
+    if len(payload) < CHANNEL_ID_LEN:
+        raise ProtocolError(
+            f"channel payload of {len(payload)} bytes is shorter than the "
+            f"{CHANNEL_ID_LEN}-byte channel id"
+        )
+    return payload[:CHANNEL_ID_LEN], payload[CHANNEL_ID_LEN:]
 
 
 def pack_error(code: int, detail: str = "") -> bytes:

@@ -30,29 +30,57 @@ from repro.errors import (
     OverloadedError,
     ParameterError,
     ProtocolError,
+    QuotaError,
+    RekeyRequiredError,
+    ReplayError,
+    TamperedRecordError,
     UnavailableError,
+    UnknownChannelError,
 )
 from repro.serve import protocol
+from repro.serve.channel import ChannelPolicy, ChannelTable
 from repro.serve.protocol import (
+    ERR_IDLE_TIMEOUT,
+    ERR_NO_CHANNEL,
     ERR_NO_SESSION,
+    ERR_OVER_QUOTA,
+    ERR_REKEY_REQUIRED,
+    ERR_REPLAY,
+    ERR_TAMPERED,
     ERR_UNAVAILABLE,
     ERR_UNKNOWN_OPCODE,
     ERR_UNKNOWN_SCHEME,
     ERR_UNSUPPORTED,
     ERR_VERSION,
+    OP_CHAN_ACCEPT,
+    OP_CHAN_CLOSE,
+    OP_CHAN_CLOSED,
+    OP_CHAN_MSG,
+    OP_CHAN_OPEN,
+    OP_CHAN_REKEY,
+    OP_CHAN_REKEYED,
+    OP_CHAN_REPLY,
     OP_ERROR,
     OP_HELLO,
     OP_OVERLOADED,
     OP_WELCOME,
     PROTOCOL_VERSION,
+    CHANNEL_OPS,
     Frame,
+    pack_channel,
     pack_error,
     pack_welcome,
+    parse_channel,
     read_frame,
     write_frame,
 )
 from repro.serve.scheduler import BatchScheduler, SchemeHost
-from repro.serve.session import CAPABILITY_BY_KIND, KIND_BY_OPCODE, ConnectionSession
+from repro.serve.session import (
+    CAPABILITY_BY_KIND,
+    CHANNEL_SECRET_KIND,
+    KIND_BY_OPCODE,
+    ConnectionSession,
+)
 
 __all__ = ["ServeServer"]
 
@@ -73,6 +101,8 @@ class ServeServer:
         rng=None,
         reuse_port: bool = False,
         preset_keys=None,
+        idle_timeout: Optional[float] = None,
+        channel_policy: Optional[ChannelPolicy] = None,
     ):
         self.bind_host = host
         self.bind_port = port
@@ -87,6 +117,13 @@ class ServeServer:
             max_batch=max_batch,
             queue_size=queue_size,
         )
+        #: Seconds a connection may sit without a frame before the server
+        #: answers an explicit ``ERR_IDLE_TIMEOUT`` and closes it — without
+        #: this, abandoned connections hold ConnectionSession (and channel)
+        #: state forever.  ``None`` disables the timeout.
+        self.idle_timeout = idle_timeout
+        #: Every open stateful channel, with quota/rekey/idle policy.
+        self.channels = ChannelTable(channel_policy)
         self._server: Optional["asyncio.base_events.Server"] = None
         self._connection_tasks: set = set()
         self._draining = False
@@ -95,6 +132,7 @@ class ServeServer:
         self._inflight = 0
         self.connections = 0
         self.protocol_errors = 0
+        self.idle_closes = 0
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -163,17 +201,37 @@ class ServeServer:
         self, reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter"
     ) -> None:
         peername = writer.get_extra_info("peername")
-        session = ConnectionSession(
-            peer=str(peername), backend=self.scheme_host.backend
-        )
         self.connections += 1
+        session = ConnectionSession(
+            peer=str(peername),
+            backend=self.scheme_host.backend,
+            client_id=f"{peername}#{self.connections}",
+        )
         task = asyncio.current_task()
         if task is not None:
             self._connection_tasks.add(task)
         try:
             while True:
                 try:
-                    frame = await read_frame(reader)
+                    if self.idle_timeout is not None:
+                        frame = await asyncio.wait_for(
+                            read_frame(reader), timeout=self.idle_timeout
+                        )
+                    else:
+                        frame = await read_frame(reader)
+                except asyncio.TimeoutError:
+                    # An abandoned connection must not hold session and
+                    # channel state forever: answer with an explicit error
+                    # frame — never a silent close — and let the ``finally``
+                    # below reclaim everything this connection owned.
+                    self.idle_closes += 1
+                    session.errors += 1
+                    await self._best_effort_error(
+                        writer,
+                        ERR_IDLE_TIMEOUT,
+                        f"no frame for {self.idle_timeout:g}s; closing",
+                    )
+                    return
                 except ProtocolError as exc:
                     # Framing violation (oversized length, drop mid-frame):
                     # fatal for this connection only.
@@ -194,6 +252,7 @@ class ServeServer:
         finally:
             if task is not None:
                 self._connection_tasks.discard(task)
+            self.channels.drop_client(session.client_id)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -230,6 +289,9 @@ class ServeServer:
 
         if frame.opcode == OP_HELLO:
             return await self._handle_hello(session, writer, frame)
+
+        if frame.opcode in CHANNEL_OPS:
+            return await self._handle_channel_frame(session, writer, frame)
 
         kind = KIND_BY_OPCODE.get(frame.opcode)
         if kind is None:
@@ -325,6 +387,216 @@ class ServeServer:
             return True
         session.scheme_name = name
         await write_frame(writer, OP_WELCOME, pack_welcome(name, key.public_wire))
+        return True
+
+    # -- stateful channels --------------------------------------------------------
+    #
+    # The channel layer's split of labour: the *handshake* (a full public-key
+    # operation) rides the scheduler — concurrent CHAN_OPENs for one scheme
+    # coalesce into the same key_agreement_many batches as one-shot KA_INIT
+    # requests — while *records* (XOR keystream + HMAC tag, microseconds)
+    # execute inline on the loop.  Every refusal is an explicit typed error
+    # frame: quota and admission -> ERR_OVER_QUOTA, exhausted key budget ->
+    # ERR_REKEY_REQUIRED, replay/tamper -> ERR_REPLAY/ERR_TAMPERED (and the
+    # channel is torn down), unknown or idle-evicted id -> ERR_NO_CHANNEL.
+
+    async def _handle_channel_frame(
+        self,
+        session: ConnectionSession,
+        writer: "asyncio.StreamWriter",
+        frame: Frame,
+    ) -> bool:
+        if not session.negotiated:
+            session.errors += 1
+            await write_frame(
+                writer, OP_ERROR, pack_error(ERR_NO_SESSION, "HELLO first")
+            )
+            return True
+        try:
+            channel_id, blob = parse_channel(frame.payload)
+        except ProtocolError as exc:
+            session.errors += 1
+            await write_frame(
+                writer, OP_ERROR, pack_error(protocol.ERR_BAD_REQUEST, str(exc))
+            )
+            return True
+        handler = {
+            OP_CHAN_OPEN: self._handle_channel_open,
+            OP_CHAN_MSG: self._handle_channel_msg,
+            OP_CHAN_REKEY: self._handle_channel_rekey,
+            OP_CHAN_CLOSE: self._handle_channel_close,
+        }[frame.opcode]
+        try:
+            return await handler(session, writer, channel_id, blob)
+        except QuotaError as exc:
+            session.errors += 1
+            await write_frame(
+                writer, OP_ERROR, pack_error(ERR_OVER_QUOTA, str(exc))
+            )
+            return True
+        except UnknownChannelError as exc:
+            session.errors += 1
+            await write_frame(
+                writer, OP_ERROR, pack_error(ERR_NO_CHANNEL, str(exc))
+            )
+            return True
+        except RekeyRequiredError as exc:
+            session.errors += 1
+            await write_frame(
+                writer, OP_ERROR, pack_error(ERR_REKEY_REQUIRED, str(exc))
+            )
+            return True
+        except TamperedRecordError as exc:
+            session.errors += 1
+            self.channels.evict_hostile(session.client_id, channel_id)
+            await write_frame(
+                writer, OP_ERROR, pack_error(ERR_TAMPERED, str(exc))
+            )
+            return True
+        except ReplayError as exc:
+            session.errors += 1
+            self.channels.evict_hostile(session.client_id, channel_id)
+            await write_frame(writer, OP_ERROR, pack_error(ERR_REPLAY, str(exc)))
+            return True
+        except ProtocolError as exc:
+            session.errors += 1
+            await write_frame(
+                writer, OP_ERROR, pack_error(protocol.ERR_BAD_REQUEST, str(exc))
+            )
+            return True
+
+    async def _channel_secret(
+        self,
+        session: ConnectionSession,
+        writer: "asyncio.StreamWriter",
+        kex: bytes,
+    ) -> Optional[bytes]:
+        """Run the handshake's public-key half through the scheduler.
+
+        Returns the raw bootstrap secret, or ``None`` after an error frame
+        has already been written (the caller just returns ``True``).
+        Overload and drain keep their one-shot semantics: an explicit
+        ``OP_OVERLOADED`` / ``ERR_UNAVAILABLE`` frame, never a silent drop.
+        """
+        self._inflight += 1
+        try:
+            try:
+                ok, code, payload = await self.scheduler.submit(
+                    session.scheme_name, CHANNEL_SECRET_KIND, kex
+                )
+            except OverloadedError as exc:
+                session.errors += 1
+                await write_frame(writer, OP_OVERLOADED, str(exc).encode("utf-8"))
+                return None
+            except UnavailableError as exc:
+                session.errors += 1
+                await self._best_effort_error(writer, ERR_UNAVAILABLE, str(exc))
+                return None
+            if not ok:
+                session.errors += 1
+                await write_frame(
+                    writer,
+                    OP_ERROR,
+                    pack_error(code, payload.decode("utf-8", "replace")),
+                )
+                return None
+            return payload
+        finally:
+            self._inflight -= 1
+
+    async def _handle_channel_open(
+        self,
+        session: ConnectionSession,
+        writer: "asyncio.StreamWriter",
+        channel_id: bytes,
+        kex: bytes,
+    ) -> bool:
+        scheme = self.scheme_host.scheme(session.scheme_name)
+        if not {"key-agreement", "encryption"} & set(scheme.capabilities):
+            session.errors += 1
+            await write_frame(
+                writer,
+                OP_ERROR,
+                pack_error(
+                    ERR_UNSUPPORTED,
+                    f"{scheme.name} can bootstrap no channel (needs "
+                    f"key agreement or encryption)",
+                ),
+            )
+            return True
+        # Admission control *before* the expensive public-key operation: an
+        # over-quota client must not be able to spend server exponentiations.
+        self.channels.take_token(session.client_id)
+        secret = await self._channel_secret(session, writer, kex)
+        if secret is None:
+            return True
+        self.channels.admit(
+            session.client_id, channel_id, session.scheme_name, secret
+        )
+        session.responses += 1
+        await write_frame(
+            writer,
+            OP_CHAN_ACCEPT,
+            pack_channel(channel_id, protocol.confirmation_tag(secret)),
+        )
+        return True
+
+    async def _handle_channel_msg(
+        self,
+        session: ConnectionSession,
+        writer: "asyncio.StreamWriter",
+        channel_id: bytes,
+        record: bytes,
+    ) -> bool:
+        channel = self.channels.get(session.client_id, channel_id)
+        self.channels.take_token(session.client_id)
+        self.channels.require_key_budget(channel)
+        plaintext = channel.crypto.open(record)
+        channel.record_message(len(plaintext), self.channels.now())
+        self.channels.stats.messages += 1
+        session.responses += 1
+        reply = channel.crypto.seal(protocol.plaintext_digest(plaintext))
+        await write_frame(writer, OP_CHAN_REPLY, pack_channel(channel_id, reply))
+        return True
+
+    async def _handle_channel_rekey(
+        self,
+        session: ConnectionSession,
+        writer: "asyncio.StreamWriter",
+        channel_id: bytes,
+        record: bytes,
+    ) -> bool:
+        channel = self.channels.get(session.client_id, channel_id)
+        self.channels.take_token(session.client_id)
+        # The fresh key-exchange material arrives *inside* the channel — a
+        # sealed record under the current epoch, so only the peer that owns
+        # the channel can rotate its keys.
+        kex = channel.crypto.open(record)
+        secret = await self._channel_secret(session, writer, kex)
+        if secret is None:
+            return True
+        # Acknowledge under the *old* epoch (consuming a send sequence),
+        # then switch: the client opens the ack with the keys it still
+        # holds, checks the confirmation tag, and switches too.
+        ack = channel.crypto.seal(protocol.confirmation_tag(secret))
+        channel.rekeyed(secret, self.channels.now())
+        self.channels.stats.rekeys += 1
+        session.responses += 1
+        await write_frame(writer, OP_CHAN_REKEYED, pack_channel(channel_id, ack))
+        return True
+
+    async def _handle_channel_close(
+        self,
+        session: ConnectionSession,
+        writer: "asyncio.StreamWriter",
+        channel_id: bytes,
+        record: bytes,
+    ) -> bool:
+        channel = self.channels.get(session.client_id, channel_id)
+        channel.crypto.open(record)  # authenticated close; empty body
+        self.channels.close(session.client_id, channel_id)
+        session.responses += 1
+        await write_frame(writer, OP_CHAN_CLOSED, pack_channel(channel_id))
         return True
 
     async def _best_effort_error(

@@ -55,6 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "KIND_BY_OPCODE",
     "CAPABILITY_BY_KIND",
+    "CHANNEL_SECRET_KIND",
     "BatchItemFailure",
     "ConnectionSession",
     "serve_request",
@@ -83,6 +84,14 @@ CAPABILITY_BY_KIND = {
     "verify": "signature",
 }
 
+#: The internal scheduler kind a ``CHAN_OPEN``/``CHAN_REKEY`` handshake
+#: submits: the scheme's key agreement (or, for schemes without one, the
+#: KEM-style decryption of a client-chosen seed) yielding the raw channel
+#: bootstrap secret.  Never reachable from a wire opcode — the channel
+#: handler derives keys from the result and only a confirmation tag
+#: travels back to the peer.
+CHANNEL_SECRET_KIND = "channel-secret"
+
 
 class BatchItemFailure(Exception):
     """A per-item batch loop failed partway; carries the per-index partials.
@@ -110,6 +119,10 @@ class ConnectionSession:
     requests: int = 0
     responses: int = 0
     errors: int = 0
+    #: Connection-unique id the server's channel table keys quotas by
+    #: (distinct peers can share a ``peer`` string through NAT or port
+    #: reuse; the server stamps an id of its own).
+    client_id: str = ""
 
     @property
     def negotiated(self) -> bool:
@@ -131,6 +144,16 @@ def serve_request(
     if kind == "key-agreement":
         shared = scheme.key_agreement(server_key, payload)
         return OP_KA_CONFIRM, protocol.confirmation_tag(shared)
+    if kind == CHANNEL_SECRET_KIND:
+        # The channel bootstrap: the payload is key-agreement material for
+        # KA-capable schemes, or a KEM ciphertext of a client-chosen seed
+        # otherwise.  The raw secret travels back to the channel handler —
+        # the one kind whose result is key material, not wire bytes.
+        if "key-agreement" in scheme.capabilities:
+            secret = scheme.key_agreement(server_key, payload)
+        else:
+            secret = scheme.decrypt(server_key, payload)
+        return protocol.OP_CHAN_ACCEPT, secret
     if kind == "encrypt":
         return OP_CIPHERTEXT, scheme.encrypt(server_key.public_wire, payload)
     if kind == "decrypt":
@@ -170,6 +193,16 @@ def serve_request_batch(
         return [
             (OP_KA_CONFIRM, protocol.confirmation_tag(shared))
             for shared in scheme.key_agreement_many(server_key, payloads)
+        ]
+    if kind == CHANNEL_SECRET_KIND and "key-agreement" in scheme.capabilities:
+        # Channel handshakes coalesce exactly like one-shot key agreements:
+        # one key_agreement_many call per batch, shared batch inversions,
+        # fixed-base tables amortising across every concurrent CHAN_OPEN.
+        # KEM-bootstrap schemes (no key agreement) fall through to the
+        # per-item decrypt loop below.
+        return [
+            (protocol.OP_CHAN_ACCEPT, secret)
+            for secret in scheme.key_agreement_many(server_key, payloads)
         ]
     if kind == "sign":
         return [

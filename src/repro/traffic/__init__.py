@@ -1,0 +1,51 @@
+"""Seeded traffic models for the serving stack.
+
+The load harness in :mod:`repro.serve.client` drives phases of identical
+back-to-back sessions — ideal for isolating one ``(scheme, operation)``
+cost, unrepresentative of a deployed key-exchange service, where a few
+schemes dominate (Zipf popularity), requests arrive in bursts rather than
+a steady stream, and most traffic rides long-lived secure channels whose
+handshake cost is amortised over many records.
+
+This package supplies that missing realism as *data plus one engine*:
+
+* :mod:`repro.traffic.model` — declarative :class:`~repro.traffic.model.TrafficMix`
+  descriptions (scheme popularity, arrival process, operation mix, channel
+  lifetimes) and the named presets (``zipf-bursty`` & co.);
+* :mod:`repro.traffic.engine` — :func:`~repro.traffic.engine.run_traffic`,
+  which compiles a mix into per-client seeded schedules and drives a live
+  server, producing a :class:`~repro.traffic.engine.TrafficReport` with
+  per-scheme latency percentiles, a handshake vs steady-state split, and
+  strict accounting (every submitted request is a response or an explicit
+  error frame).
+
+Everything is deterministically seeded: two runs with the same mix, seed
+and client count generate identical request schedules, so traffic results
+are comparable across commits the same way the offline benchmarks are.
+"""
+
+from repro.traffic.model import (  # noqa: F401
+    MIXES,
+    ArrivalModel,
+    ChannelProfile,
+    TrafficMix,
+    get_mix,
+    zipf_weights,
+)
+from repro.traffic.engine import (  # noqa: F401
+    TrafficEntry,
+    TrafficReport,
+    run_traffic,
+)
+
+__all__ = [
+    "MIXES",
+    "ArrivalModel",
+    "ChannelProfile",
+    "TrafficMix",
+    "get_mix",
+    "zipf_weights",
+    "TrafficEntry",
+    "TrafficReport",
+    "run_traffic",
+]

@@ -80,7 +80,9 @@ class TestLatencyHistogram:
         assert digest["p50_ms"] == pytest.approx(20.0)
         assert digest["max_ms"] == pytest.approx(30.0)
         assert digest["mean_ms"] == pytest.approx(20.0)
-        assert set(digest) == {"p50_ms", "p90_ms", "p99_ms", "max_ms", "mean_ms", "count"}
+        assert set(digest) == {
+            "p50_ms", "p90_ms", "p99_ms", "p999_ms", "max_ms", "mean_ms", "count",
+        }
 
     def test_merge_and_counters(self):
         left = LatencyHistogram([0.010, 0.030])
